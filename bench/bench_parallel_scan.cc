@@ -1,0 +1,58 @@
+// Ablation for the Section 2 parallelism claim ("standard PC hardware
+// will come with multiple processors, so shared memory parallelism will
+// become ever present"): the same scan selection and multiplexed
+// computation at parallel degrees 1/2/4/8.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "kernel/operators.h"
+
+namespace {
+
+using namespace moaflat;  // NOLINT
+using bat::Bat;
+using bat::Column;
+
+Bat BigAttr(size_t n) {
+  Rng rng(123);
+  std::vector<Oid> heads(n);
+  std::vector<int32_t> tails(n);
+  std::iota(heads.begin(), heads.end(), Oid{1});
+  for (size_t i = 0; i < n; ++i) {
+    tails[i] = static_cast<int32_t>(rng.Uniform(0, 1 << 20));
+  }
+  return Bat(Column::MakeOid(heads), Column::MakeInt(tails),
+             bat::Properties{true, false, true, false});
+}
+
+void BM_ParallelScanSelect(benchmark::State& state) {
+  Bat ab = BigAttr(4 << 20);
+  SetParallelDegree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = kernel::SelectRange(ab, Value::Int(0), Value::Int(1 << 14));
+    benchmark::DoNotOptimize(out);
+  }
+  SetParallelDegree(0);
+}
+BENCHMARK(BM_ParallelScanSelect)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelMultiplex(benchmark::State& state) {
+  const size_t n = 4 << 20;
+  Bat a = BigAttr(n);
+  Bat b = Bat(a.head_col(), BigAttr(n).tail_col());
+  SetParallelDegree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = kernel::Multiplex("*", {a, b});
+    benchmark::DoNotOptimize(out);
+  }
+  SetParallelDegree(0);
+}
+BENCHMARK(BM_ParallelMultiplex)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// A tiny MIL shell over the TPC-D database: type MIL statements (the
+// paper's Fig. 10 notation, postfix `.mirror`/`.unique` included) and see
+// results, chosen implementations and simulated page faults per statement.
+//
+// Usage:  example_mil_shell [scale_factor] < script.mil
+//         echo 'count(select(Item_returnflag, 'R'))' | example_mil_shell
+//
+// Try the paper's Q13 plan:
+//   orders := select(Order_clerk, "Clerk#000000005")
+//   items := join(Item_order, orders)
+//   returns := semijoin(Item_returnflag, items)
+//   ritems := select(returns, 'R')
+//   years := [year](join(ritems, Order_orderdate))   # via Item_order oids
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "mil/interpreter.h"
+#include "mil/parser.h"
+#include "storage/page_accountant.h"
+#include "tpcd/loader.h"
+
+using namespace moaflat;  // NOLINT
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.005;
+  auto inst = tpcd::MakeInstance(sf).ValueOrDie();
+  std::fprintf(stderr,
+               "TPC-D loaded at SF %.3f (%zu items). Enter MIL statements; "
+               "probe clerk is %s.\n",
+               sf, inst->num_items, inst->probe_clerk.c_str());
+
+  mil::MilEnv env = inst->db.env();
+  storage::IoStats io;
+  storage::IoScope scope(&io);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto program = mil::ParseMil(line);
+    if (!program.ok()) {
+      std::printf("parse error: %s\n", program.status().ToString().c_str());
+      continue;
+    }
+    mil::MilInterpreter interp(&env);
+    Status st = interp.Run(*program);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      continue;
+    }
+    for (const auto& t : interp.traces()) {
+      std::printf("%8.3f ms %8llu faults %7zu out  %s  [%s]\n",
+                  t.elapsed_us / 1000.0,
+                  static_cast<unsigned long long>(t.faults), t.out_size,
+                  t.text.c_str(), t.impl.c_str());
+    }
+    // Show the last bound variable.
+    if (!program->stmts.empty()) {
+      const std::string& var = program->stmts.back().var;
+      if (auto b = env.GetBat(var); b.ok()) {
+        std::printf("%s =\n%s", var.c_str(), b->DebugString(8).c_str());
+      } else if (auto v = env.GetValue(var); v.ok()) {
+        std::printf("%s = %s\n", var.c_str(), v->ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Prints the vertical decomposition of the TPC-D MOA schema onto BATs —
+// the Fig. 3 picture as text: for every class, its extent, its attribute
+// BATs with their signatures and maintained properties, its set-valued
+// attribute indexes, and the composed structure expression of Section 3.3.
+
+#include <cstdio>
+
+#include "tpcd/loader.h"
+
+using namespace moaflat;  // NOLINT
+
+namespace {
+
+void DescribeBat(const moa::Database& db, const std::string& name,
+                 const char* indent) {
+  auto b = db.Get(name);
+  if (!b.ok()) return;
+  std::printf("%s%-32s BAT[%s,%s] #%zu %s%s\n", indent, name.c_str(),
+              TypeName(b->head().type()), TypeName(b->tail().type()),
+              b->size(), b->props().ToString().c_str(),
+              b->datavector() ? " +datavector" : "");
+}
+
+std::string StructureOf(const moa::Database& db, const moa::ClassDef& cls) {
+  std::string inner = "OBJECT(";
+  bool first = true;
+  for (const auto& attr : cls.attrs) {
+    if (attr.kind == moa::AttrDef::Kind::kSetRef ||
+        attr.kind == moa::AttrDef::Kind::kSetTuple) {
+      continue;  // appended below
+    }
+    if (!first) inner += ", ";
+    first = false;
+    inner += moa::Database::AttrBatName(cls.name, attr.name);
+  }
+  for (const auto& attr : cls.attrs) {
+    if (attr.kind == moa::AttrDef::Kind::kSetRef) {
+      inner += ", SET(" + moa::Database::AttrBatName(cls.name, attr.name) +
+               ")";
+    } else if (attr.kind == moa::AttrDef::Kind::kSetTuple) {
+      inner += ", SET(" + moa::Database::AttrBatName(cls.name, attr.name) +
+               ", TUPLE(";
+      for (size_t i = 0; i < attr.tuple_fields.size(); ++i) {
+        if (i > 0) inner += ", ";
+        inner += moa::Database::FieldBatName(cls.name, attr.name,
+                                             attr.tuple_fields[i].name);
+      }
+      inner += "))";
+    }
+  }
+  inner += ")";
+  return "SET(" + cls.name + ", " + inner + ")";
+}
+
+}  // namespace
+
+int main() {
+  auto inst = tpcd::MakeInstance(0.002).ValueOrDie();
+  const moa::Database& db = inst->db;
+
+  for (const auto& [name, cls] : db.schema().classes()) {
+    std::printf("class %s\n", name.c_str());
+    DescribeBat(db, name, "  extent    ");
+    for (const auto& attr : cls.attrs) {
+      DescribeBat(db, moa::Database::AttrBatName(name, attr.name),
+                  "  attribute ");
+      for (const auto& field : attr.tuple_fields) {
+        DescribeBat(db,
+                    moa::Database::FieldBatName(name, attr.name, field.name),
+                    "    field   ");
+      }
+    }
+    std::printf("  structure: %s\n\n", StructureOf(db, cls).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "bat/bat.h"
+
+#include <sstream>
+
+namespace moaflat::bat {
+
+std::string Properties::ToString() const {
+  std::string out = "[";
+  if (hkey) out += "hkey ";
+  if (tkey) out += "tkey ";
+  if (hsorted) out += "hsorted ";
+  if (tsorted) out += "tsorted ";
+  if (out.size() > 1) out.pop_back();
+  out += "]";
+  return out;
+}
+
+Bat::Bat()
+    : Bat(Column::MakeVoid(0, 0), Column::MakeVoid(0, 0),
+          Properties{true, true, true, true}) {}
+
+Bat::Bat(ColumnPtr head, ColumnPtr tail, Properties props)
+    : head_(std::move(head)),
+      tail_(std::move(tail)),
+      props_(props),
+      head_side_(std::make_shared<SideAux>()),
+      tail_side_(std::make_shared<SideAux>()) {}
+
+Bat::Bat(ColumnPtr head, ColumnPtr tail, Properties props,
+         std::shared_ptr<SideAux> head_side,
+         std::shared_ptr<SideAux> tail_side)
+    : head_(std::move(head)),
+      tail_(std::move(tail)),
+      props_(props),
+      head_side_(std::move(head_side)),
+      tail_side_(std::move(tail_side)) {}
+
+Result<Bat> Bat::Make(ColumnPtr head, ColumnPtr tail, Properties props) {
+  if (head == nullptr || tail == nullptr) {
+    return Status::Invalid("BAT columns must be non-null");
+  }
+  if (head->size() != tail->size()) {
+    return Status::Invalid("BAT head/tail size mismatch: " +
+                           std::to_string(head->size()) + " vs " +
+                           std::to_string(tail->size()));
+  }
+  return Bat(std::move(head), std::move(tail), props);
+}
+
+Bat Bat::Mirror() const {
+  return Bat(tail_, head_, props_.Mirrored(), tail_side_, head_side_);
+}
+
+std::shared_ptr<const HashIndex> Bat::EnsureHeadHash() const {
+  if (!head_side_->hash) {
+    head_side_->hash = std::make_shared<HashIndex>(head_);
+  }
+  return head_side_->hash;
+}
+
+std::shared_ptr<const HashIndex> Bat::EnsureTailHash() const {
+  if (!tail_side_->hash) {
+    tail_side_->hash = std::make_shared<HashIndex>(tail_);
+  }
+  return tail_side_->hash;
+}
+
+Status Bat::Validate() const {
+  if (head_->size() != tail_->size()) {
+    return Status::Invalid("size mismatch");
+  }
+  if (props_.hsorted && !head_->ComputeSorted()) {
+    return Status::Invalid("declared hsorted but head is not sorted");
+  }
+  if (props_.tsorted && !tail_->ComputeSorted()) {
+    return Status::Invalid("declared tsorted but tail is not sorted");
+  }
+  if (props_.hkey && !head_->ComputeKey()) {
+    return Status::Invalid("declared hkey but head has duplicates");
+  }
+  if (props_.tkey && !tail_->ComputeKey()) {
+    return Status::Invalid("declared tkey but tail has duplicates");
+  }
+  return Status::OK();
+}
+
+std::string Bat::DebugString(size_t max_rows) const {
+  std::ostringstream os;
+  os << "bat[" << TypeName(head_->type()) << "," << TypeName(tail_->type())
+     << "] #" << size() << " " << props_.ToString() << "\n";
+  const size_t n = std::min(size(), max_rows);
+  for (size_t i = 0; i < n; ++i) {
+    os << "  [ " << head_->GetValue(i).ToString() << ", "
+       << tail_->GetValue(i).ToString() << " ]\n";
+  }
+  if (size() > n) os << "  ... (" << (size() - n) << " more)\n";
+  return os.str();
+}
+
+}  // namespace moaflat::bat

@@ -1,0 +1,113 @@
+#ifndef MOAFLAT_BAT_BAT_H_
+#define MOAFLAT_BAT_BAT_H_
+
+#include <memory>
+#include <string>
+
+#include "bat/column.h"
+#include "bat/datavector.h"
+#include "bat/hash_index.h"
+#include "common/result.h"
+
+namespace moaflat::bat {
+
+/// Column properties actively maintained by the kernel (Section 5.1).
+/// `key` means duplicate-free, `sorted` means ascending. Each operator has
+/// a propagation rule mapping operand properties onto result properties;
+/// the dynamic optimizer picks implementations based on them.
+struct Properties {
+  bool hkey = false;
+  bool tkey = false;
+  bool hsorted = false;
+  bool tsorted = false;
+
+  /// Properties of the mirrored BAT (head and tail roles swapped).
+  Properties Mirrored() const { return {tkey, hkey, tsorted, hsorted}; }
+
+  std::string ToString() const;
+};
+
+/// A Binary Association Table: two equally long columns, head and tail
+/// (Fig. 2 of the paper). Bats are cheap value types: copies share the
+/// immutable columns and the accelerator slots.
+///
+/// `Mirror()` is the paper's zero-cost view with head and tail swapped
+/// ("an operation free of cost", Section 4.2): it swaps the shared column
+/// pointers and the per-side accelerator slots; no data moves.
+class Bat {
+ public:
+  /// Empty [void,void] BAT.
+  Bat();
+
+  /// Asserts equal sizes in debug; use Make for checked construction.
+  Bat(ColumnPtr head, ColumnPtr tail, Properties props = Properties{});
+
+  /// Checked constructor.
+  static Result<Bat> Make(ColumnPtr head, ColumnPtr tail,
+                          Properties props = Properties{});
+
+  size_t size() const { return head_->size(); }
+  bool empty() const { return size() == 0; }
+
+  const Column& head() const { return *head_; }
+  const Column& tail() const { return *tail_; }
+  const ColumnPtr& head_col() const { return head_; }
+  const ColumnPtr& tail_col() const { return tail_; }
+
+  const Properties& props() const { return props_; }
+  Properties& props() { return props_; }
+
+  /// The mirrored view [tail,head]; shares all storage and accelerators.
+  Bat Mirror() const;
+
+  /// True if both BATs' BUNs correspond by position in the sense of
+  /// Section 5.1: equal size and provably identical head columns (same
+  /// column object or equal operator-derived sync keys).
+  bool SyncedWith(const Bat& other) const {
+    return size() == other.size() &&
+           head_->sync_key() == other.head_->sync_key();
+  }
+
+  // --- accelerators ----------------------------------------------------
+
+  /// Hash index over the head column, built on first use and shared with
+  /// all copies/mirrors of this BAT.
+  std::shared_ptr<const HashIndex> EnsureHeadHash() const;
+
+  /// Hash index over the tail column.
+  std::shared_ptr<const HashIndex> EnsureTailHash() const;
+
+  /// Attaches a datavector accelerator (oid head -> positional values).
+  void SetDatavector(std::shared_ptr<Datavector> dv) { head_side_->dv = dv; }
+
+  /// The datavector for head-oid lookups, or null.
+  const std::shared_ptr<Datavector>& datavector() const {
+    return head_side_->dv;
+  }
+
+  /// Verifies that the declared properties actually hold and that sizes
+  /// match; used by tests and debug assertions.
+  Status Validate() const;
+
+  /// Renders up to `max_rows` BUNs, e.g. for examples and failure output.
+  std::string DebugString(size_t max_rows = 10) const;
+
+ private:
+  struct SideAux {
+    std::shared_ptr<const HashIndex> hash;
+    std::shared_ptr<Datavector> dv;
+  };
+
+  Bat(ColumnPtr head, ColumnPtr tail, Properties props,
+      std::shared_ptr<SideAux> head_side, std::shared_ptr<SideAux> tail_side);
+
+  ColumnPtr head_;
+  ColumnPtr tail_;
+  Properties props_;
+  std::shared_ptr<SideAux> head_side_;
+  std::shared_ptr<SideAux> tail_side_;
+};
+
+}  // namespace moaflat::bat
+
+#endif  // MOAFLAT_BAT_BAT_H_

@@ -1,0 +1,383 @@
+#include "bat/column.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "storage/memory_tracker.h"
+
+namespace moaflat::bat {
+namespace {
+
+uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashBytes(std::string_view s) {
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+Column::Repr WrapVector(std::vector<T> v) {
+  return Column::Repr(std::move(v));
+}
+
+}  // namespace
+
+Column::Column(MonetType type, size_t size, Repr repr,
+               std::shared_ptr<storage::StringHeap> heap, Oid void_base)
+    : type_(type),
+      size_(size),
+      repr_(std::move(repr)),
+      str_heap_(std::move(heap)),
+      void_base_(void_base),
+      heap_id_(storage::NewHeapId()),
+      sync_key_(heap_id_) {
+  storage::MemoryTracker::Global().Add(byte_size());
+}
+
+Column::~Column() { storage::MemoryTracker::Global().Sub(byte_size()); }
+
+ColumnPtr Column::MakeVoid(Oid base, size_t n) {
+  return ColumnPtr(
+      new Column(MonetType::kVoid, n, VoidTag{}, nullptr, base));
+}
+
+#define MF_COLUMN_FACTORY(Name, Type, Cpp)                                   \
+  ColumnPtr Column::Name(std::vector<Cpp> v) {                               \
+    const size_t n = v.size();                                               \
+    return ColumnPtr(                                                        \
+        new Column(MonetType::Type, n, WrapVector(std::move(v)), nullptr,    \
+                   0));                                                      \
+  }
+
+MF_COLUMN_FACTORY(MakeOid, kOidT, Oid)
+MF_COLUMN_FACTORY(MakeBit, kBit, uint8_t)
+MF_COLUMN_FACTORY(MakeChr, kChr, char)
+MF_COLUMN_FACTORY(MakeSht, kSht, int16_t)
+MF_COLUMN_FACTORY(MakeLng, kLng, int64_t)
+MF_COLUMN_FACTORY(MakeFlt, kFlt, float)
+MF_COLUMN_FACTORY(MakeDbl, kDbl, double)
+MF_COLUMN_FACTORY(MakeDate, kDate, Date)
+#undef MF_COLUMN_FACTORY
+
+ColumnPtr Column::MakeInt(std::vector<int32_t> v) {
+  const size_t n = v.size();
+  return ColumnPtr(
+      new Column(MonetType::kInt, n, WrapVector(std::move(v)), nullptr, 0));
+}
+
+ColumnPtr Column::MakeStr(const std::vector<std::string>& v) {
+  auto heap = std::make_shared<storage::StringHeap>();
+  std::vector<int32_t> offsets;
+  offsets.reserve(v.size());
+  for (const std::string& s : v) offsets.push_back(heap->Intern(s));
+  return MakeStrOffsets(std::move(heap), std::move(offsets));
+}
+
+ColumnPtr Column::MakeStrOffsets(std::shared_ptr<storage::StringHeap> heap,
+                                 std::vector<int32_t> offsets) {
+  const size_t n = offsets.size();
+  return ColumnPtr(new Column(MonetType::kStr, n,
+                              WrapVector(std::move(offsets)), std::move(heap),
+                              0));
+}
+
+Value Column::GetValue(size_t i) const {
+  switch (type_) {
+    case MonetType::kVoid:
+      return Value::MakeOid(void_base_ + i);
+    case MonetType::kOidT:
+      return Value::MakeOid(Data<Oid>()[i]);
+    case MonetType::kBit:
+      return Value::Bit(Data<uint8_t>()[i] != 0);
+    case MonetType::kChr:
+      return Value::Chr(Data<char>()[i]);
+    case MonetType::kSht:
+      return Value::Int(Data<int16_t>()[i]);
+    case MonetType::kInt:
+      return Value::Int(Data<int32_t>()[i]);
+    case MonetType::kLng:
+      return Value::Lng(Data<int64_t>()[i]);
+    case MonetType::kFlt:
+      return Value::Flt(Data<float>()[i]);
+    case MonetType::kDbl:
+      return Value::Dbl(Data<double>()[i]);
+    case MonetType::kStr:
+      return Value::Str(std::string(Str(i)));
+    case MonetType::kDate:
+      return Value::MakeDate(Data<Date>()[i]);
+  }
+  return Value();
+}
+
+double Column::NumAt(size_t i) const {
+  switch (type_) {
+    case MonetType::kVoid:
+      return static_cast<double>(void_base_ + i);
+    case MonetType::kOidT:
+      return static_cast<double>(Data<Oid>()[i]);
+    case MonetType::kBit:
+      return Data<uint8_t>()[i] ? 1.0 : 0.0;
+    case MonetType::kChr:
+      return static_cast<double>(Data<char>()[i]);
+    case MonetType::kSht:
+      return static_cast<double>(Data<int16_t>()[i]);
+    case MonetType::kInt:
+      return static_cast<double>(Data<int32_t>()[i]);
+    case MonetType::kLng:
+      return static_cast<double>(Data<int64_t>()[i]);
+    case MonetType::kFlt:
+      return static_cast<double>(Data<float>()[i]);
+    case MonetType::kDbl:
+      return Data<double>()[i];
+    case MonetType::kDate:
+      return static_cast<double>(Data<Date>()[i].days());
+    case MonetType::kStr:
+      return 0.0;  // callers must not take numeric views of strings
+  }
+  return 0.0;
+}
+
+uint64_t Column::HashAt(size_t i) const {
+  if (type_ == MonetType::kStr) return HashBytes(Str(i));
+  if (type_ == MonetType::kVoid || type_ == MonetType::kOidT) {
+    return MixHash(OidAt(i));
+  }
+  if (type_ == MonetType::kFlt || type_ == MonetType::kDbl) {
+    const double d = NumAt(i);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(d));
+    return MixHash(bits);
+  }
+  return MixHash(static_cast<uint64_t>(static_cast<int64_t>(NumAt(i))));
+}
+
+bool Column::EqualAt(size_t i, const Column& other, size_t j) const {
+  if (type_ == MonetType::kStr && other.type_ == MonetType::kStr) {
+    if (str_heap_ == other.str_heap_) {
+      return StrOffset(i) == other.StrOffset(j);  // heaps dedup
+    }
+    return Str(i) == other.Str(j);
+  }
+  return NumAt(i) == other.NumAt(j);
+}
+
+int Column::CompareAt(size_t i, const Column& other, size_t j) const {
+  if (type_ == MonetType::kStr && other.type_ == MonetType::kStr) {
+    return Str(i).compare(other.Str(j));
+  }
+  const double a = NumAt(i);
+  const double b = other.NumAt(j);
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+int Column::CompareValue(size_t i, const Value& v) const {
+  if (type_ == MonetType::kStr) {
+    if (v.type() != MonetType::kStr) return 1;
+    return Str(i).compare(v.AsStr());
+  }
+  auto vd = v.ToDouble();
+  const double b = vd.ok() ? *vd : 0.0;
+  const double a = NumAt(i);
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+bool Column::ComputeSorted() const {
+  for (size_t i = 1; i < size_; ++i) {
+    if (CompareAt(i - 1, *this, i) > 0) return false;
+  }
+  return true;
+}
+
+bool Column::ComputeKey() const {
+  if (is_void()) return true;
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(size_ * 2);
+  for (size_t i = 0; i < size_; ++i) {
+    if (!seen.insert(HashAt(i)).second) {
+      // Hash collision or duplicate: verify by scanning (rare).
+      for (size_t j = 0; j < i; ++j) {
+        if (EqualAt(i, *this, j)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------
+// ColumnBuilder
+
+namespace {
+
+Column::Repr EmptyRepr(MonetType t) {
+  switch (t) {
+    case MonetType::kVoid:
+      return Column::Repr(std::in_place_type<std::vector<Oid>>);
+    case MonetType::kOidT:
+      return Column::Repr(std::in_place_type<std::vector<Oid>>);
+    case MonetType::kBit:
+      return Column::Repr(std::in_place_type<std::vector<uint8_t>>);
+    case MonetType::kChr:
+      return Column::Repr(std::in_place_type<std::vector<char>>);
+    case MonetType::kSht:
+      return Column::Repr(std::in_place_type<std::vector<int16_t>>);
+    case MonetType::kInt:
+    case MonetType::kStr:
+      return Column::Repr(std::in_place_type<std::vector<int32_t>>);
+    case MonetType::kLng:
+      return Column::Repr(std::in_place_type<std::vector<int64_t>>);
+    case MonetType::kFlt:
+      return Column::Repr(std::in_place_type<std::vector<float>>);
+    case MonetType::kDbl:
+      return Column::Repr(std::in_place_type<std::vector<double>>);
+    case MonetType::kDate:
+      return Column::Repr(std::in_place_type<std::vector<Date>>);
+  }
+  return Column::Repr(std::in_place_type<std::vector<Oid>>);
+}
+
+}  // namespace
+
+ColumnBuilder::ColumnBuilder(MonetType type)
+    : type_(type == MonetType::kVoid ? MonetType::kOidT : type),
+      repr_(EmptyRepr(type)) {
+  if (type_ == MonetType::kStr) {
+    heap_ = std::make_shared<storage::StringHeap>();
+  }
+}
+
+ColumnBuilder::ColumnBuilder(MonetType type,
+                             std::shared_ptr<storage::StringHeap> heap)
+    : type_(type), repr_(EmptyRepr(type)), heap_(std::move(heap)) {}
+
+void ColumnBuilder::Reserve(size_t n) {
+  std::visit(
+      [n](auto& v) {
+        if constexpr (!std::is_same_v<std::decay_t<decltype(v)>,
+                                      Column::VoidTag>) {
+          v.reserve(n);
+        }
+      },
+      repr_);
+}
+
+void ColumnBuilder::AppendFrom(const Column& src, size_t i) {
+  ++count_;
+  switch (type_) {
+    case MonetType::kOidT:
+      std::get<std::vector<Oid>>(repr_).push_back(src.OidAt(i));
+      return;
+    case MonetType::kBit:
+      std::get<std::vector<uint8_t>>(repr_).push_back(
+          src.Data<uint8_t>()[i]);
+      return;
+    case MonetType::kChr:
+      std::get<std::vector<char>>(repr_).push_back(src.Data<char>()[i]);
+      return;
+    case MonetType::kSht:
+      std::get<std::vector<int16_t>>(repr_).push_back(
+          src.Data<int16_t>()[i]);
+      return;
+    case MonetType::kInt:
+      std::get<std::vector<int32_t>>(repr_).push_back(
+          src.Data<int32_t>()[i]);
+      return;
+    case MonetType::kLng:
+      std::get<std::vector<int64_t>>(repr_).push_back(
+          src.Data<int64_t>()[i]);
+      return;
+    case MonetType::kFlt:
+      std::get<std::vector<float>>(repr_).push_back(src.Data<float>()[i]);
+      return;
+    case MonetType::kDbl:
+      std::get<std::vector<double>>(repr_).push_back(src.Data<double>()[i]);
+      return;
+    case MonetType::kDate:
+      std::get<std::vector<Date>>(repr_).push_back(src.Data<Date>()[i]);
+      return;
+    case MonetType::kStr: {
+      int32_t off;
+      if (src.str_heap() == heap_) {
+        off = src.StrOffset(i);
+      } else {
+        off = heap_->Intern(src.Str(i));
+      }
+      std::get<std::vector<int32_t>>(repr_).push_back(off);
+      return;
+    }
+    case MonetType::kVoid:
+      return;  // unreachable: ctor maps void to oid
+  }
+}
+
+Status ColumnBuilder::AppendValue(const Value& v) {
+  MF_ASSIGN_OR_RETURN(Value cast, v.CastTo(type_));
+  ++count_;
+  switch (type_) {
+    case MonetType::kOidT:
+      std::get<std::vector<Oid>>(repr_).push_back(cast.AsOid());
+      return Status::OK();
+    case MonetType::kBit:
+      std::get<std::vector<uint8_t>>(repr_).push_back(cast.AsBit() ? 1 : 0);
+      return Status::OK();
+    case MonetType::kChr:
+      std::get<std::vector<char>>(repr_).push_back(cast.AsChr());
+      return Status::OK();
+    case MonetType::kSht:
+      std::get<std::vector<int16_t>>(repr_).push_back(
+          static_cast<int16_t>(cast.AsInt()));
+      return Status::OK();
+    case MonetType::kInt:
+      std::get<std::vector<int32_t>>(repr_).push_back(cast.AsInt());
+      return Status::OK();
+    case MonetType::kLng:
+      std::get<std::vector<int64_t>>(repr_).push_back(cast.AsLng());
+      return Status::OK();
+    case MonetType::kFlt:
+      std::get<std::vector<float>>(repr_).push_back(cast.AsFlt());
+      return Status::OK();
+    case MonetType::kDbl:
+      std::get<std::vector<double>>(repr_).push_back(cast.AsDbl());
+      return Status::OK();
+    case MonetType::kDate:
+      std::get<std::vector<Date>>(repr_).push_back(cast.AsDate());
+      return Status::OK();
+    case MonetType::kStr:
+      std::get<std::vector<int32_t>>(repr_).push_back(
+          heap_->Intern(cast.AsStr()));
+      return Status::OK();
+    case MonetType::kVoid:
+      return Status::TypeError("cannot append to void builder");
+  }
+  return Status::TypeError("bad builder type");
+}
+
+ColumnPtr ColumnBuilder::Finish() {
+  if (type_ == MonetType::kStr) {
+    return Column::MakeStrOffsets(
+        heap_, std::move(std::get<std::vector<int32_t>>(repr_)));
+  }
+  ColumnPtr out(
+      new Column(type_, count_, std::move(repr_), nullptr, 0));
+  repr_ = EmptyRepr(type_);
+  count_ = 0;
+  return out;
+}
+
+}  // namespace moaflat::bat

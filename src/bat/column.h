@@ -1,0 +1,221 @@
+#ifndef MOAFLAT_BAT_COLUMN_H_
+#define MOAFLAT_BAT_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "storage/page_accountant.h"
+#include "storage/string_heap.h"
+
+namespace moaflat::bat {
+
+class Column;
+using ColumnPtr = std::shared_ptr<const Column>;
+
+/// One column (head or tail) of a BAT: a typed, immutable value sequence
+/// stored as a dense BUN heap (Fig. 2 of the paper).
+///
+/// Three storage shapes exist:
+///   - `void` columns store nothing and represent the dense oid sequence
+///     base, base+1, ... (the "zero-space type void" of Section 5.2 that
+///     makes unary BATs possible);
+///   - fixed-width columns store a native vector (oid/chr/int/lng/flt/dbl/
+///     date/bit);
+///   - string columns store int32 offsets into a shared StringHeap.
+///
+/// Every column registers a heap id with the page accountant so kernel
+/// operators can report simulated page faults, and carries a `sync key`:
+/// two BATs whose head columns have equal sync keys are *synced* in the
+/// sense of Section 5.1 (their BUNs correspond by position). Operators
+/// derive result sync keys deterministically from operand sync keys, which
+/// is how e.g. the two datavector semijoins in Q13 (Fig. 10) are recognized
+/// as producing synced results.
+class Column {
+ public:
+  /// Dense sequence base, base+1, ..., base+n-1 of type void/oid.
+  static ColumnPtr MakeVoid(Oid base, size_t n);
+
+  static ColumnPtr MakeOid(std::vector<Oid> v);
+  static ColumnPtr MakeBit(std::vector<uint8_t> v);
+  static ColumnPtr MakeChr(std::vector<char> v);
+  static ColumnPtr MakeSht(std::vector<int16_t> v);
+  static ColumnPtr MakeInt(std::vector<int32_t> v);
+  static ColumnPtr MakeLng(std::vector<int64_t> v);
+  static ColumnPtr MakeFlt(std::vector<float> v);
+  static ColumnPtr MakeDbl(std::vector<double> v);
+  static ColumnPtr MakeDate(std::vector<Date> v);
+
+  /// Interns all strings into a fresh heap.
+  static ColumnPtr MakeStr(const std::vector<std::string>& v);
+
+  /// String column over an existing heap (offsets previously interned).
+  static ColumnPtr MakeStrOffsets(std::shared_ptr<storage::StringHeap> heap,
+                                  std::vector<int32_t> offsets);
+
+  ~Column();
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  MonetType type() const { return type_; }
+  size_t size() const { return size_; }
+  bool is_void() const { return type_ == MonetType::kVoid; }
+  Oid void_base() const { return void_base_; }
+
+  /// Byte width of one stored value (0 for void).
+  int width() const { return TypeWidth(type_); }
+
+  /// Payload bytes of the BUN heap (excludes shared string heaps).
+  size_t byte_size() const { return size_ * static_cast<size_t>(width()); }
+
+  uint64_t heap_id() const { return heap_id_; }
+
+  uint64_t sync_key() const { return sync_key_; }
+  void set_sync_key(uint64_t k) { sync_key_ = k; }
+
+  /// Typed raw access. Callers must match the column type.
+  template <typename T>
+  const std::vector<T>& Data() const {
+    return std::get<std::vector<T>>(repr_);
+  }
+
+  /// Oid view: valid for void and oid columns.
+  Oid OidAt(size_t i) const {
+    if (is_void()) return void_base_ + i;
+    return Data<Oid>()[i];
+  }
+
+  /// String view at position i (str columns only).
+  std::string_view Str(size_t i) const {
+    return str_heap_->View(Data<int32_t>()[i]);
+  }
+
+  int32_t StrOffset(size_t i) const { return Data<int32_t>()[i]; }
+  const std::shared_ptr<storage::StringHeap>& str_heap() const {
+    return str_heap_;
+  }
+
+  /// Boxes the value at position i (slow path; printing and tests).
+  Value GetValue(size_t i) const;
+
+  /// Numeric view of the value at i as double (valid for all non-str
+  /// types; dates map to their day number, chr to its code point).
+  double NumAt(size_t i) const;
+
+  /// Hash of the value at i, equal across columns iff values equal.
+  uint64_t HashAt(size_t i) const;
+
+  /// Value equality between this[i] and other[j] (types must match, except
+  /// that void and oid columns compare as oids).
+  bool EqualAt(size_t i, const Column& other, size_t j) const;
+
+  /// Three-way value comparison between this[i] and other[j].
+  int CompareAt(size_t i, const Column& other, size_t j) const;
+
+  /// Three-way comparison of this[i] against a boxed value of a compatible
+  /// type.
+  int CompareValue(size_t i, const Value& v) const;
+
+  /// True if values are non-decreasing over [0, size).
+  bool ComputeSorted() const;
+
+  /// True if all values are distinct (hash-based check).
+  bool ComputeKey() const;
+
+  // --- IO accounting (no-ops when no IoScope is active) ---------------
+
+  /// Reports a random touch of element i.
+  void TouchAt(size_t i) const {
+    if (storage::IoStats* io = storage::CurrentIo()) {
+      io->TouchElement(heap_id_, i, width(), storage::Access::kRandom);
+    }
+  }
+
+  /// Reports a sequential touch of elements [lo, hi).
+  void TouchRange(size_t lo, size_t hi) const {
+    if (storage::IoStats* io = storage::CurrentIo()) {
+      io->TouchRange(heap_id_, lo, hi, width());
+    }
+  }
+
+  /// Reports a sequential touch of the whole column.
+  void TouchAll() const { TouchRange(0, size_); }
+
+  /// Storage representation; exposed for the builder machinery only.
+  struct VoidTag {};
+  using Repr =
+      std::variant<VoidTag, std::vector<Oid>, std::vector<uint8_t>,
+                   std::vector<char>, std::vector<int16_t>,
+                   std::vector<int32_t>, std::vector<int64_t>,
+                   std::vector<float>, std::vector<double>, std::vector<Date>>;
+
+ private:
+  friend class ColumnBuilder;
+
+  Column(MonetType type, size_t size, Repr repr,
+         std::shared_ptr<storage::StringHeap> heap, Oid void_base);
+
+  MonetType type_;
+  size_t size_;
+  Repr repr_;
+  std::shared_ptr<storage::StringHeap> str_heap_;  // kStr only
+  Oid void_base_ = 0;                              // kVoid only
+  uint64_t heap_id_;
+  uint64_t sync_key_;
+};
+
+/// Incremental builder used by all kernel operators to materialize result
+/// columns. Values are appended either by copying from a source column
+/// (`AppendFrom`, the common kernel path — string offsets are reused when
+/// the source heap is shared) or from boxed Values (literals).
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(MonetType type);
+
+  /// Builder that shares `heap` for interning (str columns).
+  ColumnBuilder(MonetType type, std::shared_ptr<storage::StringHeap> heap);
+
+  void Reserve(size_t n);
+
+  /// Appends src[i]; src.type() must equal the builder type (void sources
+  /// append their oid view into an oid builder).
+  void AppendFrom(const Column& src, size_t i);
+
+  void AppendOid(Oid v) {
+    std::get<std::vector<Oid>>(repr_).push_back(v);
+    ++count_;
+  }
+  void AppendInt(int32_t v) {
+    std::get<std::vector<int32_t>>(repr_).push_back(v);
+    ++count_;
+  }
+  void AppendDbl(double v) {
+    std::get<std::vector<double>>(repr_).push_back(v);
+    ++count_;
+  }
+
+  /// Appends a boxed value (must be coercible to the builder type).
+  Status AppendValue(const Value& v);
+
+  size_t size() const { return count_; }
+
+  /// Finalizes into an immutable column.
+  ColumnPtr Finish();
+
+ private:
+  MonetType type_;
+  Column::Repr repr_;
+  std::shared_ptr<storage::StringHeap> heap_;
+  size_t count_ = 0;
+};
+
+}  // namespace moaflat::bat
+
+#endif  // MOAFLAT_BAT_COLUMN_H_

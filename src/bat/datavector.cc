@@ -1,0 +1,24 @@
+#include "bat/datavector.h"
+
+namespace moaflat::bat {
+
+int64_t Datavector::FindPosition(Oid oid) const {
+  size_t lo = 0;
+  size_t hi = extent_->size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    extent_->TouchAt(mid);
+    const Oid at = extent_->OidAt(mid);
+    if (at < oid) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < extent_->size() && extent_->OidAt(lo) == oid) {
+    return static_cast<int64_t>(lo);
+  }
+  return -1;
+}
+
+}  // namespace moaflat::bat

@@ -1,0 +1,93 @@
+#ifndef MOAFLAT_BAT_DATAVECTOR_H_
+#define MOAFLAT_BAT_DATAVECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/column.h"
+
+namespace moaflat::bat {
+
+/// The datavector search accelerator of Section 5.2.
+///
+/// An attribute BAT [oid,value] is kept sorted on *tail* (value) so that
+/// selections can binary-search; the opposite direction — fetching values
+/// for a set of selected oids — is served by this accelerator: the class
+/// extent (all oids, sorted) plus the attribute values re-ordered
+/// positionally by oid ("one vector of oids and n vectors with attribute
+/// values, all stored in oid order", Fig. 7). The extent column is shared
+/// by all attributes of a class, which is what makes results of several
+/// datavector semijoins mutually synced.
+///
+/// The LOOKUP position cache of the Section 5.2.1 pseudo-code lives here:
+/// the first semijoin against a given selection binary-searches the extent
+/// and memoizes the hit positions; subsequent semijoins with the same right
+/// operand reuse them ("has already blazed the trail into the extent",
+/// Fig. 10 commentary).
+/// The LOOKUP position cache, shared by all datavectors of one class
+/// (they index into the same extent, so positions computed for a right
+/// operand by one attribute's semijoin are valid for every attribute).
+class DvLookupCache {
+ public:
+  std::shared_ptr<const std::vector<uint32_t>> Find(uint64_t key) const {
+    auto it = cache_.find(key);
+    return it == cache_.end() ? nullptr : it->second;
+  }
+  void Store(uint64_t key,
+             std::shared_ptr<const std::vector<uint32_t>> positions) {
+    cache_[key] = std::move(positions);
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::shared_ptr<const std::vector<uint32_t>>>
+      cache_;
+};
+
+class Datavector {
+ public:
+  /// `extent`: sorted, duplicate-free oids of the class; `values`: the
+  /// attribute value for extent[i] at position i; `cache`: the per-class
+  /// shared LOOKUP cache (a private one is created if omitted).
+  Datavector(ColumnPtr extent, ColumnPtr values,
+             std::shared_ptr<DvLookupCache> cache = nullptr)
+      : extent_(std::move(extent)),
+        values_(std::move(values)),
+        cache_(cache ? std::move(cache)
+                     : std::make_shared<DvLookupCache>()) {}
+
+  const ColumnPtr& extent() const { return extent_; }
+  const ColumnPtr& values() const { return values_; }
+
+  /// Binary-searches `oid` in the extent; returns its position or -1.
+  /// Reports the probed pages to the active IO scope.
+  int64_t FindPosition(Oid oid) const;
+
+  /// Cached LOOKUP array for a right operand identified by `key` (the heap
+  /// id of its head column — columns are immutable, so the id identifies
+  /// the value set). Null if this right operand was never looked up by any
+  /// datavector of the class.
+  std::shared_ptr<const std::vector<uint32_t>> CachedLookup(
+      uint64_t key) const {
+    return cache_->Find(key);
+  }
+
+  void StoreLookup(uint64_t key,
+                   std::shared_ptr<const std::vector<uint32_t>> positions) {
+    cache_->Store(key, std::move(positions));
+  }
+
+  const std::shared_ptr<DvLookupCache>& lookup_cache() const {
+    return cache_;
+  }
+
+ private:
+  ColumnPtr extent_;
+  ColumnPtr values_;
+  std::shared_ptr<DvLookupCache> cache_;
+};
+
+}  // namespace moaflat::bat
+
+#endif  // MOAFLAT_BAT_DATAVECTOR_H_

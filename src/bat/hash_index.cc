@@ -1,0 +1,27 @@
+#include "bat/hash_index.h"
+
+namespace moaflat::bat {
+namespace {
+
+uint64_t NextPow2(uint64_t n) {
+  uint64_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+HashIndex::HashIndex(ColumnPtr col) : col_(std::move(col)) {
+  const size_t n = col_->size();
+  const uint64_t nbuckets = NextPow2(n + n / 2 + 1);
+  mask_ = nbuckets - 1;
+  buckets_.assign(nbuckets, kEnd);
+  next_.assign(n, kEnd);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t b = col_->HashAt(i) & mask_;
+    next_[i] = buckets_[b];
+    buckets_[b] = static_cast<uint32_t>(i) + 1;
+  }
+}
+
+}  // namespace moaflat::bat

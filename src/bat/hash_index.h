@@ -1,0 +1,65 @@
+#ifndef MOAFLAT_BAT_HASH_INDEX_H_
+#define MOAFLAT_BAT_HASH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bat/column.h"
+
+namespace moaflat::bat {
+
+/// Chained bucket hash table over one column, the classic Monet search
+/// accelerator stored "in a separate heap" (Fig. 2). Built once per column,
+/// then shared; probing never allocates.
+class HashIndex {
+ public:
+  /// Builds the index over all positions of `col`.
+  explicit HashIndex(ColumnPtr col);
+
+  /// Invokes `fn(pos)` for every position whose value equals probe[j].
+  template <typename Fn>
+  void ForEachMatch(const Column& probe, size_t j, Fn&& fn) const {
+    const uint64_t h = probe.HashAt(j);
+    uint32_t cur = buckets_[h & mask_];
+    while (cur != kEnd) {
+      const uint32_t pos = cur - 1;
+      if (col_->EqualAt(pos, probe, j)) fn(pos);
+      cur = next_[pos];
+    }
+  }
+
+  /// Returns the first matching position for probe[j], or -1.
+  int64_t FindFirst(const Column& probe, size_t j) const {
+    int64_t found = -1;
+    ForEachMatch(probe, j, [&](uint32_t pos) {
+      if (found < 0 || pos < static_cast<uint64_t>(found)) {
+        found = pos;
+      }
+    });
+    return found;
+  }
+
+  /// True if any position matches probe[j].
+  bool Contains(const Column& probe, size_t j) const {
+    bool hit = false;
+    ForEachMatch(probe, j, [&](uint32_t) { hit = true; });
+    return hit;
+  }
+
+  size_t byte_size() const {
+    return (buckets_.size() + next_.size()) * sizeof(uint32_t);
+  }
+
+ private:
+  static constexpr uint32_t kEnd = 0;
+
+  ColumnPtr col_;
+  std::vector<uint32_t> buckets_;  // 1-based heads, 0 = empty
+  std::vector<uint32_t> next_;     // chain links, 0 = end
+  uint64_t mask_;
+};
+
+}  // namespace moaflat::bat
+
+#endif  // MOAFLAT_BAT_HASH_INDEX_H_

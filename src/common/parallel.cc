@@ -1,0 +1,59 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace moaflat {
+namespace {
+
+std::atomic<int> g_degree{0};
+
+int DefaultDegree() {
+  if (const char* env = std::getenv("MOAFLAT_THREADS")) {
+    const int d = std::atoi(env);
+    if (d >= 1) return d;
+  }
+  return 1;
+}
+
+/// Blocks smaller than this run inline: thread start-up would dominate.
+constexpr size_t kMinItemsPerThread = 16 * 1024;
+
+}  // namespace
+
+int ParallelDegree() {
+  int d = g_degree.load(std::memory_order_relaxed);
+  if (d == 0) {
+    d = DefaultDegree();
+    g_degree.store(d, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+void SetParallelDegree(int degree) {
+  g_degree.store(degree, std::memory_order_relaxed);
+}
+
+void ParallelBlocks(size_t n,
+                    const std::function<void(int, size_t, size_t)>& fn) {
+  const int degree = ParallelDegree();
+  if (degree <= 1 || n < 2 * kMinItemsPerThread) {
+    fn(0, 0, n);
+    return;
+  }
+  const size_t blocks = static_cast<size_t>(degree);
+  const size_t chunk = (n + blocks - 1) / blocks;
+  std::vector<std::thread> workers;
+  workers.reserve(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t begin = b * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back(
+        [&fn, b, begin, end] { fn(static_cast<int>(b), begin, end); });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace moaflat

@@ -1,0 +1,35 @@
+#ifndef MOAFLAT_COMMON_PARALLEL_H_
+#define MOAFLAT_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace moaflat {
+
+/// Shared-memory parallelism (Section 2: Monet "supports shared-memory
+/// parallelism via parallel iteration and parallel block execution" with
+/// deliberately coarse-grained primitives).
+///
+/// Kernel operators split their *evaluation* phase into a few large blocks
+/// run on worker threads and keep result materialization and IO accounting
+/// serial (the page accountant is scoped per thread). Degree defaults to
+/// the MOAFLAT_THREADS environment variable, else 1 (single-threaded), so
+/// all measurements stay deterministic unless parallelism is requested.
+
+/// Current degree of parallelism (>= 1).
+int ParallelDegree();
+
+/// Overrides the degree for this process (0 = back to the default).
+void SetParallelDegree(int degree);
+
+/// Runs `fn(block, begin, end)` over `n` items split into ParallelDegree()
+/// contiguous blocks. Blocks run concurrently when the degree > 1 and
+/// n is large enough to amortize thread start-up; `fn` must only touch its
+/// own block's state. Returns after all blocks complete.
+void ParallelBlocks(size_t n,
+                    const std::function<void(int, size_t, size_t)>& fn);
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_PARALLEL_H_

@@ -1,0 +1,75 @@
+#ifndef MOAFLAT_COMMON_RESULT_H_
+#define MOAFLAT_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace moaflat {
+
+/// Either a value of type T or an error Status. The database-library analog
+/// of arrow::Result: fallible functions return Result<T> and callers unwrap
+/// with MF_ASSIGN_OR_RETURN or ValueOrDie() (tests only).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit on purpose, mirroring
+  /// arrow::Result so that `return value;` works in functions returning
+  /// Result<T>).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. Aborts if `status` is OK, since
+  /// an OK Result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) std::abort();
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& Value() const& { return std::get<T>(repr_); }
+  T& Value() & { return std::get<T>(repr_); }
+  T&& Value() && { return std::get<T>(std::move(repr_)); }
+
+  /// Unwraps or aborts the process; reserved for tests and examples where an
+  /// error is a programming bug.
+  T ValueOrDie() const {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+
+  const T& operator*() const& { return Value(); }
+  T& operator*() & { return Value(); }
+  const T* operator->() const { return &Value(); }
+  T* operator->() { return &Value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+#define MF_CONCAT_IMPL(a, b) a##b
+#define MF_CONCAT(a, b) MF_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define MF_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  MF_ASSIGN_OR_RETURN_IMPL(MF_CONCAT(_mf_res_, __LINE__), lhs, rexpr)
+
+#define MF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)              \
+  auto tmp = (rexpr);                                          \
+  if (!tmp.ok()) return tmp.status();                          \
+  lhs = std::move(tmp).Value()
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_RESULT_H_

@@ -1,0 +1,52 @@
+#ifndef MOAFLAT_COMMON_RNG_H_
+#define MOAFLAT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moaflat {
+
+/// Deterministic 64-bit pseudo-random generator (splitmix64). Drives the
+/// TPC-D data generator and the property-test sweeps; never seeded from the
+/// clock so every run of the suite sees identical data.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64 bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Picks one element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& pool) {
+    return pool[Next() % pool.size()];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_RNG_H_

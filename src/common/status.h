@@ -1,0 +1,106 @@
+#ifndef MOAFLAT_COMMON_STATUS_H_
+#define MOAFLAT_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace moaflat {
+
+/// Machine-readable category of an error. Mirrors the Arrow/RocksDB
+/// convention: the library never throws; every fallible operation returns a
+/// Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kTypeError,
+  kKeyError,
+  kOutOfRange,
+  kNotImplemented,
+  kParseError,
+  kExecutionError,
+  kIoError,
+};
+
+/// Returns a human-readable name for a StatusCode (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// An error code plus an optional message. A default-constructed Status is
+/// OK and carries no allocation; error states allocate a small descriptor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define MF_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::moaflat::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_STATUS_H_

@@ -1,0 +1,118 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace moaflat {
+namespace {
+
+// Civil-date conversions after Howard Hinnant's public-domain algorithms.
+int32_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int32_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int yr = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = yr + (*m <= 2);
+}
+
+}  // namespace
+
+const char* TypeName(MonetType t) {
+  switch (t) {
+    case MonetType::kVoid: return "void";
+    case MonetType::kBit: return "bit";
+    case MonetType::kChr: return "chr";
+    case MonetType::kSht: return "sht";
+    case MonetType::kInt: return "int";
+    case MonetType::kLng: return "lng";
+    case MonetType::kOidT: return "oid";
+    case MonetType::kFlt: return "flt";
+    case MonetType::kDbl: return "dbl";
+    case MonetType::kStr: return "str";
+    case MonetType::kDate: return "date";
+  }
+  return "?";
+}
+
+int TypeWidth(MonetType t) {
+  switch (t) {
+    case MonetType::kVoid: return 0;
+    case MonetType::kBit: return 1;
+    case MonetType::kChr: return 1;
+    case MonetType::kSht: return 2;
+    case MonetType::kInt: return 4;
+    case MonetType::kLng: return 8;
+    case MonetType::kOidT: return 8;
+    case MonetType::kFlt: return 4;
+    case MonetType::kDbl: return 8;
+    case MonetType::kStr: return 4;  // offset slot into the string heap
+    case MonetType::kDate: return 4;
+  }
+  return 0;
+}
+
+bool IsNumeric(MonetType t) {
+  switch (t) {
+    case MonetType::kSht:
+    case MonetType::kInt:
+    case MonetType::kLng:
+    case MonetType::kFlt:
+    case MonetType::kDbl:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Date Date::FromYmd(int year, int month, int day) {
+  return Date(DaysFromCivil(year, month, day));
+}
+
+bool Date::Parse(const std::string& text, Date* out) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) return false;
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  *out = FromYmd(y, m, d);
+  return true;
+}
+
+int Date::Year() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return y;
+}
+
+int Date::Month() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return m;
+}
+
+int Date::Day() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return d;
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace moaflat

@@ -1,0 +1,80 @@
+#ifndef MOAFLAT_COMMON_VALUE_H_
+#define MOAFLAT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace moaflat {
+
+/// A single atomic value of any Monet base type. Used wherever scalars cross
+/// module boundaries: literals in MIL programs, point-select arguments,
+/// scalar aggregate results, and row materialization in tests.
+///
+/// Columns never store Values; they store native vectors (see bat/column.h).
+class Value {
+ public:
+  /// nil / void value.
+  Value() : type_(MonetType::kVoid) {}
+
+  static Value Bit(bool v) { return Value(MonetType::kBit, v); }
+  static Value Chr(char v) { return Value(MonetType::kChr, v); }
+  static Value Int(int32_t v) { return Value(MonetType::kInt, v); }
+  static Value Lng(int64_t v) { return Value(MonetType::kLng, v); }
+  static Value MakeOid(Oid v) { return Value(MonetType::kOidT, v); }
+  static Value Flt(float v) { return Value(MonetType::kFlt, v); }
+  static Value Dbl(double v) { return Value(MonetType::kDbl, v); }
+  static Value Str(std::string v) {
+    return Value(MonetType::kStr, std::move(v));
+  }
+  static Value MakeDate(Date v) { return Value(MonetType::kDate, v); }
+
+  MonetType type() const { return type_; }
+  bool is_nil() const { return type_ == MonetType::kVoid; }
+
+  bool AsBit() const { return std::get<bool>(repr_); }
+  char AsChr() const { return std::get<char>(repr_); }
+  int32_t AsInt() const { return std::get<int32_t>(repr_); }
+  int64_t AsLng() const { return std::get<int64_t>(repr_); }
+  Oid AsOid() const { return std::get<Oid>(repr_); }
+  float AsFlt() const { return std::get<float>(repr_); }
+  double AsDbl() const { return std::get<double>(repr_); }
+  const std::string& AsStr() const { return std::get<std::string>(repr_); }
+  Date AsDate() const { return std::get<Date>(repr_); }
+
+  /// Numeric widening view: any numeric value (sht/int/lng/flt/dbl and
+  /// chr/date for ordering purposes) as a double. Errors on str.
+  Result<double> ToDouble() const;
+
+  /// Coerces this value to `target` where a lossless (or standard numeric)
+  /// conversion exists; used by select/multiplex argument adaptation.
+  Result<Value> CastTo(MonetType target) const;
+
+  /// Renders the value for plan/result printing ('R', "text", 42, 4.5,
+  /// 1994-01-01, oids as "101@0").
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.type_ == b.type_ && a.repr_ == b.repr_;
+  }
+
+  /// Total ordering within one type; used by tests and sort-based kernels.
+  static int Compare(const Value& a, const Value& b);
+
+ private:
+  using Repr = std::variant<std::monostate, bool, char, int32_t, int64_t, Oid,
+                            float, double, std::string, Date>;
+
+  template <typename T>
+  Value(MonetType t, T v) : type_(t), repr_(std::move(v)) {}
+
+  MonetType type_;
+  Repr repr_;
+};
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_VALUE_H_

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using internal::HashString;
+using internal::MixSync;
+using internal::SetSync;
+
+/// Running aggregate state for one group.
+struct Acc {
+  double sum = 0;
+  int64_t count = 0;
+  size_t best = 0;  // position of the current min/max value
+  bool has_best = false;
+};
+
+void Accumulate(Acc* acc, const Column& tail, size_t i, AggKind kind) {
+  ++acc->count;
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      acc->sum += tail.NumAt(i);
+      break;
+    case AggKind::kMin:
+      if (!acc->has_best || tail.CompareAt(i, tail, acc->best) < 0) {
+        acc->best = i;
+        acc->has_best = true;
+      }
+      break;
+    case AggKind::kMax:
+      if (!acc->has_best || tail.CompareAt(i, tail, acc->best) > 0) {
+        acc->best = i;
+        acc->has_best = true;
+      }
+      break;
+    case AggKind::kCount:
+      break;
+  }
+}
+
+MonetType AggOutputType(AggKind kind, const Column& tail) {
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      return MonetType::kDbl;
+    case AggKind::kCount:
+      return MonetType::kLng;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return tail.type() == MonetType::kVoid ? MonetType::kOidT : tail.type();
+  }
+  return MonetType::kDbl;
+}
+
+Status AppendAcc(ColumnBuilder* tb, const Acc& acc, const Column& tail,
+                 AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return tb->AppendValue(Value::Dbl(acc.sum));
+    case AggKind::kAvg:
+      return tb->AppendValue(
+          Value::Dbl(acc.count == 0 ? 0.0 : acc.sum / acc.count));
+    case AggKind::kCount:
+      return tb->AppendValue(Value::Lng(acc.count));
+    case AggKind::kMin:
+    case AggKind::kMax:
+      tb->AppendFrom(tail, acc.best);
+      return Status::OK();
+  }
+  return Status::Invalid("bad AggKind");
+}
+
+}  // namespace
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kSum: return "sum";
+    case AggKind::kCount: return "count";
+    case AggKind::kAvg: return "avg";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+  }
+  return "?";
+}
+
+Result<Bat> SetAggregate(AggKind kind, const Bat& ab) {
+  OpRecorder rec("set_aggregate");
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  if (head.type() != MonetType::kOidT && !head.is_void()) {
+    return Status::TypeError(
+        "set-aggregate groups over an oid head, got " +
+        std::string(TypeName(head.type())));
+  }
+
+  head.TouchAll();
+  tail.TouchAll();
+  std::unordered_map<Oid, Acc> groups;
+  std::vector<Oid> order;  // group oids, later sorted
+  for (size_t i = 0; i < ab.size(); ++i) {
+    const Oid g = head.OidAt(i);
+    auto [it, inserted] = groups.try_emplace(g);
+    if (inserted) order.push_back(g);
+    Accumulate(&it->second, tail, i, kind);
+  }
+  std::sort(order.begin(), order.end());
+
+  ColumnBuilder hb(MonetType::kOidT);
+  ColumnBuilder tb(AggOutputType(kind, tail), tail.str_heap());
+  hb.Reserve(order.size());
+  for (Oid g : order) {
+    hb.AppendOid(g);
+    MF_RETURN_NOT_OK(AppendAcc(&tb, groups[g], tail, kind));
+  }
+
+  ColumnPtr out_head = hb.Finish();
+  // Aggregates of different value attributes over synced operands line up:
+  // the head sets (and the sorted order) are identical.
+  SetSync(out_head, MixSync(head.sync_key(), HashString("set_aggregate")));
+  bat::Properties props;
+  props.hsorted = true;
+  props.hkey = true;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
+  rec.Finish("hash_set_aggregate", res.size());
+  return res;
+}
+
+Result<Value> ScalarAggregate(AggKind kind, const Bat& ab) {
+  OpRecorder rec("aggregate");
+  const Column& tail = ab.tail();
+  tail.TouchAll();
+  Acc acc;
+  for (size_t i = 0; i < ab.size(); ++i) Accumulate(&acc, tail, i, kind);
+  rec.Finish(AggKindName(kind), 1);
+  switch (kind) {
+    case AggKind::kSum:
+      return Value::Dbl(acc.sum);
+    case AggKind::kAvg:
+      return Value::Dbl(acc.count == 0 ? 0.0 : acc.sum / acc.count);
+    case AggKind::kCount:
+      return Value::Lng(acc.count);
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (acc.count == 0) return Value();
+      return tail.GetValue(acc.best);
+  }
+  return Status::Invalid("bad AggKind");
+}
+
+Value CountBat(const Bat& ab) {
+  return Value::Lng(static_cast<int64_t>(ab.size()));
+}
+
+}  // namespace moaflat::kernel

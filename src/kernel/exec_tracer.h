@@ -1,0 +1,73 @@
+#ifndef MOAFLAT_KERNEL_EXEC_TRACER_H_
+#define MOAFLAT_KERNEL_EXEC_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page_accountant.h"
+
+namespace moaflat::kernel {
+
+/// One executed BAT-algebra call: which operator ran, which of its
+/// implementations the dynamic optimizer picked (Section 5.1: "a run-time
+/// choice between the available algorithms"), how long it took and how many
+/// simulated page faults it caused. The Fig. 10 per-statement trace is
+/// rendered from these records.
+struct TraceRecord {
+  std::string op;    // e.g. "semijoin"
+  std::string impl;  // e.g. "datavector_semijoin"
+  size_t out_size = 0;
+  int64_t elapsed_us = 0;
+  uint64_t faults = 0;
+};
+
+/// Collects TraceRecords for the current thread while installed via
+/// TraceScope. Null (disabled) by default.
+class ExecTracer {
+ public:
+  std::vector<TraceRecord> records;
+
+  /// The tracer active on this thread, or nullptr.
+  static ExecTracer* Current();
+
+  /// Sum of recorded fault counts.
+  uint64_t TotalFaults() const;
+
+  /// Implementation name of the most recent record with op == `op`
+  /// (empty if none); lets tests assert the optimizer's choice.
+  std::string LastImplOf(const std::string& op) const;
+};
+
+/// RAII installer for an ExecTracer on this thread.
+class TraceScope {
+ public:
+  explicit TraceScope(ExecTracer* tracer);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  ExecTracer* previous_;
+};
+
+/// Helper used inside kernel operators: snapshots time and the fault
+/// counter at construction; Finish() emits a TraceRecord if tracing is on.
+class OpRecorder {
+ public:
+  explicit OpRecorder(const char* op);
+
+  /// Records the completed call. `impl` names the chosen algorithm.
+  void Finish(const char* impl, size_t out_size);
+
+ private:
+  const char* op_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t faults_before_;
+};
+
+}  // namespace moaflat::kernel
+
+#endif  // MOAFLAT_KERNEL_EXEC_TRACER_H_

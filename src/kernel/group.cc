@@ -1,0 +1,131 @@
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using internal::HashString;
+using internal::MixSync;
+using internal::SetSync;
+
+/// Hash-consing of tail values into dense group oids with collision
+/// verification against a representative position.
+class GroupTable {
+ public:
+  explicit GroupTable(const Column& col) : col_(col) {}
+
+  /// Returns the group oid of col[i], creating one if unseen.
+  Oid GidOf(size_t i) {
+    const uint64_t h = col_.HashAt(i);
+    auto& bucket = table_[h];
+    for (const Entry& e : bucket) {
+      if (col_.EqualAt(i, col_, e.rep)) return e.gid;
+    }
+    const Oid gid = next_++;
+    bucket.push_back(Entry{static_cast<uint32_t>(i), gid});
+    return gid;
+  }
+
+  Oid group_count() const { return next_; }
+
+ private:
+  struct Entry {
+    uint32_t rep;
+    Oid gid;
+  };
+  const Column& col_;
+  std::unordered_map<uint64_t, std::vector<Entry>> table_;
+  Oid next_ = 0;
+};
+
+}  // namespace
+
+Result<Bat> Group(const Bat& ab) {
+  OpRecorder rec("group");
+  const Column& tail = ab.tail();
+  tail.TouchAll();
+  GroupTable groups(tail);
+  std::vector<Oid> gids;
+  gids.reserve(ab.size());
+  for (size_t i = 0; i < ab.size(); ++i) gids.push_back(groups.GidOf(i));
+
+  ColumnPtr gid_col = Column::MakeOid(std::move(gids));
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  props.tsorted = ab.props().tsorted;  // first-appearance ids follow order
+  props.tkey = ab.props().tkey;
+  // The result head is the operand head itself: group is a tail rewrite.
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(ab.head_col(), gid_col, props));
+  rec.Finish("hash_group", res.size());
+  return res;
+}
+
+Result<Bat> GroupRefine(const Bat& ab, const Bat& cd) {
+  OpRecorder rec("group");
+  const Column& prev = ab.tail();  // previous group oids
+  const Column& d = cd.tail();
+
+  // Pair (previous gid, refined value) -> new dense gid, with
+  // representative-based collision verification.
+  struct Entry {
+    Oid prev_gid;
+    uint32_t rep;  // position in cd whose tail is the representative
+    Oid gid;
+  };
+  std::unordered_map<uint64_t, std::vector<Entry>> table;
+  Oid next = 0;
+
+  auto refine = [&](Oid prev_gid, size_t dpos) -> Oid {
+    const uint64_t h = MixSync(prev_gid, d.HashAt(dpos));
+    auto& bucket = table[h];
+    for (const Entry& e : bucket) {
+      if (e.prev_gid == prev_gid && d.EqualAt(dpos, d, e.rep)) return e.gid;
+    }
+    const Oid gid = next++;
+    bucket.push_back(Entry{prev_gid, static_cast<uint32_t>(dpos), gid});
+    return gid;
+  };
+
+  std::vector<Oid> gids;
+  gids.reserve(ab.size());
+  const char* impl;
+  if (ab.SyncedWith(cd)) {
+    impl = "sync_group_refine";
+    prev.TouchAll();
+    d.TouchAll();
+    for (size_t i = 0; i < ab.size(); ++i) {
+      gids.push_back(refine(prev.OidAt(i), i));
+    }
+  } else {
+    impl = "hash_group_refine";
+    auto hash = cd.EnsureHeadHash();
+    prev.TouchAll();
+    for (size_t i = 0; i < ab.size(); ++i) {
+      const int64_t pos = hash->FindFirst(ab.head(), i);
+      if (pos < 0) {
+        return Status::ExecutionError(
+            "group refinement: left head value missing on the right");
+      }
+      d.TouchAt(static_cast<size_t>(pos));
+      gids.push_back(refine(prev.OidAt(i), static_cast<size_t>(pos)));
+    }
+  }
+
+  ColumnPtr gid_col = Column::MakeOid(std::move(gids));
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(ab.head_col(), gid_col, props));
+  rec.Finish(impl, res.size());
+  return res;
+}
+
+}  // namespace moaflat::kernel

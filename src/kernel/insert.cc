@@ -1,0 +1,82 @@
+#include <vector>
+
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+
+MonetType BuilderType(const Column& c) {
+  return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
+}
+
+}  // namespace
+
+Result<Bat> InsertBuns(const Bat& ab, const std::vector<Value>& heads,
+                       const std::vector<Value>& tails) {
+  OpRecorder rec("insert");
+  if (heads.size() != tails.size()) {
+    return Status::Invalid("insert: head/tail value counts differ");
+  }
+  const Column& h = ab.head();
+  const Column& t = ab.tail();
+
+  ColumnBuilder hb(BuilderType(h));
+  ColumnBuilder tb(BuilderType(t), t.str_heap());
+  hb.Reserve(ab.size() + heads.size());
+  tb.Reserve(ab.size() + heads.size());
+  for (size_t i = 0; i < ab.size(); ++i) {
+    hb.AppendFrom(h, i);
+    tb.AppendFrom(t, i);
+  }
+  for (size_t k = 0; k < heads.size(); ++k) {
+    MF_RETURN_NOT_OK(hb.AppendValue(heads[k]));
+    MF_RETURN_NOT_OK(tb.AppendValue(tails[k]));
+  }
+  ColumnPtr new_head = hb.Finish();
+  ColumnPtr new_tail = tb.Finish();
+
+  // Property guarding: recheck each declared property against the
+  // inserted run only (O(inserted) for sortedness, hash probes for
+  // keyness) and switch it off if violated.
+  bat::Properties props = ab.props();
+  const size_t old_n = ab.size();
+  auto run_sorted = [&](const Column& col) {
+    for (size_t i = old_n; i < col.size(); ++i) {
+      if (i > 0 && col.CompareAt(i - 1, col, i) > 0) return false;
+    }
+    return true;
+  };
+  if (props.hsorted) props.hsorted = run_sorted(*new_head);
+  if (props.tsorted) props.tsorted = run_sorted(*new_tail);
+
+  auto run_key = [&](const Column& col,
+                     const std::shared_ptr<const bat::HashIndex>& old_idx) {
+    for (size_t i = old_n; i < col.size(); ++i) {
+      // Against the old values (via the accelerator)...
+      if (old_n > 0 && old_idx->Contains(col, i)) return false;
+      // ...and against the other inserted values.
+      for (size_t j = old_n; j < i; ++j) {
+        if (col.EqualAt(i, col, j)) return false;
+      }
+    }
+    return true;
+  };
+  if (props.hkey && !heads.empty()) {
+    props.hkey = run_key(*new_head, ab.EnsureHeadHash());
+  }
+  if (props.tkey && !tails.empty()) {
+    props.tkey = run_key(*new_tail, ab.EnsureTailHash());
+  }
+
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(new_head, new_tail, props));
+  rec.Finish("guarded_insert", res.size());
+  return res;
+}
+
+}  // namespace moaflat::kernel

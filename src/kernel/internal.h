@@ -1,0 +1,41 @@
+#ifndef MOAFLAT_KERNEL_INTERNAL_H_
+#define MOAFLAT_KERNEL_INTERNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bat/bat.h"
+
+namespace moaflat::kernel::internal {
+
+/// Deterministic combination of sync keys: operators derive the sync key of
+/// a result head column from the operand keys so that structurally
+/// identical dataflows yield identical keys (the basis of synced-property
+/// propagation, Section 5.1).
+inline uint64_t MixSync(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + 0x2545f4914f6cdd1dULL;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Stamps an operator-derived sync key onto a freshly built result column.
+/// Result columns are uniquely owned at this point, so the cast is safe.
+inline void SetSync(const bat::ColumnPtr& col, uint64_t key) {
+  const_cast<bat::Column*>(col.get())->set_sync_key(key);
+}
+
+}  // namespace moaflat::kernel::internal
+
+#endif  // MOAFLAT_KERNEL_INTERNAL_H_

@@ -1,0 +1,113 @@
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using internal::HashString;
+using internal::MixSync;
+using internal::SetSync;
+
+MonetType BuilderType(const Column& c) {
+  return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
+}
+
+struct JoinOut {
+  ColumnBuilder heads;
+  ColumnBuilder tails;
+  JoinOut(const Column& a, const Column& d)
+      : heads(BuilderType(a)), tails(BuilderType(d), d.str_heap()) {}
+};
+
+}  // namespace
+
+Result<Bat> Join(const Bat& ab, const Bat& cd) {
+  OpRecorder rec("join");
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  const Column& c = cd.head();
+  const Column& d = cd.tail();
+  JoinOut out(a, d);
+  const char* impl;
+
+  // Dynamic optimization (Section 5.1): positional when the join columns
+  // are provably identical by position, merge when both are sorted, hash
+  // otherwise (the hash accelerator on CD's head is built once and cached).
+  const bool positional =
+      (b.is_void() && c.is_void() && b.void_base() == c.void_base() &&
+       b.size() == c.size()) ||
+      (b.sync_key() == c.sync_key() && b.size() == c.size());
+  if (positional) {
+    // Zero-copy: the result is exactly [A, D]; both columns are shared.
+    a.TouchAll();
+    d.TouchAll();
+    bat::Properties props;
+    props.hsorted = ab.props().hsorted;
+    props.hkey = ab.props().hkey;
+    props.tsorted = cd.props().tsorted;
+    props.tkey = cd.props().tkey;
+    MF_ASSIGN_OR_RETURN(Bat res,
+                        Bat::Make(ab.head_col(), cd.tail_col(), props));
+    rec.Finish("fetch_join", res.size());
+    return res;
+  }
+  if (ab.props().tsorted && cd.props().hsorted) {
+    impl = "merge_join";
+    b.TouchAll();
+    c.TouchAll();
+    size_t i = 0, j = 0;
+    const size_t n = ab.size(), m = cd.size();
+    while (i < n && j < m) {
+      const int cmp = b.CompareAt(i, c, j);
+      if (cmp < 0) {
+        ++i;
+      } else if (cmp > 0) {
+        ++j;
+      } else {
+        // Emit the full run of equal keys on the right for this left BUN.
+        size_t j2 = j;
+        while (j2 < m && c.EqualAt(j2, c, j)) {
+          a.TouchAt(i);
+          d.TouchAt(j2);
+          out.heads.AppendFrom(a, i);
+          out.tails.AppendFrom(d, j2);
+          ++j2;
+        }
+        ++i;  // the right run start stays: the next left BUN may match too
+      }
+    }
+  } else {
+    impl = "hash_join";
+    auto hash = cd.EnsureHeadHash();
+    b.TouchAll();
+    for (size_t i = 0; i < ab.size(); ++i) {
+      hash->ForEachMatch(b, i, [&](uint32_t pos) {
+        c.TouchAt(pos);
+        a.TouchAt(i);
+        d.TouchAt(pos);
+        out.heads.AppendFrom(a, i);
+        out.tails.AppendFrom(d, pos);
+      });
+    }
+  }
+
+  ColumnPtr out_head = out.heads.Finish();
+  SetSync(out_head, MixSync(MixSync(a.sync_key(), c.sync_key()),
+                            HashString("join")));
+  bat::Properties props;
+  // All implementations emit in left-BUN order; right-side duplicates
+  // repeat the same head value consecutively, so sortedness survives.
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey && cd.props().hkey;
+  props.tsorted = false;
+  props.tkey = false;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, out.tails.Finish(), props));
+  rec.Finish(impl, res.size());
+  return res;
+}
+
+}  // namespace moaflat::kernel

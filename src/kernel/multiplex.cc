@@ -1,0 +1,168 @@
+#include <optional>
+#include <vector>
+
+#include "common/parallel.h"
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+#include "kernel/scalar_fn.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using internal::HashString;
+using internal::MixSync;
+using internal::SetSync;
+
+bool NumericTail(const Column& c) {
+  return IsNumeric(c.type()) || c.type() == MonetType::kDate ||
+         c.type() == MonetType::kChr;
+}
+
+}  // namespace
+
+Result<Bat> Multiplex(const std::string& fn, const std::vector<MxArg>& args) {
+  OpRecorder rec("multiplex");
+
+  // Locate the driver (first BAT argument) and classify the others.
+  const Bat* driver = nullptr;
+  std::vector<const Bat*> bats;
+  for (const MxArg& a : args) {
+    if (const Bat* b = std::get_if<Bat>(&a)) {
+      if (driver == nullptr) driver = b;
+      bats.push_back(b);
+    }
+  }
+  if (driver == nullptr) {
+    return Status::Invalid("multiplex [" + fn +
+                           "] needs at least one BAT argument");
+  }
+
+  // The multiplex constructor applies f over the natural join on head
+  // values (Fig. 4). The synced fast path applies it positionally; the
+  // kernel proves syncedness via the propagated sync keys (Section 5.1),
+  // e.g. for [*]( prices, factor ) in Q13.
+  bool synced = true;
+  for (const Bat* b : bats) {
+    if (b != driver && !driver->SyncedWith(*b)) synced = false;
+  }
+
+  std::vector<MonetType> arg_types;
+  for (const MxArg& a : args) {
+    if (const Bat* b = std::get_if<Bat>(&a)) {
+      arg_types.push_back(b->tail().type());
+    } else {
+      arg_types.push_back(std::get<Value>(a).type());
+    }
+  }
+  MF_ASSIGN_OR_RETURN(MonetType out_type, ScalarResultType(fn, arg_types));
+
+  for (const Bat* b : bats) b->tail().TouchAll();
+
+  // Unboxed fast path: binary arithmetic over synced numeric operands.
+  if (synced && IsNumericBinary(fn) && args.size() == 2) {
+    bool numeric_ok = true;
+    for (size_t k = 0; k < args.size(); ++k) {
+      if (const Bat* b = std::get_if<Bat>(&args[k])) {
+        if (!NumericTail(b->tail())) numeric_ok = false;
+      } else if (!std::get<Value>(args[k]).ToDouble().ok()) {
+        numeric_ok = false;
+      }
+    }
+    if (numeric_ok) {
+      const size_t n = driver->size();
+      std::vector<double> out(n);
+      auto num_at = [&](const MxArg& a, size_t i) -> double {
+        if (const Bat* b = std::get_if<Bat>(&a)) return b->tail().NumAt(i);
+        return std::get<Value>(a).ToDouble().ValueOrDie();
+      };
+      // Vectorized computation runs as parallel blocks (Section 2); each
+      // block writes a disjoint slice of the pre-sized output vector.
+      ParallelBlocks(n, [&](int, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const double x = num_at(args[0], i);
+          const double y = num_at(args[1], i);
+          double r = 0;
+          if (fn == "+") r = x + y;
+          if (fn == "-") r = x - y;
+          if (fn == "*") r = x * y;
+          if (fn == "/") r = (y == 0 ? 0 : x / y);
+          out[i] = r;
+        }
+      });
+      MF_ASSIGN_OR_RETURN(
+          Bat res, Bat::Make(driver->head_col(), Column::MakeDbl(std::move(out)),
+                             bat::Properties{driver->props().hkey, false,
+                                             driver->props().hsorted, false}));
+      rec.Finish("multiplex_synced_numeric", res.size());
+      return res;
+    }
+  }
+
+  // General path: positional when synced, head-hash alignment otherwise.
+  ColumnBuilder hb(driver->head().type() == MonetType::kVoid
+                       ? MonetType::kOidT
+                       : driver->head().type());
+  ColumnBuilder tb(out_type);
+  std::vector<std::shared_ptr<const bat::HashIndex>> hashes(bats.size());
+  if (!synced) {
+    for (size_t k = 0; k < bats.size(); ++k) {
+      if (bats[k] != driver) hashes[k] = bats[k]->EnsureHeadHash();
+    }
+  }
+
+  // Maps each argument slot to its index in `bats` (-1 for constants).
+  std::vector<int> bat_of_arg(args.size(), -1);
+  {
+    int next_bat = 0;
+    for (size_t k = 0; k < args.size(); ++k) {
+      if (std::holds_alternative<Bat>(args[k])) bat_of_arg[k] = next_bat++;
+    }
+  }
+
+  const size_t n = driver->size();
+  std::vector<Value> row(args.size());
+  for (size_t i = 0; i < n; ++i) {
+    bool complete = true;
+    for (size_t k = 0; k < args.size(); ++k) {
+      const int bi = bat_of_arg[k];
+      if (bi >= 0) {
+        const Bat* b = bats[bi];
+        size_t pos = i;
+        if (!synced && b != driver) {
+          const int64_t p = hashes[bi]->FindFirst(driver->head(), i);
+          if (p < 0) {
+            complete = false;
+            break;
+          }
+          pos = static_cast<size_t>(p);
+          b->tail().TouchAt(pos);
+        }
+        row[k] = b->tail().GetValue(pos);
+      } else {
+        row[k] = std::get<Value>(args[k]);
+      }
+    }
+    if (!complete) continue;
+    MF_ASSIGN_OR_RETURN(Value v, ScalarApply(fn, row));
+    hb.AppendFrom(driver->head(), i);
+    MF_RETURN_NOT_OK(tb.AppendValue(v));
+  }
+
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head,
+          synced ? driver->head().sync_key()
+                 : MixSync(driver->head().sync_key(),
+                           MixSync(HashString("multiplex"), HashString(fn))));
+  bat::Properties props;
+  props.hsorted = driver->props().hsorted;
+  props.hkey = driver->props().hkey;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
+  rec.Finish(synced ? "multiplex_synced" : "multiplex_headjoin", res.size());
+  return res;
+}
+
+}  // namespace moaflat::kernel

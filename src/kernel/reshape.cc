@@ -1,0 +1,235 @@
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using internal::HashString;
+using internal::MixSync;
+using internal::SetSync;
+
+MonetType BuilderType(const Column& c) {
+  return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
+}
+
+/// Copies the BUNs at `positions` (in order) into a fresh BAT.
+Result<Bat> GatherPositions(const Bat& ab, const std::vector<size_t>& pos,
+                            bat::Properties props, uint64_t sync_salt) {
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  ColumnBuilder hb(BuilderType(head));
+  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
+  hb.Reserve(pos.size());
+  tb.Reserve(pos.size());
+  for (size_t i : pos) {
+    head.TouchAt(i);
+    tail.TouchAt(i);
+    hb.AppendFrom(head, i);
+    tb.AppendFrom(tail, i);
+  }
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head, MixSync(head.sync_key(), sync_salt));
+  return Bat::Make(out_head, tb.Finish(), props);
+}
+
+}  // namespace
+
+Result<Bat> Unique(const Bat& ab) {
+  OpRecorder rec("unique");
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  head.TouchAll();
+  tail.TouchAll();
+
+  // Pair-hash with representative verification.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < ab.size(); ++i) {
+    const uint64_t h = MixSync(head.HashAt(i), tail.HashAt(i));
+    auto& bucket = seen[h];
+    bool dup = false;
+    for (uint32_t rep : bucket) {
+      if (head.EqualAt(i, head, rep) && tail.EqualAt(i, tail, rep)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(static_cast<uint32_t>(i));
+      keep.push_back(i);
+    }
+  }
+
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.tsorted = ab.props().tsorted;
+  props.hkey = ab.props().hkey;
+  props.tkey = ab.props().tkey;
+  MF_ASSIGN_OR_RETURN(
+      Bat res, GatherPositions(ab, keep, props, HashString("unique")));
+  rec.Finish("hash_unique", res.size());
+  return res;
+}
+
+Result<Bat> HeadUnique(const Bat& ab) {
+  OpRecorder rec("hunique");
+  const Column& head = ab.head();
+  head.TouchAll();
+  std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < ab.size(); ++i) {
+    auto& bucket = seen[head.HashAt(i)];
+    bool dup = false;
+    for (uint32_t rep : bucket) {
+      if (head.EqualAt(i, head, rep)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(static_cast<uint32_t>(i));
+      keep.push_back(i);
+    }
+  }
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.tsorted = ab.props().tsorted;
+  props.hkey = true;
+  props.tkey = ab.props().tkey;
+  MF_ASSIGN_OR_RETURN(
+      Bat res, GatherPositions(ab, keep, props, HashString("hunique")));
+  rec.Finish("hash_head_unique", res.size());
+  return res;
+}
+
+Result<Bat> Mark(const Bat& ab, Oid base) {
+  OpRecorder rec("mark");
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  props.tsorted = true;
+  props.tkey = true;
+  MF_ASSIGN_OR_RETURN(
+      Bat res,
+      Bat::Make(ab.head_col(), Column::MakeVoid(base, ab.size()), props));
+  rec.Finish("mark", res.size());
+  return res;
+}
+
+Result<Bat> VoidTail(const Bat& ab) { return Mark(ab, 0); }
+
+Result<Bat> Slice(const Bat& ab, size_t lo, size_t hi) {
+  OpRecorder rec("slice");
+  lo = std::min(lo, ab.size());
+  hi = std::min(hi, ab.size());
+  if (hi < lo) hi = lo;
+  std::vector<size_t> pos(hi - lo);
+  std::iota(pos.begin(), pos.end(), lo);
+  bat::Properties props = ab.props();
+  MF_ASSIGN_OR_RETURN(
+      Bat res, GatherPositions(ab, pos, props,
+                               MixSync(HashString("slice"), lo * 31 + hi)));
+  rec.Finish("slice", res.size());
+  return res;
+}
+
+Result<Bat> SortTail(const Bat& ab) {
+  OpRecorder rec("sort");
+  const Column& tail = ab.tail();
+  tail.TouchAll();
+  std::vector<size_t> pos(ab.size());
+  std::iota(pos.begin(), pos.end(), 0);
+  std::stable_sort(pos.begin(), pos.end(), [&](size_t x, size_t y) {
+    return tail.CompareAt(x, tail, y) < 0;
+  });
+  bat::Properties props;
+  props.tsorted = true;
+  props.hkey = ab.props().hkey;
+  props.tkey = ab.props().tkey;
+  props.hsorted = ab.size() <= 1;
+  MF_ASSIGN_OR_RETURN(
+      Bat res, GatherPositions(ab, pos, props, HashString("sort_tail")));
+  rec.Finish("stable_sort", res.size());
+  return res;
+}
+
+Result<Bat> TopN(const Bat& ab, size_t n, bool descending) {
+  OpRecorder rec("topn");
+  const Column& tail = ab.tail();
+  tail.TouchAll();
+  std::vector<size_t> pos(ab.size());
+  std::iota(pos.begin(), pos.end(), 0);
+  auto cmp = [&](size_t x, size_t y) {
+    const int c = tail.CompareAt(x, tail, y);
+    if (c != 0) return descending ? c > 0 : c < 0;
+    return x < y;  // deterministic tie-break on position
+  };
+  const size_t k = std::min(n, pos.size());
+  std::partial_sort(pos.begin(), pos.begin() + k, pos.end(), cmp);
+  pos.resize(k);
+  bat::Properties props;
+  props.tsorted = !descending;
+  props.hkey = ab.props().hkey;
+  MF_ASSIGN_OR_RETURN(
+      Bat res,
+      GatherPositions(ab, pos, props,
+                      MixSync(HashString("topn"), n * 2 + descending)));
+  rec.Finish("partial_sort_topn", res.size());
+  return res;
+}
+
+Result<Bat> ProjectConst(const Bat& ab, const Value& v) {
+  OpRecorder rec("project");
+  ColumnBuilder tb(v.type() == MonetType::kVoid ? MonetType::kOidT
+                                                : v.type());
+  tb.Reserve(ab.size());
+  for (size_t i = 0; i < ab.size(); ++i) {
+    MF_RETURN_NOT_OK(tb.AppendValue(v));
+  }
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  props.tsorted = true;
+  props.tkey = ab.size() <= 1;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(ab.head_col(), tb.Finish(), props));
+  rec.Finish("project_const", res.size());
+  return res;
+}
+
+Result<Bat> Append(const Bat& ab, const Bat& cd) {
+  OpRecorder rec("append");
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  const Column& c = cd.head();
+  const Column& d = cd.tail();
+  if (BuilderType(a) != BuilderType(c) || BuilderType(b) != BuilderType(d)) {
+    return Status::TypeError("append requires matching column types");
+  }
+  ColumnBuilder hb(BuilderType(a));
+  ColumnBuilder tb(BuilderType(b), b.str_heap());
+  hb.Reserve(ab.size() + cd.size());
+  tb.Reserve(ab.size() + cd.size());
+  for (size_t i = 0; i < ab.size(); ++i) {
+    hb.AppendFrom(a, i);
+    tb.AppendFrom(b, i);
+  }
+  for (size_t j = 0; j < cd.size(); ++j) {
+    hb.AppendFrom(c, j);
+    tb.AppendFrom(d, j);
+  }
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      Bat::Make(hb.Finish(), tb.Finish(), bat::Properties{}));
+  rec.Finish("append", res.size());
+  return res;
+}
+
+}  // namespace moaflat::kernel

@@ -1,0 +1,220 @@
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.h"
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+#include "kernel/scalar_fn.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using internal::HashString;
+using internal::MixSync;
+using internal::SetSync;
+
+/// Bound of a range selection: value + inclusiveness; absent = unbounded.
+struct Bound {
+  bool present = false;
+  bool inclusive = true;
+  Value value;
+};
+
+/// First position i in the (tail-sorted) column with col[i] >= v
+/// (or > v when `after_equal`). Binary search; probes are counted.
+size_t LowerPos(const Column& col, const Value& v, bool after_equal) {
+  size_t lo = 0;
+  size_t hi = col.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    col.TouchAt(mid);
+    const int c = col.CompareValue(mid, v);
+    const bool go_right = after_equal ? (c <= 0) : (c < 0);
+    if (go_right) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool InBounds(const Column& col, size_t i, const Bound& lo, const Bound& hi) {
+  if (lo.present) {
+    const int c = col.CompareValue(i, lo.value);
+    if (c < 0 || (c == 0 && !lo.inclusive)) return false;
+  }
+  if (hi.present) {
+    const int c = col.CompareValue(i, hi.value);
+    if (c > 0 || (c == 0 && !hi.inclusive)) return false;
+  }
+  return true;
+}
+
+uint64_t BoundSyncHash(const Bound& lo, const Bound& hi) {
+  uint64_t h = HashString("select");
+  if (lo.present) {
+    h = MixSync(h, HashString(lo.value.ToString()) + (lo.inclusive ? 1 : 0));
+  }
+  if (hi.present) {
+    h = MixSync(h, HashString(hi.value.ToString()) + (hi.inclusive ? 3 : 2));
+  }
+  return h;
+}
+
+MonetType BuilderType(const Column& c) {
+  return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
+}
+
+/// Shared implementation of all range/point selections on the tail.
+Result<Bat> RangeSelect(const Bat& ab, const Bound& lo, const Bound& hi) {
+  OpRecorder rec("select");
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+
+  ColumnBuilder hb(BuilderType(head));
+  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
+
+  const bool binsearch = ab.props().tsorted && !tail.is_void();
+  bool binsearch_head_sorted = false;
+  if (binsearch) {
+    // Binary-search selection: the access path the paper keeps all
+    // attribute BATs sorted on tail for (Section 5.2).
+    size_t begin = 0;
+    size_t end = tail.size();
+    if (lo.present) begin = LowerPos(tail, lo.value, !lo.inclusive);
+    if (hi.present) end = LowerPos(tail, hi.value, hi.inclusive);
+    if (begin > end) begin = end;
+    head.TouchRange(begin, end);
+    tail.TouchRange(begin, end);
+    hb.Reserve(end - begin);
+    tb.Reserve(end - begin);
+    // Detect result-head sortedness on the fly (dynamic property
+    // detection): bulk loads sort stably, so the heads inside one tail
+    // run are typically ascending, which later enables merge joins.
+    bool heads_ascending = true;
+    for (size_t i = begin; i < end; ++i) {
+      if (i > begin && head.CompareAt(i - 1, head, i) > 0) {
+        heads_ascending = false;
+      }
+      hb.AppendFrom(head, i);
+      tb.AppendFrom(tail, i);
+    }
+    binsearch_head_sorted = heads_ascending;
+  } else {
+    // Scan selection: predicate evaluation is parallel-block-executed
+    // (Section 2); materialization and IO accounting stay serial.
+    tail.TouchAll();
+    std::vector<std::vector<uint32_t>> matches(ParallelDegree());
+    ParallelBlocks(tail.size(), [&](int block, size_t begin, size_t end) {
+      auto& mine = matches[block];
+      for (size_t i = begin; i < end; ++i) {
+        if (InBounds(tail, i, lo, hi)) {
+          mine.push_back(static_cast<uint32_t>(i));
+        }
+      }
+    });
+    for (const auto& block : matches) {
+      for (uint32_t i : block) {
+        head.TouchAt(i);
+        hb.AppendFrom(head, i);
+        tb.AppendFrom(tail, i);
+      }
+    }
+  }
+
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head, MixSync(head.sync_key(), BoundSyncHash(lo, hi)));
+
+  const bool point = lo.present && hi.present && lo.inclusive &&
+                     hi.inclusive && lo.value == hi.value;
+  bat::Properties props;
+  props.hsorted = binsearch ? binsearch_head_sorted : ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  props.tsorted = ab.props().tsorted || point;
+  props.tkey = point ? hb.size() <= 1 : ab.props().tkey;
+
+  MF_ASSIGN_OR_RETURN(Bat out, Bat::Make(out_head, tb.Finish(), props));
+  rec.Finish(binsearch ? "binsearch_select" : "scan_select", out.size());
+  return out;
+}
+
+/// Scan selection with an arbitrary tail predicate; used by != and LIKE.
+template <typename Pred>
+Result<Bat> PredicateSelect(const Bat& ab, const char* impl,
+                            uint64_t pred_hash, Pred&& keep) {
+  OpRecorder rec("select");
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  ColumnBuilder hb(BuilderType(head));
+  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
+  tail.TouchAll();
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (keep(i)) {
+      head.TouchAt(i);
+      hb.AppendFrom(head, i);
+      tb.AppendFrom(tail, i);
+    }
+  }
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head, MixSync(head.sync_key(), pred_hash));
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  props.tsorted = ab.props().tsorted;
+  props.tkey = ab.props().tkey;
+  MF_ASSIGN_OR_RETURN(Bat out, Bat::Make(out_head, tb.Finish(), props));
+  rec.Finish(impl, out.size());
+  return out;
+}
+
+}  // namespace
+
+Result<Bat> Select(const Bat& ab, const Value& v) {
+  Bound b{true, true, v};
+  return RangeSelect(ab, b, b);
+}
+
+Result<Bat> SelectRange(const Bat& ab, const Value& lo, const Value& hi) {
+  Bound bl{!lo.is_nil(), true, lo};
+  Bound bh{!hi.is_nil(), true, hi};
+  return RangeSelect(ab, bl, bh);
+}
+
+Result<Bat> SelectCmp(const Bat& ab, CmpOp op, const Value& v) {
+  switch (op) {
+    case CmpOp::kEq:
+      return Select(ab, v);
+    case CmpOp::kLt:
+      return RangeSelect(ab, Bound{}, Bound{true, false, v});
+    case CmpOp::kLe:
+      return RangeSelect(ab, Bound{}, Bound{true, true, v});
+    case CmpOp::kGt:
+      return RangeSelect(ab, Bound{true, false, v}, Bound{});
+    case CmpOp::kGe:
+      return RangeSelect(ab, Bound{true, true, v}, Bound{});
+    case CmpOp::kNe:
+      return PredicateSelect(
+          ab, "scan_select",
+          MixSync(HashString("select_ne"), HashString(v.ToString())),
+          [&](size_t i) { return ab.tail().CompareValue(i, v) != 0; });
+  }
+  return Status::Invalid("bad CmpOp");
+}
+
+Result<Bat> SelectLike(const Bat& ab, const std::string& pattern) {
+  if (ab.tail().type() != MonetType::kStr) {
+    return Status::TypeError("like-select requires a str tail, got " +
+                             std::string(TypeName(ab.tail().type())));
+  }
+  return PredicateSelect(
+      ab, "scan_like_select",
+      MixSync(HashString("select_like"), HashString(pattern)),
+      [&](size_t i) { return LikeMatch(ab.tail().Str(i), pattern); });
+}
+
+}  // namespace moaflat::kernel

@@ -1,0 +1,212 @@
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using bat::Datavector;
+using internal::HashString;
+using internal::MixSync;
+using internal::SetSync;
+
+MonetType BuilderType(const Column& c) {
+  return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
+}
+
+/// The datavector semijoin of Section 5.2.1, following the paper's
+/// pseudo-code: probe the sorted EXTENT once per right operand, memoize the
+/// LOOKUP positions in the accelerator, then fetch head/tail pairs from the
+/// positionally stored EXTENT/VECTOR.
+Result<Bat> DatavectorSemijoin(const Bat& ab, const Bat& cd,
+                               OpRecorder& rec) {
+  const std::shared_ptr<Datavector>& dv = ab.datavector();
+  const Column& extent = *dv->extent();
+  const Column& vector = *dv->values();
+
+  const uint64_t key = cd.head().heap_id();
+  std::shared_ptr<const std::vector<uint32_t>> lookup =
+      dv->CachedLookup(key);
+  const bool cached = lookup != nullptr;
+  if (!cached) {
+    // First semijoin with this right operand: binary-search every element
+    // of CD's head in the extent (lines 7-15 of the pseudo-code).
+    auto positions = std::make_shared<std::vector<uint32_t>>();
+    positions->reserve(cd.size());
+    cd.head().TouchAll();
+    for (size_t i = 0; i < cd.size(); ++i) {
+      const int64_t pos = dv->FindPosition(cd.head().OidAt(i));
+      if (pos >= 0) positions->push_back(static_cast<uint32_t>(pos));
+    }
+    dv->StoreLookup(key, positions);
+    lookup = positions;
+  }
+
+  // Insertion phase (lines 16-20): fetch matching head and tail values
+  // from EXTENT and VECTOR by position.
+  ColumnBuilder hb(MonetType::kOidT);
+  ColumnBuilder tb(BuilderType(vector), vector.str_heap());
+  hb.Reserve(lookup->size());
+  tb.Reserve(lookup->size());
+  bool ascending = true;
+  uint32_t prev = 0;
+  for (size_t k = 0; k < lookup->size(); ++k) {
+    const uint32_t pos = (*lookup)[k];
+    if (k > 0 && pos < prev) ascending = false;
+    prev = pos;
+    extent.TouchAt(pos);
+    vector.TouchAt(pos);
+    hb.AppendOid(extent.OidAt(pos));
+    tb.AppendFrom(vector, pos);
+  }
+
+  ColumnPtr out_head = hb.Finish();
+  // All datavector semijoins of one class against the same selection are
+  // mutually synced: the key derives from the shared extent column and the
+  // right operand's head value set.
+  SetSync(out_head, MixSync(MixSync(extent.sync_key(), cd.head().sync_key()),
+                            HashString("dv_semijoin")));
+  bat::Properties props;
+  props.hsorted = ascending;
+  props.hkey = cd.props().hkey;  // extent is duplicate-free
+  props.tsorted = false;
+  props.tkey = false;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
+  rec.Finish(cached ? "datavector_semijoin(cached)" : "datavector_semijoin",
+             res.size());
+  return res;
+}
+
+}  // namespace
+
+Result<Bat> Semijoin(const Bat& ab, const Bat& cd) {
+  OpRecorder rec("semijoin");
+
+  // syncsemijoin (Section 5.1): the operands' BUNs correspond by position,
+  // so the result is simply a copy (here: a zero-copy view) of AB.
+  if (ab.SyncedWith(cd)) {
+    Bat res = ab;
+    rec.Finish("sync_semijoin", res.size());
+    return res;
+  }
+
+  if (ab.datavector() != nullptr &&
+      (cd.head().type() == MonetType::kOidT || cd.head().is_void())) {
+    return DatavectorSemijoin(ab, cd, rec);
+  }
+
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  const Column& c = cd.head();
+  ColumnBuilder hb(BuilderType(a));
+  ColumnBuilder tb(BuilderType(b), b.str_heap());
+  const char* impl;
+
+  if (ab.props().hsorted && cd.props().hsorted) {
+    impl = "merge_semijoin";
+    a.TouchAll();
+    c.TouchAll();
+    size_t i = 0, j = 0;
+    const size_t n = ab.size(), m = cd.size();
+    while (i < n && j < m) {
+      const int cmp = a.CompareAt(i, c, j);
+      if (cmp < 0) {
+        ++i;
+      } else if (cmp > 0) {
+        ++j;
+      } else {
+        b.TouchAt(i);
+        hb.AppendFrom(a, i);
+        tb.AppendFrom(b, i);
+        ++i;  // keep j: the next left BUN may carry the same head value
+      }
+    }
+  } else {
+    impl = "hash_semijoin";
+    auto hash = cd.EnsureHeadHash();
+    a.TouchAll();
+    for (size_t i = 0; i < ab.size(); ++i) {
+      if (hash->Contains(a, i)) {
+        b.TouchAt(i);
+        hb.AppendFrom(a, i);
+        tb.AppendFrom(b, i);
+      }
+    }
+  }
+
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head, MixSync(MixSync(a.sync_key(), c.sync_key()),
+                            HashString("semijoin")));
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  props.tsorted = ab.props().tsorted;
+  props.tkey = ab.props().tkey;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
+  rec.Finish(impl, res.size());
+  return res;
+}
+
+Result<Bat> Diff(const Bat& ab, const Bat& cd) {
+  OpRecorder rec("kdiff");
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  ColumnBuilder hb(BuilderType(a));
+  ColumnBuilder tb(BuilderType(b), b.str_heap());
+  auto hash = cd.EnsureHeadHash();
+  a.TouchAll();
+  for (size_t i = 0; i < ab.size(); ++i) {
+    if (!hash->Contains(a, i)) {
+      b.TouchAt(i);
+      hb.AppendFrom(a, i);
+      tb.AppendFrom(b, i);
+    }
+  }
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head, MixSync(MixSync(a.sync_key(), cd.head().sync_key()),
+                            HashString("kdiff")));
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  props.tsorted = ab.props().tsorted;
+  props.tkey = ab.props().tkey;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
+  rec.Finish("hash_antisemijoin", res.size());
+  return res;
+}
+
+Result<Bat> Union(const Bat& ab, const Bat& cd) {
+  OpRecorder rec("kunion");
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  ColumnBuilder hb(BuilderType(a));
+  ColumnBuilder tb(BuilderType(b), b.str_heap());
+  a.TouchAll();
+  b.TouchAll();
+  for (size_t i = 0; i < ab.size(); ++i) {
+    hb.AppendFrom(a, i);
+    tb.AppendFrom(b, i);
+  }
+  auto hash = ab.EnsureHeadHash();
+  const Column& c = cd.head();
+  const Column& d = cd.tail();
+  c.TouchAll();
+  for (size_t j = 0; j < cd.size(); ++j) {
+    if (!hash->Contains(c, j)) {
+      d.TouchAt(j);
+      hb.AppendFrom(c, j);
+      tb.AppendFrom(d, j);
+    }
+  }
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      Bat::Make(hb.Finish(), tb.Finish(), bat::Properties{}));
+  rec.Finish("hash_union", res.size());
+  return res;
+}
+
+Result<Bat> Intersect(const Bat& ab, const Bat& cd) { return Semijoin(ab, cd); }
+
+}  // namespace moaflat::kernel

@@ -1,0 +1,177 @@
+#include <algorithm>
+#include <numeric>
+
+#include "kernel/exec_tracer.h"
+#include "kernel/internal.h"
+#include "kernel/operators.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Column;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using internal::HashString;
+using internal::MixSync;
+using internal::SetSync;
+
+MonetType BuilderType(const Column& c) {
+  return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
+}
+
+bool Satisfies(int cmp, CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return cmp == 0;
+    case CmpOp::kNe: return cmp != 0;
+    case CmpOp::kLt: return cmp < 0;
+    case CmpOp::kLe: return cmp <= 0;
+    case CmpOp::kGt: return cmp > 0;
+    case CmpOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Bat> ThetaJoin(const Bat& ab, const Bat& cd, CmpOp op) {
+  if (op == CmpOp::kEq) return Join(ab, cd);
+  OpRecorder rec("thetajoin");
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  const Column& c = cd.head();
+  const Column& d = cd.tail();
+  ColumnBuilder hb(BuilderType(a));
+  ColumnBuilder tb(BuilderType(d), d.str_heap());
+  const char* impl;
+
+  if (op != CmpOp::kNe) {
+    // Band algorithm: sort CD's heads once, then for each left BUN emit
+    // the qualifying prefix/suffix run.
+    impl = "sort_band_thetajoin";
+    std::vector<size_t> order(cd.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (!cd.props().hsorted) {
+      std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return c.CompareAt(x, c, y) < 0;
+      });
+    }
+    b.TouchAll();
+    c.TouchAll();
+    for (size_t i = 0; i < ab.size(); ++i) {
+      // First position in the sorted right side with c >= b[i].
+      size_t lo = 0, hi = order.size();
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (c.CompareAt(order[mid], b, i) < 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      // Emit the side of the partition the comparison selects. Ties need
+      // local scanning since `lo` is the first >=.
+      // The predicate is b <op> c, evaluated via CompareAt(b_i, c_pos).
+      auto emit = [&](size_t j) {
+        const size_t pos = order[j];
+        if (Satisfies(b.CompareAt(i, c, pos), op)) {
+          a.TouchAt(i);
+          d.TouchAt(pos);
+          hb.AppendFrom(a, i);
+          tb.AppendFrom(d, pos);
+        }
+      };
+      if (op == CmpOp::kLt || op == CmpOp::kLe) {
+        // b < c: everything from the partition point rightwards (plus the
+        // tie run just before it for <=).
+        size_t start = lo;
+        while (start > 0 &&
+               c.CompareAt(order[start - 1], b, i) == 0) {
+          --start;
+        }
+        for (size_t j = start; j < order.size(); ++j) emit(j);
+      } else {
+        // b > c / b >= c: everything left of the partition point (plus
+        // the tie run for >=).
+        size_t end = lo;
+        while (end < order.size() &&
+               c.CompareAt(order[end], b, i) == 0) {
+          ++end;
+        }
+        for (size_t j = 0; j < end; ++j) emit(j);
+      }
+    }
+  } else {
+    impl = "nested_thetajoin";
+    b.TouchAll();
+    c.TouchAll();
+    for (size_t i = 0; i < ab.size(); ++i) {
+      for (size_t j = 0; j < cd.size(); ++j) {
+        if (b.CompareAt(i, c, j) != 0) {
+          a.TouchAt(i);
+          d.TouchAt(j);
+          hb.AppendFrom(a, i);
+          tb.AppendFrom(d, j);
+        }
+      }
+    }
+  }
+
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head, MixSync(MixSync(a.sync_key(), c.sync_key()),
+                            HashString("thetajoin")));
+  // Emission order interleaves runs from both sides; no ordering or key
+  // property survives a theta-join in general.
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      Bat::Make(out_head, tb.Finish(), bat::Properties{}));
+  rec.Finish(impl, res.size());
+  return res;
+}
+
+Result<Bat> Fetch(const Bat& ab, const Bat& positions) {
+  OpRecorder rec("fetch");
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  ColumnBuilder hb(MonetType::kOidT);
+  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
+  positions.tail().TouchAll();
+  for (size_t i = 0; i < positions.size(); ++i) {
+    const Oid p = positions.tail().OidAt(i);
+    if (p >= ab.size()) {
+      return Status::OutOfRange("fetch position " + std::to_string(p) +
+                                " out of range (size " +
+                                std::to_string(ab.size()) + ")");
+    }
+    head.TouchAt(p);
+    tail.TouchAt(p);
+    hb.AppendOid(p);
+    tb.AppendFrom(tail, p);
+  }
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      Bat::Make(hb.Finish(), tb.Finish(), bat::Properties{}));
+  rec.Finish("positional_fetch", res.size());
+  return res;
+}
+
+Result<Value> CountDistinctTail(const Bat& ab) {
+  OpRecorder rec("count_distinct");
+  MF_ASSIGN_OR_RETURN(Bat grouped, Group(ab));
+  Oid max_gid = 0;
+  bool any = false;
+  for (size_t i = 0; i < grouped.size(); ++i) {
+    max_gid = std::max(max_gid, grouped.tail().OidAt(i));
+    any = true;
+  }
+  rec.Finish("group_count_distinct", 1);
+  return Value::Lng(any ? static_cast<int64_t>(max_gid) + 1 : 0);
+}
+
+Result<Bat> Histogram(const Bat& ab) {
+  OpRecorder rec("histogram");
+  MF_ASSIGN_OR_RETURN(Bat grouped, Group(ab));
+  MF_ASSIGN_OR_RETURN(Bat counts,
+                      SetAggregate(AggKind::kCount, grouped.Mirror()));
+  rec.Finish("group_histogram", counts.size());
+  return counts;
+}
+
+}  // namespace moaflat::kernel

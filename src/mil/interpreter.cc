@@ -1,0 +1,321 @@
+#include "mil/interpreter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "kernel/exec_tracer.h"
+#include "kernel/scalar_fn.h"
+
+namespace moaflat::mil {
+namespace {
+
+using bat::Bat;
+using kernel::AggKind;
+using kernel::CmpOp;
+
+Result<AggKind> ParseAgg(const std::string& name) {
+  if (name == "sum") return AggKind::kSum;
+  if (name == "count") return AggKind::kCount;
+  if (name == "avg") return AggKind::kAvg;
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  return Status::ParseError("unknown aggregate '" + name + "'");
+}
+
+bool IsSetAggOp(const std::string& op) {
+  return op.size() > 2 && op.front() == '{' && op.back() == '}';
+}
+
+bool IsMultiplexOp(const std::string& op) {
+  return op.size() > 2 && op.front() == '[' && op.back() == ']';
+}
+
+}  // namespace
+
+Result<Bat> MilEnv::GetBat(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    return Status::KeyError("undefined MIL variable '" + name + "'");
+  }
+  if (const Bat* b = std::get_if<Bat>(&it->second)) return *b;
+  return Status::TypeError("MIL variable '" + name + "' is a scalar");
+}
+
+Result<Value> MilEnv::GetValue(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    return Status::KeyError("undefined MIL variable '" + name + "'");
+  }
+  if (const Value* v = std::get_if<Value>(&it->second)) return *v;
+  return Status::TypeError("MIL variable '" + name + "' is a BAT");
+}
+
+Status MilInterpreter::Run(const MilProgram& program) {
+  for (const MilStmt& stmt : program.stmts) {
+    MF_RETURN_NOT_OK(Exec(stmt));
+  }
+  return Status::OK();
+}
+
+Status MilInterpreter::Exec(const MilStmt& stmt) {
+  kernel::ExecTracer local_tracer;
+  kernel::TraceScope scope(&local_tracer);
+  storage::IoStats* io = storage::CurrentIo();
+  const uint64_t faults_before = io ? io->faults() : 0;
+  const auto start = std::chrono::steady_clock::now();
+
+  size_t out_size = 0;
+
+  // Scalar calculations (`calc.*`) and scalar aggregates bind a Value;
+  // everything else binds a BAT.
+  auto agg = ParseAgg(stmt.op);
+  if (stmt.op.rfind("calc.", 0) == 0) {
+    MF_RETURN_NOT_OK(ExecScalarCalc(stmt));
+    out_size = 1;
+  } else if (agg.ok() && stmt.args.size() == 1) {
+    MF_ASSIGN_OR_RETURN(Bat in, env_->GetBat(stmt.args[0].var));
+    MF_ASSIGN_OR_RETURN(Value v, kernel::ScalarAggregate(*agg, in));
+    env_->BindValue(stmt.var, v);
+    out_size = 1;
+  } else {
+    MF_ASSIGN_OR_RETURN(Bat out, EvalBatOp(stmt));
+    out_size = out.size();
+    env_->BindBat(stmt.var, std::move(out));
+  }
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  std::string impls;
+  for (const kernel::TraceRecord& r : local_tracer.records) {
+    if (!impls.empty()) impls += "+";
+    impls += r.impl;
+  }
+  traces_.push_back(StmtTrace{
+      stmt.ToString(),
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(),
+      (io ? io->faults() : 0) - faults_before, out_size, impls});
+  return Status::OK();
+}
+
+Result<Bat> MilInterpreter::EvalBatOp(const MilStmt& stmt) {
+  const std::string& op = stmt.op;
+  auto arg_bat = [&](size_t i) -> Result<Bat> {
+    if (i >= stmt.args.size()) {
+      return Status::Invalid("missing argument " + std::to_string(i) +
+                             " of " + op);
+    }
+    if (stmt.args[i].kind != MilArg::Kind::kVar) {
+      return Status::Invalid("argument " + std::to_string(i) + " of " + op +
+                             " must be a BAT variable");
+    }
+    return env_->GetBat(stmt.args[i].var);
+  };
+  auto arg_val = [&](size_t i) -> Result<Value> {
+    if (i >= stmt.args.size()) {
+      return Status::Invalid("missing argument " + std::to_string(i) +
+                             " of " + op);
+    }
+    if (stmt.args[i].kind == MilArg::Kind::kLit) return stmt.args[i].lit;
+    return env_->GetValue(stmt.args[i].var);
+  };
+
+  if (IsMultiplexOp(op)) {
+    const std::string fn = op.substr(1, op.size() - 2);
+    std::vector<kernel::MxArg> margs;
+    for (const MilArg& a : stmt.args) {
+      if (a.kind == MilArg::Kind::kLit) {
+        margs.emplace_back(a.lit);
+      } else if (env_->Has(a.var)) {
+        // A variable may hold a BAT or a scalar aggregate result.
+        auto as_bat = env_->GetBat(a.var);
+        if (as_bat.ok()) {
+          margs.emplace_back(*as_bat);
+        } else {
+          MF_ASSIGN_OR_RETURN(Value v, env_->GetValue(a.var));
+          margs.emplace_back(std::move(v));
+        }
+      } else {
+        return Status::KeyError("undefined MIL variable '" + a.var + "'");
+      }
+    }
+    return kernel::Multiplex(fn, margs);
+  }
+
+  if (IsSetAggOp(op)) {
+    MF_ASSIGN_OR_RETURN(AggKind kind, ParseAgg(op.substr(1, op.size() - 2)));
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    return kernel::SetAggregate(kind, in);
+  }
+
+  if (op == "select") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    if (stmt.args.size() == 2) {
+      MF_ASSIGN_OR_RETURN(Value v, arg_val(1));
+      return kernel::Select(in, v);
+    }
+    MF_ASSIGN_OR_RETURN(Value lo, arg_val(1));
+    MF_ASSIGN_OR_RETURN(Value hi, arg_val(2));
+    return kernel::SelectRange(in, lo, hi);
+  }
+  if (op.rfind("select.", 0) == 0) {
+    const std::string cmp = op.substr(7);
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    if (cmp == "like") {
+      MF_ASSIGN_OR_RETURN(Value v, arg_val(1));
+      if (v.type() != MonetType::kStr) {
+        return Status::TypeError("select.like needs a string pattern");
+      }
+      return kernel::SelectLike(in, v.AsStr());
+    }
+    CmpOp c;
+    if (cmp == "!=") {
+      c = CmpOp::kNe;
+    } else if (cmp == "<") {
+      c = CmpOp::kLt;
+    } else if (cmp == "<=") {
+      c = CmpOp::kLe;
+    } else if (cmp == ">") {
+      c = CmpOp::kGt;
+    } else if (cmp == ">=") {
+      c = CmpOp::kGe;
+    } else {
+      return Status::ParseError("unknown select comparator '" + cmp + "'");
+    }
+    MF_ASSIGN_OR_RETURN(Value v, arg_val(1));
+    return kernel::SelectCmp(in, c, v);
+  }
+
+  if (op == "join" || op == "semijoin" || op == "kdiff" || op == "kunion" ||
+      op == "kintersect") {
+    MF_ASSIGN_OR_RETURN(Bat left, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Bat right, arg_bat(1));
+    if (op == "join") return kernel::Join(left, right);
+    if (op == "semijoin") return kernel::Semijoin(left, right);
+    if (op == "kdiff") return kernel::Diff(left, right);
+    if (op == "kunion") return kernel::Union(left, right);
+    return kernel::Intersect(left, right);
+  }
+
+  if (op.rfind("thetajoin.", 0) == 0) {
+    const std::string cmp = op.substr(10);
+    MF_ASSIGN_OR_RETURN(Bat left, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Bat right, arg_bat(1));
+    CmpOp c;
+    if (cmp == "<") {
+      c = CmpOp::kLt;
+    } else if (cmp == "<=") {
+      c = CmpOp::kLe;
+    } else if (cmp == ">") {
+      c = CmpOp::kGt;
+    } else if (cmp == ">=") {
+      c = CmpOp::kGe;
+    } else if (cmp == "!=") {
+      c = CmpOp::kNe;
+    } else {
+      return Status::ParseError("unknown theta comparator '" + cmp + "'");
+    }
+    return kernel::ThetaJoin(left, right, c);
+  }
+  if (op == "fetch") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Bat pos, arg_bat(1));
+    return kernel::Fetch(in, pos);
+  }
+  if (op == "histogram") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    return kernel::Histogram(in);
+  }
+  if (op == "mirror") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    return in.Mirror();
+  }
+  if (op == "unique") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    return kernel::Unique(in);
+  }
+  if (op == "hunique") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    return kernel::HeadUnique(in);
+  }
+  if (op == "group") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    if (stmt.args.size() == 1) return kernel::Group(in);
+    MF_ASSIGN_OR_RETURN(Bat refine, arg_bat(1));
+    return kernel::GroupRefine(in, refine);
+  }
+  if (op == "mark") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Value base, arg_val(1));
+    MF_ASSIGN_OR_RETURN(Value oid_base, base.CastTo(MonetType::kOidT));
+    return kernel::Mark(in, oid_base.AsOid());
+  }
+  if (op == "extent") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    return kernel::VoidTail(in);
+  }
+  if (op == "slice") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Value lo, arg_val(1));
+    MF_ASSIGN_OR_RETURN(Value hi, arg_val(2));
+    MF_ASSIGN_OR_RETURN(Value lo_i, lo.CastTo(MonetType::kLng));
+    MF_ASSIGN_OR_RETURN(Value hi_i, hi.CastTo(MonetType::kLng));
+    return kernel::Slice(in, static_cast<size_t>(lo_i.AsLng()),
+                         static_cast<size_t>(hi_i.AsLng()));
+  }
+  if (op == "sort") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    return kernel::SortTail(in);
+  }
+  if (op == "topn_max" || op == "topn_min") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Value n, arg_val(1));
+    MF_ASSIGN_OR_RETURN(Value n_i, n.CastTo(MonetType::kLng));
+    return kernel::TopN(in, static_cast<size_t>(n_i.AsLng()),
+                        op == "topn_max");
+  }
+  if (op == "project") {
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Value v, arg_val(1));
+    return kernel::ProjectConst(in, v);
+  }
+  if (op == "append") {
+    MF_ASSIGN_OR_RETURN(Bat left, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Bat right, arg_bat(1));
+    return kernel::Append(left, right);
+  }
+
+  return Status::NotImplemented("unknown MIL operator '" + op + "'");
+}
+
+Status MilInterpreter::ExecScalarCalc(const MilStmt& stmt) {
+  const std::string fn = stmt.op.substr(5);
+  std::vector<Value> args;
+  for (const MilArg& a : stmt.args) {
+    if (a.kind == MilArg::Kind::kLit) {
+      args.push_back(a.lit);
+    } else {
+      MF_ASSIGN_OR_RETURN(Value v, env_->GetValue(a.var));
+      args.push_back(std::move(v));
+    }
+  }
+  MF_ASSIGN_OR_RETURN(Value out, kernel::ScalarApply(fn, args));
+  env_->BindValue(stmt.var, std::move(out));
+  return Status::OK();
+}
+
+std::string MilInterpreter::TraceString() const {
+  std::ostringstream os;
+  os << "elapsed-ms    faults   #out  statement  [impl]\n";
+  for (const StmtTrace& t : traces_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%9.3f %9llu %6zu  ",
+                  t.elapsed_us / 1000.0,
+                  static_cast<unsigned long long>(t.faults), t.out_size);
+    os << buf << t.text;
+    if (!t.impl.empty()) os << "  [" << t.impl << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace moaflat::mil

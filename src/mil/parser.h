@@ -1,0 +1,31 @@
+#ifndef MOAFLAT_MIL_PARSER_H_
+#define MOAFLAT_MIL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "mil/program.h"
+
+namespace moaflat::mil {
+
+/// Parses textual MIL, the Monet Interface Language as printed in the
+/// paper's Fig. 10. Each line is `var := expr` (or a bare expr, bound to a
+/// generated temp); `#` starts a comment. Expressions:
+///
+///   orders := select(Order_clerk, "Clerk#000000088")
+///   items  := join(Item_order, orders)
+///   years  := [year](join(critems, Order_orderdate))     # nested calls
+///   INDEX  := join(ritems.mirror, class).unique          # postfix ops
+///   LOSS   := {sum}(losses)
+///
+/// Nested calls and postfix applications (`x.mirror`, `x.semijoin(y)`,
+/// `.unique`) are flattened into temporary statements, so the resulting
+/// MilProgram is straight-line, as the interpreter expects.
+///
+/// Literals: integers, floats, 'c' characters, "strings",
+/// "YYYY-MM-DD" dates, true/false.
+Result<MilProgram> ParseMil(const std::string& text);
+
+}  // namespace moaflat::mil
+
+#endif  // MOAFLAT_MIL_PARSER_H_

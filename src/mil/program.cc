@@ -1,0 +1,45 @@
+#include "mil/program.h"
+
+#include <sstream>
+
+namespace moaflat::mil {
+
+std::string MilStmt::ToString() const {
+  std::ostringstream os;
+  if (!var.empty()) os << var << " := ";
+  // Multiplex and set-aggregate constructors print prefix, like the paper:
+  // `[year](critems)`, `{sum}(losses)`.
+  os << op << "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << args[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string MilProgram::ToString() const {
+  std::ostringstream os;
+  for (const MilStmt& s : stmts) os << s.ToString() << "\n";
+  if (!results.empty()) {
+    os << "# results:";
+    for (const std::string& r : results) os << " " << r;
+    os << "\n";
+  }
+  return os.str();
+}
+
+const std::string& MilBuilder::Let(std::string name, std::string op,
+                                   std::vector<MilArg> args) {
+  program_.stmts.push_back(
+      MilStmt{std::move(name), std::move(op), std::move(args)});
+  return program_.stmts.back().var;
+}
+
+const std::string& MilBuilder::Temp(std::string op,
+                                    std::vector<MilArg> args) {
+  return Let("t" + std::to_string(++next_temp_), std::move(op),
+             std::move(args));
+}
+
+}  // namespace moaflat::mil

@@ -1,0 +1,95 @@
+#ifndef MOAFLAT_MIL_PROGRAM_H_
+#define MOAFLAT_MIL_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace moaflat::mil {
+
+/// One argument of a MIL statement: a variable reference or a literal.
+struct MilArg {
+  enum class Kind { kVar, kLit };
+  Kind kind = Kind::kVar;
+  std::string var;
+  Value lit;
+
+  static MilArg Var(std::string name) {
+    MilArg a;
+    a.kind = Kind::kVar;
+    a.var = std::move(name);
+    return a;
+  }
+  static MilArg Lit(Value v) {
+    MilArg a;
+    a.kind = Kind::kLit;
+    a.lit = std::move(v);
+    return a;
+  }
+
+  std::string ToString() const {
+    return kind == Kind::kVar ? var : lit.ToString();
+  }
+};
+
+/// Shorthand constructors used throughout the rewriter and tests.
+inline MilArg V(std::string name) { return MilArg::Var(std::move(name)); }
+inline MilArg L(Value v) { return MilArg::Lit(std::move(v)); }
+
+/// One MIL statement `var := op(args...)`. Operator vocabulary (Fig. 4):
+///
+///   select            point (1 lit) or range (2 lits) selection on tail
+///   select.!= .< .<= .> .>=      comparison selections
+///   select.like       SQL-pattern selection on str tails
+///   join semijoin kdiff kunion kintersect    binary table ops
+///   mirror unique group mark extent slice sort    reshaping
+///   topn_max topn_min             top-k by tail value
+///   project           constant tail: project(v, lit)
+///   [f]               multiplex (any scalar f; args are BATs/literals)
+///   {sum} {count} {avg} {min} {max}   set-aggregates (grouped by head)
+///   sum count avg min max             scalar aggregates (whole tail)
+struct MilStmt {
+  std::string var;
+  std::string op;
+  std::vector<MilArg> args;
+
+  /// Renders like the paper's Fig. 10, e.g.
+  /// `orders := select(Order_clerk, "Clerk#000000088")`.
+  std::string ToString() const;
+};
+
+/// A straight-line MIL program plus the names of its result BATs (the
+/// operands of the result structure expression, Section 4.3).
+struct MilProgram {
+  std::vector<MilStmt> stmts;
+  std::vector<std::string> results;
+
+  std::string ToString() const;
+};
+
+/// Convenience builder that generates fresh temp names (t1, t2, ...).
+class MilBuilder {
+ public:
+  /// Appends `name := op(args...)` with an explicit result name.
+  const std::string& Let(std::string name, std::string op,
+                         std::vector<MilArg> args);
+
+  /// Appends a statement with a generated temp name; returns the name.
+  const std::string& Temp(std::string op, std::vector<MilArg> args);
+
+  MilProgram Finish(std::vector<std::string> results) {
+    program_.results = std::move(results);
+    return std::move(program_);
+  }
+
+  MilProgram& program() { return program_; }
+
+ private:
+  MilProgram program_;
+  int next_temp_ = 0;
+};
+
+}  // namespace moaflat::mil
+
+#endif  // MOAFLAT_MIL_PROGRAM_H_

@@ -1,0 +1,79 @@
+#include "moa/ast.h"
+
+#include <sstream>
+
+namespace moaflat::moa {
+namespace {
+
+const char* KeywordOf(Expr::Kind k) {
+  switch (k) {
+    case Expr::Kind::kSelect: return "select";
+    case Expr::Kind::kProject: return "project";
+    case Expr::Kind::kNest: return "nest";
+    case Expr::Kind::kUnnest: return "unnest";
+    case Expr::Kind::kUnion: return "union";
+    case Expr::Kind::kDiff: return "difference";
+    case Expr::Kind::kIntersect: return "intersection";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kExtent:
+      os << name;
+      break;
+    case Kind::kAttrPath:
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) os << ".";
+        os << path[i];
+      }
+      break;
+    case Kind::kTupleIdx:
+      os << "%" << index;
+      break;
+    case Kind::kLiteral:
+      os << lit.ToString();
+      break;
+    case Kind::kCall: {
+      os << name << "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    default: {
+      os << KeywordOf(kind);
+      if (!params.empty()) {
+        os << "[";
+        const bool tuple_style =
+            !param_names.empty() && !param_names[0].empty();
+        if (tuple_style) os << "<";
+        for (size_t i = 0; i < params.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << params[i]->ToString();
+          if (i < param_names.size() && !param_names[i].empty()) {
+            os << " : " << param_names[i];
+          }
+        }
+        if (tuple_style) os << ">";
+        os << "]";
+      }
+      os << "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace moaflat::moa

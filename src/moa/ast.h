@@ -1,0 +1,55 @@
+#ifndef MOAFLAT_MOA_AST_H_
+#define MOAFLAT_MOA_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace moaflat::moa {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Abstract syntax of the MOA query algebra (Section 4.1): a standard
+/// object algebra with select, project, nest/unnest, set operations,
+/// aggregates, attribute access and operations on atomic types.
+struct Expr {
+  enum class Kind {
+    kExtent,     // class-extent reference: `Item`
+    kAttrPath,   // attribute path over the current element: `order.clerk`,
+                 // `%supplies`, `returnflag`
+    kTupleIdx,   // positional tuple access: `%2`
+    kLiteral,    // 42, 4.5, 'R', "Clerk#..."
+    kCall,       // prefix call: =(a,b), *(a,b), year(x), sum(x), ...
+    kSelect,     // select[p1, p2, ...](input)
+    kProject,    // project[<e1:n1, ...>](input) / project[e](input)
+    kNest,       // nest[a1, a2, ...](input)
+    kUnnest,     // unnest[a](input)
+    kUnion,      // union(l, r)   and friends
+    kDiff,
+    kIntersect,
+  };
+
+  Kind kind;
+  std::string name;                 // kExtent class / kCall op
+  std::vector<std::string> path;    // kAttrPath components
+  int index = 0;                    // kTupleIdx (1-based, as in the paper)
+  Value lit;                        // kLiteral
+  std::vector<ExprPtr> params;      // bracket [..] arguments
+  std::vector<std::string> param_names;  // project item names (":" labels)
+  std::vector<ExprPtr> args;        // parenthesized inputs / call args
+
+  std::string ToString() const;
+
+  static ExprPtr Make(Kind k) {
+    auto e = std::make_shared<Expr>();
+    e->kind = k;
+    return e;
+  }
+};
+
+}  // namespace moaflat::moa
+
+#endif  // MOAFLAT_MOA_AST_H_

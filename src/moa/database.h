@@ -1,0 +1,59 @@
+#ifndef MOAFLAT_MOA_DATABASE_H_
+#define MOAFLAT_MOA_DATABASE_H_
+
+#include <string>
+
+#include "bat/bat.h"
+#include "common/result.h"
+#include "mil/interpreter.h"
+#include "moa/schema.h"
+
+namespace moaflat::moa {
+
+/// A flattened MOA database: the class catalog plus the vertically
+/// decomposed BAT store (Section 3.3, Fig. 3).
+///
+/// Naming convention (exactly the paper's):
+///   `Class`            — extent BAT [oid, void]
+///   `Class_attr`       — base/ref attribute BAT [oid, value|oid]
+///   `Class_attr`       — for set-valued attrs: index BAT [owner, elem]
+///   `Class_attr_field` — tuple-field BATs of set-of-tuple attrs
+///                        [elem, value]
+class Database {
+ public:
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  mil::MilEnv& env() { return env_; }
+  const mil::MilEnv& env() const { return env_; }
+
+  /// Registers a BAT under its conventional name.
+  void Bind(const std::string& name, bat::Bat b) {
+    env_.BindBat(name, std::move(b));
+  }
+
+  Result<bat::Bat> Get(const std::string& name) const {
+    return env_.GetBat(name);
+  }
+
+  /// Conventional name of an attribute BAT.
+  static std::string AttrBatName(const std::string& cls,
+                                 const std::string& attr) {
+    return cls + "_" + attr;
+  }
+
+  /// Conventional name of a tuple-field BAT of a set-of-tuple attribute.
+  static std::string FieldBatName(const std::string& cls,
+                                  const std::string& attr,
+                                  const std::string& field) {
+    return cls + "_" + attr + "_" + field;
+  }
+
+ private:
+  Schema schema_;
+  mil::MilEnv env_;
+};
+
+}  // namespace moaflat::moa
+
+#endif  // MOAFLAT_MOA_DATABASE_H_

@@ -1,0 +1,408 @@
+#include "moa/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace moaflat::moa {
+namespace {
+
+/// Token categories of the MOA surface syntax.
+enum class Tok {
+  kEnd,
+  kIdent,    // names, keywords, class names (may contain '#')
+  kOp,       // = != < <= > >= + - * /
+  kInt,
+  kFloat,
+  kChar,     // 'R'
+  kString,   // "text"
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLAngleTup,  // '<' opening a tuple constructor (disambiguated in parser)
+  kRAngleTup,
+  kComma,
+  kColon,
+  kPercent,
+  kDot,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Token>> Lex() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (i_ >= src_.size()) break;
+      const size_t start = i_;
+      const char c = src_[i_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string id;
+        while (i_ < src_.size() && (std::isalnum(static_cast<unsigned char>(
+                                        src_[i_])) ||
+                                    src_[i_] == '_' || src_[i_] == '#')) {
+          id += src_[i_++];
+        }
+        out.push_back({Tok::kIdent, id, start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string num;
+        bool is_float = false;
+        while (i_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[i_])) ||
+                src_[i_] == '.')) {
+          // A '.' followed by a non-digit is path syntax, not a decimal.
+          if (src_[i_] == '.' &&
+              (i_ + 1 >= src_.size() ||
+               !std::isdigit(static_cast<unsigned char>(src_[i_ + 1])))) {
+            break;
+          }
+          if (src_[i_] == '.') is_float = true;
+          num += src_[i_++];
+        }
+        out.push_back({is_float ? Tok::kFloat : Tok::kInt, num, start});
+        continue;
+      }
+      switch (c) {
+        case '\'': {
+          if (i_ + 2 >= src_.size() || src_[i_ + 2] != '\'') {
+            return Status::ParseError("bad char literal at " +
+                                      std::to_string(i_));
+          }
+          out.push_back({Tok::kChar, std::string(1, src_[i_ + 1]), start});
+          i_ += 3;
+          continue;
+        }
+        case '"': {
+          std::string s;
+          ++i_;
+          while (i_ < src_.size() && src_[i_] != '"') s += src_[i_++];
+          if (i_ >= src_.size()) {
+            return Status::ParseError("unterminated string literal");
+          }
+          ++i_;
+          out.push_back({Tok::kString, s, start});
+          continue;
+        }
+        case '(':
+          out.push_back({Tok::kLParen, "(", start});
+          ++i_;
+          continue;
+        case ')':
+          out.push_back({Tok::kRParen, ")", start});
+          ++i_;
+          continue;
+        case '[':
+          out.push_back({Tok::kLBracket, "[", start});
+          ++i_;
+          continue;
+        case ']':
+          out.push_back({Tok::kRBracket, "]", start});
+          ++i_;
+          continue;
+        case ',':
+          out.push_back({Tok::kComma, ",", start});
+          ++i_;
+          continue;
+        case ':':
+          out.push_back({Tok::kColon, ":", start});
+          ++i_;
+          continue;
+        case '%':
+          out.push_back({Tok::kPercent, "%", start});
+          ++i_;
+          continue;
+        case '.':
+          out.push_back({Tok::kDot, ".", start});
+          ++i_;
+          continue;
+        case '=':
+          out.push_back({Tok::kOp, "=", start});
+          ++i_;
+          continue;
+        case '!':
+          if (i_ + 1 < src_.size() && src_[i_ + 1] == '=') {
+            out.push_back({Tok::kOp, "!=", start});
+            i_ += 2;
+            continue;
+          }
+          return Status::ParseError("unexpected '!'");
+        case '<':
+        case '>': {
+          // '<' may start a tuple constructor or be a comparison operator:
+          // a comparison is always immediately followed by '(' (prefix
+          // syntax), optionally after '='.
+          std::string op(1, c);
+          size_t j = i_ + 1;
+          if (j < src_.size() && src_[j] == '=') {
+            op += '=';
+            ++j;
+          }
+          size_t k = j;
+          while (k < src_.size() &&
+                 std::isspace(static_cast<unsigned char>(src_[k]))) {
+            ++k;
+          }
+          if (k < src_.size() && src_[k] == '(') {
+            out.push_back({Tok::kOp, op, start});
+            i_ = j;
+          } else if (c == '<') {
+            out.push_back({Tok::kLAngleTup, "<", start});
+            ++i_;
+          } else {
+            out.push_back({Tok::kRAngleTup, ">", start});
+            ++i_;
+          }
+          continue;
+        }
+        case '+':
+        case '*':
+        case '/':
+          out.push_back({Tok::kOp, std::string(1, c), start});
+          ++i_;
+          continue;
+        case '-': {
+          out.push_back({Tok::kOp, "-", start});
+          ++i_;
+          continue;
+        }
+        default:
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' at " + std::to_string(i_));
+      }
+    }
+    out.push_back({Tok::kEnd, "", src_.size()});
+    return out;
+  }
+
+ private:
+  void SkipSpace() {
+    while (i_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[i_]))) {
+      ++i_;
+    }
+  }
+
+  const std::string& src_;
+  size_t i_ = 0;
+};
+
+bool IsAlgebraKeyword(const std::string& id) {
+  return id == "select" || id == "project" || id == "nest" ||
+         id == "unnest" || id == "union" || id == "difference" ||
+         id == "intersection";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<ExprPtr> Parse() {
+    MF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().kind != Tok::kEnd) {
+      return Status::ParseError("trailing input after expression at " +
+                                std::to_string(Peek().pos));
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  Token Next() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+
+  Status Expect(Tok kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Status::ParseError(std::string("expected ") + what + " at " +
+                                std::to_string(Peek().pos) + ", got '" +
+                                Peek().text + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kIdent:
+        if (IsAlgebraKeyword(t.text)) return ParseAlgebraOp();
+        if (Peek(1).kind == Tok::kLParen) return ParseCall(Next().text);
+        return ParsePathFrom(Next().text);
+      case Tok::kOp: {
+        const std::string op = Next().text;
+        return ParseCall(op);
+      }
+      case Tok::kPercent: {
+        Next();
+        if (Peek().kind == Tok::kInt) {
+          auto e = Expr::Make(Expr::Kind::kTupleIdx);
+          e->index = std::atoi(Next().text.c_str());
+          return e;
+        }
+        MF_RETURN_NOT_OK(Expect(Tok::kIdent, "attribute name after '%'"));
+        return ParsePathFrom(toks_[pos_ - 1].text);
+      }
+      case Tok::kInt: {
+        auto e = Expr::Make(Expr::Kind::kLiteral);
+        e->lit = Value::Int(std::atoi(Next().text.c_str()));
+        return e;
+      }
+      case Tok::kFloat: {
+        auto e = Expr::Make(Expr::Kind::kLiteral);
+        e->lit = Value::Dbl(std::atof(Next().text.c_str()));
+        return e;
+      }
+      case Tok::kChar: {
+        auto e = Expr::Make(Expr::Kind::kLiteral);
+        e->lit = Value::Chr(Next().text[0]);
+        return e;
+      }
+      case Tok::kString: {
+        auto e = Expr::Make(Expr::Kind::kLiteral);
+        const std::string s = Next().text;
+        Date d;
+        if (Date::Parse(s, &d) && s.size() == 10) {
+          e->lit = Value::MakeDate(d);
+        } else {
+          e->lit = Value::Str(s);
+        }
+        return e;
+      }
+      default:
+        return Status::ParseError("unexpected token '" + t.text + "' at " +
+                                  std::to_string(t.pos));
+    }
+  }
+
+  /// `name` already consumed; continues `.attr.attr`. A path of length one
+  /// starting with an uppercase letter is treated as a class extent.
+  Result<ExprPtr> ParsePathFrom(const std::string& first) {
+    std::vector<std::string> path{first};
+    while (Peek().kind == Tok::kDot) {
+      Next();
+      if (Peek().kind != Tok::kIdent) {
+        return Status::ParseError("expected attribute after '.'");
+      }
+      path.push_back(Next().text);
+    }
+    if (path.size() == 1 && !path[0].empty() &&
+        std::isupper(static_cast<unsigned char>(path[0][0]))) {
+      auto e = Expr::Make(Expr::Kind::kExtent);
+      e->name = path[0];
+      return e;
+    }
+    auto e = Expr::Make(Expr::Kind::kAttrPath);
+    e->path = std::move(path);
+    return e;
+  }
+
+  Result<ExprPtr> ParseCall(const std::string& op) {
+    auto e = Expr::Make(Expr::Kind::kCall);
+    e->name = op;
+    MF_RETURN_NOT_OK(Expect(Tok::kLParen, "'('"));
+    if (Peek().kind != Tok::kRParen) {
+      while (true) {
+        MF_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+        e->args.push_back(std::move(a));
+        if (Peek().kind != Tok::kComma) break;
+        Next();
+      }
+    }
+    MF_RETURN_NOT_OK(Expect(Tok::kRParen, "')'"));
+    return e;
+  }
+
+  Result<ExprPtr> ParseAlgebraOp() {
+    const std::string kw = Next().text;
+    ExprPtr e;
+    if (kw == "select") {
+      e = Expr::Make(Expr::Kind::kSelect);
+    } else if (kw == "project") {
+      e = Expr::Make(Expr::Kind::kProject);
+    } else if (kw == "nest") {
+      e = Expr::Make(Expr::Kind::kNest);
+    } else if (kw == "unnest") {
+      e = Expr::Make(Expr::Kind::kUnnest);
+    } else if (kw == "union") {
+      e = Expr::Make(Expr::Kind::kUnion);
+    } else if (kw == "difference") {
+      e = Expr::Make(Expr::Kind::kDiff);
+    } else {
+      e = Expr::Make(Expr::Kind::kIntersect);
+    }
+
+    if (Peek().kind == Tok::kLBracket) {
+      Next();
+      if (Peek().kind == Tok::kLAngleTup) {
+        // project[<expr : name, ...>]
+        Next();
+        while (true) {
+          MF_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+          std::string label;
+          if (Peek().kind == Tok::kColon) {
+            Next();
+            if (Peek().kind != Tok::kIdent) {
+              return Status::ParseError("expected name after ':'");
+            }
+            label = Next().text;
+          }
+          e->params.push_back(std::move(item));
+          e->param_names.push_back(std::move(label));
+          if (Peek().kind != Tok::kComma) break;
+          Next();
+        }
+        MF_RETURN_NOT_OK(Expect(Tok::kRAngleTup, "'>'"));
+      } else {
+        while (Peek().kind != Tok::kRBracket) {
+          MF_ASSIGN_OR_RETURN(ExprPtr p, ParseExpr());
+          e->params.push_back(std::move(p));
+          e->param_names.emplace_back();
+          if (Peek().kind == Tok::kComma) {
+            Next();
+          } else {
+            break;
+          }
+        }
+      }
+      MF_RETURN_NOT_OK(Expect(Tok::kRBracket, "']'"));
+    }
+
+    MF_RETURN_NOT_OK(Expect(Tok::kLParen, "'('"));
+    while (Peek().kind != Tok::kRParen) {
+      MF_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+      e->args.push_back(std::move(a));
+      if (Peek().kind == Tok::kComma) {
+        Next();
+      } else {
+        break;
+      }
+    }
+    MF_RETURN_NOT_OK(Expect(Tok::kRParen, "')'"));
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseMoa(const std::string& text) {
+  Lexer lexer(text);
+  MF_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Lex());
+  Parser parser(std::move(toks));
+  return parser.Parse();
+}
+
+}  // namespace moaflat::moa

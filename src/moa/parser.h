@@ -1,0 +1,31 @@
+#ifndef MOAFLAT_MOA_PARSER_H_
+#define MOAFLAT_MOA_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "moa/ast.h"
+
+namespace moaflat::moa {
+
+/// Parses the paper's concrete MOA syntax (Section 4.1), e.g.
+///
+///   project[<date : year, sum(project[revenue](%2)) : loss>](
+///     nest[date](
+///       project[<year(order.orderdate) : date,
+///                *(extendedprice, -(1.0, discount)) : revenue>](
+///         select[=(order.clerk, "Clerk#000000088"),
+///                =(returnflag, 'R')](Item))))
+///
+/// Grammar sketch:
+///   expr     := keyword '[' params ']' '(' args ')'      (select/project/..)
+///             | op '(' exprlist ')'                       (prefix calls)
+///             | path | '%' name | '%' int | literal
+///   params   := exprlist  |  '<' expr ':' name, ... '>'   (project items)
+///   path     := name ('.' name)*
+///   literal  := int | float | 'c' | "str" | date"YYYY-MM-DD"
+Result<ExprPtr> ParseMoa(const std::string& text);
+
+}  // namespace moaflat::moa
+
+#endif  // MOAFLAT_MOA_PARSER_H_

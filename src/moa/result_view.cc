@@ -1,0 +1,137 @@
+#include "moa/result_view.h"
+
+#include <sstream>
+
+namespace moaflat::moa {
+
+Result<int64_t> ResultView::FindById(const std::string& var, Oid id) const {
+  auto it = pos_cache_.find(var);
+  if (it == pos_cache_.end()) {
+    MF_ASSIGN_OR_RETURN(bat::Bat b, env_->GetBat(var));
+    std::unordered_map<Oid, size_t> index;
+    index.reserve(b.size() * 2);
+    for (size_t i = 0; i < b.size(); ++i) {
+      index.try_emplace(b.head().OidAt(i), i);
+    }
+    it = pos_cache_.emplace(var, std::move(index)).first;
+  }
+  auto hit = it->second.find(id);
+  return hit == it->second.end() ? -1 : static_cast<int64_t>(hit->second);
+}
+
+Result<std::vector<Oid>> ResultView::SetIds(const StructExpr& set) const {
+  if (set.kind != StructExpr::Kind::kSet) {
+    return Status::TypeError("structure is not a SET");
+  }
+  MF_ASSIGN_OR_RETURN(bat::Bat ids, env_->GetBat(set.var));
+  std::vector<Oid> out;
+  std::unordered_map<Oid, bool> seen;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const Oid id = ids.head().OidAt(i);
+    if (seen.emplace(id, true).second) out.push_back(id);
+  }
+  return out;
+}
+
+Result<std::vector<Oid>> ResultView::SetMembersOf(const StructExpr& set,
+                                                  Oid owner) const {
+  if (set.kind != StructExpr::Kind::kSet) {
+    return Status::TypeError("structure is not a SET");
+  }
+  MF_ASSIGN_OR_RETURN(bat::Bat index, env_->GetBat(set.var));
+  std::vector<Oid> out;
+  for (size_t i = 0; i < index.size(); ++i) {
+    if (index.head().OidAt(i) == owner) {
+      out.push_back(index.tail().OidAt(i));
+    }
+  }
+  return out;
+}
+
+Result<Value> ResultView::AtomValue(const StructExpr& atom, Oid id) const {
+  if (atom.kind != StructExpr::Kind::kAtom) {
+    return Status::TypeError("structure is not an Atom");
+  }
+  MF_ASSIGN_OR_RETURN(int64_t pos, FindById(atom.var, id));
+  if (pos < 0) return Value();
+  MF_ASSIGN_OR_RETURN(bat::Bat b, env_->GetBat(atom.var));
+  return b.tail().GetValue(static_cast<size_t>(pos));
+}
+
+Result<const StructExpr*> ResultView::Field(const StructExpr& tuple,
+                                            const std::string& name) const {
+  if (tuple.kind != StructExpr::Kind::kTuple) {
+    return Status::TypeError("structure is not a TUPLE");
+  }
+  for (const auto& [fname, f] : tuple.fields) {
+    if (fname == name) return f.get();
+  }
+  return Status::KeyError("tuple has no field '" + name + "'");
+}
+
+Result<std::string> ResultView::Render(const StructExpr& set,
+                                       size_t max_elems) const {
+  MF_ASSIGN_OR_RETURN(std::vector<Oid> ids, SetIds(set));
+  std::ostringstream os;
+  os << "{\n";
+  size_t shown = 0;
+  for (Oid id : ids) {
+    if (shown++ >= max_elems) {
+      os << "  ... (" << (ids.size() - max_elems) << " more)\n";
+      break;
+    }
+    MF_ASSIGN_OR_RETURN(std::string elem,
+                        RenderElem(*set.elem, id, max_elems));
+    os << "  " << elem << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<std::string> ResultView::RenderElem(const StructExpr& value, Oid id,
+                                           size_t max_elems) const {
+  std::ostringstream os;
+  switch (value.kind) {
+    case StructExpr::Kind::kAtom: {
+      MF_ASSIGN_OR_RETURN(Value v, AtomValue(value, id));
+      os << v.ToString();
+      break;
+    }
+    case StructExpr::Kind::kObjectRef:
+      os << value.class_name << "(" << id << ")";
+      break;
+    case StructExpr::Kind::kTuple: {
+      os << "<";
+      bool first = true;
+      for (const auto& [name, f] : value.fields) {
+        if (!first) os << ", ";
+        first = false;
+        os << name << ": ";
+        MF_ASSIGN_OR_RETURN(std::string s, RenderElem(*f, id, max_elems));
+        os << s;
+      }
+      os << ">";
+      break;
+    }
+    case StructExpr::Kind::kSet: {
+      MF_ASSIGN_OR_RETURN(std::vector<Oid> members, SetMembersOf(value, id));
+      os << "{";
+      size_t shown = 0;
+      for (Oid m : members) {
+        if (shown >= max_elems) {
+          os << ", ...";
+          break;
+        }
+        if (shown++ > 0) os << ", ";
+        MF_ASSIGN_OR_RETURN(std::string s,
+                            RenderElem(*value.elem, m, max_elems));
+        os << s;
+      }
+      os << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace moaflat::moa

@@ -1,0 +1,58 @@
+#ifndef MOAFLAT_MOA_RESULT_VIEW_H_
+#define MOAFLAT_MOA_RESULT_VIEW_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "mil/interpreter.h"
+#include "moa/struct_expr.h"
+
+namespace moaflat::moa {
+
+/// Reads structured MOA values back out of their flattened representation:
+/// the inverse direction of Fig. 6 — applying the structure functions to
+/// the result BATs. Used by examples, tests and the benchmark harness to
+/// observe query results.
+class ResultView {
+ public:
+  explicit ResultView(const mil::MilEnv* env) : env_(env) {}
+
+  /// The element ids of a SET structure, in the order stored in its
+  /// ids/index BAT (duplicates collapsed, first occurrence order).
+  Result<std::vector<Oid>> SetIds(const StructExpr& set) const;
+
+  /// The members of element `owner`'s nested set in a SET structure.
+  Result<std::vector<Oid>> SetMembersOf(const StructExpr& set,
+                                        Oid owner) const;
+
+  /// The value of an Atom structure for element `id`.
+  Result<Value> AtomValue(const StructExpr& atom, Oid id) const;
+
+  /// Looks a field up by name in a Tuple structure.
+  Result<const StructExpr*> Field(const StructExpr& tuple,
+                                  const std::string& name) const;
+
+  /// Renders a whole SET structure, e.g.
+  ///   { <date: 1994, loss: 75573.2>, ... }
+  Result<std::string> Render(const StructExpr& set,
+                             size_t max_elems = 20) const;
+
+ private:
+  Result<std::string> RenderElem(const StructExpr& value, Oid id,
+                                 size_t max_elems) const;
+
+  /// Position of the first BUN with head oid `id` in BAT `var`, or -1.
+  Result<int64_t> FindById(const std::string& var, Oid id) const;
+
+  const mil::MilEnv* env_;
+  // var -> (head oid -> first position)
+  mutable std::map<std::string, std::unordered_map<Oid, size_t>> pos_cache_;
+};
+
+}  // namespace moaflat::moa
+
+#endif  // MOAFLAT_MOA_RESULT_VIEW_H_

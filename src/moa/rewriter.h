@@ -1,0 +1,88 @@
+#ifndef MOAFLAT_MOA_REWRITER_H_
+#define MOAFLAT_MOA_REWRITER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mil/program.h"
+#include "moa/ast.h"
+#include "moa/database.h"
+#include "moa/struct_expr.h"
+
+namespace moaflat::moa {
+
+/// The output of flattening one MOA query (Section 4.3): a MIL program over
+/// the operand BATs plus the structure function S_Y over the result BATs,
+/// such that S_Y(mil(X1..Xn)) = moa(X).
+struct Translation {
+  mil::MilProgram program;
+  StructPtr result;  // always a SET(ids/index, element-structure)
+
+  std::string ToString() const;
+};
+
+/// The MOA-to-MIL term rewriter — the paper's core contribution. It walks
+/// the algebra expression bottom-up, maintaining for every sub-collection
+/// its flattened representation (an id BAT plus a structure expression),
+/// and emits MIL per the Section 4.3 transformation rules:
+///
+///  * select[f](SET(A,X)) -> SET(semijoin(A, T(f(X))), X)   (§4.3.1);
+///    equality/range predicates on attribute paths are pushed down to
+///    (binary-search) selections on the tail-sorted attribute BATs, with
+///    reference paths re-traversed by joins — reproducing the Fig. 10 plan;
+///  * selections on set-valued attributes run as ONE flat selection on the
+///    decomposed representation (§4.3.2), never per-set iteration;
+///  * project evaluates each item to a synced [id,value] BAT (multiplex
+///    for arithmetic, {agg} set-aggregates for nested aggregates);
+///  * nest[a..] maps to group / refine + the SET index construction used
+///    by Q13 (Fig. 5 / Fig. 10 lines 7-9);
+///  * union/difference/intersection map to kunion/kdiff/kintersect.
+class Rewriter {
+ public:
+  explicit Rewriter(const Database* db) : db_(db) {}
+
+  /// Translates a parsed MOA expression.
+  Result<Translation> Translate(const Expr& query);
+
+  /// Parses and translates MOA text.
+  Result<Translation> TranslateText(const std::string& moa_text);
+
+ private:
+  /// A translated collection: `ids` names a BAT whose head holds the
+  /// current element ids; `index` (nested collections only) names the
+  /// [owner, elem] SET-index BAT; `value` reconstructs element values.
+  struct Rel {
+    std::string ids;
+    std::string index;  // empty for top-level collections
+    StructPtr value;
+    const ClassDef* cls = nullptr;  // set when value is ObjectRef
+    bool full = false;              // ids == the untouched class extent
+  };
+
+  Result<Rel> TransCollection(const Expr& e, const Rel* outer);
+  Result<Rel> TransSetAttr(const std::vector<std::string>& path,
+                           const Rel& outer);
+  Status ApplySelect(Rel* rel, const Expr& pred);
+  Result<std::string> ValueOf(const Rel& rel, const Expr& e);
+  Result<std::string> ResolvePath(const Rel& rel,
+                                  const std::vector<std::string>& path);
+  Result<StructPtr> FieldOf(const Rel& rel, const Expr& e);
+  Result<std::string> AggregateOverSet(const Rel& rel, const Expr& call);
+
+  /// Emits `name := op(args)` ensuring a unique variable name; returns the
+  /// actual name used.
+  std::string Emit(const std::string& preferred, std::string op,
+                   std::vector<mil::MilArg> args);
+
+  void CollectResultVars(const StructPtr& s, std::vector<std::string>* out);
+
+  const Database* db_;
+  mil::MilBuilder b_;
+  std::set<std::string> used_names_;
+};
+
+}  // namespace moaflat::moa
+
+#endif  // MOAFLAT_MOA_REWRITER_H_

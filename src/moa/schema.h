@@ -1,0 +1,96 @@
+#ifndef MOAFLAT_MOA_SCHEMA_H_
+#define MOAFLAT_MOA_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace moaflat::moa {
+
+/// One attribute of a MOA class (Section 3.1). The MOA structuring
+/// primitives SET/TUPLE/OBJECT combine orthogonally; the attribute kinds
+/// below cover their occurrences in class definitions:
+///   kBase     name : string                       (atomic Monet type)
+///   kRef      nation : Nation                     (object reference)
+///   kSetRef   orders : {Order}                    (set of references)
+///   kSetTuple supplies : {<part:Part, cost:float>} (set of tuples)
+struct AttrDef {
+  enum class Kind { kBase, kRef, kSetRef, kSetTuple };
+
+  std::string name;
+  Kind kind = Kind::kBase;
+  MonetType base = MonetType::kInt;      // kBase
+  std::string ref_class;                 // kRef / kSetRef
+  std::vector<AttrDef> tuple_fields;     // kSetTuple
+
+  static AttrDef Base(std::string name, MonetType t) {
+    AttrDef a;
+    a.name = std::move(name);
+    a.kind = Kind::kBase;
+    a.base = t;
+    return a;
+  }
+  static AttrDef Ref(std::string name, std::string cls) {
+    AttrDef a;
+    a.name = std::move(name);
+    a.kind = Kind::kRef;
+    a.ref_class = std::move(cls);
+    return a;
+  }
+  static AttrDef SetRef(std::string name, std::string cls) {
+    AttrDef a;
+    a.name = std::move(name);
+    a.kind = Kind::kSetRef;
+    a.ref_class = std::move(cls);
+    return a;
+  }
+  static AttrDef SetTuple(std::string name, std::vector<AttrDef> fields) {
+    AttrDef a;
+    a.name = std::move(name);
+    a.kind = Kind::kSetTuple;
+    a.tuple_fields = std::move(fields);
+    return a;
+  }
+};
+
+/// A MOA class: a named object type whose extent is a database set.
+struct ClassDef {
+  std::string name;
+  std::vector<AttrDef> attrs;
+
+  const AttrDef* FindAttr(const std::string& attr) const {
+    for (const AttrDef& a : attrs) {
+      if (a.name == attr) return &a;
+    }
+    return nullptr;
+  }
+};
+
+/// The class catalog of a MOA database.
+class Schema {
+ public:
+  void AddClass(ClassDef cls) { classes_[cls.name] = std::move(cls); }
+
+  const ClassDef* FindClass(const std::string& name) const {
+    auto it = classes_.find(name);
+    return it == classes_.end() ? nullptr : &it->second;
+  }
+
+  Result<const ClassDef*> GetClass(const std::string& name) const {
+    const ClassDef* c = FindClass(name);
+    if (c == nullptr) return Status::KeyError("unknown class '" + name + "'");
+    return c;
+  }
+
+  const std::map<std::string, ClassDef>& classes() const { return classes_; }
+
+ private:
+  std::map<std::string, ClassDef> classes_;
+};
+
+}  // namespace moaflat::moa
+
+#endif  // MOAFLAT_MOA_SCHEMA_H_

@@ -1,0 +1,33 @@
+#include "moa/struct_expr.h"
+
+#include <sstream>
+
+namespace moaflat::moa {
+
+std::string StructExpr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kAtom:
+      os << var;
+      break;
+    case Kind::kObjectRef:
+      os << "OBJECT<" << class_name << ">";
+      break;
+    case Kind::kTuple: {
+      os << "TUPLE(";
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) os << ", ";
+        if (!fields[i].first.empty()) os << fields[i].first << ": ";
+        os << fields[i].second->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kSet:
+      os << "SET(" << var << ", " << elem->ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace moaflat::moa

@@ -1,0 +1,66 @@
+#ifndef MOAFLAT_MOA_STRUCT_EXPR_H_
+#define MOAFLAT_MOA_STRUCT_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moaflat::moa {
+
+struct StructExpr;
+using StructPtr = std::shared_ptr<const StructExpr>;
+
+/// A structure expression (Section 3.3): the composition of structure
+/// functions SET/TUPLE/OBJECT over BATs that reconstructs structured MOA
+/// values from their flattened representation. Leaves name MIL variables.
+///
+/// Semantics (from the paper's formalization over identified value sets):
+///   Atom(v)      — the head-unique BAT `v` [id, value] is an IVS
+///   ObjectRef(C) — ids are themselves oids of class C objects
+///   Tuple(f1..fn)— zips mutually synchronous IVSs positionally by id
+///   Set(A, S)    — A = [owner, id] indexes into the IVS S:
+///                  {<owner, {v}> | <owner,id> in A, <id,v> in S}
+struct StructExpr {
+  enum class Kind { kAtom, kObjectRef, kTuple, kSet };
+
+  Kind kind = Kind::kAtom;
+  std::string var;          // kAtom: value BAT; kSet: index BAT
+  std::string class_name;   // kObjectRef
+  std::vector<std::pair<std::string, StructPtr>> fields;  // kTuple
+  StructPtr elem;           // kSet
+
+  static StructPtr Atom(std::string var) {
+    auto s = std::make_shared<StructExpr>();
+    s->kind = Kind::kAtom;
+    s->var = std::move(var);
+    return s;
+  }
+  static StructPtr ObjectRef(std::string cls) {
+    auto s = std::make_shared<StructExpr>();
+    s->kind = Kind::kObjectRef;
+    s->class_name = std::move(cls);
+    return s;
+  }
+  static StructPtr Tuple(
+      std::vector<std::pair<std::string, StructPtr>> fields) {
+    auto s = std::make_shared<StructExpr>();
+    s->kind = Kind::kTuple;
+    s->fields = std::move(fields);
+    return s;
+  }
+  static StructPtr Set(std::string index_var, StructPtr elem) {
+    auto s = std::make_shared<StructExpr>();
+    s->kind = Kind::kSet;
+    s->var = std::move(index_var);
+    s->elem = std::move(elem);
+    return s;
+  }
+
+  /// Renders like the paper, e.g. `SET(INDEX, TUPLE(YEAR, LOSS))`.
+  std::string ToString() const;
+};
+
+}  // namespace moaflat::moa
+
+#endif  // MOAFLAT_MOA_STRUCT_EXPR_H_

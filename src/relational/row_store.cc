@@ -1,0 +1,159 @@
+#include "relational/row_store.h"
+
+#include <algorithm>
+
+namespace moaflat::rel {
+
+// ------------------------------------------------------------------ Table
+
+Table::Table(std::string name, std::vector<ColumnDef> cols)
+    : name_(std::move(name)),
+      cols_(std::move(cols)),
+      heap_id_(storage::NewHeapId()) {
+  row_width_ = static_cast<size_t>(TypeWidth(MonetType::kOidT));  // header
+  for (const ColumnDef& c : cols_) {
+    builders_.emplace_back(c.type);
+    // Strings in the row store are stored inline at a nominal slot width;
+    // like the cost model, we take a uniform byte width per value.
+    row_width_ += static_cast<size_t>(std::max(TypeWidth(c.type), 1));
+  }
+}
+
+int Table::ColIndex(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (finalized_) return Status::Invalid("table already finalized");
+  if (row.size() != cols_.size()) {
+    return Status::Invalid("row arity mismatch in " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    MF_RETURN_NOT_OK(builders_[i].AppendValue(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::Finalize() {
+  if (finalized_) return;
+  for (auto& b : builders_) data_.push_back(b.Finish());
+  builders_.clear();
+  finalized_ = true;
+}
+
+Value Table::At(size_t row, int col) const {
+  return data_[col]->GetValue(row);
+}
+
+double Table::NumAt(size_t row, int col) const {
+  return data_[col]->NumAt(row);
+}
+
+std::string_view Table::StrAt(size_t row, int col) const {
+  return data_[col]->Str(row);
+}
+
+Oid Table::OidAt(size_t row, int col) const {
+  return data_[col]->OidAt(row);
+}
+
+const InvertedIndex* Table::EnsureIndex(int col) {
+  auto it = indexes_.find(col);
+  if (it == indexes_.end()) {
+    it = indexes_.emplace(col, std::make_unique<InvertedIndex>(this, col))
+             .first;
+  }
+  return it->second.get();
+}
+
+const InvertedIndex* Table::Index(int col) const {
+  auto it = indexes_.find(col);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------- InvertedIndex
+
+InvertedIndex::InvertedIndex(const Table* table, int col)
+    : table_(table),
+      col_(col),
+      heap_id_(storage::NewHeapId()),
+      entry_width_(2 * std::max(TypeWidth(table->cols()[col].type), 4)) {
+  order_.resize(table->num_rows());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<uint32_t>(i);
+  }
+  const bat::Column& c = *table->data_[col_];
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return c.CompareAt(a, c, b) < 0;
+                   });
+}
+
+void InvertedIndex::TouchEntry(size_t i) const {
+  if (storage::IoStats* io = storage::CurrentIo()) {
+    io->TouchBytes(heap_id_, i * entry_width_, entry_width_,
+                   storage::Access::kRandom);
+  }
+}
+
+size_t InvertedIndex::LowerBound(const Value& v, bool after_equal) const {
+  const bat::Column& c = *table_->data_[col_];
+  size_t lo = 0, hi = order_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    TouchEntry(mid);
+    const int cmp = c.CompareValue(order_[mid], v);
+    if (after_equal ? (cmp <= 0) : (cmp < 0)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<uint32_t> InvertedIndex::RangeSelect(const Value& lo,
+                                                 const Value& hi) const {
+  size_t begin = lo.is_nil() ? 0 : LowerBound(lo, false);
+  size_t end = hi.is_nil() ? order_.size() : LowerBound(hi, true);
+  if (begin > end) begin = end;
+  if (storage::IoStats* io = storage::CurrentIo()) {
+    if (end > begin) {
+      io->TouchBytes(heap_id_, begin * entry_width_,
+                     (end - begin) * entry_width_,
+                     storage::Access::kSequential);
+    }
+  }
+  return std::vector<uint32_t>(order_.begin() + begin, order_.begin() + end);
+}
+
+// ------------------------------------------------------------ RowDatabase
+
+Table* RowDatabase::AddTable(std::string name, std::vector<ColumnDef> cols) {
+  auto table = std::make_unique<Table>(name, std::move(cols));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Table* RowDatabase::Find(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* RowDatabase::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+size_t RowDatabase::total_bytes() const {
+  size_t total = 0;
+  for (const auto& [name, t] : tables_) total += t->byte_size();
+  return total;
+}
+
+}  // namespace moaflat::rel

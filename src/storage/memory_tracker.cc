@@ -1,0 +1,10 @@
+#include "storage/memory_tracker.h"
+
+namespace moaflat::storage {
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+}  // namespace moaflat::storage

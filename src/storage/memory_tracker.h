@@ -1,0 +1,50 @@
+#ifndef MOAFLAT_STORAGE_MEMORY_TRACKER_H_
+#define MOAFLAT_STORAGE_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace moaflat::storage {
+
+/// Tracks bytes of live BAT/heap storage to reproduce the "total
+/// intermediate MB" and "max memory MB" columns of Fig. 9. Columns register
+/// their payload on construction and deregister on destruction, so the peak
+/// reflects the largest set of simultaneously live (base + intermediate)
+/// tables, mirroring Monet's materialize-everything execution model.
+class MemoryTracker {
+ public:
+  void Add(size_t bytes) {
+    const uint64_t now = current_.fetch_add(bytes) + bytes;
+    allocated_total_.fetch_add(bytes);
+    uint64_t peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+  }
+
+  void Sub(size_t bytes) { current_.fetch_sub(bytes); }
+
+  uint64_t current() const { return current_.load(); }
+  uint64_t peak() const { return peak_.load(); }
+  /// Total bytes ever allocated (base data + all intermediates).
+  uint64_t allocated_total() const { return allocated_total_.load(); }
+
+  /// Re-bases the peak and the allocation counter at the current level;
+  /// called before each query so per-query numbers can be reported.
+  void MarkEpoch() {
+    peak_.store(current_.load());
+    allocated_total_.store(0);
+  }
+
+  /// The process-wide tracker.
+  static MemoryTracker& Global();
+
+ private:
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> allocated_total_{0};
+};
+
+}  // namespace moaflat::storage
+
+#endif  // MOAFLAT_STORAGE_MEMORY_TRACKER_H_

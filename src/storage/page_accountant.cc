@@ -1,0 +1,69 @@
+#include "storage/page_accountant.h"
+
+#include <atomic>
+
+namespace moaflat::storage {
+namespace {
+
+std::atomic<uint64_t> g_next_heap_id{1};
+thread_local IoStats* t_current_io = nullptr;
+
+}  // namespace
+
+uint64_t NewHeapId() {
+  return g_next_heap_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IoStats::TouchBytes(uint64_t heap, uint64_t offset, uint64_t len,
+                         Access acc) {
+  if (len == 0) return;
+  ++touches_;
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + len - 1) / kPageSize;
+  for (uint64_t p = first; p <= last; ++p) {
+    // 22 bits of page number per heap is plenty (16 GB heaps); heap ids are
+    // process-unique so collisions cannot occur in practice.
+    const uint64_t key = (heap << 22) | (p & ((1ULL << 22) - 1));
+    Admit(key, acc);
+  }
+}
+
+void IoStats::Admit(uint64_t key, Access acc) {
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    // Hit. Under a capacity limit, refresh recency.
+    if (capacity_ > 0 && it->second != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+    }
+    return;
+  }
+  ++faults_;
+  if (acc == Access::kSequential) {
+    ++seq_faults_;
+  } else {
+    ++rand_faults_;
+  }
+  lru_.push_front(key);
+  resident_[key] = lru_.begin();
+  if (capacity_ > 0 && resident_.size() > capacity_) {
+    resident_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void IoStats::Reset() {
+  resident_.clear();
+  lru_.clear();
+  faults_ = seq_faults_ = rand_faults_ = touches_ = evictions_ = 0;
+}
+
+IoStats* CurrentIo() { return t_current_io; }
+
+IoScope::IoScope(IoStats* stats) : previous_(t_current_io) {
+  t_current_io = stats;
+}
+
+IoScope::~IoScope() { t_current_io = previous_; }
+
+}  // namespace moaflat::storage

@@ -1,0 +1,15 @@
+#include "storage/string_heap.h"
+
+namespace moaflat::storage {
+
+int32_t StringHeap::Intern(std::string_view s) {
+  auto it = dedup_.find(std::string(s));
+  if (it != dedup_.end()) return it->second;
+  const int32_t offset = static_cast<int32_t>(bytes_.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+  bytes_.push_back('\0');
+  dedup_.emplace(std::string(s), offset);
+  return offset;
+}
+
+}  // namespace moaflat::storage

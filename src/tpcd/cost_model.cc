@@ -1,0 +1,45 @@
+#include "tpcd/cost_model.h"
+
+#include <cmath>
+
+namespace moaflat::tpcd {
+
+double CostModel::ERel(double s) const {
+  const double X = static_cast<double>(p_.X);
+  const double c_inv = static_cast<double>(CInv());
+  const double c_rel = static_cast<double>(CRel());
+  const double index_pages = std::ceil(s * X / c_inv);
+  const double table_pages = std::ceil(X / c_rel);
+  const double hit_prob = 1.0 - std::pow(1.0 - s, c_rel);
+  return index_pages + table_pages * hit_prob;
+}
+
+double CostModel::EDv(double s, int p) const {
+  const double X = static_cast<double>(p_.X);
+  const double c_bat = static_cast<double>(CBat());
+  const double c_dv = static_cast<double>(CDv());
+  const double select_pages = std::ceil(s * X / c_bat);
+  const double dv_pages = std::ceil(X / c_dv);
+  const double hit_prob = 1.0 - std::pow(1.0 - s, c_dv);
+  return select_pages + (p + 1) * dv_pages * hit_prob;
+}
+
+double CostModel::Crossover(int p, double s_max) const {
+  // E_dv - E_rel is negative for most s and positive only at very low s
+  // (Monet loses when tiny results still touch (p+1) vectors). Bisect on
+  // the sign change.
+  auto diff = [&](double s) { return EDv(s, p) - ERel(s); };
+  double lo = 1e-7, hi = s_max;
+  if (diff(lo) * diff(hi) > 0) return -1.0;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (diff(lo) * diff(mid) <= 0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace moaflat::tpcd

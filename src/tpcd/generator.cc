@@ -1,0 +1,242 @@
+#include "tpcd/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace moaflat::tpcd {
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+
+struct NationSpec {
+  const char* name;
+  int region;
+};
+const NationSpec kNations[] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                            "TRUCK", "MAIL", "FOB"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kTypeSyl1[] = {"STANDARD", "SMALL", "MEDIUM",
+                           "LARGE", "ECONOMY", "PROMO"};
+const char* kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                           "BRUSHED"};
+const char* kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContSyl1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContSyl2[] = {"CASE", "BOX", "BAG", "JAR",
+                           "PKG", "PACK", "CAN", "DRUM"};
+const char* kColors[] = {"almond",  "antique", "aquamarine", "azure",
+                         "beige",   "bisque",  "black",      "blanched",
+                         "blue",    "blush",   "brown",      "burlywood",
+                         "burnished", "chartreuse", "chiffon", "chocolate",
+                         "coral",   "cornflower", "cornsilk", "cream",
+                         "cyan",    "dark",    "deep",       "dim",
+                         "dodger",  "drab",    "firebrick",  "floral",
+                         "forest",  "frosted", "gainsboro",  "green"};
+
+std::string Pick(Rng& rng, const char* const* pool, size_t n) {
+  return pool[rng.Next() % n];
+}
+
+std::string Phone(Rng& rng, int nation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d", 10 + nation,
+                static_cast<int>(rng.Uniform(100, 999)),
+                static_cast<int>(rng.Uniform(100, 999)),
+                static_cast<int>(rng.Uniform(1000, 9999)));
+  return buf;
+}
+
+std::string VString(Rng& rng, int min_len, int max_len) {
+  static const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+  const int len = static_cast<int>(rng.Uniform(min_len, max_len));
+  std::string s;
+  s.reserve(len);
+  for (int i = 0; i < len; ++i) s += alphabet[rng.Next() % 63];
+  return s;
+}
+
+double Money(Rng& rng, double lo, double hi) {
+  const double cents = rng.Uniform(static_cast<int64_t>(lo * 100),
+                                   static_cast<int64_t>(hi * 100));
+  return cents / 100.0;
+}
+
+}  // namespace
+
+std::string TpcdData::probe_clerk() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Clerk#%09d", std::max(num_clerks / 2, 1));
+  return buf;
+}
+
+TpcdData Generate(double scale_factor, uint64_t seed) {
+  Rng rng(seed);
+  TpcdData d;
+
+  const size_t num_suppliers =
+      std::max<size_t>(10, static_cast<size_t>(10000 * scale_factor));
+  const size_t num_parts =
+      std::max<size_t>(40, static_cast<size_t>(200000 * scale_factor));
+  const size_t num_customers =
+      std::max<size_t>(30, static_cast<size_t>(150000 * scale_factor));
+  const size_t num_orders = num_customers * 10;
+  d.num_clerks =
+      std::max(5, static_cast<int>(1000 * scale_factor));
+
+  const Date start = Date::FromYmd(1992, 1, 1);
+  const Date end = Date::FromYmd(1998, 8, 2);
+  const int order_date_range = end.days() - start.days() - 151;
+  const Date cutoff = Date::FromYmd(1995, 6, 17);  // CURRENTDATE
+
+  // Regions and nations are fixed-size per the specification.
+  for (const char* r : kRegionNames) {
+    d.regions.push_back({r, VString(rng, 20, 60)});
+  }
+  for (const NationSpec& n : kNations) {
+    d.nations.push_back({n.name, n.region});
+  }
+
+  for (size_t i = 0; i < num_suppliers; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "Supplier#%09zu", i + 1);
+    const int nation = static_cast<int>(rng.Next() % d.nations.size());
+    d.suppliers.push_back({name, VString(rng, 10, 30), Phone(rng, nation),
+                           Money(rng, -999.99, 9999.99), nation});
+  }
+
+  for (size_t i = 0; i < num_parts; ++i) {
+    const int mfgr = static_cast<int>(rng.Uniform(1, 5));
+    char mfgr_s[24], brand_s[24];
+    std::snprintf(mfgr_s, sizeof(mfgr_s), "Manufacturer#%d", mfgr);
+    std::snprintf(brand_s, sizeof(brand_s), "Brand#%d%d", mfgr,
+                  static_cast<int>(rng.Uniform(1, 5)));
+    const std::string type = Pick(rng, kTypeSyl1, 6) + " " +
+                             Pick(rng, kTypeSyl2, 5) + " " +
+                             Pick(rng, kTypeSyl3, 5);
+    const std::string container =
+        Pick(rng, kContSyl1, 5) + " " + Pick(rng, kContSyl2, 8);
+    const std::string name =
+        Pick(rng, kColors, 32) + " " + Pick(rng, kColors, 32);
+    // TPC-D retail price formula: 90000 + (key/10)%20001 + 100*(key%1000),
+    // all over 100.
+    const size_t key = i + 1;
+    const double price =
+        (90000.0 + (key / 10) % 20001 + 100.0 * (key % 1000)) / 100.0;
+    d.parts.push_back(
+        {name, mfgr_s, brand_s, type, container,
+         static_cast<int>(rng.Uniform(1, 50)), price});
+  }
+
+  // Each part is stocked by 4 suppliers (the TPC-D partsupp rule); in the
+  // MOA schema the entries form each supplier's `supplies` set, so they
+  // are emitted grouped by supplier.
+  {
+    std::vector<std::vector<TpcdData::PartSupp>> by_supplier(num_suppliers);
+    for (size_t p = 0; p < num_parts; ++p) {
+      for (int k = 0; k < 4; ++k) {
+        const size_t s =
+            (p + (k * (num_suppliers / 4 + 1))) % num_suppliers;
+        by_supplier[s].push_back(
+            {static_cast<int>(p), static_cast<int>(s),
+             Money(rng, 1.0, 1000.0),
+             static_cast<int>(rng.Uniform(0, 9999))});
+      }
+    }
+    for (auto& group : by_supplier) {
+      for (auto& ps : group) d.partsupps.push_back(ps);
+    }
+  }
+
+  for (size_t i = 0; i < num_customers; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "Customer#%09zu", i + 1);
+    const int nation = static_cast<int>(rng.Next() % d.nations.size());
+    d.customers.push_back({name, VString(rng, 10, 30), Phone(rng, nation),
+                           Pick(rng, kSegments, 5),
+                           Money(rng, -999.99, 9999.99), nation});
+  }
+
+  d.orders.reserve(num_orders);
+  d.items.reserve(num_orders * 4);
+  for (size_t o = 0; o < num_orders; ++o) {
+    // Only two thirds of the customers place orders (TPC-D sparsity rule).
+    size_t cust = rng.Next() % num_customers;
+    cust -= cust % 3 == 2 ? 1 : 0;
+    const Date odate =
+        Date(start.days() +
+             static_cast<int32_t>(rng.Uniform(0, order_date_range)));
+    char clerk[32];
+    std::snprintf(clerk, sizeof(clerk), "Clerk#%09d",
+                  static_cast<int>(rng.Uniform(1, d.num_clerks)));
+
+    const int num_lines = static_cast<int>(rng.Uniform(1, 7));
+    double total = 0;
+    bool all_open = true;
+    bool all_fulfilled = true;
+    for (int l = 0; l < num_lines; ++l) {
+      TpcdData::Item it;
+      it.order = static_cast<int>(o);
+      it.part = static_cast<int>(rng.Next() % num_parts);
+      // One of the part's four suppliers.
+      const int k = static_cast<int>(rng.Uniform(0, 3));
+      it.supplier = static_cast<int>(
+          (it.part + (k * (num_suppliers / 4 + 1))) % num_suppliers);
+      it.quantity = static_cast<int>(rng.Uniform(1, 50));
+      it.extendedprice = it.quantity * d.parts[it.part].retailprice;
+      it.discount = rng.Uniform(0, 10) / 100.0;
+      it.tax = rng.Uniform(0, 8) / 100.0;
+      it.shipdate = odate.AddDays(static_cast<int>(rng.Uniform(1, 121)));
+      it.commitdate = odate.AddDays(static_cast<int>(rng.Uniform(30, 90)));
+      it.receiptdate =
+          it.shipdate.AddDays(static_cast<int>(rng.Uniform(1, 30)));
+      if (it.receiptdate <= cutoff) {
+        it.returnflag = rng.Chance(0.5) ? 'R' : 'A';
+      } else {
+        it.returnflag = 'N';
+      }
+      it.linestatus = it.shipdate > cutoff ? 'O' : 'F';
+      if (it.linestatus == 'O') {
+        all_fulfilled = false;
+      } else {
+        all_open = false;
+      }
+      it.shipmode = Pick(rng, kShipModes, 7);
+      it.shipinstruct = Pick(rng, kInstructs, 4);
+      total += it.extendedprice * (1.0 - it.discount) * (1.0 + it.tax);
+      d.items.push_back(std::move(it));
+    }
+
+    TpcdData::Order ord;
+    ord.cust = static_cast<int>(cust);
+    ord.status = all_fulfilled ? 'F' : (all_open ? 'O' : 'P');
+    ord.totalprice = total;
+    ord.orderdate = odate;
+    ord.orderpriority = Pick(rng, kPriorities, 5);
+    ord.clerk = clerk;
+    ord.shippriority = "0";
+    d.orders.push_back(std::move(ord));
+  }
+
+  return d;
+}
+
+}  // namespace moaflat::tpcd

@@ -1,0 +1,86 @@
+#ifndef MOAFLAT_TPCD_GENERATOR_H_
+#define MOAFLAT_TPCD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace moaflat::tpcd {
+
+/// In-memory TPC-D population, the DBGEN stand-in (Section 6: "we used the
+/// DBGEN program to generate the 1GB database"). Cardinality ratios,
+/// foreign-key structure, value domains and date rules follow the TPC-D
+/// specification; scale factor 1 corresponds to the paper's 1 GB database
+/// (6M lineitems). Generation is fully deterministic in the seed.
+///
+/// Cross-references are 0-based indices into the sibling vectors; the
+/// loader turns them into oids.
+struct TpcdData {
+  struct Region {
+    std::string name;
+    std::string comment;
+  };
+  struct Nation {
+    std::string name;
+    int region;
+  };
+  struct Supplier {
+    std::string name, address, phone;
+    double acctbal;
+    int nation;
+  };
+  struct Part {
+    std::string name, mfgr, brand, type, container;
+    int size;
+    double retailprice;
+  };
+  struct PartSupp {  // one element of some supplier's `supplies` set
+    int part, supplier;
+    double cost;
+    int available;
+  };
+  struct Customer {
+    std::string name, address, phone, mktsegment;
+    double acctbal;
+    int nation;
+  };
+  struct Order {
+    int cust;
+    char status;
+    double totalprice;
+    Date orderdate;
+    std::string orderpriority, clerk, shippriority;
+  };
+  struct Item {
+    int order, part, supplier;
+    int quantity;
+    double extendedprice, discount, tax;
+    char returnflag, linestatus;
+    Date shipdate, commitdate, receiptdate;
+    std::string shipmode, shipinstruct;
+  };
+
+  std::vector<Region> regions;
+  std::vector<Nation> nations;
+  std::vector<Supplier> suppliers;
+  std::vector<Part> parts;
+  std::vector<PartSupp> partsupps;  // grouped by supplier index
+  std::vector<Customer> customers;
+  std::vector<Order> orders;
+  std::vector<Item> items;
+
+  int num_clerks = 0;
+
+  /// The clerk whose work Q13 analyzes (guaranteed to exist).
+  std::string probe_clerk() const;
+};
+
+/// Generates a population at `scale_factor` (1.0 = the paper's 1 GB run;
+/// tests use 0.002-0.01).
+TpcdData Generate(double scale_factor, uint64_t seed = 19980223);
+
+}  // namespace moaflat::tpcd
+
+#endif  // MOAFLAT_TPCD_GENERATOR_H_

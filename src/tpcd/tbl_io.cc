@@ -1,0 +1,268 @@
+#include "tpcd/tbl_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace moaflat::tpcd {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Money(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+Result<std::vector<std::string>> SplitLine(const std::string& line,
+                                           size_t expected,
+                                           const std::string& file) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == '|') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  // DBGEN terminates every row with a trailing '|'; tolerate its absence.
+  if (!cur.empty()) fields.push_back(cur);
+  if (fields.size() != expected) {
+    return Status::ParseError(file + ": expected " +
+                              std::to_string(expected) + " fields, got " +
+                              std::to_string(fields.size()) + " in '" +
+                              line + "'");
+  }
+  return fields;
+}
+
+Result<int> ParseIndex(const std::string& s, size_t limit,
+                       const std::string& what) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || v < 1 || static_cast<size_t>(v) > limit) {
+    return Status::ParseError("bad " + what + " key '" + s + "'");
+  }
+  return static_cast<int>(v - 1);  // keys are 1-based in .tbl files
+}
+
+Result<Date> ParseDate(const std::string& s) {
+  Date d;
+  if (!Date::Parse(s, &d)) {
+    return Status::ParseError("bad date '" + s + "'");
+  }
+  return d;
+}
+
+Result<std::vector<std::string>> ReadLines(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path.string());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+Status WriteTbl(const TpcdData& d, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir);
+
+  auto open = [&](const char* name) {
+    return std::ofstream(fs::path(dir) / name);
+  };
+
+  {
+    std::ofstream out = open("region.tbl");
+    for (size_t i = 0; i < d.regions.size(); ++i) {
+      out << (i + 1) << '|' << d.regions[i].name << '|'
+          << d.regions[i].comment << "|\n";
+    }
+  }
+  {
+    std::ofstream out = open("nation.tbl");
+    for (size_t i = 0; i < d.nations.size(); ++i) {
+      out << (i + 1) << '|' << d.nations[i].name << '|'
+          << (d.nations[i].region + 1) << "|\n";
+    }
+  }
+  {
+    std::ofstream out = open("supplier.tbl");
+    for (size_t i = 0; i < d.suppliers.size(); ++i) {
+      const auto& s = d.suppliers[i];
+      out << (i + 1) << '|' << s.name << '|' << s.address << '|'
+          << (s.nation + 1) << '|' << s.phone << '|' << Money(s.acctbal)
+          << "|\n";
+    }
+  }
+  {
+    std::ofstream out = open("part.tbl");
+    for (size_t i = 0; i < d.parts.size(); ++i) {
+      const auto& p = d.parts[i];
+      out << (i + 1) << '|' << p.name << '|' << p.mfgr << '|' << p.brand
+          << '|' << p.type << '|' << p.size << '|' << p.container << '|'
+          << Money(p.retailprice) << "|\n";
+    }
+  }
+  {
+    std::ofstream out = open("partsupp.tbl");
+    for (const auto& ps : d.partsupps) {
+      out << (ps.part + 1) << '|' << (ps.supplier + 1) << '|'
+          << ps.available << '|' << Money(ps.cost) << "|\n";
+    }
+  }
+  {
+    std::ofstream out = open("customer.tbl");
+    for (size_t i = 0; i < d.customers.size(); ++i) {
+      const auto& c = d.customers[i];
+      out << (i + 1) << '|' << c.name << '|' << c.address << '|'
+          << (c.nation + 1) << '|' << c.phone << '|' << Money(c.acctbal)
+          << '|' << c.mktsegment << "|\n";
+    }
+  }
+  {
+    std::ofstream out = open("orders.tbl");
+    for (size_t i = 0; i < d.orders.size(); ++i) {
+      const auto& o = d.orders[i];
+      out << (i + 1) << '|' << (o.cust + 1) << '|' << o.status << '|'
+          << Money(o.totalprice) << '|' << o.orderdate.ToString() << '|'
+          << o.orderpriority << '|' << o.clerk << '|' << o.shippriority
+          << "|\n";
+    }
+  }
+  {
+    std::ofstream out = open("lineitem.tbl");
+    for (const auto& it : d.items) {
+      out << (it.order + 1) << '|' << (it.part + 1) << '|'
+          << (it.supplier + 1) << '|' << it.quantity << '|'
+          << Money(it.extendedprice) << '|' << it.discount << '|' << it.tax
+          << '|' << it.returnflag << '|' << it.linestatus << '|'
+          << it.shipdate.ToString() << '|' << it.commitdate.ToString()
+          << '|' << it.receiptdate.ToString() << '|' << it.shipmode << '|'
+          << it.shipinstruct << "|\n";
+    }
+  }
+  return Status::OK();
+}
+
+Result<TpcdData> ReadTbl(const std::string& dir) {
+  TpcdData d;
+  const fs::path base(dir);
+
+  {
+    MF_ASSIGN_OR_RETURN(auto lines, ReadLines(base / "region.tbl"));
+    for (const auto& line : lines) {
+      MF_ASSIGN_OR_RETURN(auto f, SplitLine(line, 3, "region.tbl"));
+      d.regions.push_back({f[1], f[2]});
+    }
+  }
+  {
+    MF_ASSIGN_OR_RETURN(auto lines, ReadLines(base / "nation.tbl"));
+    for (const auto& line : lines) {
+      MF_ASSIGN_OR_RETURN(auto f, SplitLine(line, 3, "nation.tbl"));
+      MF_ASSIGN_OR_RETURN(int region,
+                          ParseIndex(f[2], d.regions.size(), "region"));
+      d.nations.push_back({f[1], region});
+    }
+  }
+  {
+    MF_ASSIGN_OR_RETURN(auto lines, ReadLines(base / "supplier.tbl"));
+    for (const auto& line : lines) {
+      MF_ASSIGN_OR_RETURN(auto f, SplitLine(line, 6, "supplier.tbl"));
+      MF_ASSIGN_OR_RETURN(int nation,
+                          ParseIndex(f[3], d.nations.size(), "nation"));
+      d.suppliers.push_back(
+          {f[1], f[2], f[4], std::atof(f[5].c_str()), nation});
+    }
+  }
+  {
+    MF_ASSIGN_OR_RETURN(auto lines, ReadLines(base / "part.tbl"));
+    for (const auto& line : lines) {
+      MF_ASSIGN_OR_RETURN(auto f, SplitLine(line, 8, "part.tbl"));
+      d.parts.push_back({f[1], f[2], f[3], f[4], f[6],
+                         std::atoi(f[5].c_str()), std::atof(f[7].c_str())});
+    }
+  }
+  {
+    MF_ASSIGN_OR_RETURN(auto lines, ReadLines(base / "partsupp.tbl"));
+    for (const auto& line : lines) {
+      MF_ASSIGN_OR_RETURN(auto f, SplitLine(line, 4, "partsupp.tbl"));
+      MF_ASSIGN_OR_RETURN(int part, ParseIndex(f[0], d.parts.size(),
+                                               "part"));
+      MF_ASSIGN_OR_RETURN(int supp,
+                          ParseIndex(f[1], d.suppliers.size(), "supplier"));
+      d.partsupps.push_back(
+          {part, supp, std::atof(f[3].c_str()), std::atoi(f[2].c_str())});
+    }
+  }
+  {
+    MF_ASSIGN_OR_RETURN(auto lines, ReadLines(base / "customer.tbl"));
+    for (const auto& line : lines) {
+      MF_ASSIGN_OR_RETURN(auto f, SplitLine(line, 7, "customer.tbl"));
+      MF_ASSIGN_OR_RETURN(int nation,
+                          ParseIndex(f[3], d.nations.size(), "nation"));
+      d.customers.push_back(
+          {f[1], f[2], f[4], f[6], std::atof(f[5].c_str()), nation});
+    }
+  }
+  {
+    MF_ASSIGN_OR_RETURN(auto lines, ReadLines(base / "orders.tbl"));
+    for (const auto& line : lines) {
+      MF_ASSIGN_OR_RETURN(auto f, SplitLine(line, 8, "orders.tbl"));
+      MF_ASSIGN_OR_RETURN(int cust,
+                          ParseIndex(f[1], d.customers.size(), "customer"));
+      MF_ASSIGN_OR_RETURN(Date odate, ParseDate(f[4]));
+      d.orders.push_back({cust, f[2].empty() ? '?' : f[2][0],
+                          std::atof(f[3].c_str()), odate, f[5], f[6],
+                          f[7]});
+    }
+  }
+  {
+    MF_ASSIGN_OR_RETURN(auto lines, ReadLines(base / "lineitem.tbl"));
+    for (const auto& line : lines) {
+      MF_ASSIGN_OR_RETURN(auto f, SplitLine(line, 14, "lineitem.tbl"));
+      TpcdData::Item it;
+      MF_ASSIGN_OR_RETURN(it.order,
+                          ParseIndex(f[0], d.orders.size(), "order"));
+      MF_ASSIGN_OR_RETURN(it.part, ParseIndex(f[1], d.parts.size(),
+                                              "part"));
+      MF_ASSIGN_OR_RETURN(it.supplier,
+                          ParseIndex(f[2], d.suppliers.size(), "supplier"));
+      it.quantity = std::atoi(f[3].c_str());
+      it.extendedprice = std::atof(f[4].c_str());
+      it.discount = std::atof(f[5].c_str());
+      it.tax = std::atof(f[6].c_str());
+      it.returnflag = f[7].empty() ? '?' : f[7][0];
+      it.linestatus = f[8].empty() ? '?' : f[8][0];
+      MF_ASSIGN_OR_RETURN(it.shipdate, ParseDate(f[9]));
+      MF_ASSIGN_OR_RETURN(it.commitdate, ParseDate(f[10]));
+      MF_ASSIGN_OR_RETURN(it.receiptdate, ParseDate(f[11]));
+      it.shipmode = f[12];
+      it.shipinstruct = f[13];
+      d.items.push_back(std::move(it));
+    }
+  }
+
+  // Recover the clerk pool size from the data (probe_clerk depends on it).
+  int max_clerk = 1;
+  for (const auto& o : d.orders) {
+    const size_t hash_pos = o.clerk.rfind('#');
+    if (hash_pos != std::string::npos) {
+      max_clerk = std::max(max_clerk,
+                           std::atoi(o.clerk.c_str() + hash_pos + 1));
+    }
+  }
+  d.num_clerks = max_clerk * 2;  // generator draws clerks in [1, n)
+  return d;
+}
+
+}  // namespace moaflat::tpcd

@@ -1,0 +1,28 @@
+#ifndef MOAFLAT_TPCD_TBL_IO_H_
+#define MOAFLAT_TPCD_TBL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "tpcd/generator.h"
+
+namespace moaflat::tpcd {
+
+/// DBGEN ASCII interchange ("We used the DBGEN program to generate the 1GB
+/// database in ASCII files. We then loaded these into Monet using its bulk
+/// load utility", Section 6): pipe-separated `.tbl` files, one per table,
+/// with the TPC-D column layouts. WriteTbl plays DBGEN; ReadTbl is the
+/// bulk-load front half — together they let the loader be driven from
+/// on-disk ASCII exactly like the paper's pipeline.
+
+/// Writes region/nation/supplier/part/partsupp/customer/orders/lineitem
+/// .tbl files into `dir` (created if missing).
+Status WriteTbl(const TpcdData& data, const std::string& dir);
+
+/// Parses a directory of .tbl files back into a population. Validates
+/// foreign keys; returns a descriptive error on malformed input.
+Result<TpcdData> ReadTbl(const std::string& dir);
+
+}  // namespace moaflat::tpcd
+
+#endif  // MOAFLAT_TPCD_TBL_IO_H_

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "bat/bat.h"
+#include "bat/column.h"
+#include "bat/datavector.h"
+#include "bat/hash_index.h"
+#include "storage/page_accountant.h"
+
+namespace moaflat::bat {
+namespace {
+
+TEST(ColumnTest, VoidColumnIsDenseSequence) {
+  ColumnPtr c = Column::MakeVoid(100, 5);
+  EXPECT_TRUE(c->is_void());
+  EXPECT_EQ(c->size(), 5u);
+  EXPECT_EQ(c->width(), 0);
+  EXPECT_EQ(c->byte_size(), 0u);  // the zero-space type
+  EXPECT_EQ(c->OidAt(0), 100u);
+  EXPECT_EQ(c->OidAt(4), 104u);
+  EXPECT_EQ(c->GetValue(2).AsOid(), 102u);
+}
+
+TEST(ColumnTest, TypedFactoriesRoundTrip) {
+  ColumnPtr ints = Column::MakeInt({3, 1, 2});
+  EXPECT_EQ(ints->type(), MonetType::kInt);
+  EXPECT_EQ(ints->Data<int32_t>()[1], 1);
+  ColumnPtr dbls = Column::MakeDbl({1.5, 2.5});
+  EXPECT_DOUBLE_EQ(dbls->NumAt(1), 2.5);
+  ColumnPtr dates = Column::MakeDate({Date::FromYmd(1994, 1, 1)});
+  EXPECT_EQ(dates->GetValue(0).AsDate().Year(), 1994);
+}
+
+TEST(ColumnTest, StringColumnUsesSharedHeap) {
+  ColumnPtr c = Column::MakeStr({"alpha", "beta", "alpha"});
+  EXPECT_EQ(c->type(), MonetType::kStr);
+  EXPECT_EQ(c->Str(0), "alpha");
+  EXPECT_EQ(c->Str(1), "beta");
+  // Identical strings are interned once: offsets equal.
+  EXPECT_EQ(c->StrOffset(0), c->StrOffset(2));
+}
+
+TEST(ColumnTest, EqualAndCompareAcrossColumns) {
+  ColumnPtr a = Column::MakeInt({1, 5});
+  ColumnPtr b = Column::MakeInt({5, 1});
+  EXPECT_TRUE(a->EqualAt(1, *b, 0));
+  EXPECT_FALSE(a->EqualAt(0, *b, 0));
+  EXPECT_LT(a->CompareAt(0, *b, 0), 0);
+  EXPECT_GT(a->CompareAt(1, *b, 1), 0);
+}
+
+TEST(ColumnTest, StringEqualAcrossDifferentHeaps) {
+  ColumnPtr a = Column::MakeStr({"x", "y"});
+  ColumnPtr b = Column::MakeStr({"y"});
+  EXPECT_TRUE(a->EqualAt(1, *b, 0));
+  EXPECT_FALSE(a->EqualAt(0, *b, 0));
+}
+
+TEST(ColumnTest, HashConsistentWithEquality) {
+  ColumnPtr a = Column::MakeStr({"clerk", "manager"});
+  ColumnPtr b = Column::MakeStr({"clerk"});
+  EXPECT_EQ(a->HashAt(0), b->HashAt(0));
+  ColumnPtr v = Column::MakeVoid(7, 3);
+  ColumnPtr o = Column::MakeOid({7, 8, 9});
+  EXPECT_EQ(v->HashAt(1), o->HashAt(1));
+}
+
+TEST(ColumnTest, ComputeSortedAndKey) {
+  EXPECT_TRUE(Column::MakeInt({1, 2, 2, 3})->ComputeSorted());
+  EXPECT_FALSE(Column::MakeInt({2, 1})->ComputeSorted());
+  EXPECT_TRUE(Column::MakeInt({1, 2, 3})->ComputeKey());
+  EXPECT_FALSE(Column::MakeInt({1, 2, 2})->ComputeKey());
+  EXPECT_TRUE(Column::MakeVoid(0, 10)->ComputeKey());
+}
+
+TEST(ColumnTest, CompareValueAgainstBoxed) {
+  ColumnPtr c = Column::MakeDate(
+      {Date::FromYmd(1994, 1, 1), Date::FromYmd(1995, 6, 1)});
+  EXPECT_EQ(c->CompareValue(0, Value::MakeDate(Date::FromYmd(1994, 1, 1))),
+            0);
+  EXPECT_LT(c->CompareValue(0, Value::MakeDate(Date::FromYmd(1994, 1, 2))),
+            0);
+}
+
+TEST(ColumnBuilderTest, AppendFromSharesStringHeap) {
+  ColumnPtr src = Column::MakeStr({"a", "b", "c"});
+  ColumnBuilder b(MonetType::kStr, src->str_heap());
+  b.AppendFrom(*src, 2);
+  b.AppendFrom(*src, 0);
+  ColumnPtr out = b.Finish();
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->Str(0), "c");
+  EXPECT_EQ(out->str_heap(), src->str_heap());
+}
+
+TEST(ColumnBuilderTest, AppendValueCoerces) {
+  ColumnBuilder b(MonetType::kDbl);
+  ASSERT_TRUE(b.AppendValue(Value::Int(4)).ok());
+  ColumnPtr out = b.Finish();
+  EXPECT_DOUBLE_EQ(out->NumAt(0), 4.0);
+}
+
+TEST(BatTest, MakeValidatesSizes) {
+  auto ok = Bat::Make(Column::MakeVoid(0, 2), Column::MakeInt({1, 2}));
+  EXPECT_TRUE(ok.ok());
+  auto bad = Bat::Make(Column::MakeVoid(0, 2), Column::MakeInt({1}));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(BatTest, MirrorSwapsRolesAndProperties) {
+  Bat b(Column::MakeOid({1, 2, 3}), Column::MakeInt({9, 8, 7}),
+        Properties{true, false, true, false});
+  Bat m = b.Mirror();
+  EXPECT_EQ(m.head().type(), MonetType::kInt);
+  EXPECT_EQ(m.tail().type(), MonetType::kOidT);
+  EXPECT_TRUE(m.props().tkey);
+  EXPECT_FALSE(m.props().hkey);
+  EXPECT_TRUE(m.props().tsorted);
+  // Double mirror is the identity.
+  Bat mm = m.Mirror();
+  EXPECT_EQ(mm.head_col().get(), b.head_col().get());
+}
+
+TEST(BatTest, MirrorIsZeroCost) {
+  Bat b(Column::MakeOid({1, 2, 3}), Column::MakeInt({9, 8, 7}));
+  Bat m = b.Mirror();
+  // No data movement: the columns are the same objects.
+  EXPECT_EQ(m.head_col().get(), b.tail_col().get());
+  EXPECT_EQ(m.tail_col().get(), b.head_col().get());
+}
+
+TEST(BatTest, SyncedWithSharedHeadColumn) {
+  ColumnPtr head = Column::MakeOid({1, 2, 3});
+  Bat x(head, Column::MakeInt({1, 2, 3}));
+  Bat y(head, Column::MakeDbl({0.1, 0.2, 0.3}));
+  EXPECT_TRUE(x.SyncedWith(y));
+  Bat z(Column::MakeOid({1, 2, 3}), Column::MakeInt({1, 2, 3}));
+  EXPECT_FALSE(x.SyncedWith(z));  // distinct columns, distinct sync keys
+}
+
+TEST(BatTest, ValidateChecksDeclaredProperties) {
+  Bat good(Column::MakeOid({1, 2, 3}), Column::MakeInt({5, 5, 6}),
+           Properties{true, false, true, true});
+  EXPECT_TRUE(good.Validate().ok());
+  Bat bad(Column::MakeOid({3, 1}), Column::MakeInt({1, 2}),
+          Properties{false, false, true, false});
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(BatTest, DebugStringMentionsTypesAndCount) {
+  Bat b(Column::MakeVoid(0, 3), Column::MakeStr({"a", "b", "c"}));
+  const std::string s = b.DebugString();
+  EXPECT_NE(s.find("bat[void,str]"), std::string::npos);
+  EXPECT_NE(s.find("#3"), std::string::npos);
+}
+
+TEST(HashIndexTest, FindsAllMatches) {
+  ColumnPtr col = Column::MakeInt({5, 3, 5, 9});
+  HashIndex idx(col);
+  ColumnPtr probe = Column::MakeInt({5});
+  int hits = 0;
+  idx.ForEachMatch(*probe, 0, [&](uint32_t pos) {
+    EXPECT_TRUE(pos == 0 || pos == 2);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 2);
+  EXPECT_TRUE(idx.Contains(*probe, 0));
+  ColumnPtr miss = Column::MakeInt({4});
+  EXPECT_FALSE(idx.Contains(*miss, 0));
+  EXPECT_EQ(idx.FindFirst(*probe, 0), 0);
+}
+
+TEST(HashIndexTest, WorksOnStrings) {
+  ColumnPtr col = Column::MakeStr({"x", "y", "x"});
+  HashIndex idx(col);
+  ColumnPtr probe = Column::MakeStr({"x"});
+  EXPECT_EQ(idx.FindFirst(*probe, 0), 0);
+}
+
+TEST(DatavectorTest, FindPositionBinarySearches) {
+  auto extent = Column::MakeOid({10, 20, 30, 40});
+  auto values = Column::MakeInt({1, 2, 3, 4});
+  Datavector dv(extent, values);
+  EXPECT_EQ(dv.FindPosition(30), 2);
+  EXPECT_EQ(dv.FindPosition(10), 0);
+  EXPECT_EQ(dv.FindPosition(40), 3);
+  EXPECT_EQ(dv.FindPosition(25), -1);
+  EXPECT_EQ(dv.FindPosition(99), -1);
+}
+
+TEST(DatavectorTest, LookupCacheRoundTrip) {
+  Datavector dv(Column::MakeOid({1, 2}), Column::MakeInt({5, 6}));
+  EXPECT_EQ(dv.CachedLookup(77), nullptr);
+  auto vec = std::make_shared<std::vector<uint32_t>>(
+      std::vector<uint32_t>{0, 1});
+  dv.StoreLookup(77, vec);
+  EXPECT_EQ(dv.CachedLookup(77), vec);
+}
+
+TEST(PageAccountingTest, ColdTouchesFaultOncePerPage) {
+  storage::IoStats io;
+  storage::IoScope scope(&io);
+  ColumnPtr c = Column::MakeInt(std::vector<int32_t>(4096, 7));  // 16 KB
+  c->TouchAll();
+  EXPECT_EQ(io.faults(), 4u);  // 16KB / 4KB pages
+  c->TouchAll();               // warm now
+  EXPECT_EQ(io.faults(), 4u);
+  io.Reset();
+  c->TouchAt(0);
+  EXPECT_EQ(io.faults(), 1u);
+}
+
+TEST(PageAccountingTest, VoidColumnsCostNoIo) {
+  storage::IoStats io;
+  storage::IoScope scope(&io);
+  Column::MakeVoid(0, 1 << 20)->TouchAll();
+  EXPECT_EQ(io.faults(), 0u);
+}
+
+TEST(PageAccountingTest, NoScopeMeansNoAccounting) {
+  ColumnPtr c = Column::MakeInt({1, 2, 3});
+  c->TouchAll();  // must not crash without an IoScope
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace moaflat::bat

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace moaflat {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Invalid("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad arg");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::KeyError("x").code(), StatusCode::kKeyError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::Invalid("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  MF_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+  EXPECT_EQ(Doubled(21).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = Doubled(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TypesTest, WidthsMatchTheCostModelRoles) {
+  EXPECT_EQ(TypeWidth(MonetType::kVoid), 0);  // zero-space void columns
+  EXPECT_EQ(TypeWidth(MonetType::kInt), 4);
+  EXPECT_EQ(TypeWidth(MonetType::kOidT), 8);
+  EXPECT_EQ(TypeWidth(MonetType::kStr), 4);  // offset slot
+  EXPECT_EQ(TypeWidth(MonetType::kDate), 4);
+}
+
+TEST(TypesTest, Names) {
+  EXPECT_STREQ(TypeName(MonetType::kVoid), "void");
+  EXPECT_STREQ(TypeName(MonetType::kOidT), "oid");
+  EXPECT_STREQ(TypeName(MonetType::kDbl), "dbl");
+}
+
+TEST(DateTest, RoundTripYmd) {
+  const Date d = Date::FromYmd(1994, 1, 1);
+  EXPECT_EQ(d.Year(), 1994);
+  EXPECT_EQ(d.Month(), 1);
+  EXPECT_EQ(d.Day(), 1);
+  EXPECT_EQ(d.ToString(), "1994-01-01");
+}
+
+TEST(DateTest, ParseAndOrder) {
+  Date a, b;
+  ASSERT_TRUE(Date::Parse("1995-03-15", &a));
+  ASSERT_TRUE(Date::Parse("1995-03-16", &b));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.AddDays(1), b);
+  EXPECT_FALSE(Date::Parse("not-a-date", &a));
+  EXPECT_FALSE(Date::Parse("1995-13-01", &a));
+}
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(Date::FromYmd(1970, 1, 1).days(), 0);
+  EXPECT_EQ(Date::FromYmd(1970, 1, 2).days(), 1);
+}
+
+TEST(DateTest, LeapYearHandling) {
+  const Date feb29 = Date::FromYmd(1996, 2, 29);
+  EXPECT_EQ(feb29.Month(), 2);
+  EXPECT_EQ(feb29.Day(), 29);
+  EXPECT_EQ(feb29.AddDays(1).Month(), 3);
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_EQ(Value::Chr('R').AsChr(), 'R');
+  EXPECT_EQ(Value::Str("hi").AsStr(), "hi");
+  EXPECT_DOUBLE_EQ(Value::Dbl(2.5).AsDbl(), 2.5);
+  EXPECT_TRUE(Value().is_nil());
+}
+
+TEST(ValueTest, ToDoubleWidening) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).ToDouble().ValueOrDie(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Flt(1.5f).ToDouble().ValueOrDie(), 1.5);
+  EXPECT_FALSE(Value::Str("x").ToDouble().ok());
+}
+
+TEST(ValueTest, CastBetweenNumerics) {
+  EXPECT_EQ(Value::Dbl(3.7).CastTo(MonetType::kInt).ValueOrDie().AsInt(), 3);
+  EXPECT_EQ(Value::Int(5).CastTo(MonetType::kLng).ValueOrDie().AsLng(), 5);
+  EXPECT_EQ(Value::Str("1994-01-01")
+                .CastTo(MonetType::kDate)
+                .ValueOrDie()
+                .AsDate()
+                .Year(),
+            1994);
+}
+
+TEST(ValueTest, CompareOrdersWithinType) {
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Int(2)), 0);
+  EXPECT_EQ(Value::Compare(Value::Str("a"), Value::Str("a")), 0);
+  EXPECT_GT(Value::Compare(Value::Str("b"), Value::Str("a")), 0);
+  EXPECT_LT(Value::Compare(Value::MakeDate(Date::FromYmd(1994, 1, 1)),
+                           Value::MakeDate(Date::FromYmd(1995, 1, 1))),
+            0);
+}
+
+TEST(ValueTest, MixedNumericCompare) {
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Dbl(2.0)), 0);
+  EXPECT_LT(Value::Compare(Value::Flt(1.5f), Value::Int(2)), 0);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Chr('R').ToString(), "'R'");
+  EXPECT_EQ(Value::Str("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value::MakeDate(Date::FromYmd(1994, 1, 1)).ToString(),
+            "1994-01-01");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.Uniform(-3, 11);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 11);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace moaflat

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <numeric>
+
+#include "bat/bat.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "kernel/operators.h"
+
+namespace moaflat {
+namespace {
+
+using bat::Bat;
+using bat::Column;
+
+class DegreeGuard {
+ public:
+  explicit DegreeGuard(int d) { SetParallelDegree(d); }
+  ~DegreeGuard() { SetParallelDegree(0); }
+};
+
+TEST(ParallelTest, BlocksCoverExactlyTheRange) {
+  DegreeGuard guard(4);
+  std::vector<int> seen(100000, 0);
+  std::mutex mu;
+  ParallelBlocks(seen.size(), [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) seen[i]++;
+  });
+  for (int s : seen) ASSERT_EQ(s, 1);
+}
+
+TEST(ParallelTest, SmallInputsRunInline) {
+  DegreeGuard guard(8);
+  int blocks_seen = 0;
+  ParallelBlocks(100, [&](int block, size_t, size_t) {
+    EXPECT_EQ(block, 0);
+    ++blocks_seen;
+  });
+  EXPECT_EQ(blocks_seen, 1);
+}
+
+TEST(ParallelTest, DegreeDefaultsToOne) {
+  SetParallelDegree(0);
+  EXPECT_GE(ParallelDegree(), 1);
+}
+
+Bat BigRandomAttr(size_t n) {
+  Rng rng(99);
+  std::vector<Oid> heads(n);
+  std::vector<int32_t> tails(n);
+  std::iota(heads.begin(), heads.end(), Oid{1});
+  for (size_t i = 0; i < n; ++i) {
+    tails[i] = static_cast<int32_t>(rng.Uniform(0, 1000));
+  }
+  return Bat(Column::MakeOid(heads), Column::MakeInt(tails),
+             bat::Properties{true, false, true, false});
+}
+
+TEST(ParallelTest, ParallelScanSelectMatchesSerial) {
+  Bat ab = BigRandomAttr(200000);
+  SetParallelDegree(1);
+  Bat serial =
+      kernel::SelectRange(ab, Value::Int(100), Value::Int(300)).ValueOrDie();
+  SetParallelDegree(6);
+  Bat parallel =
+      kernel::SelectRange(ab, Value::Int(100), Value::Int(300)).ValueOrDie();
+  SetParallelDegree(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.head().OidAt(i), parallel.head().OidAt(i));
+    EXPECT_EQ(serial.tail().NumAt(i), parallel.tail().NumAt(i));
+  }
+}
+
+TEST(ParallelTest, ParallelMultiplexMatchesSerial) {
+  Bat a = BigRandomAttr(150000);
+  Bat b = Bat(a.head_col(), BigRandomAttr(150000).tail_col());
+  SetParallelDegree(1);
+  Bat serial = kernel::Multiplex("*", {a, b}).ValueOrDie();
+  SetParallelDegree(6);
+  Bat parallel = kernel::Multiplex("*", {a, b}).ValueOrDie();
+  SetParallelDegree(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); i += 97) {
+    EXPECT_DOUBLE_EQ(serial.tail().NumAt(i), parallel.tail().NumAt(i));
+  }
+}
+
+TEST(ParallelTest, IoAccountingUnaffectedByDegree) {
+  Bat ab = BigRandomAttr(100000);
+  storage::IoStats io1, io6;
+  SetParallelDegree(1);
+  {
+    storage::IoScope scope(&io1);
+    (void)kernel::SelectRange(ab, Value::Int(0), Value::Int(50));
+  }
+  SetParallelDegree(6);
+  {
+    storage::IoScope scope(&io6);
+    (void)kernel::SelectRange(ab, Value::Int(0), Value::Int(50));
+  }
+  SetParallelDegree(0);
+  EXPECT_EQ(io1.faults(), io6.faults());
+}
+
+}  // namespace
+}  // namespace moaflat

@@ -1,0 +1,171 @@
+// Additional rewriter coverage: set operations, unnest, top-level
+// aggregates and the MoaText round trips of the TPC-D suite.
+
+#include <gtest/gtest.h>
+
+#include "moa/parser.h"
+#include "moa/query.h"
+#include "moa/result_view.h"
+#include "tpcd/generator.h"
+#include "tpcd/loader.h"
+#include "tpcd/queries.h"
+
+namespace moaflat::moa {
+namespace {
+
+class RewriterExtraTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new tpcd::TpcdData(tpcd::Generate(0.002));
+    instance_ = tpcd::Load(*data_, 0.002).ValueOrDie();
+  }
+  static void TearDownTestSuite() {
+    instance_.reset();
+    delete data_;
+    data_ = nullptr;
+  }
+  static tpcd::TpcdData* data_;
+  static std::shared_ptr<tpcd::TpcdInstance> instance_;
+};
+
+tpcd::TpcdData* RewriterExtraTest::data_ = nullptr;
+std::shared_ptr<tpcd::TpcdInstance> RewriterExtraTest::instance_ = nullptr;
+
+TEST_F(RewriterExtraTest, UnionOfSelections) {
+  auto qr = RunMoa(instance_->db,
+                   "union(select[=(returnflag, 'R')](Item),"
+                   "      select[=(returnflag, 'A')](Item))")
+                .ValueOrDie();
+  ResultView view(&qr.env);
+  auto ids = view.SetIds(*qr.translation.result).ValueOrDie();
+  size_t expected = 0;
+  for (const auto& it : data_->items) {
+    if (it.returnflag == 'R' || it.returnflag == 'A') ++expected;
+  }
+  EXPECT_EQ(ids.size(), expected);
+}
+
+TEST_F(RewriterExtraTest, DifferenceOfSelections) {
+  auto qr = RunMoa(instance_->db,
+                   "difference(select[=(returnflag, 'R')](Item),"
+                   "           select[<(discount, 0.05)](Item))")
+                .ValueOrDie();
+  ResultView view(&qr.env);
+  auto ids = view.SetIds(*qr.translation.result).ValueOrDie();
+  size_t expected = 0;
+  for (const auto& it : data_->items) {
+    if (it.returnflag == 'R' && !(it.discount < 0.05)) ++expected;
+  }
+  EXPECT_EQ(ids.size(), expected);
+}
+
+TEST_F(RewriterExtraTest, IntersectionOfSelections) {
+  auto qr = RunMoa(instance_->db,
+                   "intersection(select[=(returnflag, 'R')](Item),"
+                   "             select[<(discount, 0.05)](Item))")
+                .ValueOrDie();
+  ResultView view(&qr.env);
+  auto ids = view.SetIds(*qr.translation.result).ValueOrDie();
+  size_t expected = 0;
+  for (const auto& it : data_->items) {
+    if (it.returnflag == 'R' && it.discount < 0.05) ++expected;
+  }
+  EXPECT_EQ(ids.size(), expected);
+}
+
+TEST_F(RewriterExtraTest, UnnestFlattensSetTuples) {
+  // unnest[supplies](Supplier): one element per supplies entry.
+  auto qr =
+      RunMoa(instance_->db, "unnest[supplies](Supplier)").ValueOrDie();
+  ResultView view(&qr.env);
+  auto ids = view.SetIds(*qr.translation.result).ValueOrDie();
+  EXPECT_EQ(ids.size(), data_->partsupps.size());
+  // The flattened tuple exposes the member fields.
+  ASSERT_EQ(qr.translation.result->elem->kind, StructExpr::Kind::kTuple);
+  auto cost_field = view.Field(*qr.translation.result->elem, "cost");
+  EXPECT_TRUE(cost_field.ok());
+}
+
+TEST_F(RewriterExtraTest, UnnestAfterProjectKeepsOwnerFields) {
+  auto qr = RunMoa(instance_->db,
+                   "unnest[oos](project[<%name : sname, "
+                   "select[=(%available, 0)](%supplies) : oos>](Supplier))")
+                .ValueOrDie();
+  ResultView view(&qr.env);
+  auto ids = view.SetIds(*qr.translation.result).ValueOrDie();
+  size_t expected = 0;
+  for (const auto& ps : data_->partsupps) {
+    if (ps.available == 0) ++expected;
+  }
+  EXPECT_EQ(ids.size(), expected);
+  auto sname = view.Field(*qr.translation.result->elem, "sname");
+  ASSERT_TRUE(sname.ok());
+  if (!ids.empty()) {
+    Value v = view.AtomValue(**sname, ids[0]).ValueOrDie();
+    EXPECT_EQ(v.type(), MonetType::kStr);
+  }
+}
+
+TEST_F(RewriterExtraTest, TopLevelAggregates) {
+  auto qr =
+      RunMoa(instance_->db,
+             "count(project[quantity](select[=(returnflag, 'R')](Item)))")
+          .ValueOrDie();
+  ASSERT_EQ(qr.translation.result->kind, StructExpr::Kind::kAtom);
+  Value v = qr.env.GetValue(qr.translation.result->var).ValueOrDie();
+  size_t expected = 0;
+  for (const auto& it : data_->items) {
+    if (it.returnflag == 'R') ++expected;
+  }
+  EXPECT_EQ(static_cast<size_t>(v.AsLng()), expected);
+}
+
+TEST_F(RewriterExtraTest, AvgAndMinMaxTopLevel) {
+  auto avg = RunMoa(instance_->db, "avg(project[quantity](Item))")
+                 .ValueOrDie();
+  const double a =
+      avg.env.GetValue(avg.translation.result->var).ValueOrDie().AsDbl();
+  double sum = 0;
+  for (const auto& it : data_->items) sum += it.quantity;
+  EXPECT_NEAR(a, sum / data_->items.size(), 1e-9);
+
+  auto mx =
+      RunMoa(instance_->db, "max(project[discount](Item))").ValueOrDie();
+  const double m =
+      mx.env.GetValue(mx.translation.result->var).ValueOrDie().AsDbl();
+  double expected = 0;
+  for (const auto& it : data_->items) expected = std::max(expected,
+                                                          it.discount);
+  EXPECT_DOUBLE_EQ(m, expected);
+}
+
+TEST_F(RewriterExtraTest, AllSuiteMoaTextsParse) {
+  auto inst = instance_;
+  tpcd::QuerySuite suite(inst);
+  for (int q = 1; q <= tpcd::QuerySuite::kNumQueries; ++q) {
+    const std::string text = suite.MoaText(q);
+    if (text.empty()) continue;
+    auto parsed = ParseMoa(text);
+    EXPECT_TRUE(parsed.ok()) << "Q" << q << ": "
+                             << parsed.status().ToString();
+  }
+}
+
+TEST_F(RewriterExtraTest, TranslationIsDeterministic) {
+  Rewriter rw(&instance_->db);
+  const char* q = "select[=(returnflag, 'R'), <(discount, 0.05)](Item)";
+  auto t1 = rw.TranslateText(q).ValueOrDie();
+  auto t2 = rw.TranslateText(q).ValueOrDie();
+  EXPECT_EQ(t1.program.ToString(), t2.program.ToString());
+  EXPECT_EQ(t1.result->ToString(), t2.result->ToString());
+}
+
+TEST_F(RewriterExtraTest, TranslationToStringMentionsStructure) {
+  Rewriter rw(&instance_->db);
+  auto t = rw.TranslateText("select[=(returnflag, 'R')](Item)")
+               .ValueOrDie();
+  EXPECT_NE(t.ToString().find("# structure: SET("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moaflat::moa

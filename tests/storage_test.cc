@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "bat/column.h"
+#include "storage/memory_tracker.h"
+#include "storage/page_accountant.h"
+#include "storage/string_heap.h"
+
+namespace moaflat::storage {
+namespace {
+
+TEST(StringHeapTest, InternDedupsIdenticalStrings) {
+  StringHeap heap;
+  const int32_t a = heap.Intern("clerk");
+  const int32_t b = heap.Intern("manager");
+  const int32_t c = heap.Intern("clerk");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(heap.View(a), "clerk");
+  EXPECT_EQ(heap.View(b), "manager");
+}
+
+TEST(StringHeapTest, EmptyStringSupported) {
+  StringHeap heap;
+  const int32_t off = heap.Intern("");
+  EXPECT_EQ(heap.View(off), "");
+}
+
+TEST(StringHeapTest, ByteSizeGrowsWithDistinctContent) {
+  StringHeap heap;
+  heap.Intern("aaa");
+  const size_t after_one = heap.byte_size();
+  heap.Intern("aaa");
+  EXPECT_EQ(heap.byte_size(), after_one);  // deduped
+  heap.Intern("bbbb");
+  EXPECT_EQ(heap.byte_size(), after_one + 5);  // 4 chars + NUL
+}
+
+TEST(StringHeapTest, ViewCountedChargesTailHeapPages) {
+  StringHeap heap;
+  const int32_t off = heap.Intern("hello");
+  IoStats io;
+  IoScope scope(&io);
+  EXPECT_EQ(heap.ViewCounted(off), "hello");
+  EXPECT_EQ(io.faults(), 1u);
+  heap.ViewCounted(off);  // warm
+  EXPECT_EQ(io.faults(), 1u);
+}
+
+TEST(PageAccountantTest, FaultPerDistinctPage) {
+  IoStats io;
+  const uint64_t h = NewHeapId();
+  io.TouchBytes(h, 0, 100, Access::kSequential);
+  EXPECT_EQ(io.faults(), 1u);
+  io.TouchBytes(h, kPageSize - 1, 2, Access::kSequential);  // page straddle
+  EXPECT_EQ(io.faults(), 2u);
+  io.TouchBytes(h, 3 * kPageSize, 1, Access::kRandom);
+  EXPECT_EQ(io.faults(), 3u);
+  EXPECT_EQ(io.sequential_faults(), 2u);
+  EXPECT_EQ(io.random_faults(), 1u);
+}
+
+TEST(PageAccountantTest, DistinctHeapsDoNotShadowEachOther) {
+  IoStats io;
+  const uint64_t h1 = NewHeapId();
+  const uint64_t h2 = NewHeapId();
+  io.TouchBytes(h1, 0, 8, Access::kRandom);
+  io.TouchBytes(h2, 0, 8, Access::kRandom);
+  EXPECT_EQ(io.faults(), 2u);
+}
+
+TEST(PageAccountantTest, ZeroLengthTouchIsFree) {
+  IoStats io;
+  io.TouchBytes(NewHeapId(), 0, 0, Access::kRandom);
+  EXPECT_EQ(io.faults(), 0u);
+  EXPECT_EQ(io.logical_touches(), 0u);
+}
+
+TEST(PageAccountantTest, ResetForgetResidency) {
+  IoStats io;
+  const uint64_t h = NewHeapId();
+  io.TouchBytes(h, 0, 8, Access::kRandom);
+  io.Reset();
+  EXPECT_EQ(io.faults(), 0u);
+  io.TouchBytes(h, 0, 8, Access::kRandom);
+  EXPECT_EQ(io.faults(), 1u);
+}
+
+TEST(PageAccountantTest, ScopesNest) {
+  IoStats outer_stats, inner_stats;
+  const uint64_t h = NewHeapId();
+  {
+    IoScope outer(&outer_stats);
+    CurrentIo()->TouchBytes(h, 0, 8, Access::kRandom);
+    {
+      IoScope inner(&inner_stats);
+      CurrentIo()->TouchBytes(h, 0, 8, Access::kRandom);
+    }
+    CurrentIo()->TouchBytes(h, kPageSize, 8, Access::kRandom);
+  }
+  EXPECT_EQ(CurrentIo(), nullptr);
+  EXPECT_EQ(outer_stats.faults(), 2u);
+  EXPECT_EQ(inner_stats.faults(), 1u);
+}
+
+TEST(LruPagerTest, UnlimitedCapacityNeverEvicts) {
+  IoStats io;
+  const uint64_t h = NewHeapId();
+  for (int i = 0; i < 100; ++i) {
+    io.TouchBytes(h, i * kPageSize, 1, Access::kSequential);
+  }
+  EXPECT_EQ(io.evictions(), 0u);
+  EXPECT_EQ(io.resident_pages(), 100u);
+}
+
+TEST(LruPagerTest, CapacityBoundsResidency) {
+  IoStats io(10);
+  const uint64_t h = NewHeapId();
+  for (int i = 0; i < 100; ++i) {
+    io.TouchBytes(h, i * kPageSize, 1, Access::kSequential);
+  }
+  EXPECT_EQ(io.resident_pages(), 10u);
+  EXPECT_EQ(io.evictions(), 90u);
+  EXPECT_EQ(io.faults(), 100u);
+}
+
+TEST(LruPagerTest, EvictedPagesRefault) {
+  IoStats io(2);
+  const uint64_t h = NewHeapId();
+  io.TouchBytes(h, 0 * kPageSize, 1, Access::kRandom);  // A
+  io.TouchBytes(h, 1 * kPageSize, 1, Access::kRandom);  // B
+  io.TouchBytes(h, 2 * kPageSize, 1, Access::kRandom);  // C evicts A
+  EXPECT_EQ(io.faults(), 3u);
+  io.TouchBytes(h, 0 * kPageSize, 1, Access::kRandom);  // A again: refault
+  EXPECT_EQ(io.faults(), 4u);
+}
+
+TEST(LruPagerTest, RecencyOrderGovernsEviction) {
+  IoStats io(2);
+  const uint64_t h = NewHeapId();
+  io.TouchBytes(h, 0 * kPageSize, 1, Access::kRandom);  // A
+  io.TouchBytes(h, 1 * kPageSize, 1, Access::kRandom);  // B
+  io.TouchBytes(h, 0 * kPageSize, 1, Access::kRandom);  // A refreshed
+  io.TouchBytes(h, 2 * kPageSize, 1, Access::kRandom);  // C evicts B
+  io.TouchBytes(h, 0 * kPageSize, 1, Access::kRandom);  // A still resident
+  EXPECT_EQ(io.faults(), 3u);
+  io.TouchBytes(h, 1 * kPageSize, 1, Access::kRandom);  // B refaults
+  EXPECT_EQ(io.faults(), 4u);
+}
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker t;
+  t.Add(1000);
+  t.Add(500);
+  EXPECT_EQ(t.current(), 1500u);
+  EXPECT_EQ(t.peak(), 1500u);
+  t.Sub(800);
+  EXPECT_EQ(t.current(), 700u);
+  EXPECT_EQ(t.peak(), 1500u);
+  t.Add(100);
+  EXPECT_EQ(t.peak(), 1500u);  // still below the old peak
+}
+
+TEST(MemoryTrackerTest, EpochRebasesPeakAndAllocationCounter) {
+  MemoryTracker t;
+  t.Add(1000);
+  t.MarkEpoch();
+  EXPECT_EQ(t.allocated_total(), 0u);
+  EXPECT_EQ(t.peak(), 1000u);
+  t.Add(200);
+  EXPECT_EQ(t.allocated_total(), 200u);
+  EXPECT_EQ(t.peak(), 1200u);
+}
+
+TEST(MemoryTrackerTest, GlobalInstanceTracksColumns) {
+  auto& g = MemoryTracker::Global();
+  const uint64_t before = g.current();
+  {
+    auto col = moaflat::bat::Column::MakeInt(std::vector<int32_t>(1000, 1));
+    EXPECT_EQ(g.current(), before + 4000);
+  }
+  EXPECT_EQ(g.current(), before);  // released on destruction
+}
+
+}  // namespace
+}  // namespace moaflat::storage

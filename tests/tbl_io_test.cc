@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "tpcd/loader.h"
+#include "tpcd/tbl_io.h"
+
+namespace moaflat::tpcd {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TblIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "moaflat_tbl_test").string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(TblIoTest, WriteProducesAllFiles) {
+  TpcdData d = Generate(0.002);
+  ASSERT_TRUE(WriteTbl(d, dir_).ok());
+  for (const char* f : {"region.tbl", "nation.tbl", "supplier.tbl",
+                        "part.tbl", "partsupp.tbl", "customer.tbl",
+                        "orders.tbl", "lineitem.tbl"}) {
+    EXPECT_TRUE(fs::exists(fs::path(dir_) / f)) << f;
+  }
+}
+
+TEST_F(TblIoTest, RoundTripPreservesThePopulation) {
+  TpcdData d = Generate(0.002);
+  ASSERT_TRUE(WriteTbl(d, dir_).ok());
+  TpcdData back = ReadTbl(dir_).ValueOrDie();
+
+  ASSERT_EQ(back.regions.size(), d.regions.size());
+  ASSERT_EQ(back.nations.size(), d.nations.size());
+  ASSERT_EQ(back.suppliers.size(), d.suppliers.size());
+  ASSERT_EQ(back.parts.size(), d.parts.size());
+  ASSERT_EQ(back.partsupps.size(), d.partsupps.size());
+  ASSERT_EQ(back.customers.size(), d.customers.size());
+  ASSERT_EQ(back.orders.size(), d.orders.size());
+  ASSERT_EQ(back.items.size(), d.items.size());
+
+  for (size_t i = 0; i < d.orders.size(); ++i) {
+    ASSERT_EQ(back.orders[i].cust, d.orders[i].cust);
+    ASSERT_EQ(back.orders[i].clerk, d.orders[i].clerk);
+    ASSERT_EQ(back.orders[i].orderdate, d.orders[i].orderdate);
+    ASSERT_NEAR(back.orders[i].totalprice, d.orders[i].totalprice, 0.01);
+  }
+  for (size_t i = 0; i < d.items.size(); ++i) {
+    ASSERT_EQ(back.items[i].order, d.items[i].order);
+    ASSERT_EQ(back.items[i].part, d.items[i].part);
+    ASSERT_EQ(back.items[i].returnflag, d.items[i].returnflag);
+    ASSERT_EQ(back.items[i].shipdate, d.items[i].shipdate);
+    ASSERT_NEAR(back.items[i].extendedprice, d.items[i].extendedprice,
+                0.01);
+    ASSERT_DOUBLE_EQ(back.items[i].discount, d.items[i].discount);
+  }
+  for (size_t i = 0; i < d.partsupps.size(); ++i) {
+    ASSERT_EQ(back.partsupps[i].part, d.partsupps[i].part);
+    ASSERT_EQ(back.partsupps[i].supplier, d.partsupps[i].supplier);
+    ASSERT_EQ(back.partsupps[i].available, d.partsupps[i].available);
+  }
+}
+
+TEST_F(TblIoTest, ReloadedPopulationLoadsAndQueries) {
+  TpcdData d = Generate(0.002);
+  ASSERT_TRUE(WriteTbl(d, dir_).ok());
+  TpcdData back = ReadTbl(dir_).ValueOrDie();
+  auto inst = Load(back, 0.002).ValueOrDie();
+  // A simple end-to-end sanity query over the reloaded store.
+  auto returned = inst->db.Get("Item_returnflag");
+  ASSERT_TRUE(returned.ok());
+  EXPECT_EQ(returned->size(), d.items.size());
+}
+
+TEST_F(TblIoTest, MissingDirectoryFailsCleanly) {
+  auto r = ReadTbl("/nonexistent/moaflat");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(TblIoTest, MalformedRowsReportParseErrors) {
+  TpcdData d = Generate(0.002);
+  ASSERT_TRUE(WriteTbl(d, dir_).ok());
+  // Corrupt the nation file with a wrong field count.
+  std::ofstream out(fs::path(dir_) / "nation.tbl");
+  out << "1|FRANCE|1|extra|fields|\n";
+  out.close();
+  auto r = ReadTbl(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(TblIoTest, DanglingForeignKeysRejected) {
+  TpcdData d = Generate(0.002);
+  ASSERT_TRUE(WriteTbl(d, dir_).ok());
+  std::ofstream out(fs::path(dir_) / "nation.tbl");
+  out << "1|FRANCE|99|\n";  // region 99 does not exist
+  out.close();
+  auto r = ReadTbl(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace moaflat::tpcd

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bat/bat.h"
+#include "common/rng.h"
+#include "kernel/operators.h"
+
+namespace moaflat::kernel {
+namespace {
+
+using bat::Bat;
+using bat::Column;
+
+Bat LeftBat() {
+  return Bat(Column::MakeOid({1, 2, 3}), Column::MakeInt({10, 20, 30}));
+}
+Bat RightBat() {
+  return Bat(Column::MakeInt({15, 25}), Column::MakeStr({"a", "b"}));
+}
+
+std::multiset<std::pair<Oid, std::string>> Pairs(const Bat& b) {
+  std::multiset<std::pair<Oid, std::string>> out;
+  for (size_t i = 0; i < b.size(); ++i) {
+    out.insert({b.head().OidAt(i), std::string(b.tail().Str(i))});
+  }
+  return out;
+}
+
+TEST(ThetaJoinTest, LessThan) {
+  Bat out = ThetaJoin(LeftBat(), RightBat(), CmpOp::kLt).ValueOrDie();
+  // b < c: 10<15, 10<25, 20<25.
+  EXPECT_EQ(Pairs(out), (std::multiset<std::pair<Oid, std::string>>{
+                            {1, "a"}, {1, "b"}, {2, "b"}}));
+}
+
+TEST(ThetaJoinTest, GreaterEqualWithTies) {
+  Bat left(Column::MakeOid({1, 2}), Column::MakeInt({15, 30}));
+  Bat out = ThetaJoin(left, RightBat(), CmpOp::kGe).ValueOrDie();
+  // 15>=15; 30>=15, 30>=25.
+  EXPECT_EQ(Pairs(out), (std::multiset<std::pair<Oid, std::string>>{
+                            {1, "a"}, {2, "a"}, {2, "b"}}));
+}
+
+TEST(ThetaJoinTest, NotEqual) {
+  Bat left(Column::MakeOid({1}), Column::MakeInt({15}));
+  Bat out = ThetaJoin(left, RightBat(), CmpOp::kNe).ValueOrDie();
+  EXPECT_EQ(Pairs(out),
+            (std::multiset<std::pair<Oid, std::string>>{{1, "b"}}));
+}
+
+TEST(ThetaJoinTest, EqDelegatesToEquiJoin) {
+  Bat left(Column::MakeOid({1}), Column::MakeInt({25}));
+  Bat out = ThetaJoin(left, RightBat(), CmpOp::kEq).ValueOrDie();
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tail().Str(0), "b");
+}
+
+TEST(ThetaJoinTest, RandomizedAgainstBruteForce) {
+  Rng rng(17);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Oid> lh;
+    std::vector<int32_t> lt, rh;
+    std::vector<Oid> rt;
+    for (int i = 0; i < 30; ++i) {
+      lh.push_back(i);
+      lt.push_back(static_cast<int32_t>(rng.Uniform(0, 20)));
+    }
+    for (int j = 0; j < 25; ++j) {
+      rh.push_back(static_cast<int32_t>(rng.Uniform(0, 20)));
+      rt.push_back(1000 + j);
+    }
+    Bat left(Column::MakeOid(lh), Column::MakeInt(lt));
+    Bat right(Column::MakeInt(rh), Column::MakeOid(rt));
+    for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe}) {
+      Bat out = ThetaJoin(left, right, op).ValueOrDie();
+      size_t expected = 0;
+      for (int32_t b : lt) {
+        for (int32_t c : rh) {
+          const bool keep = op == CmpOp::kLt   ? b < c
+                            : op == CmpOp::kLe ? b <= c
+                            : op == CmpOp::kGt ? b > c
+                                               : b >= c;
+          expected += keep;
+        }
+      }
+      EXPECT_EQ(out.size(), expected)
+          << "round " << round << " op " << static_cast<int>(op);
+    }
+  }
+}
+
+TEST(FetchTest, PositionalAccess) {
+  Bat ab(Column::MakeOid({9, 8, 7}), Column::MakeStr({"x", "y", "z"}));
+  Bat pos(Column::MakeVoid(0, 2), Column::MakeOid({2, 0}));
+  Bat out = Fetch(ab, pos).ValueOrDie();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.tail().Str(0), "z");
+  EXPECT_EQ(out.tail().Str(1), "x");
+  Bat bad(Column::MakeVoid(0, 1), Column::MakeOid({5}));
+  EXPECT_FALSE(Fetch(ab, bad).ok());
+}
+
+TEST(CountDistinctTest, CountsUniqueTailValues) {
+  Bat ab(Column::MakeOid({1, 2, 3, 4}), Column::MakeInt({7, 7, 9, 7}));
+  EXPECT_EQ(CountDistinctTail(ab).ValueOrDie().AsLng(), 2);
+  Bat empty(Column::MakeVoid(0, 0), Column::MakeVoid(0, 0));
+  EXPECT_EQ(CountDistinctTail(empty).ValueOrDie().AsLng(), 0);
+}
+
+TEST(HistogramTest, CountsPerDistinctValue) {
+  Bat ab(Column::MakeOid({1, 2, 3, 4, 5}),
+         Column::MakeChr({'R', 'N', 'R', 'R', 'N'}));
+  Bat h = Histogram(ab).ValueOrDie();
+  ASSERT_EQ(h.size(), 2u);
+  // First-appearance gids: 'R' -> 0 (count 3), 'N' -> 1 (count 2).
+  EXPECT_EQ(h.tail().GetValue(0).AsLng(), 3);
+  EXPECT_EQ(h.tail().GetValue(1).AsLng(), 2);
+}
+
+}  // namespace
+}  // namespace moaflat::kernel
