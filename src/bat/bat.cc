@@ -47,11 +47,28 @@ Result<Bat> Bat::Make(ColumnPtr head, ColumnPtr tail, Properties props) {
   return Bat(std::move(head), std::move(tail), props);
 }
 
+Result<Bat> Bat::WithProps(Properties props) const {
+  if (props.hsorted && !props_.hsorted && !head_->ComputeSorted()) {
+    return Status::Invalid("WithProps: head is not sorted");
+  }
+  if (props.tsorted && !props_.tsorted && !tail_->ComputeSorted()) {
+    return Status::Invalid("WithProps: tail is not sorted");
+  }
+  if (props.hkey && !props_.hkey && !head_->ComputeKey()) {
+    return Status::Invalid("WithProps: head has duplicates");
+  }
+  if (props.tkey && !props_.tkey && !tail_->ComputeKey()) {
+    return Status::Invalid("WithProps: tail has duplicates");
+  }
+  return Bat(head_, tail_, props, head_side_, tail_side_);
+}
+
 Bat Bat::Mirror() const {
   return Bat(tail_, head_, props_.Mirrored(), tail_side_, head_side_);
 }
 
 std::shared_ptr<const HashIndex> Bat::EnsureHeadHash() const {
+  std::lock_guard<std::mutex> lock(head_side_->mu);
   if (!head_side_->hash) {
     head_side_->hash = std::make_shared<HashIndex>(head_);
   }
@@ -59,6 +76,7 @@ std::shared_ptr<const HashIndex> Bat::EnsureHeadHash() const {
 }
 
 std::shared_ptr<const HashIndex> Bat::EnsureTailHash() const {
+  std::lock_guard<std::mutex> lock(tail_side_->mu);
   if (!tail_side_->hash) {
     tail_side_->hash = std::make_shared<HashIndex>(tail_);
   }

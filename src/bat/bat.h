@@ -2,6 +2,7 @@
 #define MOAFLAT_BAT_BAT_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "bat/column.h"
@@ -55,7 +56,14 @@ class Bat {
   const ColumnPtr& tail_col() const { return tail_; }
 
   const Properties& props() const { return props_; }
-  Properties& props() { return props_; }
+
+  /// Returns a copy of this BAT (sharing columns and accelerators) with
+  /// `props` declared. Properties newly claimed relative to the current
+  /// declaration are verified against the data before they are accepted —
+  /// the Section 5.1 guarding discipline: a property is only ever set by
+  /// code that proves it, never asserted from outside. Dropping a property
+  /// is always allowed (it only weakens the optimizer's options).
+  Result<Bat> WithProps(Properties props) const;
 
   /// The mirrored view [tail,head]; shares all storage and accelerators.
   Bat Mirror() const;
@@ -77,6 +85,17 @@ class Bat {
   /// Hash index over the tail column.
   std::shared_ptr<const HashIndex> EnsureTailHash() const;
 
+  /// True if the hash accelerator on the head/tail side has already been
+  /// built (without building it); the dispatch predicates use this.
+  bool HasHeadHash() const {
+    std::lock_guard<std::mutex> lock(head_side_->mu);
+    return head_side_->hash != nullptr;
+  }
+  bool HasTailHash() const {
+    std::lock_guard<std::mutex> lock(tail_side_->mu);
+    return tail_side_->hash != nullptr;
+  }
+
   /// Attaches a datavector accelerator (oid head -> positional values).
   void SetDatavector(std::shared_ptr<Datavector> dv) { head_side_->dv = dv; }
 
@@ -94,6 +113,7 @@ class Bat {
 
  private:
   struct SideAux {
+    std::mutex mu;  // guards lazy hash construction under concurrency
     std::shared_ptr<const HashIndex> hash;
     std::shared_ptr<Datavector> dv;
   };

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,18 +30,24 @@ namespace moaflat::bat {
 /// The LOOKUP position cache, shared by all datavectors of one class
 /// (they index into the same extent, so positions computed for a right
 /// operand by one attribute's semijoin are valid for every attribute).
+/// Thread-safe: concurrent queries of separate ExecContexts share the base
+/// BATs and therefore this cache; a mutex guards the (rare) misses and the
+/// cheap lookups alike.
 class DvLookupCache {
  public:
   std::shared_ptr<const std::vector<uint32_t>> Find(uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     return it == cache_.end() ? nullptr : it->second;
   }
   void Store(uint64_t key,
              std::shared_ptr<const std::vector<uint32_t>> positions) {
+    std::lock_guard<std::mutex> lock(mu_);
     cache_[key] = std::move(positions);
   }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const std::vector<uint32_t>>>
       cache_;
 };

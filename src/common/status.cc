@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Execution error";
     case StatusCode::kIoError:
       return "IO error";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kParseError,
   kExecutionError,
   kIoError,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "Invalid argument").
@@ -70,6 +71,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

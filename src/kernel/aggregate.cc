@@ -2,9 +2,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
+#include "kernel/registry.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -80,6 +80,92 @@ Status AppendAcc(ColumnBuilder* tb, const Acc& acc, const Column& tail,
   return Status::Invalid("bad AggKind");
 }
 
+/// Common epilogue: result properties and the sync key that lets
+/// aggregates of different value attributes over synced operands line up.
+Result<Bat> FinishSetAggregate(const Bat& ab, ColumnBuilder& hb,
+                               ColumnBuilder& tb) {
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head,
+          MixSync(ab.head().sync_key(), HashString("set_aggregate")));
+  bat::Properties props;
+  props.hsorted = true;
+  props.hkey = true;
+  return Bat::Make(out_head, tb.Finish(), props);
+}
+
+/// Hash aggregation: one accumulator per group oid, groups emitted in
+/// ascending oid order.
+Result<Bat> HashSetAggregate(const ExecContext& ctx, AggKind kind,
+                             const Bat& ab, OpRecorder& rec) {
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  head.TouchAll();
+  tail.TouchAll();
+  std::unordered_map<Oid, Acc> groups;
+  std::vector<Oid> order;  // group oids, later sorted
+  for (size_t i = 0; i < ab.size(); ++i) {
+    const Oid g = head.OidAt(i);
+    auto [it, inserted] = groups.try_emplace(g);
+    if (inserted) order.push_back(g);
+    Accumulate(&it->second, tail, i, kind);
+  }
+  std::sort(order.begin(), order.end());
+  MF_RETURN_NOT_OK(ctx.ChargeMemory(
+      order.size() *
+      (sizeof(Oid) + TypeWidth(AggOutputType(kind, tail)))));
+
+  ColumnBuilder hb(MonetType::kOidT);
+  ColumnBuilder tb(AggOutputType(kind, tail), tail.str_heap());
+  hb.Reserve(order.size());
+  for (Oid g : order) {
+    hb.AppendOid(g);
+    MF_RETURN_NOT_OK(AppendAcc(&tb, groups[g], tail, kind));
+  }
+  MF_ASSIGN_OR_RETURN(Bat res, FinishSetAggregate(ab, hb, tb));
+  rec.Finish("hash_set_aggregate", res.size());
+  return res;
+}
+
+/// Run aggregation over a head-sorted (or void) grouping column: equal
+/// group oids are contiguous and ascending, so one sequential pass with a
+/// single accumulator suffices — no hash table, no sort.
+Result<Bat> RunSetAggregate(const ExecContext& ctx, AggKind kind,
+                            const Bat& ab, OpRecorder& rec) {
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  head.TouchAll();
+  tail.TouchAll();
+
+  ColumnBuilder hb(MonetType::kOidT);
+  ColumnBuilder tb(AggOutputType(kind, tail), tail.str_heap());
+  const uint64_t row_bytes =
+      sizeof(Oid) + TypeWidth(AggOutputType(kind, tail));
+  Acc acc;
+  bool open = false;
+  Oid current = 0;
+  for (size_t i = 0; i < ab.size(); ++i) {
+    const Oid g = head.OidAt(i);
+    if (open && g != current) {
+      hb.AppendOid(current);
+      MF_RETURN_NOT_OK(AppendAcc(&tb, acc, tail, kind));
+      MF_RETURN_NOT_OK(ctx.ChargeMemory(row_bytes));
+      acc = Acc{};
+    }
+    current = g;
+    open = true;
+    Accumulate(&acc, tail, i, kind);
+  }
+  if (open) {
+    hb.AppendOid(current);
+    MF_RETURN_NOT_OK(AppendAcc(&tb, acc, tail, kind));
+    MF_RETURN_NOT_OK(ctx.ChargeMemory(row_bytes));
+  }
+  MF_ASSIGN_OR_RETURN(Bat res, FinishSetAggregate(ab, hb, tb));
+  rec.Finish("run_set_aggregate", res.size());
+  return res;
+}
+
+
 }  // namespace
 
 const char* AggKindName(AggKind k) {
@@ -93,50 +179,21 @@ const char* AggKindName(AggKind k) {
   return "?";
 }
 
-Result<Bat> SetAggregate(AggKind kind, const Bat& ab) {
-  OpRecorder rec("set_aggregate");
+Result<Bat> SetAggregate(const ExecContext& ctx, AggKind kind, const Bat& ab) {
+  OpRecorder rec(ctx, "set_aggregate");
   const Column& head = ab.head();
-  const Column& tail = ab.tail();
   if (head.type() != MonetType::kOidT && !head.is_void()) {
     return Status::TypeError(
         "set-aggregate groups over an oid head, got " +
         std::string(TypeName(head.type())));
   }
-
-  head.TouchAll();
-  tail.TouchAll();
-  std::unordered_map<Oid, Acc> groups;
-  std::vector<Oid> order;  // group oids, later sorted
-  for (size_t i = 0; i < ab.size(); ++i) {
-    const Oid g = head.OidAt(i);
-    auto [it, inserted] = groups.try_emplace(g);
-    if (inserted) order.push_back(g);
-    Accumulate(&it->second, tail, i, kind);
-  }
-  std::sort(order.begin(), order.end());
-
-  ColumnBuilder hb(MonetType::kOidT);
-  ColumnBuilder tb(AggOutputType(kind, tail), tail.str_heap());
-  hb.Reserve(order.size());
-  for (Oid g : order) {
-    hb.AppendOid(g);
-    MF_RETURN_NOT_OK(AppendAcc(&tb, groups[g], tail, kind));
-  }
-
-  ColumnPtr out_head = hb.Finish();
-  // Aggregates of different value attributes over synced operands line up:
-  // the head sets (and the sorted order) are identical.
-  SetSync(out_head, MixSync(head.sync_key(), HashString("set_aggregate")));
-  bat::Properties props;
-  props.hsorted = true;
-  props.hkey = true;
-  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
-  rec.Finish("hash_set_aggregate", res.size());
-  return res;
+  return KernelRegistry::Global().Dispatch<SetAggImplSig>(
+      "set_aggregate", MakeInput(ab), ctx, kind, ab, rec);
 }
 
-Result<Value> ScalarAggregate(AggKind kind, const Bat& ab) {
-  OpRecorder rec("aggregate");
+Result<Value> ScalarAggregate(const ExecContext& ctx, AggKind kind,
+                              const Bat& ab) {
+  OpRecorder rec(ctx, "aggregate");
   const Column& tail = ab.tail();
   tail.TouchAll();
   Acc acc;
@@ -160,5 +217,30 @@ Result<Value> ScalarAggregate(AggKind kind, const Bat& ab) {
 Value CountBat(const Bat& ab) {
   return Value::Lng(static_cast<int64_t>(ab.size()));
 }
+
+namespace internal {
+
+void RegisterAggregateKernels(KernelRegistry& r) {
+  r.Register<SetAggImplSig>(
+      "set_aggregate", "run_set_aggregate",
+      [](const DispatchInput& in) {
+        return in.left.props.hsorted || in.left.head_void;
+      },
+      [](const DispatchInput& in) {
+        return static_cast<double>(in.left.size) + 1.0;
+      },
+      std::function<SetAggImplSig>(RunSetAggregate),
+      "head-sorted groups are contiguous: single sequential pass");
+  r.Register<SetAggImplSig>(
+      "set_aggregate", "hash_set_aggregate",
+      [](const DispatchInput&) { return true; },
+      [](const DispatchInput& in) {
+        return 2.0 * static_cast<double>(in.left.size) + 4.0;
+      },
+      std::function<SetAggImplSig>(HashSetAggregate),
+      "one accumulator per group oid via hash table");
+}
+
+}  // namespace internal
 
 }  // namespace moaflat::kernel

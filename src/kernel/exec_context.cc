@@ -1,0 +1,27 @@
+#include "kernel/exec_context.h"
+
+namespace moaflat::kernel {
+
+OpRecorder::OpRecorder(const ExecContext& ctx, const char* op)
+    : ctx_(ctx),
+      op_(op),
+      io_scope_(ctx.io()),
+      start_(std::chrono::steady_clock::now()),
+      faults_before_(ctx.io() != nullptr ? ctx.io()->faults() : 0) {}
+
+void OpRecorder::Finish(const char* impl, size_t out_size) {
+  Finish(std::string(impl), out_size);
+}
+
+void OpRecorder::Finish(const std::string& impl, size_t out_size) {
+  ExecTracer* tracer = ctx_.tracer();
+  if (tracer == nullptr) return;
+  const uint64_t faults_after = ctx_.io() != nullptr ? ctx_.io()->faults() : 0;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  tracer->records.push_back(TraceRecord{
+      op_, impl, out_size,
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(),
+      faults_after - faults_before_});
+}
+
+}  // namespace moaflat::kernel

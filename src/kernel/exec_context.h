@@ -1,0 +1,125 @@
+#ifndef MOAFLAT_KERNEL_EXEC_CONTEXT_H_
+#define MOAFLAT_KERNEL_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "kernel/exec_tracer.h"
+#include "storage/page_accountant.h"
+
+namespace moaflat::kernel {
+
+/// All execution state of one query (or one session), passed explicitly
+/// through every kernel operator:
+///
+///   - the ExecTracer that records the dynamic optimizer's implementation
+///     choices (Fig. 10),
+///   - the IoStats page-fault accountant (Section 5.2.2 cost model),
+///   - a memory budget capping the total bytes the operators under this
+///     context may materialize (Monet materializes every intermediate, so
+///     this is the per-query admission control knob),
+///   - an RNG seed for operators that sample.
+///
+/// Contexts are cheap values: copies share the memory-charge counter (a
+/// statement-scoped copy still charges the query's budget) but may override
+/// the tracer or IO sink. Two contexts with distinct tracers/IoStats are
+/// fully isolated — the basis for running concurrent traced queries.
+class ExecContext {
+ public:
+  ExecContext() : charged_(std::make_shared<std::atomic<uint64_t>>(0)) {}
+
+  /// Compatibility shim for the legacy free-function operator API: snapshots
+  /// the thread-local TraceScope / IoScope singletons into a context, so
+  /// pre-ExecContext callers keep their exact behavior.
+  static ExecContext FromThreadLocals() {
+    ExecContext ctx;
+    ctx.tracer_ = ExecTracer::Current();
+    ctx.io_ = storage::CurrentIo();
+    return ctx;
+  }
+
+  ExecContext& WithTracer(ExecTracer* tracer) {
+    tracer_ = tracer;
+    return *this;
+  }
+  ExecContext& WithIo(storage::IoStats* io) {
+    io_ = io;
+    return *this;
+  }
+  /// Caps the cumulative bytes of result BUNs materialized under this
+  /// context (0 = unlimited). Shared by all copies of this context.
+  ExecContext& WithMemoryBudget(uint64_t bytes) {
+    budget_ = bytes;
+    return *this;
+  }
+  ExecContext& WithSeed(uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+
+  ExecTracer* tracer() const { return tracer_; }
+  storage::IoStats* io() const { return io_; }
+  uint64_t seed() const { return seed_; }
+
+  /// A deterministic generator derived from the context seed.
+  Rng MakeRng() const { return Rng(seed_ ^ 0x9e3779b97f4a7c15ULL); }
+
+  uint64_t memory_budget() const { return budget_; }
+  uint64_t memory_charged() const { return charged_->load(); }
+
+  /// The memory budget hook: operators call this before materializing
+  /// `bytes` of result storage. Charges accumulate across the lifetime of
+  /// the context (the paper's "total intermediate MB" model, Fig. 9) and
+  /// the call fails once the budget would be exceeded. A rejected charge
+  /// is refunded — the materialization it guarded never happens — so one
+  /// over-budget operator does not poison later, smaller ones.
+  Status ChargeMemory(uint64_t bytes) const {
+    const uint64_t now = charged_->fetch_add(bytes) + bytes;
+    if (budget_ != 0 && now > budget_) {
+      charged_->fetch_sub(bytes);
+      return Status::ResourceExhausted(
+          "memory budget exceeded: " + std::to_string(now) + " of " +
+          std::to_string(budget_) + " bytes would be charged");
+    }
+    return Status::OK();
+  }
+
+ private:
+  ExecTracer* tracer_ = nullptr;
+  storage::IoStats* io_ = nullptr;
+  uint64_t budget_ = 0;  // 0 = unlimited
+  uint64_t seed_ = 0;
+  std::shared_ptr<std::atomic<uint64_t>> charged_;
+};
+
+/// Per-operator-call guard used inside every kernel operator. Binds the
+/// context's IoStats for the duration of the call (so column touches are
+/// attributed to this context and no other), snapshots time and the fault
+/// counter, and emits a TraceRecord into the context's tracer on Finish().
+class OpRecorder {
+ public:
+  OpRecorder(const ExecContext& ctx, const char* op);
+
+  /// Records the completed call. `impl` names the chosen algorithm.
+  void Finish(const char* impl, size_t out_size);
+  void Finish(const std::string& impl, size_t out_size);
+
+  OpRecorder(const OpRecorder&) = delete;
+  OpRecorder& operator=(const OpRecorder&) = delete;
+
+ private:
+  const ExecContext& ctx_;
+  const char* op_;
+  storage::IoScope io_scope_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t faults_before_;
+};
+
+}  // namespace moaflat::kernel
+
+#endif  // MOAFLAT_KERNEL_EXEC_CONTEXT_H_

@@ -1,13 +1,6 @@
 #include "kernel/exec_tracer.h"
 
 namespace moaflat::kernel {
-namespace {
-
-thread_local ExecTracer* t_tracer = nullptr;
-
-}  // namespace
-
-ExecTracer* ExecTracer::Current() { return t_tracer; }
 
 uint64_t ExecTracer::TotalFaults() const {
   uint64_t total = 0;
@@ -22,28 +15,10 @@ std::string ExecTracer::LastImplOf(const std::string& op) const {
   return "";
 }
 
-TraceScope::TraceScope(ExecTracer* tracer) : previous_(t_tracer) {
-  t_tracer = tracer;
+TraceScope::TraceScope(ExecTracer* tracer) : previous_(internal::tl_tracer) {
+  internal::tl_tracer = tracer;
 }
 
-TraceScope::~TraceScope() { t_tracer = previous_; }
-
-OpRecorder::OpRecorder(const char* op)
-    : op_(op), start_(std::chrono::steady_clock::now()) {
-  storage::IoStats* io = storage::CurrentIo();
-  faults_before_ = io ? io->faults() : 0;
-}
-
-void OpRecorder::Finish(const char* impl, size_t out_size) {
-  ExecTracer* tracer = ExecTracer::Current();
-  if (tracer == nullptr) return;
-  storage::IoStats* io = storage::CurrentIo();
-  const uint64_t faults_after = io ? io->faults() : 0;
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
-  tracer->records.push_back(TraceRecord{
-      op_, impl, out_size,
-      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(),
-      faults_after - faults_before_});
-}
+TraceScope::~TraceScope() { internal::tl_tracer = previous_; }
 
 }  // namespace moaflat::kernel

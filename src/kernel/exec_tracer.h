@@ -1,12 +1,9 @@
 #ifndef MOAFLAT_KERNEL_EXEC_TRACER_H_
 #define MOAFLAT_KERNEL_EXEC_TRACER_H_
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
-
-#include "storage/page_accountant.h"
 
 namespace moaflat::kernel {
 
@@ -23,14 +20,26 @@ struct TraceRecord {
   uint64_t faults = 0;
 };
 
-/// Collects TraceRecords for the current thread while installed via
-/// TraceScope. Null (disabled) by default.
+class ExecTracer;
+
+namespace internal {
+/// Legacy thread-local tracer slot. Kept only as the compatibility shim
+/// behind ExecContext::FromThreadLocals() and TraceScope; operators never
+/// read it directly — all execution state flows through ExecContext.
+inline thread_local ExecTracer* tl_tracer = nullptr;
+}  // namespace internal
+
+/// Collects TraceRecords for an execution context. Attach one to an
+/// ExecContext (ctx.WithTracer(&tracer)); two contexts with distinct
+/// tracers never observe each other's records, which is what makes
+/// concurrent traced queries possible.
 class ExecTracer {
  public:
   std::vector<TraceRecord> records;
 
-  /// The tracer active on this thread, or nullptr.
-  static ExecTracer* Current();
+  /// Compatibility shim: the tracer installed on this thread via
+  /// TraceScope, or nullptr. New code should pass an ExecContext instead.
+  static ExecTracer* Current() { return internal::tl_tracer; }
 
   /// Sum of recorded fault counts.
   uint64_t TotalFaults() const;
@@ -40,7 +49,9 @@ class ExecTracer {
   std::string LastImplOf(const std::string& op) const;
 };
 
-/// RAII installer for an ExecTracer on this thread.
+/// RAII installer for an ExecTracer on this thread (compatibility shim:
+/// the free-function operator API picks it up via
+/// ExecContext::FromThreadLocals()).
 class TraceScope {
  public:
   explicit TraceScope(ExecTracer* tracer);
@@ -51,21 +62,6 @@ class TraceScope {
 
  private:
   ExecTracer* previous_;
-};
-
-/// Helper used inside kernel operators: snapshots time and the fault
-/// counter at construction; Finish() emits a TraceRecord if tracing is on.
-class OpRecorder {
- public:
-  explicit OpRecorder(const char* op);
-
-  /// Records the completed call. `impl` names the chosen algorithm.
-  void Finish(const char* impl, size_t out_size);
-
- private:
-  const char* op_;
-  std::chrono::steady_clock::time_point start_;
-  uint64_t faults_before_;
 };
 
 }  // namespace moaflat::kernel

@@ -1,9 +1,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
+#include "kernel/registry.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -11,9 +11,7 @@ namespace {
 using bat::Column;
 using bat::ColumnBuilder;
 using bat::ColumnPtr;
-using internal::HashString;
 using internal::MixSync;
-using internal::SetSync;
 
 /// Hash-consing of tail values into dense group oids with collision
 /// verification against a representative position.
@@ -45,10 +43,9 @@ class GroupTable {
   Oid next_ = 0;
 };
 
-}  // namespace
-
-Result<Bat> Group(const Bat& ab) {
-  OpRecorder rec("group");
+Result<Bat> HashGroup(const ExecContext& ctx, const Bat& ab, OpRecorder& rec) {
+  // The result shares the head; only the gid tail is new storage.
+  MF_RETURN_NOT_OK(ctx.ChargeMemory(ab.size() * sizeof(Oid)));
   const Column& tail = ab.tail();
   tail.TouchAll();
   GroupTable groups(tail);
@@ -68,64 +65,131 @@ Result<Bat> Group(const Bat& ab) {
   return res;
 }
 
-Result<Bat> GroupRefine(const Bat& ab, const Bat& cd) {
-  OpRecorder rec("group");
-  const Column& prev = ab.tail();  // previous group oids
-  const Column& d = cd.tail();
+/// Pair (previous gid, refined value) -> new dense gid, with
+/// representative-based collision verification.
+class RefineTable {
+ public:
+  explicit RefineTable(const Column& d) : d_(d) {}
 
-  // Pair (previous gid, refined value) -> new dense gid, with
-  // representative-based collision verification.
+  Oid Refine(Oid prev_gid, size_t dpos) {
+    const uint64_t h = MixSync(prev_gid, d_.HashAt(dpos));
+    auto& bucket = table_[h];
+    for (const Entry& e : bucket) {
+      if (e.prev_gid == prev_gid && d_.EqualAt(dpos, d_, e.rep)) return e.gid;
+    }
+    const Oid gid = next_++;
+    bucket.push_back(Entry{prev_gid, static_cast<uint32_t>(dpos), gid});
+    return gid;
+  }
+
+ private:
   struct Entry {
     Oid prev_gid;
     uint32_t rep;  // position in cd whose tail is the representative
     Oid gid;
   };
-  std::unordered_map<uint64_t, std::vector<Entry>> table;
-  Oid next = 0;
+  const Column& d_;
+  std::unordered_map<uint64_t, std::vector<Entry>> table_;
+  Oid next_ = 0;
+};
 
-  auto refine = [&](Oid prev_gid, size_t dpos) -> Oid {
-    const uint64_t h = MixSync(prev_gid, d.HashAt(dpos));
-    auto& bucket = table[h];
-    for (const Entry& e : bucket) {
-      if (e.prev_gid == prev_gid && d.EqualAt(dpos, d, e.rep)) return e.gid;
-    }
-    const Oid gid = next++;
-    bucket.push_back(Entry{prev_gid, static_cast<uint32_t>(dpos), gid});
-    return gid;
-  };
-
-  std::vector<Oid> gids;
-  gids.reserve(ab.size());
-  const char* impl;
-  if (ab.SyncedWith(cd)) {
-    impl = "sync_group_refine";
-    prev.TouchAll();
-    d.TouchAll();
-    for (size_t i = 0; i < ab.size(); ++i) {
-      gids.push_back(refine(prev.OidAt(i), i));
-    }
-  } else {
-    impl = "hash_group_refine";
-    auto hash = cd.EnsureHeadHash();
-    prev.TouchAll();
-    for (size_t i = 0; i < ab.size(); ++i) {
-      const int64_t pos = hash->FindFirst(ab.head(), i);
-      if (pos < 0) {
-        return Status::ExecutionError(
-            "group refinement: left head value missing on the right");
-      }
-      d.TouchAt(static_cast<size_t>(pos));
-      gids.push_back(refine(prev.OidAt(i), static_cast<size_t>(pos)));
-    }
-  }
-
+Result<Bat> FinishRefine(const Bat& ab, std::vector<Oid> gids) {
   ColumnPtr gid_col = Column::MakeOid(std::move(gids));
   bat::Properties props;
   props.hsorted = ab.props().hsorted;
   props.hkey = ab.props().hkey;
-  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(ab.head_col(), gid_col, props));
-  rec.Finish(impl, res.size());
+  return Bat::Make(ab.head_col(), gid_col, props);
+}
+
+/// Synced refinement: the refining values line up positionally.
+Result<Bat> SyncGroupRefine(const ExecContext& ctx, const Bat& ab,
+                            const Bat& cd, OpRecorder& rec) {
+  MF_RETURN_NOT_OK(ctx.ChargeMemory(ab.size() * sizeof(Oid)));
+  const Column& prev = ab.tail();
+  const Column& d = cd.tail();
+  RefineTable table(d);
+  std::vector<Oid> gids;
+  gids.reserve(ab.size());
+  prev.TouchAll();
+  d.TouchAll();
+  for (size_t i = 0; i < ab.size(); ++i) {
+    gids.push_back(table.Refine(prev.OidAt(i), i));
+  }
+  MF_ASSIGN_OR_RETURN(Bat res, FinishRefine(ab, std::move(gids)));
+  rec.Finish("sync_group_refine", res.size());
   return res;
 }
+
+/// General refinement: aligns the refining values via CD's head hash.
+Result<Bat> HashGroupRefine(const ExecContext& ctx, const Bat& ab,
+                            const Bat& cd, OpRecorder& rec) {
+  MF_RETURN_NOT_OK(ctx.ChargeMemory(ab.size() * sizeof(Oid)));
+  const Column& prev = ab.tail();
+  const Column& d = cd.tail();
+  RefineTable table(d);
+  std::vector<Oid> gids;
+  gids.reserve(ab.size());
+  auto hash = cd.EnsureHeadHash();
+  prev.TouchAll();
+  for (size_t i = 0; i < ab.size(); ++i) {
+    const int64_t pos = hash->FindFirst(ab.head(), i);
+    if (pos < 0) {
+      return Status::ExecutionError(
+          "group refinement: left head value missing on the right");
+    }
+    d.TouchAt(static_cast<size_t>(pos));
+    gids.push_back(table.Refine(prev.OidAt(i), static_cast<size_t>(pos)));
+  }
+  MF_ASSIGN_OR_RETURN(Bat res, FinishRefine(ab, std::move(gids)));
+  rec.Finish("hash_group_refine", res.size());
+  return res;
+}
+
+
+}  // namespace
+
+Result<Bat> Group(const ExecContext& ctx, const Bat& ab) {
+  OpRecorder rec(ctx, "group");
+  return KernelRegistry::Global().Dispatch<UnaryImplSig>(
+      "group", MakeInput(ab), ctx, ab, rec);
+}
+
+Result<Bat> GroupRefine(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  OpRecorder rec(ctx, "group");
+  return KernelRegistry::Global().Dispatch<BinaryImplSig>(
+      "group_refine", MakeInput(ab, cd), ctx, ab, cd, rec);
+}
+
+namespace internal {
+
+void RegisterGroupKernels(KernelRegistry& r) {
+  r.Register<UnaryImplSig>(
+      "group", "hash_group",
+      [](const DispatchInput&) { return true; },
+      [](const DispatchInput& in) {
+        return static_cast<double>(in.left.size) + 1.0;
+      },
+      std::function<UnaryImplSig>(HashGroup),
+      "hash-cons tail values into dense first-appearance oids");
+  r.Register<BinaryImplSig>(
+      "group_refine", "sync_group_refine",
+      [](const DispatchInput& in) { return in.synced; },
+      [](const DispatchInput& in) {
+        return static_cast<double>(in.left.size) + 1.0;
+      },
+      std::function<BinaryImplSig>(SyncGroupRefine),
+      "operands synced: positional refinement pass");
+  r.Register<BinaryImplSig>(
+      "group_refine", "hash_group_refine",
+      [](const DispatchInput& in) { return in.right.has_value(); },
+      [](const DispatchInput& in) {
+        return 2.0 * static_cast<double>(in.left.size) +
+               (in.right->head_hashed ? 2.0 : 4.0);
+      },
+      std::function<BinaryImplSig>(HashGroupRefine),
+      "align refining values via CD's head hash accelerator");
+}
+
+}  // namespace internal
 
 }  // namespace moaflat::kernel

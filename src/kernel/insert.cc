@@ -1,6 +1,5 @@
 #include <vector>
 
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 
@@ -17,14 +16,17 @@ MonetType BuilderType(const Column& c) {
 
 }  // namespace
 
-Result<Bat> InsertBuns(const Bat& ab, const std::vector<Value>& heads,
+Result<Bat> InsertBuns(const ExecContext& ctx, const Bat& ab,
+                       const std::vector<Value>& heads,
                        const std::vector<Value>& tails) {
-  OpRecorder rec("insert");
+  OpRecorder rec(ctx, "insert");
   if (heads.size() != tails.size()) {
     return Status::Invalid("insert: head/tail value counts differ");
   }
   const Column& h = ab.head();
   const Column& t = ab.tail();
+  MF_RETURN_NOT_OK(
+      internal::ChargeGather(ctx, ab.size() + heads.size(), h, t));
 
   ColumnBuilder hb(BuilderType(h));
   ColumnBuilder tb(BuilderType(t), t.str_heap());

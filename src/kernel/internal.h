@@ -6,8 +6,55 @@
 #include <string_view>
 
 #include "bat/bat.h"
+#include "kernel/exec_context.h"
 
 namespace moaflat::kernel::internal {
+
+/// Charges `rows` result BUNs of the given column shapes against the
+/// context's memory budget (the hook point of the ExecContext budget).
+/// Called by operators once the result cardinality is known, before the
+/// result heap is materialized.
+inline Status ChargeGather(const ExecContext& ctx, size_t rows,
+                           const bat::Column& head, const bat::Column& tail) {
+  const int hw = head.is_void() ? TypeWidth(MonetType::kOidT) : head.width();
+  const int tw = tail.is_void() ? TypeWidth(MonetType::kOidT) : tail.width();
+  return ctx.ChargeMemory(static_cast<uint64_t>(rows) *
+                          static_cast<uint64_t>(hw + tw));
+}
+
+/// Incremental budget gate for operators whose result cardinality is not
+/// known upfront (joins, theta-joins, run aggregates): rows are charged in
+/// chunks as they are emitted, so a result that blows past the budget is
+/// stopped mid-build with at most one chunk of overshoot.
+class ChargeGate {
+ public:
+  ChargeGate(const ExecContext& ctx, const bat::Column& head,
+             const bat::Column& tail)
+      : ctx_(ctx),
+        bytes_per_row_(static_cast<uint64_t>(
+            (head.is_void() ? TypeWidth(MonetType::kOidT) : head.width()) +
+            (tail.is_void() ? TypeWidth(MonetType::kOidT) : tail.width()))) {}
+
+  /// Accounts `rows` more emitted result rows.
+  Status Add(size_t rows) {
+    pending_ += rows;
+    return pending_ >= kChunkRows ? Flush() : Status::OK();
+  }
+
+  /// Charges any not-yet-charged rows; call once after the emit loop.
+  Status Flush() {
+    if (pending_ == 0) return Status::OK();
+    const uint64_t bytes = pending_ * bytes_per_row_;
+    pending_ = 0;
+    return ctx_.ChargeMemory(bytes);
+  }
+
+ private:
+  static constexpr size_t kChunkRows = 1 << 16;
+  const ExecContext& ctx_;
+  uint64_t bytes_per_row_;
+  size_t pending_ = 0;
+};
 
 /// Deterministic combination of sync keys: operators derive the sync key of
 /// a result head column from the operand keys so that structurally

@@ -1,6 +1,6 @@
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
+#include "kernel/registry.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -8,6 +8,7 @@ namespace {
 using bat::Column;
 using bat::ColumnBuilder;
 using bat::ColumnPtr;
+using internal::ChargeGate;
 using internal::HashString;
 using internal::MixSync;
 using internal::SetSync;
@@ -23,80 +24,11 @@ struct JoinOut {
       : heads(BuilderType(a)), tails(BuilderType(d), d.str_heap()) {}
 };
 
-}  // namespace
-
-Result<Bat> Join(const Bat& ab, const Bat& cd) {
-  OpRecorder rec("join");
-  const Column& a = ab.head();
-  const Column& b = ab.tail();
-  const Column& c = cd.head();
-  const Column& d = cd.tail();
-  JoinOut out(a, d);
-  const char* impl;
-
-  // Dynamic optimization (Section 5.1): positional when the join columns
-  // are provably identical by position, merge when both are sorted, hash
-  // otherwise (the hash accelerator on CD's head is built once and cached).
-  const bool positional =
-      (b.is_void() && c.is_void() && b.void_base() == c.void_base() &&
-       b.size() == c.size()) ||
-      (b.sync_key() == c.sync_key() && b.size() == c.size());
-  if (positional) {
-    // Zero-copy: the result is exactly [A, D]; both columns are shared.
-    a.TouchAll();
-    d.TouchAll();
-    bat::Properties props;
-    props.hsorted = ab.props().hsorted;
-    props.hkey = ab.props().hkey;
-    props.tsorted = cd.props().tsorted;
-    props.tkey = cd.props().tkey;
-    MF_ASSIGN_OR_RETURN(Bat res,
-                        Bat::Make(ab.head_col(), cd.tail_col(), props));
-    rec.Finish("fetch_join", res.size());
-    return res;
-  }
-  if (ab.props().tsorted && cd.props().hsorted) {
-    impl = "merge_join";
-    b.TouchAll();
-    c.TouchAll();
-    size_t i = 0, j = 0;
-    const size_t n = ab.size(), m = cd.size();
-    while (i < n && j < m) {
-      const int cmp = b.CompareAt(i, c, j);
-      if (cmp < 0) {
-        ++i;
-      } else if (cmp > 0) {
-        ++j;
-      } else {
-        // Emit the full run of equal keys on the right for this left BUN.
-        size_t j2 = j;
-        while (j2 < m && c.EqualAt(j2, c, j)) {
-          a.TouchAt(i);
-          d.TouchAt(j2);
-          out.heads.AppendFrom(a, i);
-          out.tails.AppendFrom(d, j2);
-          ++j2;
-        }
-        ++i;  // the right run start stays: the next left BUN may match too
-      }
-    }
-  } else {
-    impl = "hash_join";
-    auto hash = cd.EnsureHeadHash();
-    b.TouchAll();
-    for (size_t i = 0; i < ab.size(); ++i) {
-      hash->ForEachMatch(b, i, [&](uint32_t pos) {
-        c.TouchAt(pos);
-        a.TouchAt(i);
-        d.TouchAt(pos);
-        out.heads.AppendFrom(a, i);
-        out.tails.AppendFrom(d, pos);
-      });
-    }
-  }
-
+/// Common epilogue of the materializing join variants.
+Result<Bat> FinishJoin(const Bat& ab, const Bat& cd, JoinOut& out) {
   ColumnPtr out_head = out.heads.Finish();
-  SetSync(out_head, MixSync(MixSync(a.sync_key(), c.sync_key()),
+  SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
+                                    cd.head().sync_key()),
                             HashString("join")));
   bat::Properties props;
   // All implementations emit in left-BUN order; right-side duplicates
@@ -105,9 +37,139 @@ Result<Bat> Join(const Bat& ab, const Bat& cd) {
   props.hkey = ab.props().hkey && cd.props().hkey;
   props.tsorted = false;
   props.tkey = false;
-  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, out.tails.Finish(), props));
-  rec.Finish(impl, res.size());
+  return Bat::Make(out_head, out.tails.Finish(), props);
+}
+
+/// Positional join over provably identical join columns: the result is
+/// exactly [A, D]; both columns are shared, no data moves.
+Result<Bat> FetchJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
+                      OpRecorder& rec) {
+  (void)ctx;  // zero-copy: nothing is materialized, nothing to charge
+  ab.head().TouchAll();
+  cd.tail().TouchAll();
+  bat::Properties props;
+  props.hsorted = ab.props().hsorted;
+  props.hkey = ab.props().hkey;
+  props.tsorted = cd.props().tsorted;
+  props.tkey = cd.props().tkey;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(ab.head_col(), cd.tail_col(), props));
+  rec.Finish("fetch_join", res.size());
   return res;
 }
+
+Result<Bat> MergeJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
+                      OpRecorder& rec) {
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  const Column& c = cd.head();
+  const Column& d = cd.tail();
+  JoinOut out(a, d);
+  ChargeGate gate(ctx, a, d);
+  b.TouchAll();
+  c.TouchAll();
+  size_t i = 0, j = 0;
+  const size_t n = ab.size(), m = cd.size();
+  while (i < n && j < m) {
+    const int cmp = b.CompareAt(i, c, j);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      // Emit the full run of equal keys on the right for this left BUN.
+      size_t j2 = j;
+      while (j2 < m && c.EqualAt(j2, c, j)) {
+        a.TouchAt(i);
+        d.TouchAt(j2);
+        out.heads.AppendFrom(a, i);
+        out.tails.AppendFrom(d, j2);
+        MF_RETURN_NOT_OK(gate.Add(1));
+        ++j2;
+      }
+      ++i;  // the right run start stays: the next left BUN may match too
+    }
+  }
+  MF_RETURN_NOT_OK(gate.Flush());
+  MF_ASSIGN_OR_RETURN(Bat res, FinishJoin(ab, cd, out));
+  rec.Finish("merge_join", res.size());
+  return res;
+}
+
+Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
+                     OpRecorder& rec) {
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  const Column& c = cd.head();
+  const Column& d = cd.tail();
+  JoinOut out(a, d);
+  ChargeGate gate(ctx, a, d);
+  auto hash = cd.EnsureHeadHash();
+  b.TouchAll();
+  size_t gated = 0;
+  for (size_t i = 0; i < ab.size(); ++i) {
+    hash->ForEachMatch(b, i, [&](uint32_t pos) {
+      c.TouchAt(pos);
+      a.TouchAt(i);
+      d.TouchAt(pos);
+      out.heads.AppendFrom(a, i);
+      out.tails.AppendFrom(d, pos);
+    });
+    MF_RETURN_NOT_OK(gate.Add(out.heads.size() - gated));
+    gated = out.heads.size();
+  }
+  MF_RETURN_NOT_OK(gate.Flush());
+  MF_ASSIGN_OR_RETURN(Bat res, FinishJoin(ab, cd, out));
+  rec.Finish("hash_join", res.size());
+  return res;
+}
+
+
+}  // namespace
+
+Result<Bat> Join(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  // Dynamic optimization (Section 5.1), as a data-driven dispatch: the
+  // registered variants' predicates and cost hints decide, inspectable via
+  // KernelRegistry::Explain("join", ab, cd).
+  OpRecorder rec(ctx, "join");
+  return KernelRegistry::Global().Dispatch<BinaryImplSig>(
+      "join", MakeInput(ab, cd), ctx, ab, cd, rec);
+}
+
+namespace internal {
+
+void RegisterJoinKernels(KernelRegistry& r) {
+  r.Register<BinaryImplSig>(
+      "join", "fetch_join",
+      [](const DispatchInput& in) { return in.tail_head_aligned; },
+      [](const DispatchInput&) { return 1.0; },
+      std::function<BinaryImplSig>(FetchJoin),
+      "join columns provably identical by position: zero-copy [A, D]");
+  r.Register<BinaryImplSig>(
+      "join", "merge_join",
+      [](const DispatchInput& in) {
+        return in.left.props.tsorted && in.right.has_value() &&
+               in.right->props.hsorted;
+      },
+      [](const DispatchInput& in) {
+        return static_cast<double>(in.left.size + in.right->size) + 2.0;
+      },
+      std::function<BinaryImplSig>(MergeJoin),
+      "single interleaved pass over tsorted x hsorted operands");
+  r.Register<BinaryImplSig>(
+      "join", "hash_join",
+      [](const DispatchInput& in) { return in.right.has_value(); },
+      [](const DispatchInput& in) {
+        // Building the accelerator costs one pass over CD, skipped when
+        // the hash already exists; probing costs one pass over AB. The
+        // discount never undercuts merge_join (n + m + 2).
+        const double m = static_cast<double>(in.right->size);
+        return static_cast<double>(in.left.size) +
+               (in.right->head_hashed ? m : 2.0 * m) + 4.0;
+      },
+      std::function<BinaryImplSig>(HashJoin),
+      "probe the (cached) hash accelerator on CD's head");
+}
+
+}  // namespace internal
 
 }  // namespace moaflat::kernel

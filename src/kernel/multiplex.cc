@@ -2,7 +2,6 @@
 #include <vector>
 
 #include "common/parallel.h"
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/scalar_fn.h"
@@ -24,8 +23,9 @@ bool NumericTail(const Column& c) {
 
 }  // namespace
 
-Result<Bat> Multiplex(const std::string& fn, const std::vector<MxArg>& args) {
-  OpRecorder rec("multiplex");
+Result<Bat> Multiplex(const ExecContext& ctx, const std::string& fn,
+                      const std::vector<MxArg>& args) {
+  OpRecorder rec(ctx, "multiplex");
 
   // Locate the driver (first BAT argument) and classify the others.
   const Bat* driver = nullptr;
@@ -74,6 +74,7 @@ Result<Bat> Multiplex(const std::string& fn, const std::vector<MxArg>& args) {
     }
     if (numeric_ok) {
       const size_t n = driver->size();
+      MF_RETURN_NOT_OK(ctx.ChargeMemory(n * sizeof(double)));
       std::vector<double> out(n);
       auto num_at = [&](const MxArg& a, size_t i) -> double {
         if (const Bat* b = std::get_if<Bat>(&a)) return b->tail().NumAt(i);

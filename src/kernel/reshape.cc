@@ -3,7 +3,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 
@@ -13,6 +12,7 @@ namespace {
 using bat::Column;
 using bat::ColumnBuilder;
 using bat::ColumnPtr;
+using internal::ChargeGather;
 using internal::HashString;
 using internal::MixSync;
 using internal::SetSync;
@@ -22,10 +22,12 @@ MonetType BuilderType(const Column& c) {
 }
 
 /// Copies the BUNs at `positions` (in order) into a fresh BAT.
-Result<Bat> GatherPositions(const Bat& ab, const std::vector<size_t>& pos,
+Result<Bat> GatherPositions(const ExecContext& ctx, const Bat& ab,
+                            const std::vector<size_t>& pos,
                             bat::Properties props, uint64_t sync_salt) {
   const Column& head = ab.head();
   const Column& tail = ab.tail();
+  MF_RETURN_NOT_OK(ChargeGather(ctx, pos.size(), head, tail));
   ColumnBuilder hb(BuilderType(head));
   ColumnBuilder tb(BuilderType(tail), tail.str_heap());
   hb.Reserve(pos.size());
@@ -43,8 +45,8 @@ Result<Bat> GatherPositions(const Bat& ab, const std::vector<size_t>& pos,
 
 }  // namespace
 
-Result<Bat> Unique(const Bat& ab) {
-  OpRecorder rec("unique");
+Result<Bat> Unique(const ExecContext& ctx, const Bat& ab) {
+  OpRecorder rec(ctx, "unique");
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   head.TouchAll();
@@ -75,13 +77,13 @@ Result<Bat> Unique(const Bat& ab) {
   props.hkey = ab.props().hkey;
   props.tkey = ab.props().tkey;
   MF_ASSIGN_OR_RETURN(
-      Bat res, GatherPositions(ab, keep, props, HashString("unique")));
+      Bat res, GatherPositions(ctx, ab, keep, props, HashString("unique")));
   rec.Finish("hash_unique", res.size());
   return res;
 }
 
-Result<Bat> HeadUnique(const Bat& ab) {
-  OpRecorder rec("hunique");
+Result<Bat> HeadUnique(const ExecContext& ctx, const Bat& ab) {
+  OpRecorder rec(ctx, "hunique");
   const Column& head = ab.head();
   head.TouchAll();
   std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
@@ -106,13 +108,13 @@ Result<Bat> HeadUnique(const Bat& ab) {
   props.hkey = true;
   props.tkey = ab.props().tkey;
   MF_ASSIGN_OR_RETURN(
-      Bat res, GatherPositions(ab, keep, props, HashString("hunique")));
+      Bat res, GatherPositions(ctx, ab, keep, props, HashString("hunique")));
   rec.Finish("hash_head_unique", res.size());
   return res;
 }
 
-Result<Bat> Mark(const Bat& ab, Oid base) {
-  OpRecorder rec("mark");
+Result<Bat> Mark(const ExecContext& ctx, const Bat& ab, Oid base) {
+  OpRecorder rec(ctx, "mark");
   bat::Properties props;
   props.hsorted = ab.props().hsorted;
   props.hkey = ab.props().hkey;
@@ -125,10 +127,13 @@ Result<Bat> Mark(const Bat& ab, Oid base) {
   return res;
 }
 
-Result<Bat> VoidTail(const Bat& ab) { return Mark(ab, 0); }
+Result<Bat> VoidTail(const ExecContext& ctx, const Bat& ab) {
+  return Mark(ctx, ab, 0);
+}
 
-Result<Bat> Slice(const Bat& ab, size_t lo, size_t hi) {
-  OpRecorder rec("slice");
+Result<Bat> Slice(const ExecContext& ctx, const Bat& ab, size_t lo,
+                  size_t hi) {
+  OpRecorder rec(ctx, "slice");
   lo = std::min(lo, ab.size());
   hi = std::min(hi, ab.size());
   if (hi < lo) hi = lo;
@@ -136,14 +141,14 @@ Result<Bat> Slice(const Bat& ab, size_t lo, size_t hi) {
   std::iota(pos.begin(), pos.end(), lo);
   bat::Properties props = ab.props();
   MF_ASSIGN_OR_RETURN(
-      Bat res, GatherPositions(ab, pos, props,
+      Bat res, GatherPositions(ctx, ab, pos, props,
                                MixSync(HashString("slice"), lo * 31 + hi)));
   rec.Finish("slice", res.size());
   return res;
 }
 
-Result<Bat> SortTail(const Bat& ab) {
-  OpRecorder rec("sort");
+Result<Bat> SortTail(const ExecContext& ctx, const Bat& ab) {
+  OpRecorder rec(ctx, "sort");
   const Column& tail = ab.tail();
   tail.TouchAll();
   std::vector<size_t> pos(ab.size());
@@ -157,13 +162,14 @@ Result<Bat> SortTail(const Bat& ab) {
   props.tkey = ab.props().tkey;
   props.hsorted = ab.size() <= 1;
   MF_ASSIGN_OR_RETURN(
-      Bat res, GatherPositions(ab, pos, props, HashString("sort_tail")));
+      Bat res, GatherPositions(ctx, ab, pos, props, HashString("sort_tail")));
   rec.Finish("stable_sort", res.size());
   return res;
 }
 
-Result<Bat> TopN(const Bat& ab, size_t n, bool descending) {
-  OpRecorder rec("topn");
+Result<Bat> TopN(const ExecContext& ctx, const Bat& ab, size_t n,
+                 bool descending) {
+  OpRecorder rec(ctx, "topn");
   const Column& tail = ab.tail();
   tail.TouchAll();
   std::vector<size_t> pos(ab.size());
@@ -181,14 +187,15 @@ Result<Bat> TopN(const Bat& ab, size_t n, bool descending) {
   props.hkey = ab.props().hkey;
   MF_ASSIGN_OR_RETURN(
       Bat res,
-      GatherPositions(ab, pos, props,
+      GatherPositions(ctx, ab, pos, props,
                       MixSync(HashString("topn"), n * 2 + descending)));
   rec.Finish("partial_sort_topn", res.size());
   return res;
 }
 
-Result<Bat> ProjectConst(const Bat& ab, const Value& v) {
-  OpRecorder rec("project");
+Result<Bat> ProjectConst(const ExecContext& ctx, const Bat& ab,
+                         const Value& v) {
+  OpRecorder rec(ctx, "project");
   ColumnBuilder tb(v.type() == MonetType::kVoid ? MonetType::kOidT
                                                 : v.type());
   tb.Reserve(ab.size());
@@ -205,8 +212,8 @@ Result<Bat> ProjectConst(const Bat& ab, const Value& v) {
   return res;
 }
 
-Result<Bat> Append(const Bat& ab, const Bat& cd) {
-  OpRecorder rec("append");
+Result<Bat> Append(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  OpRecorder rec(ctx, "append");
   const Column& a = ab.head();
   const Column& b = ab.tail();
   const Column& c = cd.head();
@@ -214,6 +221,7 @@ Result<Bat> Append(const Bat& ab, const Bat& cd) {
   if (BuilderType(a) != BuilderType(c) || BuilderType(b) != BuilderType(d)) {
     return Status::TypeError("append requires matching column types");
   }
+  MF_RETURN_NOT_OK(ChargeGather(ctx, ab.size() + cd.size(), a, b));
   ColumnBuilder hb(BuilderType(a));
   ColumnBuilder tb(BuilderType(b), b.str_heap());
   hb.Reserve(ab.size() + cd.size());

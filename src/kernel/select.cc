@@ -1,10 +1,11 @@
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/parallel.h"
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
+#include "kernel/registry.h"
 #include "kernel/scalar_fn.h"
 
 namespace moaflat::kernel {
@@ -13,16 +14,10 @@ namespace {
 using bat::Column;
 using bat::ColumnBuilder;
 using bat::ColumnPtr;
+using internal::ChargeGather;
 using internal::HashString;
 using internal::MixSync;
 using internal::SetSync;
-
-/// Bound of a range selection: value + inclusiveness; absent = unbounded.
-struct Bound {
-  bool present = false;
-  bool inclusive = true;
-  Value value;
-};
 
 /// First position i in the (tail-sorted) column with col[i] >= v
 /// (or > v when `after_equal`). Binary search; probes are counted.
@@ -70,95 +65,133 @@ MonetType BuilderType(const Column& c) {
   return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
 }
 
-/// Shared implementation of all range/point selections on the tail.
-Result<Bat> RangeSelect(const Bat& ab, const Bound& lo, const Bound& hi) {
-  OpRecorder rec("select");
-  const Column& head = ab.head();
-  const Column& tail = ab.tail();
-
-  ColumnBuilder hb(BuilderType(head));
-  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
-
-  const bool binsearch = ab.props().tsorted && !tail.is_void();
-  bool binsearch_head_sorted = false;
-  if (binsearch) {
-    // Binary-search selection: the access path the paper keeps all
-    // attribute BATs sorted on tail for (Section 5.2).
-    size_t begin = 0;
-    size_t end = tail.size();
-    if (lo.present) begin = LowerPos(tail, lo.value, !lo.inclusive);
-    if (hi.present) end = LowerPos(tail, hi.value, hi.inclusive);
-    if (begin > end) begin = end;
-    head.TouchRange(begin, end);
-    tail.TouchRange(begin, end);
-    hb.Reserve(end - begin);
-    tb.Reserve(end - begin);
-    // Detect result-head sortedness on the fly (dynamic property
-    // detection): bulk loads sort stably, so the heads inside one tail
-    // run are typically ascending, which later enables merge joins.
-    bool heads_ascending = true;
-    for (size_t i = begin; i < end; ++i) {
-      if (i > begin && head.CompareAt(i - 1, head, i) > 0) {
-        heads_ascending = false;
-      }
-      hb.AppendFrom(head, i);
-      tb.AppendFrom(tail, i);
-    }
-    binsearch_head_sorted = heads_ascending;
-  } else {
-    // Scan selection: predicate evaluation is parallel-block-executed
-    // (Section 2); materialization and IO accounting stay serial.
-    tail.TouchAll();
-    std::vector<std::vector<uint32_t>> matches(ParallelDegree());
-    ParallelBlocks(tail.size(), [&](int block, size_t begin, size_t end) {
-      auto& mine = matches[block];
-      for (size_t i = begin; i < end; ++i) {
-        if (InBounds(tail, i, lo, hi)) {
-          mine.push_back(static_cast<uint32_t>(i));
-        }
-      }
-    });
-    for (const auto& block : matches) {
-      for (uint32_t i : block) {
-        head.TouchAt(i);
-        hb.AppendFrom(head, i);
-        tb.AppendFrom(tail, i);
-      }
-    }
-  }
-
+/// Common epilogue of the range-select variants: sync key derivation and
+/// property propagation onto the materialized result.
+Result<Bat> FinishRangeSelect(const Bat& ab, ColumnBuilder& hb,
+                              ColumnBuilder& tb, const Bound& lo,
+                              const Bound& hi, bool head_sorted) {
   ColumnPtr out_head = hb.Finish();
-  SetSync(out_head, MixSync(head.sync_key(), BoundSyncHash(lo, hi)));
+  SetSync(out_head, MixSync(ab.head().sync_key(), BoundSyncHash(lo, hi)));
 
   const bool point = lo.present && hi.present && lo.inclusive &&
                      hi.inclusive && lo.value == hi.value;
   bat::Properties props;
-  props.hsorted = binsearch ? binsearch_head_sorted : ab.props().hsorted;
+  props.hsorted = head_sorted;
   props.hkey = ab.props().hkey;
   props.tsorted = ab.props().tsorted || point;
   props.tkey = point ? hb.size() <= 1 : ab.props().tkey;
+  return Bat::Make(out_head, tb.Finish(), props);
+}
 
-  MF_ASSIGN_OR_RETURN(Bat out, Bat::Make(out_head, tb.Finish(), props));
-  rec.Finish(binsearch ? "binsearch_select" : "scan_select", out.size());
+/// Binary-search selection: the access path the paper keeps all attribute
+/// BATs sorted on tail for (Section 5.2).
+Result<Bat> BinsearchSelect(const ExecContext& ctx, const Bat& ab,
+                            const Bound& lo, const Bound& hi,
+                            OpRecorder& rec) {
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  size_t begin = 0;
+  size_t end = tail.size();
+  if (lo.present) begin = LowerPos(tail, lo.value, !lo.inclusive);
+  if (hi.present) end = LowerPos(tail, hi.value, hi.inclusive);
+  if (begin > end) begin = end;
+  MF_RETURN_NOT_OK(ChargeGather(ctx, end - begin, head, tail));
+  head.TouchRange(begin, end);
+  tail.TouchRange(begin, end);
+
+  ColumnBuilder hb(BuilderType(head));
+  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
+  hb.Reserve(end - begin);
+  tb.Reserve(end - begin);
+  // Detect result-head sortedness on the fly (dynamic property
+  // detection): bulk loads sort stably, so the heads inside one tail
+  // run are typically ascending, which later enables merge joins.
+  bool heads_ascending = true;
+  for (size_t i = begin; i < end; ++i) {
+    if (i > begin && head.CompareAt(i - 1, head, i) > 0) {
+      heads_ascending = false;
+    }
+    hb.AppendFrom(head, i);
+    tb.AppendFrom(tail, i);
+  }
+
+  MF_ASSIGN_OR_RETURN(Bat out,
+                      FinishRangeSelect(ab, hb, tb, lo, hi, heads_ascending));
+  rec.Finish("binsearch_select", out.size());
   return out;
 }
 
-/// Scan selection with an arbitrary tail predicate; used by != and LIKE.
-template <typename Pred>
-Result<Bat> PredicateSelect(const Bat& ab, const char* impl,
-                            uint64_t pred_hash, Pred&& keep) {
-  OpRecorder rec("select");
+/// Scan selection: predicate evaluation is parallel-block-executed
+/// (Section 2); materialization and IO accounting stay serial.
+Result<Bat> ScanSelect(const ExecContext& ctx, const Bat& ab, const Bound& lo,
+                       const Bound& hi, OpRecorder& rec) {
   const Column& head = ab.head();
   const Column& tail = ab.tail();
+  tail.TouchAll();
+  std::vector<std::vector<uint32_t>> matches(ParallelDegree());
+  ParallelBlocks(tail.size(), [&](int block, size_t begin, size_t end) {
+    auto& mine = matches[block];
+    for (size_t i = begin; i < end; ++i) {
+      if (InBounds(tail, i, lo, hi)) {
+        mine.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  });
+  size_t total = 0;
+  for (const auto& block : matches) total += block.size();
+  MF_RETURN_NOT_OK(ChargeGather(ctx, total, head, tail));
+
   ColumnBuilder hb(BuilderType(head));
   ColumnBuilder tb(BuilderType(tail), tail.str_heap());
-  tail.TouchAll();
-  for (size_t i = 0; i < tail.size(); ++i) {
-    if (keep(i)) {
+  hb.Reserve(total);
+  tb.Reserve(total);
+  for (const auto& block : matches) {
+    for (uint32_t i : block) {
       head.TouchAt(i);
       hb.AppendFrom(head, i);
       tb.AppendFrom(tail, i);
     }
+  }
+
+  MF_ASSIGN_OR_RETURN(
+      Bat out, FinishRangeSelect(ab, hb, tb, lo, hi, ab.props().hsorted));
+  rec.Finish("scan_select", out.size());
+  return out;
+}
+
+
+/// Shared entry of all range/point selections on the tail: one data-driven
+/// dispatch over the registered variants (Section 5.1).
+Result<Bat> RangeSelect(const ExecContext& ctx, const Bat& ab,
+                        const Bound& lo, const Bound& hi) {
+  OpRecorder rec(ctx, "select");
+  return KernelRegistry::Global().Dispatch<SelectImplSig>(
+      "select", MakeInput(ab), ctx, ab, lo, hi, rec);
+}
+
+/// Scan selection with an arbitrary tail predicate; used by != and LIKE.
+template <typename Pred>
+Result<Bat> PredicateSelect(const ExecContext& ctx, const Bat& ab,
+                            const char* impl, uint64_t pred_hash,
+                            Pred&& keep) {
+  OpRecorder rec(ctx, "select");
+  const Column& head = ab.head();
+  const Column& tail = ab.tail();
+  tail.TouchAll();
+  std::vector<uint32_t> matches;
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (keep(i)) matches.push_back(static_cast<uint32_t>(i));
+  }
+  // Cardinality known -> charge before the result heap is materialized.
+  MF_RETURN_NOT_OK(ChargeGather(ctx, matches.size(), head, tail));
+  ColumnBuilder hb(BuilderType(head));
+  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
+  hb.Reserve(matches.size());
+  tb.Reserve(matches.size());
+  for (uint32_t i : matches) {
+    head.TouchAt(i);
+    hb.AppendFrom(head, i);
+    tb.AppendFrom(tail, i);
   }
   ColumnPtr out_head = hb.Finish();
   SetSync(out_head, MixSync(head.sync_key(), pred_hash));
@@ -174,47 +207,75 @@ Result<Bat> PredicateSelect(const Bat& ab, const char* impl,
 
 }  // namespace
 
-Result<Bat> Select(const Bat& ab, const Value& v) {
+Result<Bat> Select(const ExecContext& ctx, const Bat& ab, const Value& v) {
   Bound b{true, true, v};
-  return RangeSelect(ab, b, b);
+  return RangeSelect(ctx, ab, b, b);
 }
 
-Result<Bat> SelectRange(const Bat& ab, const Value& lo, const Value& hi) {
+Result<Bat> SelectRange(const ExecContext& ctx, const Bat& ab,
+                        const Value& lo, const Value& hi) {
   Bound bl{!lo.is_nil(), true, lo};
   Bound bh{!hi.is_nil(), true, hi};
-  return RangeSelect(ab, bl, bh);
+  return RangeSelect(ctx, ab, bl, bh);
 }
 
-Result<Bat> SelectCmp(const Bat& ab, CmpOp op, const Value& v) {
+Result<Bat> SelectCmp(const ExecContext& ctx, const Bat& ab, CmpOp op,
+                      const Value& v) {
   switch (op) {
     case CmpOp::kEq:
-      return Select(ab, v);
+      return Select(ctx, ab, v);
     case CmpOp::kLt:
-      return RangeSelect(ab, Bound{}, Bound{true, false, v});
+      return RangeSelect(ctx, ab, Bound{}, Bound{true, false, v});
     case CmpOp::kLe:
-      return RangeSelect(ab, Bound{}, Bound{true, true, v});
+      return RangeSelect(ctx, ab, Bound{}, Bound{true, true, v});
     case CmpOp::kGt:
-      return RangeSelect(ab, Bound{true, false, v}, Bound{});
+      return RangeSelect(ctx, ab, Bound{true, false, v}, Bound{});
     case CmpOp::kGe:
-      return RangeSelect(ab, Bound{true, true, v}, Bound{});
+      return RangeSelect(ctx, ab, Bound{true, true, v}, Bound{});
     case CmpOp::kNe:
       return PredicateSelect(
-          ab, "scan_select",
+          ctx, ab, "scan_select",
           MixSync(HashString("select_ne"), HashString(v.ToString())),
           [&](size_t i) { return ab.tail().CompareValue(i, v) != 0; });
   }
   return Status::Invalid("bad CmpOp");
 }
 
-Result<Bat> SelectLike(const Bat& ab, const std::string& pattern) {
+Result<Bat> SelectLike(const ExecContext& ctx, const Bat& ab,
+                       const std::string& pattern) {
   if (ab.tail().type() != MonetType::kStr) {
     return Status::TypeError("like-select requires a str tail, got " +
                              std::string(TypeName(ab.tail().type())));
   }
   return PredicateSelect(
-      ab, "scan_like_select",
+      ctx, ab, "scan_like_select",
       MixSync(HashString("select_like"), HashString(pattern)),
       [&](size_t i) { return LikeMatch(ab.tail().Str(i), pattern); });
 }
+
+namespace internal {
+
+void RegisterSelectKernels(KernelRegistry& r) {
+  r.Register<SelectImplSig>(
+      "select", "binsearch_select",
+      [](const DispatchInput& in) {
+        return in.left.props.tsorted && !in.left.tail_void;
+      },
+      [](const DispatchInput& in) {
+        return std::log2(static_cast<double>(in.left.size) + 2.0) + 1.0;
+      },
+      std::function<SelectImplSig>(BinsearchSelect),
+      "binary search on the tail-sorted BUN heap (Section 5.2)");
+  r.Register<SelectImplSig>(
+      "select", "scan_select",
+      [](const DispatchInput&) { return true; },
+      [](const DispatchInput& in) {
+        return static_cast<double>(in.left.size) + 4.0;
+      },
+      std::function<SelectImplSig>(ScanSelect),
+      "parallel-block full scan of the tail");
+}
+
+}  // namespace internal
 
 }  // namespace moaflat::kernel

@@ -1,6 +1,6 @@
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
+#include "kernel/registry.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -9,6 +9,7 @@ using bat::Column;
 using bat::ColumnBuilder;
 using bat::ColumnPtr;
 using bat::Datavector;
+using internal::ChargeGather;
 using internal::HashString;
 using internal::MixSync;
 using internal::SetSync;
@@ -17,12 +18,23 @@ MonetType BuilderType(const Column& c) {
   return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
 }
 
+/// syncsemijoin (Section 5.1): the operands' BUNs correspond by position,
+/// so the result is simply a copy (here: a zero-copy view) of AB.
+Result<Bat> SyncSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
+                         OpRecorder& rec) {
+  (void)ctx;
+  (void)cd;
+  Bat res = ab;
+  rec.Finish("sync_semijoin", res.size());
+  return res;
+}
+
 /// The datavector semijoin of Section 5.2.1, following the paper's
 /// pseudo-code: probe the sorted EXTENT once per right operand, memoize the
 /// LOOKUP positions in the accelerator, then fetch head/tail pairs from the
 /// positionally stored EXTENT/VECTOR.
-Result<Bat> DatavectorSemijoin(const Bat& ab, const Bat& cd,
-                               OpRecorder& rec) {
+Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
+                               const Bat& cd, OpRecorder& rec) {
   const std::shared_ptr<Datavector>& dv = ab.datavector();
   const Column& extent = *dv->extent();
   const Column& vector = *dv->values();
@@ -47,6 +59,7 @@ Result<Bat> DatavectorSemijoin(const Bat& ab, const Bat& cd,
 
   // Insertion phase (lines 16-20): fetch matching head and tail values
   // from EXTENT and VECTOR by position.
+  MF_RETURN_NOT_OK(ChargeGather(ctx, lookup->size(), extent, vector));
   ColumnBuilder hb(MonetType::kOidT);
   ColumnBuilder tb(BuilderType(vector), vector.str_heap());
   hb.Reserve(lookup->size());
@@ -80,82 +93,92 @@ Result<Bat> DatavectorSemijoin(const Bat& ab, const Bat& cd,
   return res;
 }
 
-}  // namespace
-
-Result<Bat> Semijoin(const Bat& ab, const Bat& cd) {
-  OpRecorder rec("semijoin");
-
-  // syncsemijoin (Section 5.1): the operands' BUNs correspond by position,
-  // so the result is simply a copy (here: a zero-copy view) of AB.
-  if (ab.SyncedWith(cd)) {
-    Bat res = ab;
-    rec.Finish("sync_semijoin", res.size());
-    return res;
-  }
-
-  if (ab.datavector() != nullptr &&
-      (cd.head().type() == MonetType::kOidT || cd.head().is_void())) {
-    return DatavectorSemijoin(ab, cd, rec);
-  }
-
-  const Column& a = ab.head();
-  const Column& b = ab.tail();
-  const Column& c = cd.head();
-  ColumnBuilder hb(BuilderType(a));
-  ColumnBuilder tb(BuilderType(b), b.str_heap());
-  const char* impl;
-
-  if (ab.props().hsorted && cd.props().hsorted) {
-    impl = "merge_semijoin";
-    a.TouchAll();
-    c.TouchAll();
-    size_t i = 0, j = 0;
-    const size_t n = ab.size(), m = cd.size();
-    while (i < n && j < m) {
-      const int cmp = a.CompareAt(i, c, j);
-      if (cmp < 0) {
-        ++i;
-      } else if (cmp > 0) {
-        ++j;
-      } else {
-        b.TouchAt(i);
-        hb.AppendFrom(a, i);
-        tb.AppendFrom(b, i);
-        ++i;  // keep j: the next left BUN may carry the same head value
-      }
-    }
-  } else {
-    impl = "hash_semijoin";
-    auto hash = cd.EnsureHeadHash();
-    a.TouchAll();
-    for (size_t i = 0; i < ab.size(); ++i) {
-      if (hash->Contains(a, i)) {
-        b.TouchAt(i);
-        hb.AppendFrom(a, i);
-        tb.AppendFrom(b, i);
-      }
-    }
-  }
-
+/// Common epilogue of the merge/hash semijoin variants.
+Result<Bat> FinishSemijoin(const Bat& ab, const Bat& cd, ColumnBuilder& hb,
+                           ColumnBuilder& tb) {
   ColumnPtr out_head = hb.Finish();
-  SetSync(out_head, MixSync(MixSync(a.sync_key(), c.sync_key()),
+  SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
+                                    cd.head().sync_key()),
                             HashString("semijoin")));
   bat::Properties props;
   props.hsorted = ab.props().hsorted;
   props.hkey = ab.props().hkey;
   props.tsorted = ab.props().tsorted;
   props.tkey = ab.props().tkey;
-  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
-  rec.Finish(impl, res.size());
+  return Bat::Make(out_head, tb.Finish(), props);
+}
+
+Result<Bat> MergeSemijoin(const ExecContext& ctx, const Bat& ab,
+                          const Bat& cd, OpRecorder& rec) {
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  const Column& c = cd.head();
+  ColumnBuilder hb(BuilderType(a));
+  ColumnBuilder tb(BuilderType(b), b.str_heap());
+  internal::ChargeGate gate(ctx, a, b);
+  a.TouchAll();
+  c.TouchAll();
+  size_t i = 0, j = 0;
+  const size_t n = ab.size(), m = cd.size();
+  while (i < n && j < m) {
+    const int cmp = a.CompareAt(i, c, j);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      b.TouchAt(i);
+      hb.AppendFrom(a, i);
+      tb.AppendFrom(b, i);
+      MF_RETURN_NOT_OK(gate.Add(1));
+      ++i;  // keep j: the next left BUN may carry the same head value
+    }
+  }
+  MF_RETURN_NOT_OK(gate.Flush());
+  MF_ASSIGN_OR_RETURN(Bat res, FinishSemijoin(ab, cd, hb, tb));
+  rec.Finish("merge_semijoin", res.size());
   return res;
 }
 
-Result<Bat> Diff(const Bat& ab, const Bat& cd) {
-  OpRecorder rec("kdiff");
+Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
+                         OpRecorder& rec) {
   const Column& a = ab.head();
   const Column& b = ab.tail();
   ColumnBuilder hb(BuilderType(a));
   ColumnBuilder tb(BuilderType(b), b.str_heap());
+  internal::ChargeGate gate(ctx, a, b);
+  auto hash = cd.EnsureHeadHash();
+  a.TouchAll();
+  for (size_t i = 0; i < ab.size(); ++i) {
+    if (hash->Contains(a, i)) {
+      b.TouchAt(i);
+      hb.AppendFrom(a, i);
+      tb.AppendFrom(b, i);
+      MF_RETURN_NOT_OK(gate.Add(1));
+    }
+  }
+  MF_RETURN_NOT_OK(gate.Flush());
+  MF_ASSIGN_OR_RETURN(Bat res, FinishSemijoin(ab, cd, hb, tb));
+  rec.Finish("hash_semijoin", res.size());
+  return res;
+}
+
+
+}  // namespace
+
+Result<Bat> Semijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  OpRecorder rec(ctx, "semijoin");
+  return KernelRegistry::Global().Dispatch<BinaryImplSig>(
+      "semijoin", MakeInput(ab, cd), ctx, ab, cd, rec);
+}
+
+Result<Bat> Diff(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  OpRecorder rec(ctx, "kdiff");
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  ColumnBuilder hb(BuilderType(a));
+  ColumnBuilder tb(BuilderType(b), b.str_heap());
+  internal::ChargeGate gate(ctx, a, b);
   auto hash = cd.EnsureHeadHash();
   a.TouchAll();
   for (size_t i = 0; i < ab.size(); ++i) {
@@ -163,8 +186,10 @@ Result<Bat> Diff(const Bat& ab, const Bat& cd) {
       b.TouchAt(i);
       hb.AppendFrom(a, i);
       tb.AppendFrom(b, i);
+      MF_RETURN_NOT_OK(gate.Add(1));
     }
   }
+  MF_RETURN_NOT_OK(gate.Flush());
   ColumnPtr out_head = hb.Finish();
   SetSync(out_head, MixSync(MixSync(a.sync_key(), cd.head().sync_key()),
                             HashString("kdiff")));
@@ -178,8 +203,10 @@ Result<Bat> Diff(const Bat& ab, const Bat& cd) {
   return res;
 }
 
-Result<Bat> Union(const Bat& ab, const Bat& cd) {
-  OpRecorder rec("kunion");
+Result<Bat> Union(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  OpRecorder rec(ctx, "kunion");
+  MF_RETURN_NOT_OK(
+      ChargeGather(ctx, ab.size() + cd.size(), ab.head(), ab.tail()));
   const Column& a = ab.head();
   const Column& b = ab.tail();
   ColumnBuilder hb(BuilderType(a));
@@ -207,6 +234,56 @@ Result<Bat> Union(const Bat& ab, const Bat& cd) {
   return res;
 }
 
-Result<Bat> Intersect(const Bat& ab, const Bat& cd) { return Semijoin(ab, cd); }
+Result<Bat> Intersect(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  return Semijoin(ctx, ab, cd);
+}
+
+namespace internal {
+
+void RegisterSemijoinKernels(KernelRegistry& r) {
+  r.Register<BinaryImplSig>(
+      "semijoin", "sync_semijoin",
+      [](const DispatchInput& in) { return in.synced; },
+      [](const DispatchInput&) { return 1.0; },
+      std::function<BinaryImplSig>(SyncSemijoin),
+      "operands synced (Section 5.1): zero-copy view of AB");
+  r.Register<BinaryImplSig>(
+      "semijoin", "datavector_semijoin",
+      [](const DispatchInput& in) {
+        return in.left.has_datavector && in.right.has_value() &&
+               in.right->head_oidlike;
+      },
+      [](const DispatchInput& in) {
+        return static_cast<double>(in.right->size) + 2.0;
+      },
+      std::function<BinaryImplSig>(DatavectorSemijoin),
+      "Section 5.2.1 datavector with the persistent LOOKUP cache");
+  r.Register<BinaryImplSig>(
+      "semijoin", "merge_semijoin",
+      [](const DispatchInput& in) {
+        return in.left.props.hsorted && in.right.has_value() &&
+               in.right->props.hsorted;
+      },
+      [](const DispatchInput& in) {
+        return static_cast<double>(in.left.size + in.right->size) + 4.0;
+      },
+      std::function<BinaryImplSig>(MergeSemijoin),
+      "single interleaved pass over hsorted heads");
+  r.Register<BinaryImplSig>(
+      "semijoin", "hash_semijoin",
+      [](const DispatchInput& in) { return in.right.has_value(); },
+      [](const DispatchInput& in) {
+        // A pre-built hash on CD's head shaves the build constant; the
+        // discount is bounded so merge/datavector stay preferred whenever
+        // they apply.
+        return 1.5 * static_cast<double>(in.left.size) +
+               static_cast<double>(in.right->size) +
+               (in.right->head_hashed ? 6.0 : 8.0);
+      },
+      std::function<BinaryImplSig>(HashSemijoin),
+      "probe the (cached) hash accelerator on CD's head");
+}
+
+}  // namespace internal
 
 }  // namespace moaflat::kernel

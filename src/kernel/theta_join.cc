@@ -1,7 +1,6 @@
 #include <algorithm>
 #include <numeric>
 
-#include "kernel/exec_tracer.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 
@@ -33,15 +32,17 @@ bool Satisfies(int cmp, CmpOp op) {
 
 }  // namespace
 
-Result<Bat> ThetaJoin(const Bat& ab, const Bat& cd, CmpOp op) {
-  if (op == CmpOp::kEq) return Join(ab, cd);
-  OpRecorder rec("thetajoin");
+Result<Bat> ThetaJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
+                      CmpOp op) {
+  if (op == CmpOp::kEq) return Join(ctx, ab, cd);
+  OpRecorder rec(ctx, "thetajoin");
   const Column& a = ab.head();
   const Column& b = ab.tail();
   const Column& c = cd.head();
   const Column& d = cd.tail();
   ColumnBuilder hb(BuilderType(a));
   ColumnBuilder tb(BuilderType(d), d.str_heap());
+  internal::ChargeGate gate(ctx, a, d);
   const char* impl;
 
   if (op != CmpOp::kNe) {
@@ -71,14 +72,16 @@ Result<Bat> ThetaJoin(const Bat& ab, const Bat& cd, CmpOp op) {
       // Emit the side of the partition the comparison selects. Ties need
       // local scanning since `lo` is the first >=.
       // The predicate is b <op> c, evaluated via CompareAt(b_i, c_pos).
-      auto emit = [&](size_t j) {
+      auto emit = [&](size_t j) -> Status {
         const size_t pos = order[j];
         if (Satisfies(b.CompareAt(i, c, pos), op)) {
           a.TouchAt(i);
           d.TouchAt(pos);
           hb.AppendFrom(a, i);
           tb.AppendFrom(d, pos);
+          return gate.Add(1);
         }
+        return Status::OK();
       };
       if (op == CmpOp::kLt || op == CmpOp::kLe) {
         // b < c: everything from the partition point rightwards (plus the
@@ -88,7 +91,9 @@ Result<Bat> ThetaJoin(const Bat& ab, const Bat& cd, CmpOp op) {
                c.CompareAt(order[start - 1], b, i) == 0) {
           --start;
         }
-        for (size_t j = start; j < order.size(); ++j) emit(j);
+        for (size_t j = start; j < order.size(); ++j) {
+          MF_RETURN_NOT_OK(emit(j));
+        }
       } else {
         // b > c / b >= c: everything left of the partition point (plus
         // the tie run for >=).
@@ -97,7 +102,9 @@ Result<Bat> ThetaJoin(const Bat& ab, const Bat& cd, CmpOp op) {
                c.CompareAt(order[end], b, i) == 0) {
           ++end;
         }
-        for (size_t j = 0; j < end; ++j) emit(j);
+        for (size_t j = 0; j < end; ++j) {
+          MF_RETURN_NOT_OK(emit(j));
+        }
       }
     }
   } else {
@@ -111,11 +118,13 @@ Result<Bat> ThetaJoin(const Bat& ab, const Bat& cd, CmpOp op) {
           d.TouchAt(j);
           hb.AppendFrom(a, i);
           tb.AppendFrom(d, j);
+          MF_RETURN_NOT_OK(gate.Add(1));
         }
       }
     }
   }
 
+  MF_RETURN_NOT_OK(gate.Flush());
   ColumnPtr out_head = hb.Finish();
   SetSync(out_head, MixSync(MixSync(a.sync_key(), c.sync_key()),
                             HashString("thetajoin")));
@@ -127,10 +136,12 @@ Result<Bat> ThetaJoin(const Bat& ab, const Bat& cd, CmpOp op) {
   return res;
 }
 
-Result<Bat> Fetch(const Bat& ab, const Bat& positions) {
-  OpRecorder rec("fetch");
+Result<Bat> Fetch(const ExecContext& ctx, const Bat& ab,
+                  const Bat& positions) {
+  OpRecorder rec(ctx, "fetch");
   const Column& head = ab.head();
   const Column& tail = ab.tail();
+  MF_RETURN_NOT_OK(internal::ChargeGather(ctx, positions.size(), head, tail));
   ColumnBuilder hb(MonetType::kOidT);
   ColumnBuilder tb(BuilderType(tail), tail.str_heap());
   positions.tail().TouchAll();
@@ -152,9 +163,9 @@ Result<Bat> Fetch(const Bat& ab, const Bat& positions) {
   return res;
 }
 
-Result<Value> CountDistinctTail(const Bat& ab) {
-  OpRecorder rec("count_distinct");
-  MF_ASSIGN_OR_RETURN(Bat grouped, Group(ab));
+Result<Value> CountDistinctTail(const ExecContext& ctx, const Bat& ab) {
+  OpRecorder rec(ctx, "count_distinct");
+  MF_ASSIGN_OR_RETURN(Bat grouped, Group(ctx, ab));
   Oid max_gid = 0;
   bool any = false;
   for (size_t i = 0; i < grouped.size(); ++i) {
@@ -165,11 +176,11 @@ Result<Value> CountDistinctTail(const Bat& ab) {
   return Value::Lng(any ? static_cast<int64_t>(max_gid) + 1 : 0);
 }
 
-Result<Bat> Histogram(const Bat& ab) {
-  OpRecorder rec("histogram");
-  MF_ASSIGN_OR_RETURN(Bat grouped, Group(ab));
+Result<Bat> Histogram(const ExecContext& ctx, const Bat& ab) {
+  OpRecorder rec(ctx, "histogram");
+  MF_ASSIGN_OR_RETURN(Bat grouped, Group(ctx, ab));
   MF_ASSIGN_OR_RETURN(Bat counts,
-                      SetAggregate(AggKind::kCount, grouped.Mirror()));
+                      SetAggregate(ctx, AggKind::kCount, grouped.Mirror()));
   rec.Finish("group_histogram", counts.size());
   return counts;
 }

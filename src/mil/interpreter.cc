@@ -59,9 +59,17 @@ Status MilInterpreter::Run(const MilProgram& program) {
 }
 
 Status MilInterpreter::Exec(const MilStmt& stmt) {
+  // The session context (explicit, or a per-statement snapshot of the
+  // legacy thread-local scopes); the statement runs under a copy with a
+  // local tracer so the per-statement implementation choices can be
+  // reported even when the session has no tracer of its own.
+  const kernel::ExecContext base =
+      ctx_ != nullptr ? *ctx_ : kernel::ExecContext::FromThreadLocals();
   kernel::ExecTracer local_tracer;
-  kernel::TraceScope scope(&local_tracer);
-  storage::IoStats* io = storage::CurrentIo();
+  kernel::ExecContext stmt_ctx = base;
+  stmt_ctx.WithTracer(&local_tracer);
+
+  storage::IoStats* io = base.io();
   const uint64_t faults_before = io ? io->faults() : 0;
   const auto start = std::chrono::steady_clock::now();
 
@@ -75,11 +83,11 @@ Status MilInterpreter::Exec(const MilStmt& stmt) {
     out_size = 1;
   } else if (agg.ok() && stmt.args.size() == 1) {
     MF_ASSIGN_OR_RETURN(Bat in, env_->GetBat(stmt.args[0].var));
-    MF_ASSIGN_OR_RETURN(Value v, kernel::ScalarAggregate(*agg, in));
+    MF_ASSIGN_OR_RETURN(Value v, kernel::ScalarAggregate(stmt_ctx, *agg, in));
     env_->BindValue(stmt.var, v);
     out_size = 1;
   } else {
-    MF_ASSIGN_OR_RETURN(Bat out, EvalBatOp(stmt));
+    MF_ASSIGN_OR_RETURN(Bat out, EvalBatOp(stmt_ctx, stmt));
     out_size = out.size();
     env_->BindBat(stmt.var, std::move(out));
   }
@@ -90,6 +98,13 @@ Status MilInterpreter::Exec(const MilStmt& stmt) {
     if (!impls.empty()) impls += "+";
     impls += r.impl;
   }
+  // Forward the statement's records to the session tracer so a context
+  // that traces a whole query sees every operator call.
+  if (base.tracer() != nullptr) {
+    base.tracer()->records.insert(base.tracer()->records.end(),
+                                  local_tracer.records.begin(),
+                                  local_tracer.records.end());
+  }
   traces_.push_back(StmtTrace{
       stmt.ToString(),
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(),
@@ -97,7 +112,8 @@ Status MilInterpreter::Exec(const MilStmt& stmt) {
   return Status::OK();
 }
 
-Result<Bat> MilInterpreter::EvalBatOp(const MilStmt& stmt) {
+Result<Bat> MilInterpreter::EvalBatOp(const kernel::ExecContext& ctx,
+                                      const MilStmt& stmt) {
   const std::string& op = stmt.op;
   auto arg_bat = [&](size_t i) -> Result<Bat> {
     if (i >= stmt.args.size()) {
@@ -138,24 +154,24 @@ Result<Bat> MilInterpreter::EvalBatOp(const MilStmt& stmt) {
         return Status::KeyError("undefined MIL variable '" + a.var + "'");
       }
     }
-    return kernel::Multiplex(fn, margs);
+    return kernel::Multiplex(ctx, fn, margs);
   }
 
   if (IsSetAggOp(op)) {
     MF_ASSIGN_OR_RETURN(AggKind kind, ParseAgg(op.substr(1, op.size() - 2)));
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
-    return kernel::SetAggregate(kind, in);
+    return kernel::SetAggregate(ctx, kind, in);
   }
 
   if (op == "select") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
     if (stmt.args.size() == 2) {
       MF_ASSIGN_OR_RETURN(Value v, arg_val(1));
-      return kernel::Select(in, v);
+      return kernel::Select(ctx, in, v);
     }
     MF_ASSIGN_OR_RETURN(Value lo, arg_val(1));
     MF_ASSIGN_OR_RETURN(Value hi, arg_val(2));
-    return kernel::SelectRange(in, lo, hi);
+    return kernel::SelectRange(ctx, in, lo, hi);
   }
   if (op.rfind("select.", 0) == 0) {
     const std::string cmp = op.substr(7);
@@ -165,7 +181,7 @@ Result<Bat> MilInterpreter::EvalBatOp(const MilStmt& stmt) {
       if (v.type() != MonetType::kStr) {
         return Status::TypeError("select.like needs a string pattern");
       }
-      return kernel::SelectLike(in, v.AsStr());
+      return kernel::SelectLike(ctx, in, v.AsStr());
     }
     CmpOp c;
     if (cmp == "!=") {
@@ -182,18 +198,18 @@ Result<Bat> MilInterpreter::EvalBatOp(const MilStmt& stmt) {
       return Status::ParseError("unknown select comparator '" + cmp + "'");
     }
     MF_ASSIGN_OR_RETURN(Value v, arg_val(1));
-    return kernel::SelectCmp(in, c, v);
+    return kernel::SelectCmp(ctx, in, c, v);
   }
 
   if (op == "join" || op == "semijoin" || op == "kdiff" || op == "kunion" ||
       op == "kintersect") {
     MF_ASSIGN_OR_RETURN(Bat left, arg_bat(0));
     MF_ASSIGN_OR_RETURN(Bat right, arg_bat(1));
-    if (op == "join") return kernel::Join(left, right);
-    if (op == "semijoin") return kernel::Semijoin(left, right);
-    if (op == "kdiff") return kernel::Diff(left, right);
-    if (op == "kunion") return kernel::Union(left, right);
-    return kernel::Intersect(left, right);
+    if (op == "join") return kernel::Join(ctx, left, right);
+    if (op == "semijoin") return kernel::Semijoin(ctx, left, right);
+    if (op == "kdiff") return kernel::Diff(ctx, left, right);
+    if (op == "kunion") return kernel::Union(ctx, left, right);
+    return kernel::Intersect(ctx, left, right);
   }
 
   if (op.rfind("thetajoin.", 0) == 0) {
@@ -214,16 +230,16 @@ Result<Bat> MilInterpreter::EvalBatOp(const MilStmt& stmt) {
     } else {
       return Status::ParseError("unknown theta comparator '" + cmp + "'");
     }
-    return kernel::ThetaJoin(left, right, c);
+    return kernel::ThetaJoin(ctx, left, right, c);
   }
   if (op == "fetch") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
     MF_ASSIGN_OR_RETURN(Bat pos, arg_bat(1));
-    return kernel::Fetch(in, pos);
+    return kernel::Fetch(ctx, in, pos);
   }
   if (op == "histogram") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
-    return kernel::Histogram(in);
+    return kernel::Histogram(ctx, in);
   }
   if (op == "mirror") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
@@ -231,27 +247,27 @@ Result<Bat> MilInterpreter::EvalBatOp(const MilStmt& stmt) {
   }
   if (op == "unique") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
-    return kernel::Unique(in);
+    return kernel::Unique(ctx, in);
   }
   if (op == "hunique") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
-    return kernel::HeadUnique(in);
+    return kernel::HeadUnique(ctx, in);
   }
   if (op == "group") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
-    if (stmt.args.size() == 1) return kernel::Group(in);
+    if (stmt.args.size() == 1) return kernel::Group(ctx, in);
     MF_ASSIGN_OR_RETURN(Bat refine, arg_bat(1));
-    return kernel::GroupRefine(in, refine);
+    return kernel::GroupRefine(ctx, in, refine);
   }
   if (op == "mark") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
     MF_ASSIGN_OR_RETURN(Value base, arg_val(1));
     MF_ASSIGN_OR_RETURN(Value oid_base, base.CastTo(MonetType::kOidT));
-    return kernel::Mark(in, oid_base.AsOid());
+    return kernel::Mark(ctx, in, oid_base.AsOid());
   }
   if (op == "extent") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
-    return kernel::VoidTail(in);
+    return kernel::VoidTail(ctx, in);
   }
   if (op == "slice") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
@@ -259,29 +275,29 @@ Result<Bat> MilInterpreter::EvalBatOp(const MilStmt& stmt) {
     MF_ASSIGN_OR_RETURN(Value hi, arg_val(2));
     MF_ASSIGN_OR_RETURN(Value lo_i, lo.CastTo(MonetType::kLng));
     MF_ASSIGN_OR_RETURN(Value hi_i, hi.CastTo(MonetType::kLng));
-    return kernel::Slice(in, static_cast<size_t>(lo_i.AsLng()),
+    return kernel::Slice(ctx, in, static_cast<size_t>(lo_i.AsLng()),
                          static_cast<size_t>(hi_i.AsLng()));
   }
   if (op == "sort") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
-    return kernel::SortTail(in);
+    return kernel::SortTail(ctx, in);
   }
   if (op == "topn_max" || op == "topn_min") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
     MF_ASSIGN_OR_RETURN(Value n, arg_val(1));
     MF_ASSIGN_OR_RETURN(Value n_i, n.CastTo(MonetType::kLng));
-    return kernel::TopN(in, static_cast<size_t>(n_i.AsLng()),
+    return kernel::TopN(ctx, in, static_cast<size_t>(n_i.AsLng()),
                         op == "topn_max");
   }
   if (op == "project") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
     MF_ASSIGN_OR_RETURN(Value v, arg_val(1));
-    return kernel::ProjectConst(in, v);
+    return kernel::ProjectConst(ctx, in, v);
   }
   if (op == "append") {
     MF_ASSIGN_OR_RETURN(Bat left, arg_bat(0));
     MF_ASSIGN_OR_RETURN(Bat right, arg_bat(1));
-    return kernel::Append(left, right);
+    return kernel::Append(ctx, left, right);
   }
 
   return Status::NotImplemented("unknown MIL operator '" + op + "'");

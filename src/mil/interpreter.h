@@ -8,6 +8,7 @@
 
 #include "bat/bat.h"
 #include "common/result.h"
+#include "kernel/exec_context.h"
 #include "kernel/operators.h"
 #include "mil/program.h"
 
@@ -52,9 +53,17 @@ struct StmtTrace {
 /// Every statement materializes its result into the environment, mirroring
 /// Monet's "BAT-algebra operations materialize their result and never
 /// change their operands" (Section 4.2).
+///
+/// Execution state flows through an ExecContext: every statement runs under
+/// a copy of the session context whose tracer is swapped for a per-statement
+/// one (the raw material of the Fig. 10 trace); the records are forwarded to
+/// the session tracer afterwards. Without an explicit context the
+/// interpreter snapshots the legacy thread-local scopes per statement.
 class MilInterpreter {
  public:
-  explicit MilInterpreter(MilEnv* env) : env_(env) {}
+  explicit MilInterpreter(MilEnv* env,
+                          const kernel::ExecContext* ctx = nullptr)
+      : env_(env), ctx_(ctx) {}
 
   /// Runs all statements; on success the result variables are bound in the
   /// environment and the per-statement traces are available.
@@ -70,10 +79,12 @@ class MilInterpreter {
   std::string TraceString() const;
 
  private:
-  Result<bat::Bat> EvalBatOp(const MilStmt& stmt);
+  Result<bat::Bat> EvalBatOp(const kernel::ExecContext& ctx,
+                             const MilStmt& stmt);
   Status ExecScalarCalc(const MilStmt& stmt);
 
   MilEnv* env_;
+  const kernel::ExecContext* ctx_;
   std::vector<StmtTrace> traces_;
 };
 

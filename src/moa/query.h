@@ -26,7 +26,13 @@ struct QueryResult {
 /// Parses, flattens and executes MOA text against `db` — the complete
 /// pipeline of Fig. 6: MOA -> (rewriter) -> MIL -> (interpreter) -> BATs
 /// -> (structure function) -> structured result. The database environment
-/// is copied, so base BATs are never mutated.
+/// is copied, so base BATs are never mutated. All execution state (tracer,
+/// IO accounting, memory budget) flows through `ctx`, so concurrent
+/// queries with separate contexts are fully isolated.
+Result<QueryResult> RunMoa(const kernel::ExecContext& ctx, const Database& db,
+                           const std::string& moa_text);
+
+/// Compatibility overload: snapshots the legacy thread-local scopes.
 Result<QueryResult> RunMoa(const Database& db, const std::string& moa_text);
 
 }  // namespace moaflat::moa

@@ -63,7 +63,8 @@ class ClassLoader {
         std::make_shared<bat::Datavector>(extent_col_, values, lookup_cache_);
     stats->datavector_bytes += values->byte_size();
 
-    MF_ASSIGN_OR_RETURN(Bat sorted, kernel::SortTail(oid_ordered));
+    MF_ASSIGN_OR_RETURN(
+        Bat sorted, kernel::SortTail(kernel::ExecContext(), oid_ordered));
     sorted.SetDatavector(std::move(dv));
     db_->Bind(Database::AttrBatName(cls_, attr), std::move(sorted));
     return Status::OK();

@@ -16,17 +16,25 @@ namespace moaflat::tpcd {
 /// listing.
 class MilRun {
  public:
-  explicit MilRun(const moa::Database& db) : env_(db.env()) {}
+  explicit MilRun(const moa::Database& db,
+                  const kernel::ExecContext* ctx = nullptr)
+      : env_(db.env()), ctx_(ctx) {}
 
   /// Executes `op(args...)` into a fresh temp; returns the temp name.
   Result<std::string> Op(const std::string& op,
                          std::vector<mil::MilArg> args) {
     std::string var = "t" + std::to_string(++n_);
     mil::MilStmt stmt{var, op, std::move(args)};
-    mil::MilInterpreter one(&env_);
+    mil::MilInterpreter one(&env_, ctx_);
     MF_RETURN_NOT_OK(one.Exec(stmt));
     for (const auto& t : one.traces()) traces_.push_back(t);
     return var;
+  }
+
+  /// The context statements run under (a thread-local snapshot when the
+  /// run was built without one).
+  kernel::ExecContext context() const {
+    return ctx_ != nullptr ? *ctx_ : kernel::ExecContext::FromThreadLocals();
   }
 
   Result<bat::Bat> GetBat(const std::string& var) const {
@@ -44,8 +52,8 @@ class MilRun {
   /// Sum of the tail of `var` as a double.
   Result<double> SumTail(const std::string& var) const {
     MF_ASSIGN_OR_RETURN(bat::Bat b, env_.GetBat(var));
-    MF_ASSIGN_OR_RETURN(Value v,
-                        kernel::ScalarAggregate(kernel::AggKind::kSum, b));
+    MF_ASSIGN_OR_RETURN(
+        Value v, kernel::ScalarAggregate(context(), kernel::AggKind::kSum, b));
     return v.AsDbl();
   }
 
@@ -54,6 +62,7 @@ class MilRun {
 
  private:
   mil::MilEnv env_;
+  const kernel::ExecContext* ctx_;
   std::vector<mil::StmtTrace> traces_;
   int n_ = 0;
 };

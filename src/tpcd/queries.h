@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "kernel/exec_context.h"
 #include "mil/interpreter.h"
 #include "tpcd/loader.h"
 
@@ -43,11 +44,22 @@ class QuerySuite {
   /// MOA text of query `q`, or "" if it is hand-flattened MIL.
   std::string MoaText(int q) const;
 
-  /// Runs query `q` (1-based) on the flattened Monet engine.
-  Result<EngineRun> RunMonet(int q);
+  /// Runs query `q` (1-based) on the flattened Monet engine under `ctx`:
+  /// all trace records, page faults and memory charges land in the
+  /// context, so concurrent runs with separate contexts are isolated.
+  Result<EngineRun> RunMonet(int q, const kernel::ExecContext& ctx);
 
-  /// Runs query `q` on the row-store baseline.
-  Result<EngineRun> RunBaseline(int q);
+  /// Runs query `q` on the row-store baseline under `ctx` (the context's
+  /// IoStats is bound for the duration of the run).
+  Result<EngineRun> RunBaseline(int q, const kernel::ExecContext& ctx);
+
+  /// Compatibility overloads: snapshot the legacy thread-local scopes.
+  Result<EngineRun> RunMonet(int q) {
+    return RunMonet(q, kernel::ExecContext::FromThreadLocals());
+  }
+  Result<EngineRun> RunBaseline(int q) {
+    return RunBaseline(q, kernel::ExecContext::FromThreadLocals());
+  }
 
   const TpcdInstance& instance() const { return *inst_; }
 

@@ -578,7 +578,13 @@ Result<EngineRun> BaselineQ15(TpcdInstance& inst) {
 
 }  // namespace
 
-Result<EngineRun> QuerySuite::RunBaseline(int q) {
+Result<EngineRun> QuerySuite::RunBaseline(int q,
+                                          const kernel::ExecContext& ctx) {
+  // The relational baseline accounts IO through the scoped accountant;
+  // bind the context's sinks for the duration of the run so its page
+  // faults and traces are attributed to this context only.
+  storage::IoScope io_scope(ctx.io());
+  kernel::TraceScope trace_scope(ctx.tracer());
   switch (q) {
     case 1: return BaselineQ1(*inst_);
     case 2: return BaselineQ2(*inst_);

@@ -22,10 +22,11 @@ Value D(int y, int m, int d) {
 /// Runs MOA text and converts it into an EngineRun whose `check` is the
 /// sum of the named numeric field over all result elements (or the scalar
 /// itself for top-level aggregates).
-Result<EngineRun> RunMoaChecked(const TpcdInstance& inst,
+Result<EngineRun> RunMoaChecked(const kernel::ExecContext& ctx,
+                                const TpcdInstance& inst,
                                 const std::string& text,
                                 const std::string& check_field) {
-  MF_ASSIGN_OR_RETURN(moa::QueryResult qr, RunMoa(inst.db, text));
+  MF_ASSIGN_OR_RETURN(moa::QueryResult qr, RunMoa(ctx, inst.db, text));
   EngineRun run;
   run.via = "moa";
   run.traces = qr.traces;
@@ -85,8 +86,9 @@ EngineRun FinishMil(MilRun& m, size_t rows, double check,
 
 // ------------------------------------------------------------------- Q2
 // Cheapest supplier per qualifying part in a region.
-Result<EngineRun> MonetQ2(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ2(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(std::string psize,
                       m.Op("select", {V("Part_size"), L(Value::Int(15))}));
   MF_ASSIGN_OR_RETURN(std::string ptype,
@@ -123,8 +125,9 @@ Result<EngineRun> MonetQ2(const TpcdInstance& inst) {
 
 // ------------------------------------------------------------------- Q4
 // Order priority checking: orders of a quarter with >= 1 late item.
-Result<EngineRun> MonetQ4(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ4(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string ords,
       m.Op("select",
@@ -157,8 +160,9 @@ Result<EngineRun> MonetQ4(const TpcdInstance& inst) {
 
 // ------------------------------------------------------------------- Q5
 // Revenue per local supplier nation within a region and year.
-Result<EngineRun> MonetQ5(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ5(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string reg,
       m.Op("select", {V("Region_name"), L(Value::Str("ASIA"))}));
@@ -202,8 +206,9 @@ Result<EngineRun> MonetQ5(const TpcdInstance& inst) {
 
 // ------------------------------------------------------------------- Q7
 // Volume of goods shipped between two nations, grouped by direction/year.
-Result<EngineRun> MonetQ7(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ7(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string n1,
       m.Op("select", {V("Nation_name"), L(Value::Str("FRANCE"))}));
@@ -253,8 +258,9 @@ Result<EngineRun> MonetQ7(const TpcdInstance& inst) {
 
 // ------------------------------------------------------------------- Q8
 // National market share within a region for one part type.
-Result<EngineRun> MonetQ8(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ8(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string parts,
       m.Op("select",
@@ -315,8 +321,9 @@ Result<EngineRun> MonetQ8(const TpcdInstance& inst) {
 // Product-type profit by nation and year; requires matching each item to
 // its (part, supplier) supplies element — the pair-matching MIL below uses
 // mark() to key candidate pairs.
-Result<EngineRun> MonetQ9(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ9(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string parts,
       m.Op("select.like", {V("Part_name"), L(Value::Str("%green%"))}));
@@ -386,8 +393,9 @@ Result<EngineRun> MonetQ9(const TpcdInstance& inst) {
 
 // ------------------------------------------------------------------ Q11
 // Important stock per nation: supplies value above a threshold per part.
-Result<EngineRun> MonetQ11(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ11(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string nat,
       m.Op("select", {V("Nation_name"), L(Value::Str("GERMANY"))}));
@@ -423,8 +431,9 @@ Result<EngineRun> MonetQ11(const TpcdInstance& inst) {
 
 // ------------------------------------------------------------------ Q12
 // Shipping-mode / order-priority counts for late receipts of one year.
-Result<EngineRun> MonetQ12(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ12(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string m1,
       m.Op("select", {V("Item_shipmode"), L(Value::Str("MAIL"))}));
@@ -482,8 +491,9 @@ Result<EngineRun> MonetQ12(const TpcdInstance& inst) {
 
 // ------------------------------------------------------------------ Q14
 // Promotion-revenue share for one shipping month.
-Result<EngineRun> MonetQ14(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ14(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string sh,
       m.Op("select",
@@ -512,8 +522,9 @@ Result<EngineRun> MonetQ14(const TpcdInstance& inst) {
 
 // ------------------------------------------------------------------ Q15
 // The top supplier by revenue in one quarter.
-Result<EngineRun> MonetQ15(const TpcdInstance& inst) {
-  MilRun m(inst.db);
+Result<EngineRun> MonetQ15(const TpcdInstance& inst,
+                           const kernel::ExecContext& ctx) {
+  MilRun m(inst.db, &ctx);
   MF_ASSIGN_OR_RETURN(
       std::string sh,
       m.Op("select",
@@ -533,18 +544,19 @@ Result<EngineRun> MonetQ15(const TpcdInstance& inst) {
 
 // ----------------------------------------------- MOA-pipeline queries
 
-Result<EngineRun> MonetQ3(const TpcdInstance& inst,
+Result<EngineRun> MonetQ3(const kernel::ExecContext& ctx,
+                          const TpcdInstance& inst,
                           const std::string& text) {
-  MF_ASSIGN_OR_RETURN(moa::QueryResult qr, RunMoa(inst.db, text));
+  MF_ASSIGN_OR_RETURN(moa::QueryResult qr, RunMoa(ctx, inst.db, text));
   // Top 10 orders by revenue: finish with the kernel's top-n on the
   // per-group revenue BAT.
   moa::ResultView view(&qr.env);
   MF_ASSIGN_OR_RETURN(const moa::StructExpr* revf,
                       view.Field(*qr.translation.result->elem, "revenue"));
   MF_ASSIGN_OR_RETURN(bat::Bat sums, qr.env.GetBat(revf->var));
-  MF_ASSIGN_OR_RETURN(bat::Bat top, kernel::TopN(sums, 10, true));
+  MF_ASSIGN_OR_RETURN(bat::Bat top, kernel::TopN(ctx, sums, 10, true));
   MF_ASSIGN_OR_RETURN(Value topsum,
-                      kernel::ScalarAggregate(kernel::AggKind::kSum, top));
+                      kernel::ScalarAggregate(ctx, kernel::AggKind::kSum, top));
   EngineRun run;
   run.via = "moa";
   run.traces = qr.traces;
@@ -553,16 +565,17 @@ Result<EngineRun> MonetQ3(const TpcdInstance& inst,
   return run;
 }
 
-Result<EngineRun> MonetQ10(const TpcdInstance& inst,
+Result<EngineRun> MonetQ10(const kernel::ExecContext& ctx,
+                           const TpcdInstance& inst,
                            const std::string& text) {
-  MF_ASSIGN_OR_RETURN(moa::QueryResult qr, RunMoa(inst.db, text));
+  MF_ASSIGN_OR_RETURN(moa::QueryResult qr, RunMoa(ctx, inst.db, text));
   moa::ResultView view(&qr.env);
   MF_ASSIGN_OR_RETURN(const moa::StructExpr* revf,
                       view.Field(*qr.translation.result->elem, "revenue"));
   MF_ASSIGN_OR_RETURN(bat::Bat sums, qr.env.GetBat(revf->var));
-  MF_ASSIGN_OR_RETURN(bat::Bat top, kernel::TopN(sums, 20, true));
+  MF_ASSIGN_OR_RETURN(bat::Bat top, kernel::TopN(ctx, sums, 20, true));
   MF_ASSIGN_OR_RETURN(Value topsum,
-                      kernel::ScalarAggregate(kernel::AggKind::kSum, top));
+                      kernel::ScalarAggregate(ctx, kernel::AggKind::kSum, top));
   EngineRun run;
   run.via = "moa";
   run.traces = qr.traces;
@@ -624,38 +637,39 @@ std::string QuerySuite::MoaText(int q) const {
   }
 }
 
-Result<EngineRun> QuerySuite::RunMonet(int q) {
+Result<EngineRun> QuerySuite::RunMonet(int q,
+                                       const kernel::ExecContext& ctx) {
   switch (q) {
     case 1:
-      return RunMoaChecked(*inst_, MoaText(1), "sum_disc_price");
+      return RunMoaChecked(ctx, *inst_, MoaText(1), "sum_disc_price");
     case 2:
-      return MonetQ2(*inst_);
+      return MonetQ2(*inst_, ctx);
     case 3:
-      return MonetQ3(*inst_, MoaText(3));
+      return MonetQ3(ctx, *inst_, MoaText(3));
     case 4:
-      return MonetQ4(*inst_);
+      return MonetQ4(*inst_, ctx);
     case 5:
-      return MonetQ5(*inst_);
+      return MonetQ5(*inst_, ctx);
     case 6:
-      return RunMoaChecked(*inst_, MoaText(6), "");
+      return RunMoaChecked(ctx, *inst_, MoaText(6), "");
     case 7:
-      return MonetQ7(*inst_);
+      return MonetQ7(*inst_, ctx);
     case 8:
-      return MonetQ8(*inst_);
+      return MonetQ8(*inst_, ctx);
     case 9:
-      return MonetQ9(*inst_);
+      return MonetQ9(*inst_, ctx);
     case 10:
-      return MonetQ10(*inst_, MoaText(10));
+      return MonetQ10(ctx, *inst_, MoaText(10));
     case 11:
-      return MonetQ11(*inst_);
+      return MonetQ11(*inst_, ctx);
     case 12:
-      return MonetQ12(*inst_);
+      return MonetQ12(*inst_, ctx);
     case 13:
-      return RunMoaChecked(*inst_, MoaText(13), "loss");
+      return RunMoaChecked(ctx, *inst_, MoaText(13), "loss");
     case 14:
-      return MonetQ14(*inst_);
+      return MonetQ14(*inst_, ctx);
     case 15:
-      return MonetQ15(*inst_);
+      return MonetQ15(*inst_, ctx);
     default:
       return Status::OutOfRange("TPC-D query number must be 1..15");
   }

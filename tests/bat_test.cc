@@ -222,5 +222,42 @@ TEST(PageAccountingTest, NoScopeMeansNoAccounting) {
   SUCCEED();
 }
 
+TEST(WithPropsTest, NewlyClaimedPropertiesAreVerified) {
+  Bat ab(Column::MakeOid({1, 2, 3}), Column::MakeInt({30, 10, 20}));
+
+  // Claiming a property the data supports succeeds and shares storage.
+  auto keyed = ab.WithProps(Properties{true, true, false, false});
+  ASSERT_TRUE(keyed.ok()) << keyed.status().ToString();
+  EXPECT_TRUE(keyed->props().hkey);
+  EXPECT_TRUE(keyed->props().tkey);
+  EXPECT_EQ(&keyed->head(), &ab.head());  // no copy
+
+  // Claiming sortedness the data violates is rejected: properties are
+  // only ever set by code that proves them (Section 5.1 guarding).
+  auto bogus = ab.WithProps(Properties{false, false, false, true});
+  EXPECT_FALSE(bogus.ok());
+  Bat dups(Column::MakeOid({2, 2, 1}), Column::MakeInt({1, 2, 3}));
+  EXPECT_FALSE(dups.WithProps(Properties{false, false, true, false}).ok());
+  EXPECT_FALSE(dups.WithProps(Properties{true, false, false, false}).ok());
+}
+
+TEST(WithPropsTest, DroppingPropertiesIsAlwaysAllowed) {
+  Bat ab(Column::MakeOid({1, 2, 3}), Column::MakeInt({10, 20, 30}),
+         Properties{true, true, true, true});
+  auto dropped = ab.WithProps(Properties{});
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_FALSE(dropped->props().tsorted);
+}
+
+TEST(WithPropsTest, AlreadyDeclaredPropertiesAreNotRechecked) {
+  // A property already declared passes through even when expensive to
+  // verify: the declaration was proven when it was first set.
+  Bat ab(Column::MakeOid({1, 2}), Column::MakeInt({10, 20}),
+         Properties{true, true, true, true});
+  auto same = ab.WithProps(ab.props());
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same->props().hsorted);
+}
+
 }  // namespace
 }  // namespace moaflat::bat
