@@ -1,20 +1,34 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <thread>
 
 namespace moaflat {
 namespace {
 
+/// 0 = unresolved (next ParallelDegree() call samples the environment).
+/// Relaxed ordering is sufficient: the value is a self-contained int and
+/// concurrent first calls resolve to the same environment sample.
 std::atomic<int> g_degree{0};
 
-int DefaultDegree() {
-  if (const char* env = std::getenv("MOAFLAT_THREADS")) {
-    const int d = std::atoi(env);
-    if (d >= 1) return d;
+/// Strict parse of MOAFLAT_THREADS: the entire value must be a plain
+/// positive decimal number. atoi-style prefixes ("3abc"), signs,
+/// whitespace, empty strings and out-of-range values are rejected, so a
+/// typo degrades to deterministic single-threaded execution instead of a
+/// silent half-parsed degree.
+int DegreeFromEnv() {
+  const char* env = std::getenv("MOAFLAT_THREADS");
+  if (env == nullptr || !std::isdigit(static_cast<unsigned char>(env[0]))) {
+    return 1;
   }
-  return 1;
+  errno = 0;
+  char* end = nullptr;
+  const long d = std::strtol(env, &end, 10);
+  if (errno != 0 || *end != '\0' || d < 1 || d > kMaxParallelDegree) return 1;
+  return static_cast<int>(d);
 }
 
 /// Blocks smaller than this run inline: thread start-up would dominate.
@@ -25,13 +39,15 @@ constexpr size_t kMinItemsPerThread = 16 * 1024;
 int ParallelDegree() {
   int d = g_degree.load(std::memory_order_relaxed);
   if (d == 0) {
-    d = DefaultDegree();
+    d = DegreeFromEnv();
     g_degree.store(d, std::memory_order_relaxed);
   }
   return d;
 }
 
 void SetParallelDegree(int degree) {
+  if (degree < 0) degree = 0;
+  if (degree > kMaxParallelDegree) degree = kMaxParallelDegree;
   g_degree.store(degree, std::memory_order_relaxed);
 }
 

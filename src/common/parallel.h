@@ -17,10 +17,26 @@ namespace moaflat {
 /// the MOAFLAT_THREADS environment variable, else 1 (single-threaded), so
 /// all measurements stay deterministic unless parallelism is requested.
 
-/// Current degree of parallelism (>= 1).
+/// Largest degree ParallelDegree() will report; values beyond this are
+/// rejected as misconfiguration (a worker thread per block would thrash).
+inline constexpr int kMaxParallelDegree = 4096;
+
+/// Current degree of parallelism (>= 1). Resolution order:
+///
+///  1. the last SetParallelDegree(d) with d >= 1, else
+///  2. the MOAFLAT_THREADS environment variable — sampled once, on the
+///     first call after process start or after SetParallelDegree(0);
+///     changing the variable mid-process has no effect until such a
+///     reset. The value must be a whole decimal number in
+///     [1, kMaxParallelDegree] with no leading sign, whitespace or
+///     trailing garbage; anything else is rejected and treated as unset —
+///     else
+///  3. 1 (single-threaded, keeping measurements deterministic).
 int ParallelDegree();
 
-/// Overrides the degree for this process (0 = back to the default).
+/// Overrides the degree for this process. d >= 1 sets the degree
+/// (clamped to kMaxParallelDegree); d <= 0 clears the override, making
+/// the next ParallelDegree() call re-read MOAFLAT_THREADS.
 void SetParallelDegree(int degree);
 
 /// Runs `fn(block, begin, end)` over `n` items split into ParallelDegree()

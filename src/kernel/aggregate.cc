@@ -2,6 +2,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
@@ -221,13 +222,17 @@ Value CountBat(const Bat& ab) {
 namespace internal {
 
 void RegisterAggregateKernels(KernelRegistry& r) {
+  // Both variants read every head and tail page exactly once; the page-
+  // fault model ties, and the CPU tie-breaker prefers the sequential
+  // single-accumulator pass whenever the grouping column permits it.
   r.Register<SetAggImplSig>(
       "set_aggregate", "run_set_aggregate",
       [](const DispatchInput& in) {
         return in.left.props.hsorted || in.left.head_void;
       },
       [](const DispatchInput& in) {
-        return static_cast<double>(in.left.size) + 1.0;
+        return HeapPages(in.left.size, in.left.head_width) +
+               HeapPages(in.left.size, in.left.tail_width) + kCpuSequential;
       },
       std::function<SetAggImplSig>(RunSetAggregate),
       "head-sorted groups are contiguous: single sequential pass");
@@ -235,7 +240,8 @@ void RegisterAggregateKernels(KernelRegistry& r) {
       "set_aggregate", "hash_set_aggregate",
       [](const DispatchInput&) { return true; },
       [](const DispatchInput& in) {
-        return 2.0 * static_cast<double>(in.left.size) + 4.0;
+        return HeapPages(in.left.size, in.left.head_width) +
+               HeapPages(in.left.size, in.left.tail_width) + kCpuHashed;
       },
       std::function<SetAggImplSig>(HashSetAggregate),
       "one accumulator per group oid via hash table");

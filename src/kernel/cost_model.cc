@@ -1,8 +1,30 @@
-#include "tpcd/cost_model.h"
+#include "kernel/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
 
-namespace moaflat::tpcd {
+namespace moaflat::kernel {
+
+double HeapPages(uint64_t rows, int width, int page_b) {
+  if (rows == 0 || width <= 0 || page_b <= 0) return 0.0;
+  const double bytes = static_cast<double>(rows) * width;
+  return std::ceil(bytes / page_b);
+}
+
+double RandomFetchPages(uint64_t rows, int width, double k, int page_b) {
+  if (rows == 0 || width <= 0 || page_b <= 0 || k <= 0) return 0.0;
+  const double pages = HeapPages(rows, width, page_b);
+  const double per_page = std::max<double>(
+      1.0, std::min<double>(static_cast<double>(rows), page_b / width));
+  const double s = std::min(1.0, k / static_cast<double>(rows));
+  return pages * (1.0 - std::pow(1.0 - s, per_page));
+}
+
+double BinarySearchPages(uint64_t rows, int width, int page_b) {
+  const double pages = HeapPages(rows, width, page_b);
+  if (pages <= 1.0) return pages;
+  return std::min(pages, std::floor(std::log2(pages)) + 1.0);
+}
 
 double CostModel::ERel(double s) const {
   const double X = static_cast<double>(p_.X);
@@ -42,4 +64,4 @@ double CostModel::Crossover(int p, double s_max) const {
   return 0.5 * (lo + hi);
 }
 
-}  // namespace moaflat::tpcd
+}  // namespace moaflat::kernel

@@ -1,6 +1,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
@@ -163,19 +164,22 @@ Result<Bat> GroupRefine(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
 namespace internal {
 
 void RegisterGroupKernels(KernelRegistry& r) {
+  // Costs are expected cold page faults (Section 5.2.2 page geometry).
   r.Register<UnaryImplSig>(
       "group", "hash_group",
       [](const DispatchInput&) { return true; },
       [](const DispatchInput& in) {
-        return static_cast<double>(in.left.size) + 1.0;
+        return HeapPages(in.left.size, in.left.tail_width) + kCpuHashed;
       },
       std::function<UnaryImplSig>(HashGroup),
       "hash-cons tail values into dense first-appearance oids");
   r.Register<BinaryImplSig>(
       "group_refine", "sync_group_refine",
-      [](const DispatchInput& in) { return in.synced; },
+      [](const DispatchInput& in) { return in.synced && in.right.has_value(); },
       [](const DispatchInput& in) {
-        return static_cast<double>(in.left.size) + 1.0;
+        return HeapPages(in.left.size, in.left.tail_width) +
+               HeapPages(in.right->size, in.right->tail_width) +
+               kCpuSequential;
       },
       std::function<BinaryImplSig>(SyncGroupRefine),
       "operands synced: positional refinement pass");
@@ -183,8 +187,14 @@ void RegisterGroupKernels(KernelRegistry& r) {
       "group_refine", "hash_group_refine",
       [](const DispatchInput& in) { return in.right.has_value(); },
       [](const DispatchInput& in) {
-        return 2.0 * static_cast<double>(in.left.size) +
-               (in.right->head_hashed ? 2.0 : 4.0);
+        const double build =
+            in.right->head_hashed
+                ? 0.0
+                : HeapPages(in.right->size, in.right->head_width);
+        return build + HeapPages(in.left.size, in.left.tail_width) +
+               RandomFetchPages(in.right->size, in.right->tail_width,
+                                static_cast<double>(in.left.size)) +
+               kCpuHashed;
       },
       std::function<BinaryImplSig>(HashGroupRefine),
       "align refining values via CD's head hash accelerator");

@@ -1,3 +1,4 @@
+#include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
@@ -137,11 +138,23 @@ Result<Bat> Join(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
 
 namespace internal {
 
+double EstJoinMatches(const DispatchInput& in) {
+  return EstEquiMatches(in.left.size, in.right->size);
+}
+
 void RegisterJoinKernels(KernelRegistry& r) {
+  // Costs are expected cold page faults over the actual column widths
+  // (Section 5.2.2 page geometry), plus a sub-page CPU tie-breaker.
   r.Register<BinaryImplSig>(
       "join", "fetch_join",
-      [](const DispatchInput& in) { return in.tail_head_aligned; },
-      [](const DispatchInput&) { return 1.0; },
+      [](const DispatchInput& in) {
+        return in.right.has_value() && in.tail_head_aligned;
+      },
+      [](const DispatchInput& in) {
+        // Zero-copy [A, D]: the only IO is reporting both shared columns.
+        return HeapPages(in.left.size, in.left.head_width) +
+               HeapPages(in.right->size, in.right->tail_width);
+      },
       std::function<BinaryImplSig>(FetchJoin),
       "join columns provably identical by position: zero-copy [A, D]");
   r.Register<BinaryImplSig>(
@@ -151,7 +164,12 @@ void RegisterJoinKernels(KernelRegistry& r) {
                in.right->props.hsorted;
       },
       [](const DispatchInput& in) {
-        return static_cast<double>(in.left.size + in.right->size) + 2.0;
+        const double est = EstJoinMatches(in);
+        return HeapPages(in.left.size, in.left.tail_width) +
+               HeapPages(in.right->size, in.right->head_width) +
+               RandomFetchPages(in.left.size, in.left.head_width, est) +
+               RandomFetchPages(in.right->size, in.right->tail_width, est) +
+               kCpuSequential;
       },
       std::function<BinaryImplSig>(MergeJoin),
       "single interleaved pass over tsorted x hsorted operands");
@@ -159,12 +177,19 @@ void RegisterJoinKernels(KernelRegistry& r) {
       "join", "hash_join",
       [](const DispatchInput& in) { return in.right.has_value(); },
       [](const DispatchInput& in) {
-        // Building the accelerator costs one pass over CD, skipped when
-        // the hash already exists; probing costs one pass over AB. The
-        // discount never undercuts merge_join (n + m + 2).
-        const double m = static_cast<double>(in.right->size);
-        return static_cast<double>(in.left.size) +
-               (in.right->head_hashed ? m : 2.0 * m) + 4.0;
+        // Building the accelerator costs one pass over CD's head, skipped
+        // when the hash already exists; probing scans AB's tail; each
+        // match fetches c/a/d at value order.
+        const double est = EstJoinMatches(in);
+        const double build =
+            in.right->head_hashed
+                ? 0.0
+                : HeapPages(in.right->size, in.right->head_width);
+        return build + HeapPages(in.left.size, in.left.tail_width) +
+               RandomFetchPages(in.right->size, in.right->head_width, est) +
+               RandomFetchPages(in.left.size, in.left.head_width, est) +
+               RandomFetchPages(in.right->size, in.right->tail_width, est) +
+               kCpuHashed;
       },
       std::function<BinaryImplSig>(HashJoin),
       "probe the (cached) hash accelerator on CD's head");

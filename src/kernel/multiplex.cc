@@ -2,8 +2,10 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
+#include "kernel/registry.h"
 #include "kernel/scalar_fn.h"
 
 namespace moaflat::kernel {
@@ -21,106 +23,106 @@ bool NumericTail(const Column& c) {
          c.type() == MonetType::kChr;
 }
 
-}  // namespace
+/// Dispatch-relevant shape of one multiplex call, shared by the dispatcher
+/// and the registered variants (each variant re-derives it; the analysis
+/// is O(args) pointer chasing, never data).
+struct MxShape {
+  const Bat* driver = nullptr;        // first BAT argument
+  std::vector<const Bat*> bats;       // all BAT arguments, in order
+  std::vector<int> bat_of_arg;        // arg slot -> index in bats, -1 const
+  bool synced = true;                 // all BATs share the driver's heads
+  bool numeric = true;                // every argument is numeric-valued
+  MonetType out_type = MonetType::kDbl;
+};
 
-Result<Bat> Multiplex(const ExecContext& ctx, const std::string& fn,
-                      const std::vector<MxArg>& args) {
-  OpRecorder rec(ctx, "multiplex");
-
-  // Locate the driver (first BAT argument) and classify the others.
-  const Bat* driver = nullptr;
-  std::vector<const Bat*> bats;
-  for (const MxArg& a : args) {
-    if (const Bat* b = std::get_if<Bat>(&a)) {
-      if (driver == nullptr) driver = b;
-      bats.push_back(b);
+Result<MxShape> AnalyzeMx(const std::string& fn,
+                          const std::vector<MxArg>& args) {
+  MxShape sh;
+  sh.bat_of_arg.assign(args.size(), -1);
+  std::vector<MonetType> arg_types;
+  for (size_t k = 0; k < args.size(); ++k) {
+    if (const Bat* b = std::get_if<Bat>(&args[k])) {
+      if (sh.driver == nullptr) sh.driver = b;
+      sh.bat_of_arg[k] = static_cast<int>(sh.bats.size());
+      sh.bats.push_back(b);
+      arg_types.push_back(b->tail().type());
+      if (!NumericTail(b->tail())) sh.numeric = false;
+    } else {
+      const Value& v = std::get<Value>(args[k]);
+      arg_types.push_back(v.type());
+      if (!v.ToDouble().ok()) sh.numeric = false;
     }
   }
-  if (driver == nullptr) {
+  if (sh.driver == nullptr) {
     return Status::Invalid("multiplex [" + fn +
                            "] needs at least one BAT argument");
   }
-
   // The multiplex constructor applies f over the natural join on head
   // values (Fig. 4). The synced fast path applies it positionally; the
   // kernel proves syncedness via the propagated sync keys (Section 5.1),
   // e.g. for [*]( prices, factor ) in Q13.
-  bool synced = true;
-  for (const Bat* b : bats) {
-    if (b != driver && !driver->SyncedWith(*b)) synced = false;
+  for (const Bat* b : sh.bats) {
+    if (b != sh.driver && !sh.driver->SyncedWith(*b)) sh.synced = false;
   }
+  MF_ASSIGN_OR_RETURN(sh.out_type, ScalarResultType(fn, arg_types));
+  return sh;
+}
 
-  std::vector<MonetType> arg_types;
-  for (const MxArg& a : args) {
-    if (const Bat* b = std::get_if<Bat>(&a)) {
-      arg_types.push_back(b->tail().type());
-    } else {
-      arg_types.push_back(std::get<Value>(a).type());
+/// Unboxed fast path: binary arithmetic over synced numeric operands,
+/// parallel-block executed (Section 2).
+Result<Bat> SyncedNumericMultiplex(const ExecContext& ctx,
+                                   const std::string& fn,
+                                   const std::vector<MxArg>& args,
+                                   OpRecorder& rec) {
+  MF_ASSIGN_OR_RETURN(MxShape sh, AnalyzeMx(fn, args));
+  for (const Bat* b : sh.bats) b->tail().TouchAll();
+  const Bat* driver = sh.driver;
+  const size_t n = driver->size();
+  MF_RETURN_NOT_OK(ctx.ChargeMemory(n * sizeof(double)));
+  std::vector<double> out(n);
+  auto num_at = [&](const MxArg& a, size_t i) -> double {
+    if (const Bat* b = std::get_if<Bat>(&a)) return b->tail().NumAt(i);
+    return std::get<Value>(a).ToDouble().ValueOrDie();
+  };
+  // Each block writes a disjoint slice of the pre-sized output vector.
+  ParallelBlocks(n, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double x = num_at(args[0], i);
+      const double y = num_at(args[1], i);
+      double r = 0;
+      if (fn == "+") r = x + y;
+      if (fn == "-") r = x - y;
+      if (fn == "*") r = x * y;
+      if (fn == "/") r = (y == 0 ? 0 : x / y);
+      out[i] = r;
     }
-  }
-  MF_ASSIGN_OR_RETURN(MonetType out_type, ScalarResultType(fn, arg_types));
+  });
+  MF_ASSIGN_OR_RETURN(
+      Bat res, Bat::Make(driver->head_col(), Column::MakeDbl(std::move(out)),
+                         bat::Properties{driver->props().hkey, false,
+                                         driver->props().hsorted, false}));
+  rec.Finish("multiplex_synced_numeric", res.size());
+  return res;
+}
 
-  for (const Bat* b : bats) b->tail().TouchAll();
+/// General path shared by the synced and head-join variants: boxed Value
+/// rows, positional when `synced`, aligned via head hashes otherwise.
+Result<Bat> GeneralMultiplex(const ExecContext& ctx, const std::string& fn,
+                             const std::vector<MxArg>& args, bool synced,
+                             OpRecorder& rec) {
+  (void)ctx;  // boxed path materializes via builders; nothing to pre-charge
+  MF_ASSIGN_OR_RETURN(MxShape sh, AnalyzeMx(fn, args));
+  const Bat* driver = sh.driver;
+  for (const Bat* b : sh.bats) b->tail().TouchAll();
 
-  // Unboxed fast path: binary arithmetic over synced numeric operands.
-  if (synced && IsNumericBinary(fn) && args.size() == 2) {
-    bool numeric_ok = true;
-    for (size_t k = 0; k < args.size(); ++k) {
-      if (const Bat* b = std::get_if<Bat>(&args[k])) {
-        if (!NumericTail(b->tail())) numeric_ok = false;
-      } else if (!std::get<Value>(args[k]).ToDouble().ok()) {
-        numeric_ok = false;
-      }
-    }
-    if (numeric_ok) {
-      const size_t n = driver->size();
-      MF_RETURN_NOT_OK(ctx.ChargeMemory(n * sizeof(double)));
-      std::vector<double> out(n);
-      auto num_at = [&](const MxArg& a, size_t i) -> double {
-        if (const Bat* b = std::get_if<Bat>(&a)) return b->tail().NumAt(i);
-        return std::get<Value>(a).ToDouble().ValueOrDie();
-      };
-      // Vectorized computation runs as parallel blocks (Section 2); each
-      // block writes a disjoint slice of the pre-sized output vector.
-      ParallelBlocks(n, [&](int, size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          const double x = num_at(args[0], i);
-          const double y = num_at(args[1], i);
-          double r = 0;
-          if (fn == "+") r = x + y;
-          if (fn == "-") r = x - y;
-          if (fn == "*") r = x * y;
-          if (fn == "/") r = (y == 0 ? 0 : x / y);
-          out[i] = r;
-        }
-      });
-      MF_ASSIGN_OR_RETURN(
-          Bat res, Bat::Make(driver->head_col(), Column::MakeDbl(std::move(out)),
-                             bat::Properties{driver->props().hkey, false,
-                                             driver->props().hsorted, false}));
-      rec.Finish("multiplex_synced_numeric", res.size());
-      return res;
-    }
-  }
-
-  // General path: positional when synced, head-hash alignment otherwise.
   ColumnBuilder hb(driver->head().type() == MonetType::kVoid
                        ? MonetType::kOidT
                        : driver->head().type());
-  ColumnBuilder tb(out_type);
-  std::vector<std::shared_ptr<const bat::HashIndex>> hashes(bats.size());
+  ColumnBuilder tb(sh.out_type);
+  std::vector<std::shared_ptr<const bat::HashIndex>> hashes(sh.bats.size());
   if (!synced) {
-    for (size_t k = 0; k < bats.size(); ++k) {
-      if (bats[k] != driver) hashes[k] = bats[k]->EnsureHeadHash();
-    }
-  }
-
-  // Maps each argument slot to its index in `bats` (-1 for constants).
-  std::vector<int> bat_of_arg(args.size(), -1);
-  {
-    int next_bat = 0;
-    for (size_t k = 0; k < args.size(); ++k) {
-      if (std::holds_alternative<Bat>(args[k])) bat_of_arg[k] = next_bat++;
+    for (size_t k = 0; k < sh.bats.size(); ++k) {
+      if (sh.bats[k] != driver) hashes[k] = sh.bats[k]->EnsureHeadHash();
     }
   }
 
@@ -129,9 +131,9 @@ Result<Bat> Multiplex(const ExecContext& ctx, const std::string& fn,
   for (size_t i = 0; i < n; ++i) {
     bool complete = true;
     for (size_t k = 0; k < args.size(); ++k) {
-      const int bi = bat_of_arg[k];
+      const int bi = sh.bat_of_arg[k];
       if (bi >= 0) {
-        const Bat* b = bats[bi];
+        const Bat* b = sh.bats[bi];
         size_t pos = i;
         if (!synced && b != driver) {
           const int64_t p = hashes[bi]->FindFirst(driver->head(), i);
@@ -165,5 +167,86 @@ Result<Bat> Multiplex(const ExecContext& ctx, const std::string& fn,
   rec.Finish(synced ? "multiplex_synced" : "multiplex_headjoin", res.size());
   return res;
 }
+
+Result<Bat> SyncedMultiplex(const ExecContext& ctx, const std::string& fn,
+                            const std::vector<MxArg>& args, OpRecorder& rec) {
+  return GeneralMultiplex(ctx, fn, args, /*synced=*/true, rec);
+}
+
+Result<Bat> HeadJoinMultiplex(const ExecContext& ctx, const std::string& fn,
+                              const std::vector<MxArg>& args,
+                              OpRecorder& rec) {
+  return GeneralMultiplex(ctx, fn, args, /*synced=*/false, rec);
+}
+
+/// All variants read every operand tail once; the dispatch input carries
+/// the driver (left) and the first non-driver BAT (right) views.
+double MxTailPages(const DispatchInput& in) {
+  double pages = HeapPages(in.left.size, in.left.tail_width);
+  if (in.right.has_value()) {
+    pages += HeapPages(in.right->size, in.right->tail_width);
+  }
+  return pages;
+}
+
+}  // namespace
+
+Result<Bat> Multiplex(const ExecContext& ctx, const std::string& fn,
+                      const std::vector<MxArg>& args) {
+  OpRecorder rec(ctx, "multiplex");
+  MF_ASSIGN_OR_RETURN(MxShape sh, AnalyzeMx(fn, args));
+
+  DispatchInput in;
+  in.left = OperandView::Of(*sh.driver);
+  for (const Bat* b : sh.bats) {
+    if (b != sh.driver) {
+      in.right = OperandView::Of(*b);
+      break;
+    }
+  }
+  in.synced = sh.synced;
+  in.param = OpParam{static_cast<int64_t>(args.size()), fn, sh.numeric};
+  return KernelRegistry::Global().Dispatch<MultiplexImplSig>("multiplex", in,
+                                                             ctx, fn, args,
+                                                             rec);
+}
+
+namespace internal {
+
+void RegisterMultiplexKernels(KernelRegistry& r) {
+  r.Register<MultiplexImplSig>(
+      "multiplex", "multiplex_synced_numeric",
+      [](const DispatchInput& in) {
+        return in.synced && in.param.has_value() && in.param->flag &&
+               in.param->code == 2 && IsNumericBinary(in.param->name);
+      },
+      [](const DispatchInput& in) { return MxTailPages(in); },
+      std::function<MultiplexImplSig>(SyncedNumericMultiplex),
+      "unboxed parallel-block arithmetic over synced numeric operands");
+  r.Register<MultiplexImplSig>(
+      "multiplex", "multiplex_synced",
+      [](const DispatchInput& in) { return in.synced; },
+      [](const DispatchInput& in) { return MxTailPages(in) + kCpuSequential; },
+      std::function<MultiplexImplSig>(SyncedMultiplex),
+      "positional row assembly over synced operands (boxed values)");
+  r.Register<MultiplexImplSig>(
+      "multiplex", "multiplex_headjoin",
+      [](const DispatchInput&) { return true; },
+      [](const DispatchInput& in) {
+        // Aligning each non-driver operand costs a hash build over its
+        // head plus per-row aligned tail fetches.
+        double extra = 0;
+        if (in.right.has_value()) {
+          extra = HeapPages(in.right->size, in.right->head_width) +
+                  RandomFetchPages(in.right->size, in.right->tail_width,
+                                   static_cast<double>(in.left.size));
+        }
+        return MxTailPages(in) + extra + kCpuHashed;
+      },
+      std::function<MultiplexImplSig>(HeadJoinMultiplex),
+      "natural join on heads via the hash accelerators");
+}
+
+}  // namespace internal
 
 }  // namespace moaflat::kernel

@@ -9,6 +9,8 @@ OperandView OperandView::Of(const Bat& b) {
   OperandView v;
   v.props = b.props();
   v.size = b.size();
+  v.head_width = b.head().width();
+  v.tail_width = b.tail().width();
   v.head_void = b.head().is_void();
   v.tail_void = b.tail().is_void();
   v.head_hashed = b.HasHeadHash();
@@ -35,6 +37,10 @@ std::string DispatchInput::ToString() const {
   if (right.has_value()) out += "; " + right->ToString();
   if (synced) out += "; synced";
   if (tail_head_aligned) out += "; aligned";
+  if (param.has_value()) {
+    out += "; param=";
+    out += param->name.empty() ? std::to_string(param->code) : param->name;
+  }
   out += ")";
   return out;
 }
@@ -92,7 +98,9 @@ KernelRegistry::Explanation KernelRegistry::Explain(
     Candidate c;
     c.name = v.name;
     c.applicable = v.applicable(in);
-    c.cost = c.applicable ? v.cost(in) : 0;
+    // Inapplicable variants keep the default infinite cost: rendering or
+    // sorting the table must never present a vetoed variant as cheapest.
+    if (c.applicable) c.cost = v.cost(in);
     c.chosen = (&v == chosen);
     c.note = v.note;
     ex.candidates.push_back(std::move(c));
@@ -120,7 +128,7 @@ std::string KernelRegistry::Explanation::ToString() const {
     if (c.applicable) {
       os << "  cost=" << c.cost;
     } else {
-      os << "  (inapplicable)";
+      os << "  cost=-  (inapplicable)";
     }
     if (!c.note.empty()) os << "  # " << c.note;
     os << "\n";
@@ -150,6 +158,8 @@ KernelRegistry& KernelRegistry::Global() {
     internal::RegisterSemijoinKernels(*r);
     internal::RegisterGroupKernels(*r);
     internal::RegisterAggregateKernels(*r);
+    internal::RegisterThetaJoinKernels(*r);
+    internal::RegisterMultiplexKernels(*r);
     return r;
   }();
   return *registry;

@@ -3,22 +3,26 @@
 
 #include <any>
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "bat/bat.h"
 #include "common/result.h"
+#include "common/value.h"
 #include "kernel/exec_context.h"
 
 /// The kernel's dynamic-optimization step as data (Section 5.1: every BAT
 /// operator performs "a run-time choice between the available algorithms",
 /// driven by the operand properties and accelerators). Each operator
 /// registers its implementation variants here with an applicability
-/// predicate over a snapshot of the operand features and a cost hint; the
-/// dispatch loop picks the cheapest applicable variant. The decision table
-/// is inspectable via KernelRegistry::Explain and unit-testable without
+/// predicate over a snapshot of the operand features and an expected-page-
+/// fault cost estimate (Section 5.2.2, kernel/cost_model.h); the dispatch
+/// loop picks the cheapest applicable variant. The decision table is
+/// inspectable via KernelRegistry::Explain and unit-testable without
 /// executing anything.
 namespace moaflat::kernel {
 
@@ -30,6 +34,8 @@ using bat::Bat;
 struct OperandView {
   bat::Properties props;
   size_t size = 0;
+  int head_width = 0;           // bytes per stored head value (0 = void)
+  int tail_width = 0;           // bytes per stored tail value (0 = void)
   bool head_void = false;
   bool tail_void = false;
   bool head_hashed = false;     // hash accelerator already built
@@ -39,6 +45,17 @@ struct OperandView {
 
   static OperandView Of(const Bat& b);
   std::string ToString() const;
+};
+
+/// Operator-specific dispatch parameter: the Section 5.1 run-time choice
+/// sometimes depends on the requested operation itself, not only on the
+/// operand properties (the theta-join's comparison, the multiplexed
+/// function). Each operator family defines what the fields mean; its
+/// registered predicates and cost functions read them back.
+struct OpParam {
+  int64_t code = 0;   // e.g. the CmpOp of a theta-join, a multiplex arity
+  std::string name;   // e.g. the multiplex scalar function
+  bool flag = false;  // e.g. "every multiplex argument is numeric"
 };
 
 /// Input of one dispatch decision: one or two operand views plus the
@@ -51,6 +68,8 @@ struct DispatchInput {
   /// Left tail and right head are provably the same value sequence by
   /// position (the positional/fetch-join precondition).
   bool tail_head_aligned = false;
+  /// Operator-parameter slot; absent for purely operand-driven families.
+  std::optional<OpParam> param;
 
   std::string ToString() const;
 };
@@ -63,6 +82,7 @@ DispatchInput MakeInput(const Bat& ab, const Bat& cd);
 /// "datavector_semijoin(cached)").
 struct Bound;  // defined in operators.h
 enum class AggKind;
+enum class CmpOp;
 using SelectImplSig = Result<Bat>(const ExecContext&, const Bat&,
                                   const Bound& lo, const Bound& hi,
                                   OpRecorder&);
@@ -71,6 +91,14 @@ using BinaryImplSig = Result<Bat>(const ExecContext&, const Bat&, const Bat&,
                                   OpRecorder&);
 using SetAggImplSig = Result<Bat>(const ExecContext&, AggKind, const Bat&,
                                   OpRecorder&);
+using ThetaImplSig = Result<Bat>(const ExecContext&, const Bat&, const Bat&,
+                                 CmpOp, OpRecorder&);
+/// The argument vector element is operators.h's MxArg spelled out (the
+/// alias lives there; redeclaring it here would couple the headers).
+using MultiplexImplSig = Result<Bat>(const ExecContext&, const std::string&,
+                                     const std::vector<std::variant<
+                                         Bat, Value>>&,
+                                     OpRecorder&);
 
 class KernelRegistry {
  public:
@@ -81,7 +109,9 @@ class KernelRegistry {
   struct Variant {
     std::string name;
     Predicate applicable;
-    /// Cost hint in abstract "BUN touches"; lower wins among applicable
+    /// Expected cold page faults of this variant on this input, from the
+    /// Section 5.2.2 model (kernel/cost_model.h) over the operand
+    /// cardinalities and column widths; lower wins among applicable
     /// variants. Ties resolve to the earlier registration.
     CostFn cost;
     /// A std::function of the family's exec signature (see *ImplSig).
@@ -131,7 +161,10 @@ class KernelRegistry {
   struct Candidate {
     std::string name;
     bool applicable = false;
-    double cost = 0;
+    /// Expected page faults from the Section 5.2.2 model. Infinity when
+    /// the variant is inapplicable: a vetoed variant must never read as
+    /// the cheapest row of the decision table (ToString renders `-`).
+    double cost = std::numeric_limits<double>::infinity();
     bool chosen = false;
     std::string note;
   };
@@ -176,6 +209,8 @@ void RegisterJoinKernels(KernelRegistry& r);
 void RegisterSemijoinKernels(KernelRegistry& r);
 void RegisterGroupKernels(KernelRegistry& r);
 void RegisterAggregateKernels(KernelRegistry& r);
+void RegisterThetaJoinKernels(KernelRegistry& r);
+void RegisterMultiplexKernels(KernelRegistry& r);
 }  // namespace internal
 
 }  // namespace moaflat::kernel

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
@@ -256,13 +257,20 @@ Result<Bat> SelectLike(const ExecContext& ctx, const Bat& ab,
 namespace internal {
 
 void RegisterSelectKernels(KernelRegistry& r) {
+  // Costs are expected cold page faults (Section 5.2.2): the true
+  // selectivity is unknown at dispatch time, so both variants price their
+  // result gather at the same assumed selectivity and the decision hinges
+  // on the access path — log2(pages) probes vs a full tail scan.
   r.Register<SelectImplSig>(
       "select", "binsearch_select",
       [](const DispatchInput& in) {
         return in.left.props.tsorted && !in.left.tail_void;
       },
       [](const DispatchInput& in) {
-        return std::log2(static_cast<double>(in.left.size) + 2.0) + 1.0;
+        const double s = kDispatchSelectivity;
+        return BinarySearchPages(in.left.size, in.left.tail_width) +
+               s * (HeapPages(in.left.size, in.left.tail_width) +
+                    HeapPages(in.left.size, in.left.head_width));
       },
       std::function<SelectImplSig>(BinsearchSelect),
       "binary search on the tail-sorted BUN heap (Section 5.2)");
@@ -270,7 +278,9 @@ void RegisterSelectKernels(KernelRegistry& r) {
       "select", "scan_select",
       [](const DispatchInput&) { return true; },
       [](const DispatchInput& in) {
-        return static_cast<double>(in.left.size) + 4.0;
+        const double matches = kDispatchSelectivity * in.left.size;
+        return HeapPages(in.left.size, in.left.tail_width) +
+               RandomFetchPages(in.left.size, in.left.head_width, matches);
       },
       std::function<SelectImplSig>(ScanSelect),
       "parallel-block full scan of the tail");

@@ -1,3 +1,4 @@
+#include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
@@ -240,11 +241,20 @@ Result<Bat> Intersect(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
 
 namespace internal {
 
+double EstSemijoinMatches(const DispatchInput& in) {
+  return EstEquiMatches(in.left.size, in.right->size);
+}
+
 void RegisterSemijoinKernels(KernelRegistry& r) {
+  // Costs are expected cold page faults (Section 5.2.2): the datavector
+  // estimate is one E_dv term of the analytic model — random fetches into
+  // EXTENT and VECTOR priced by the per-page hit probability — which is
+  // what makes dv semijoins win at low selectivity and lose the advantage
+  // as the fetch set approaches every page, exactly as in Fig. 8.
   r.Register<BinaryImplSig>(
       "semijoin", "sync_semijoin",
-      [](const DispatchInput& in) { return in.synced; },
-      [](const DispatchInput&) { return 1.0; },
+      [](const DispatchInput& in) { return in.synced && in.right.has_value(); },
+      [](const DispatchInput&) { return 0.0; },  // zero-copy, no touches
       std::function<BinaryImplSig>(SyncSemijoin),
       "operands synced (Section 5.1): zero-copy view of AB");
   r.Register<BinaryImplSig>(
@@ -254,7 +264,11 @@ void RegisterSemijoinKernels(KernelRegistry& r) {
                in.right->head_oidlike;
       },
       [](const DispatchInput& in) {
-        return static_cast<double>(in.right->size) + 2.0;
+        const double est = EstSemijoinMatches(in);
+        return HeapPages(in.right->size, in.right->head_width) +
+               RandomFetchPages(in.left.size, in.left.head_width, est) +
+               RandomFetchPages(in.left.size, in.left.tail_width, est) +
+               kCpuSequential;
       },
       std::function<BinaryImplSig>(DatavectorSemijoin),
       "Section 5.2.1 datavector with the persistent LOOKUP cache");
@@ -265,7 +279,11 @@ void RegisterSemijoinKernels(KernelRegistry& r) {
                in.right->props.hsorted;
       },
       [](const DispatchInput& in) {
-        return static_cast<double>(in.left.size + in.right->size) + 4.0;
+        return HeapPages(in.left.size, in.left.head_width) +
+               HeapPages(in.right->size, in.right->head_width) +
+               RandomFetchPages(in.left.size, in.left.tail_width,
+                                EstSemijoinMatches(in)) +
+               kCpuSequential;
       },
       std::function<BinaryImplSig>(MergeSemijoin),
       "single interleaved pass over hsorted heads");
@@ -273,12 +291,16 @@ void RegisterSemijoinKernels(KernelRegistry& r) {
       "semijoin", "hash_semijoin",
       [](const DispatchInput& in) { return in.right.has_value(); },
       [](const DispatchInput& in) {
-        // A pre-built hash on CD's head shaves the build constant; the
-        // discount is bounded so merge/datavector stay preferred whenever
-        // they apply.
-        return 1.5 * static_cast<double>(in.left.size) +
-               static_cast<double>(in.right->size) +
-               (in.right->head_hashed ? 6.0 : 8.0);
+        // One build pass over CD's head (skipped when the accelerator is
+        // cached), one probe pass over AB's head, tail fetches per match.
+        const double build =
+            in.right->head_hashed
+                ? 0.0
+                : HeapPages(in.right->size, in.right->head_width);
+        return build + HeapPages(in.left.size, in.left.head_width) +
+               RandomFetchPages(in.left.size, in.left.tail_width,
+                                EstSemijoinMatches(in)) +
+               kCpuHashed;
       },
       std::function<BinaryImplSig>(HashSemijoin),
       "probe the (cached) hash accelerator on CD's head");

@@ -1,8 +1,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
+#include "kernel/registry.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -30,12 +32,22 @@ bool Satisfies(int cmp, CmpOp op) {
   return false;
 }
 
-}  // namespace
+/// Common epilogue of the theta-join variants. Emission order interleaves
+/// runs from both sides; no ordering or key property survives a theta-join
+/// in general.
+Result<Bat> FinishThetaJoin(const Bat& ab, const Bat& cd, ColumnBuilder& hb,
+                            ColumnBuilder& tb) {
+  ColumnPtr out_head = hb.Finish();
+  SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
+                                    cd.head().sync_key()),
+                            HashString("thetajoin")));
+  return Bat::Make(out_head, tb.Finish(), bat::Properties{});
+}
 
-Result<Bat> ThetaJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
-                      CmpOp op) {
-  if (op == CmpOp::kEq) return Join(ctx, ab, cd);
-  OpRecorder rec(ctx, "thetajoin");
+/// Band algorithm for the ordered comparisons: sort CD's heads once, then
+/// for each left BUN emit the qualifying prefix/suffix run.
+Result<Bat> BandThetaJoin(const ExecContext& ctx, const Bat& ab,
+                          const Bat& cd, CmpOp op, OpRecorder& rec) {
   const Column& a = ab.head();
   const Column& b = ab.tail();
   const Column& c = cd.head();
@@ -43,97 +55,128 @@ Result<Bat> ThetaJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   ColumnBuilder hb(BuilderType(a));
   ColumnBuilder tb(BuilderType(d), d.str_heap());
   internal::ChargeGate gate(ctx, a, d);
-  const char* impl;
 
-  if (op != CmpOp::kNe) {
-    // Band algorithm: sort CD's heads once, then for each left BUN emit
-    // the qualifying prefix/suffix run.
-    impl = "sort_band_thetajoin";
-    std::vector<size_t> order(cd.size());
-    std::iota(order.begin(), order.end(), 0);
-    if (!cd.props().hsorted) {
-      std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
-        return c.CompareAt(x, c, y) < 0;
-      });
-    }
-    b.TouchAll();
-    c.TouchAll();
-    for (size_t i = 0; i < ab.size(); ++i) {
-      // First position in the sorted right side with c >= b[i].
-      size_t lo = 0, hi = order.size();
-      while (lo < hi) {
-        const size_t mid = lo + (hi - lo) / 2;
-        if (c.CompareAt(order[mid], b, i) < 0) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      // Emit the side of the partition the comparison selects. Ties need
-      // local scanning since `lo` is the first >=.
-      // The predicate is b <op> c, evaluated via CompareAt(b_i, c_pos).
-      auto emit = [&](size_t j) -> Status {
-        const size_t pos = order[j];
-        if (Satisfies(b.CompareAt(i, c, pos), op)) {
-          a.TouchAt(i);
-          d.TouchAt(pos);
-          hb.AppendFrom(a, i);
-          tb.AppendFrom(d, pos);
-          return gate.Add(1);
-        }
-        return Status::OK();
-      };
-      if (op == CmpOp::kLt || op == CmpOp::kLe) {
-        // b < c: everything from the partition point rightwards (plus the
-        // tie run just before it for <=).
-        size_t start = lo;
-        while (start > 0 &&
-               c.CompareAt(order[start - 1], b, i) == 0) {
-          --start;
-        }
-        for (size_t j = start; j < order.size(); ++j) {
-          MF_RETURN_NOT_OK(emit(j));
-        }
+  std::vector<size_t> order(cd.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (!cd.props().hsorted) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+      return c.CompareAt(x, c, y) < 0;
+    });
+  }
+  b.TouchAll();
+  c.TouchAll();
+  for (size_t i = 0; i < ab.size(); ++i) {
+    // First position in the sorted right side with c >= b[i].
+    size_t lo = 0, hi = order.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (c.CompareAt(order[mid], b, i) < 0) {
+        lo = mid + 1;
       } else {
-        // b > c / b >= c: everything left of the partition point (plus
-        // the tie run for >=).
-        size_t end = lo;
-        while (end < order.size() &&
-               c.CompareAt(order[end], b, i) == 0) {
-          ++end;
-        }
-        for (size_t j = 0; j < end; ++j) {
-          MF_RETURN_NOT_OK(emit(j));
-        }
+        hi = mid;
       }
     }
-  } else {
-    impl = "nested_thetajoin";
-    b.TouchAll();
-    c.TouchAll();
-    for (size_t i = 0; i < ab.size(); ++i) {
-      for (size_t j = 0; j < cd.size(); ++j) {
-        if (b.CompareAt(i, c, j) != 0) {
-          a.TouchAt(i);
-          d.TouchAt(j);
-          hb.AppendFrom(a, i);
-          tb.AppendFrom(d, j);
-          MF_RETURN_NOT_OK(gate.Add(1));
-        }
+    // Emit the side of the partition the comparison selects. Ties need
+    // local scanning since `lo` is the first >=.
+    // The predicate is b <op> c, evaluated via CompareAt(b_i, c_pos).
+    auto emit = [&](size_t j) -> Status {
+      const size_t pos = order[j];
+      if (Satisfies(b.CompareAt(i, c, pos), op)) {
+        a.TouchAt(i);
+        d.TouchAt(pos);
+        hb.AppendFrom(a, i);
+        tb.AppendFrom(d, pos);
+        return gate.Add(1);
+      }
+      return Status::OK();
+    };
+    if (op == CmpOp::kLt || op == CmpOp::kLe) {
+      // b < c: everything from the partition point rightwards (plus the
+      // tie run just before it for <=).
+      size_t start = lo;
+      while (start > 0 && c.CompareAt(order[start - 1], b, i) == 0) {
+        --start;
+      }
+      for (size_t j = start; j < order.size(); ++j) {
+        MF_RETURN_NOT_OK(emit(j));
+      }
+    } else {
+      // b > c / b >= c: everything left of the partition point (plus
+      // the tie run for >=).
+      size_t end = lo;
+      while (end < order.size() && c.CompareAt(order[end], b, i) == 0) {
+        ++end;
+      }
+      for (size_t j = 0; j < end; ++j) {
+        MF_RETURN_NOT_OK(emit(j));
       }
     }
   }
 
   MF_RETURN_NOT_OK(gate.Flush());
-  ColumnPtr out_head = hb.Finish();
-  SetSync(out_head, MixSync(MixSync(a.sync_key(), c.sync_key()),
-                            HashString("thetajoin")));
-  // Emission order interleaves runs from both sides; no ordering or key
-  // property survives a theta-join in general.
-  MF_ASSIGN_OR_RETURN(Bat res,
-                      Bat::Make(out_head, tb.Finish(), bat::Properties{}));
-  rec.Finish(impl, res.size());
+  MF_ASSIGN_OR_RETURN(Bat res, FinishThetaJoin(ab, cd, hb, tb));
+  rec.Finish("sort_band_thetajoin", res.size());
   return res;
+}
+
+/// Nested-loop fallback: evaluates the comparison on every BUN pair; the
+/// only variant that can serve `!=` (whose result is not a band).
+Result<Bat> NestedThetaJoin(const ExecContext& ctx, const Bat& ab,
+                            const Bat& cd, CmpOp op, OpRecorder& rec) {
+  const Column& a = ab.head();
+  const Column& b = ab.tail();
+  const Column& c = cd.head();
+  const Column& d = cd.tail();
+  ColumnBuilder hb(BuilderType(a));
+  ColumnBuilder tb(BuilderType(d), d.str_heap());
+  internal::ChargeGate gate(ctx, a, d);
+  b.TouchAll();
+  c.TouchAll();
+  for (size_t i = 0; i < ab.size(); ++i) {
+    for (size_t j = 0; j < cd.size(); ++j) {
+      if (Satisfies(b.CompareAt(i, c, j), op)) {
+        a.TouchAt(i);
+        d.TouchAt(j);
+        hb.AppendFrom(a, i);
+        tb.AppendFrom(d, j);
+        MF_RETURN_NOT_OK(gate.Add(1));
+      }
+    }
+  }
+  MF_RETURN_NOT_OK(gate.Flush());
+  MF_ASSIGN_OR_RETURN(Bat res, FinishThetaJoin(ab, cd, hb, tb));
+  rec.Finish("nested_thetajoin", res.size());
+  return res;
+}
+
+CmpOp ParamOp(const DispatchInput& in) {
+  return static_cast<CmpOp>(in.param->code);
+}
+
+/// Expected output of an inequality join is a large fraction of the cross
+/// product; both variants gather it from the same columns, so their page
+/// costs tie and the CPU tie-breaker decides (band sorts once and probes,
+/// nested compares every pair).
+double ThetaGatherPages(const DispatchInput& in) {
+  const double out = 0.5 * static_cast<double>(in.left.size) *
+                     static_cast<double>(in.right->size);
+  return HeapPages(in.left.size, in.left.tail_width) +
+         HeapPages(in.right->size, in.right->head_width) +
+         RandomFetchPages(in.left.size, in.left.head_width, out) +
+         RandomFetchPages(in.right->size, in.right->tail_width, out);
+}
+
+}  // namespace
+
+Result<Bat> ThetaJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
+                      CmpOp op) {
+  // `=` is the equi-join family with its own variants and accelerators.
+  if (op == CmpOp::kEq) return Join(ctx, ab, cd);
+  OpRecorder rec(ctx, "thetajoin");
+  DispatchInput in = MakeInput(ab, cd);
+  in.param = OpParam{static_cast<int64_t>(op), "", false};
+  return KernelRegistry::Global().Dispatch<ThetaImplSig>("thetajoin", in, ctx,
+                                                         ab, cd, op, rec);
 }
 
 Result<Bat> Fetch(const ExecContext& ctx, const Bat& ab,
@@ -184,5 +227,32 @@ Result<Bat> Histogram(const ExecContext& ctx, const Bat& ab) {
   rec.Finish("group_histogram", counts.size());
   return counts;
 }
+
+namespace internal {
+
+void RegisterThetaJoinKernels(KernelRegistry& r) {
+  r.Register<ThetaImplSig>(
+      "thetajoin", "sort_band_thetajoin",
+      [](const DispatchInput& in) {
+        if (!in.right.has_value() || !in.param.has_value()) return false;
+        const CmpOp op = ParamOp(in);
+        return op == CmpOp::kLt || op == CmpOp::kLe || op == CmpOp::kGt ||
+               op == CmpOp::kGe;
+      },
+      [](const DispatchInput& in) { return ThetaGatherPages(in) + kCpuSequential; },
+      std::function<ThetaImplSig>(BandThetaJoin),
+      "sort CD's heads once, emit the qualifying run per left BUN");
+  r.Register<ThetaImplSig>(
+      "thetajoin", "nested_thetajoin",
+      [](const DispatchInput& in) {
+        return in.right.has_value() && in.param.has_value() &&
+               ParamOp(in) != CmpOp::kEq;
+      },
+      [](const DispatchInput& in) { return ThetaGatherPages(in) + kCpuHashed; },
+      std::function<ThetaImplSig>(NestedThetaJoin),
+      "compare every BUN pair; the only shape serving '!='");
+}
+
+}  // namespace internal
 
 }  // namespace moaflat::kernel

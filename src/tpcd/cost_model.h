@@ -1,51 +1,16 @@
 #ifndef MOAFLAT_TPCD_COST_MODEL_H_
 #define MOAFLAT_TPCD_COST_MODEL_H_
 
-#include <cstdint>
+#include "kernel/cost_model.h"
 
 namespace moaflat::tpcd {
 
-/// The select-project IO cost model of Section 5.2.2: expected number of
-/// B-byte disk pages retrieved (cold page faults) for a selection with
-/// selectivity s followed by a projection to p attributes of an n-ary
-/// table with X rows of uniform value width w.
-struct CostModelParams {
-  int64_t X = 6000000;  // rows (the paper's 1 GB Item table)
-  int n = 16;           // table arity
-  int w = 4;            // byte width of one value
-  int B = 4096;         // page size
-};
-
-class CostModel {
- public:
-  explicit CostModel(CostModelParams p) : p_(p) {}
-
-  /// Inverted-list entries per page: C_inv = floor(B / 2w).
-  int64_t CInv() const { return p_.B / (2 * p_.w); }
-  /// Rows per page of the non-decomposed table: C_rel = floor(B/((n+1)w)).
-  int64_t CRel() const { return p_.B / ((p_.n + 1) * p_.w); }
-  /// BUNs per page of a BAT: C_bat = floor(B / 2w).
-  int64_t CBat() const { return p_.B / (2 * p_.w); }
-  /// Datavector values per page: C_dv = floor(B / w).
-  int64_t CDv() const { return p_.B / p_.w; }
-
-  /// E_rel(s): index probe cost + unclustered retrieval of qualifying
-  /// rows (each page retrieved with probability 1-(1-s)^C_rel).
-  double ERel(double s) const;
-
-  /// E_dv(s, p): selection on one tail-sorted BAT plus (p+1) datavector
-  /// semijoins (the +1 is the extent lookup of the first semijoin).
-  double EDv(double s, int p) const;
-
-  /// Selectivity at which E_rel and E_dv(p) cross (bisection on s in
-  /// (0, 1]); returns a negative value if they never cross.
-  double Crossover(int p, double s_max = 0.25) const;
-
-  const CostModelParams& params() const { return p_; }
-
- private:
-  CostModelParams p_;
-};
+/// The Section 5.2.2 select-project cost model now lives in
+/// kernel/cost_model.h, where it also drives KernelRegistry dispatch.
+/// These aliases keep the Fig. 8 bench and the TPC-D tests spelled the
+/// way the paper's section structure suggests.
+using CostModelParams = kernel::CostModelParams;
+using CostModel = kernel::CostModel;
 
 }  // namespace moaflat::tpcd
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <mutex>
 #include <numeric>
 
@@ -43,6 +44,51 @@ TEST(ParallelTest, SmallInputsRunInline) {
 TEST(ParallelTest, DegreeDefaultsToOne) {
   SetParallelDegree(0);
   EXPECT_GE(ParallelDegree(), 1);
+}
+
+/// Restores a clean degree/environment state on scope exit.
+class EnvGuard {
+ public:
+  ~EnvGuard() {
+    unsetenv("MOAFLAT_THREADS");
+    SetParallelDegree(0);
+  }
+};
+
+TEST(ParallelTest, EnvIsSampledOnceUntilReset) {
+  EnvGuard guard;
+  setenv("MOAFLAT_THREADS", "7", 1);
+  SetParallelDegree(0);  // re-read the environment on the next call
+  EXPECT_EQ(ParallelDegree(), 7);
+
+  // A later change of the variable is ignored until the next reset —
+  // the documented sample-once semantics, not a silent race.
+  setenv("MOAFLAT_THREADS", "3", 1);
+  EXPECT_EQ(ParallelDegree(), 7);
+  SetParallelDegree(0);
+  EXPECT_EQ(ParallelDegree(), 3);
+
+  // An explicit override beats the environment.
+  SetParallelDegree(2);
+  EXPECT_EQ(ParallelDegree(), 2);
+}
+
+TEST(ParallelTest, GarbageEnvValuesAreRejected) {
+  EnvGuard guard;
+  for (const char* bad : {"", "abc", "3abc", "-2", "+4", " 4", "0",
+                          "4.5", "99999999"}) {
+    setenv("MOAFLAT_THREADS", bad, 1);
+    SetParallelDegree(0);
+    EXPECT_EQ(ParallelDegree(), 1) << "value: '" << bad << "'";
+  }
+}
+
+TEST(ParallelTest, SetParallelDegreeClampsInsaneValues) {
+  EnvGuard guard;
+  SetParallelDegree(-5);  // negative clears the override like 0 does
+  EXPECT_GE(ParallelDegree(), 1);
+  SetParallelDegree(1 << 20);
+  EXPECT_EQ(ParallelDegree(), kMaxParallelDegree);
 }
 
 Bat BigRandomAttr(size_t n) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -40,7 +41,7 @@ TEST(RegistryTest, RegisteredFamiliesArePresent) {
   auto ops = KernelRegistry::Global().Ops();
   for (const char* op :
        {"select", "join", "semijoin", "group", "group_refine",
-        "set_aggregate"}) {
+        "set_aggregate", "thetajoin", "multiplex"}) {
     EXPECT_NE(std::find(ops.begin(), ops.end(), op), ops.end()) << op;
   }
 }
@@ -172,6 +173,88 @@ TEST(RegistryTest, ExplainRendersAllCandidatesWithCosts) {
   EXPECT_NE(s.find("binsearch_select"), std::string::npos) << s;
   EXPECT_NE(s.find("scan_select"), std::string::npos) << s;
   EXPECT_NE(s.find("->"), std::string::npos) << s;
+}
+
+TEST(RegistryTest, InapplicableVariantsNeverReadAsCheapest) {
+  // Regression: Explain used to report cost = 0 for vetoed variants, so
+  // any consumer sorting the decision table by cost saw the inapplicable
+  // rows as the cheapest. They must carry an infinite cost and render `-`.
+  Bat unsorted = AttrBat({1, 2, 3}, {40, 10, 30},
+                         Properties{true, false, true, false});
+  auto ex = KernelRegistry::Global().Explain("select", unsorted);
+  ASSERT_EQ(ex.candidates.size(), 2u);
+  EXPECT_EQ(ex.chosen, "scan_select");
+  bool saw_inapplicable = false;
+  double chosen_cost = 0;
+  for (const auto& c : ex.candidates) {
+    if (c.chosen) chosen_cost = c.cost;
+  }
+  for (const auto& c : ex.candidates) {
+    if (c.applicable) {
+      EXPECT_TRUE(std::isfinite(c.cost)) << c.name;
+      EXPECT_LE(chosen_cost, c.cost) << c.name;
+    } else {
+      saw_inapplicable = true;
+      EXPECT_TRUE(std::isinf(c.cost)) << c.name;
+      EXPECT_FALSE(c.chosen) << c.name;
+    }
+  }
+  ASSERT_TRUE(saw_inapplicable);  // binsearch is vetoed on unsorted tails
+  const std::string s = ex.ToString();
+  EXPECT_NE(s.find("cost=-"), std::string::npos) << s;
+  EXPECT_NE(s.find("(inapplicable)"), std::string::npos) << s;
+}
+
+TEST(RegistryTest, ThetaJoinDispatchesThroughRegisteredVariants) {
+  Bat ab = AttrBat({1, 2, 3}, {10, 20, 30});
+  Bat cd(Column::MakeInt({15, 25}), Column::MakeOid({7, 8}));
+  auto& reg = KernelRegistry::Global();
+
+  DispatchInput in = MakeInput(ab, cd);
+  in.param = OpParam{static_cast<int64_t>(CmpOp::kLt), "", false};
+  EXPECT_EQ(reg.Explain("thetajoin", in).chosen, "sort_band_thetajoin");
+
+  in.param->code = static_cast<int64_t>(CmpOp::kNe);
+  EXPECT_EQ(reg.Explain("thetajoin", in).chosen, "nested_thetajoin");
+
+  // Without the operator parameter no variant may claim the input.
+  in.param.reset();
+  EXPECT_TRUE(reg.Explain("thetajoin", in).chosen.empty());
+
+  // Explain agrees with what actually runs.
+  ExecTracer tracer;
+  ExecContext ctx;
+  ctx.WithTracer(&tracer);
+  ASSERT_TRUE(ThetaJoin(ctx, ab, cd, CmpOp::kLt).ok());
+  ASSERT_FALSE(tracer.records.empty());
+  EXPECT_EQ(tracer.records.back().impl, "sort_band_thetajoin");
+  ASSERT_TRUE(ThetaJoin(ctx, ab, cd, CmpOp::kNe).ok());
+  EXPECT_EQ(tracer.records.back().impl, "nested_thetajoin");
+}
+
+TEST(RegistryTest, MultiplexDispatchesThroughRegisteredVariants) {
+  ExecTracer tracer;
+  ExecContext ctx;
+  ctx.WithTracer(&tracer);
+
+  // Synced numeric binary arithmetic takes the unboxed fast path.
+  Bat a = AttrBat({1, 2, 3}, {10, 20, 30});
+  Bat b(a.head_col(), Column::MakeInt({2, 4, 6}));
+  ASSERT_TRUE(a.SyncedWith(b));
+  ASSERT_TRUE(Multiplex(ctx, "*", {a, b}).ok());
+  EXPECT_EQ(tracer.records.back().impl, "multiplex_synced_numeric");
+
+  // A unary function over one BAT is synced but not binary arithmetic.
+  ASSERT_TRUE(Multiplex(ctx, "year",
+                        {Bat(Column::MakeOid({1}),
+                             Column::MakeDate({Date::FromYmd(1995, 6, 1)}))})
+                  .ok());
+  EXPECT_EQ(tracer.records.back().impl, "multiplex_synced");
+
+  // Unsynced operands align over the head hash accelerators.
+  Bat c(Column::MakeOid({3, 2, 1}), Column::MakeInt({5, 5, 5}));
+  ASSERT_TRUE(Multiplex(ctx, "+", {a, c}).ok());
+  EXPECT_EQ(tracer.records.back().impl, "multiplex_headjoin");
 }
 
 TEST(RegistryTest, BinaryFamiliesRejectUnaryInput) {
