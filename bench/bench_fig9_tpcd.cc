@@ -10,13 +10,20 @@
 // Absolute times are not comparable to 1997 hardware; the claim reproduced
 // is the *shape*: which queries Monet wins, and that low-selectivity /
 // tiny-result queries (2, 11, 13) are its relative weak spot.
+//
+// `--json PATH` additionally writes the per-query rows (wall-ns for both
+// engines, page faults, intermediate MB, selectivity) plus the load and
+// QppD summary, so the perf trajectory is machine-tracked across PRs.
 
 #include <chrono>
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
+#include "common/parallel.h"
 #include "storage/memory_tracker.h"
 #include "storage/page_accountant.h"
 #include "tpcd/queries.h"
@@ -30,11 +37,28 @@ double Seconds(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+struct QueryRow {
+  int q;
+  double row_sec, monet_sec;
+  unsigned long long row_faults, monet_faults;
+  double total_mb, max_mb, item_sel;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   double sf = 0.01;
   if (const char* env = std::getenv("MOAFLAT_SF")) sf = std::atof(env);
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+  std::vector<QueryRow> json_rows;
 
   std::printf("== Fig. 9: TPC-D results, scale factor %.3f ==\n", sf);
   const auto t_load = std::chrono::steady_clock::now();
@@ -102,6 +126,11 @@ int main() {
                 static_cast<unsigned long long>(base_io.faults()),
                 static_cast<unsigned long long>(monet_io.faults()),
                 total_mb, max_mb, selbuf, tpcd::QuerySuite::Comment(q));
+    json_rows.push_back(QueryRow{
+        q, base_sec, monet_sec,
+        static_cast<unsigned long long>(base_io.faults()),
+        static_cast<unsigned long long>(monet_io.faults()), total_mb,
+        max_mb, sel});
 
     // Cross-check the engines agree (the harness is only meaningful if
     // both computed the same answer).
@@ -124,7 +153,36 @@ int main() {
               load_sec, inst->stats.bulk_load_sec, inst->stats.accel_sec,
               inst->stats.reorder_sec, inst->stats.base_bytes / 1.0e6,
               inst->stats.datavector_bytes / 1.0e6);
-  std::printf("QppD speedup (geometric mean row/monet): %.2fx\n",
-              std::exp(geo_ratio / std::max(geo_n, 1)));
+  const double qppd = std::exp(geo_ratio / std::max(geo_n, 1));
+  std::printf("QppD speedup (geometric mean row/monet): %.2fx\n", qppd);
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_fig9_tpcd\",\n");
+    std::fprintf(f, "  \"scale_factor\": %g,\n", sf);
+    std::fprintf(f, "  \"degree\": %d,\n", ParallelDegree());
+    std::fprintf(f, "  \"load_sec\": %.6f,\n  \"qppd_speedup\": %.4f,\n",
+                 load_sec, qppd);
+    std::fprintf(f, "  \"queries\": [\n");
+    for (size_t i = 0; i < json_rows.size(); ++i) {
+      const QueryRow& r = json_rows[i];
+      std::fprintf(f,
+                   "    {\"q\": %d, \"row_wall_ns\": %lld, "
+                   "\"monet_wall_ns\": %lld, \"row_faults\": %llu, "
+                   "\"monet_faults\": %llu, \"total_mb\": %.3f, "
+                   "\"max_mb\": %.3f, \"item_selectivity\": %.6f}%s\n",
+                   r.q, static_cast<long long>(r.row_sec * 1e9),
+                   static_cast<long long>(r.monet_sec * 1e9), r.row_faults,
+                   r.monet_faults, r.total_mb, r.max_mb, r.item_sel,
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }

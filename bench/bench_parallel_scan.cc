@@ -1,15 +1,33 @@
 // Ablation for the Section 2 parallelism claim ("standard PC hardware
 // will come with multiple processors, so shared memory parallelism will
-// become ever present"): the same scan selection and multiplexed
-// computation at parallel degrees 1/2/4/8.
+// become ever present"): the hot kernels at parallel degrees 1/2/4/8 on
+// the persistent TaskPool, with per-context degrees (no process-global
+// mutation) and exact merged page-fault accounting.
+//
+// Usage:
+//   bench_parallel_scan [--rows N] [--json PATH] [--reps R]
+//
+// --rows   scan-select input cardinality (default 10,000,000; the other
+//          kernels run at N/4 to keep total runtime balanced)
+// --json   write machine-readable results (wall-ns, faults, degree,
+//          result rows per bench x degree) for perf-trajectory tracking
+// --reps   timed repetitions per cell; best-of is reported (default 3)
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <numeric>
+#include <string>
+#include <vector>
 
-#include "common/parallel.h"
+#include "bat/bat.h"
 #include "common/rng.h"
+#include "kernel/exec_context.h"
 #include "kernel/operators.h"
+#include "storage/page_accountant.h"
 
 namespace {
 
@@ -17,42 +35,189 @@ using namespace moaflat;  // NOLINT
 using bat::Bat;
 using bat::Column;
 
-Bat BigAttr(size_t n) {
-  Rng rng(123);
+struct Cell {
+  std::string bench;
+  int degree;
+  int64_t wall_ns;
+  uint64_t faults;
+  size_t rows;
+};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Bat IntAttr(size_t n, int64_t lo, int64_t hi, uint64_t seed) {
+  Rng rng(seed);
   std::vector<Oid> heads(n);
-  std::vector<int32_t> tails(n);
   std::iota(heads.begin(), heads.end(), Oid{1});
-  for (size_t i = 0; i < n; ++i) {
-    tails[i] = static_cast<int32_t>(rng.Uniform(0, 1 << 20));
-  }
-  return Bat(Column::MakeOid(heads), Column::MakeInt(tails),
-             bat::Properties{true, false, true, false});
+  std::vector<int32_t> tails(n);
+  for (auto& v : tails) v = static_cast<int32_t>(rng.Uniform(lo, hi));
+  return Bat(Column::MakeOid(std::move(heads)), Column::MakeInt(tails),
+             bat::Properties{/*hkey=*/true, /*tkey=*/false,
+                             /*hsorted=*/true, /*tsorted=*/false});
 }
 
-void BM_ParallelScanSelect(benchmark::State& state) {
-  Bat ab = BigAttr(4 << 20);
-  SetParallelDegree(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto out = kernel::SelectRange(ab, Value::Int(0), Value::Int(1 << 14));
-    benchmark::DoNotOptimize(out);
-  }
-  SetParallelDegree(0);
+Bat DblAttr(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Oid> heads(n);
+  std::iota(heads.begin(), heads.end(), Oid{1});
+  std::vector<double> tails(n);
+  for (auto& v : tails) v = rng.NextDouble() * 1e4;
+  return Bat(Column::MakeOid(std::move(heads)), Column::MakeDbl(tails),
+             bat::Properties{/*hkey=*/true, /*tkey=*/false,
+                             /*hsorted=*/true, /*tsorted=*/false});
 }
-BENCHMARK(BM_ParallelScanSelect)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_ParallelMultiplex(benchmark::State& state) {
-  const size_t n = 4 << 20;
-  Bat a = BigAttr(n);
-  Bat b = Bat(a.head_col(), BigAttr(n).tail_col());
-  SetParallelDegree(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto out = kernel::Multiplex("*", {a, b});
-    benchmark::DoNotOptimize(out);
+/// Times `run(ctx)` at the given per-context degree: `reps` repetitions,
+/// each under a fresh cold IoStats; best wall time and the (repetition-
+/// invariant) fault count are recorded.
+Cell Measure(const std::string& bench, int degree, int reps,
+             const std::function<size_t(const kernel::ExecContext&)>& run) {
+  Cell cell{bench, degree, INT64_MAX, 0, 0};
+  for (int r = 0; r < reps; ++r) {
+    storage::IoStats io;
+    kernel::ExecContext ctx;
+    ctx.WithIo(&io).WithParallelDegree(degree);
+    const int64_t t0 = NowNs();
+    cell.rows = run(ctx);
+    const int64_t dt = NowNs() - t0;
+    if (dt < cell.wall_ns) cell.wall_ns = dt;
+    cell.faults = io.faults();
   }
-  SetParallelDegree(0);
+  return cell;
 }
-BENCHMARK(BM_ParallelMultiplex)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void WriteJson(const char* path, const std::vector<Cell>& cells,
+               size_t rows) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_parallel_scan\",\n");
+  std::fprintf(f, "  \"scan_rows\": %zu,\n  \"results\": [\n", rows);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"bench\": \"%s\", \"degree\": %d, \"wall_ns\": "
+                 "%lld, \"faults\": %llu, \"rows\": %zu}%s\n",
+                 c.bench.c_str(), c.degree,
+                 static_cast<long long>(c.wall_ns),
+                 static_cast<unsigned long long>(c.faults), c.rows,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  size_t rows = 10000000;
+  int reps = 3;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rows N] [--json PATH] [--reps R]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  const size_t small = rows / 4;
+
+  // Operands are built once; hash accelerators are warmed by the first
+  // repetition, so best-of-reps times the steady-state probe.
+  Bat scan_attr = IntAttr(rows, 0, 1 << 20, 123);
+  Bat mx_a = DblAttr(rows, 5);
+  Bat mx_b = Bat(mx_a.head_col(), DblAttr(rows, 6).tail_col());
+  Bat fk = IntAttr(small, 1, 1 << 16, 7);
+  Bat pk = IntAttr(1 << 16, 1, 1 << 16, 8);
+  Bat group_attr = IntAttr(small, 0, 9999, 9);
+  Bat agg = [&] {
+    // hsorted oid grouping column with ~4K groups -> run_set_aggregate.
+    std::vector<Oid> g(small);
+    for (size_t i = 0; i < small; ++i) g[i] = i / 1024;
+    return Bat(Column::MakeOid(std::move(g)),
+               DblAttr(small, 10).tail_col(),
+               bat::Properties{false, false, /*hsorted=*/true, false});
+  }();
+  Bat hagg = [&] {
+    // unsorted oid grouping column -> hash_set_aggregate.
+    Rng rng(13);
+    std::vector<Oid> g(small);
+    for (auto& v : g) v = static_cast<Oid>(rng.Uniform(0, 4095));
+    return Bat(Column::MakeOid(std::move(g)), DblAttr(small, 12).tail_col());
+  }();
+
+  struct Named {
+    const char* name;
+    std::function<size_t(const kernel::ExecContext&)> run;
+  };
+  const std::vector<Named> benches = {
+      {"scan_select",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::SelectRange(ctx, scan_attr, Value::Int(0),
+                                    Value::Int(1 << 14))
+             .ValueOrDie()
+             .size();
+       }},
+      {"multiplex_mul",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::Multiplex(ctx, "*", {mx_a, mx_b})
+             .ValueOrDie()
+             .size();
+       }},
+      {"hash_join",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::Join(ctx, fk, pk).ValueOrDie().size();
+       }},
+      {"hash_group",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::Group(ctx, group_attr).ValueOrDie().size();
+       }},
+      {"run_set_aggregate_sum",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::SetAggregate(ctx, kernel::AggKind::kSum, agg)
+             .ValueOrDie()
+             .size();
+       }},
+      {"hash_set_aggregate_sum",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::SetAggregate(ctx, kernel::AggKind::kSum, hagg)
+             .ValueOrDie()
+             .size();
+       }},
+  };
+
+  std::printf("== parallel kernels on the TaskPool (%zu scan rows) ==\n",
+              rows);
+  std::printf("%-24s %6s %12s %10s %10s %8s\n", "bench", "degree",
+              "wall(ms)", "faults", "rows", "speedup");
+  std::vector<Cell> cells;
+  for (const Named& b : benches) {
+    int64_t base_ns = 0;
+    for (int degree : {1, 2, 4, 8}) {
+      Cell c = Measure(b.name, degree, reps, b.run);
+      if (degree == 1) base_ns = c.wall_ns;
+      std::printf("%-24s %6d %12.3f %10llu %10zu %7.2fx\n", c.bench.c_str(),
+                  c.degree, c.wall_ns / 1e6,
+                  static_cast<unsigned long long>(c.faults), c.rows,
+                  base_ns > 0 ? static_cast<double>(base_ns) / c.wall_ns
+                              : 0.0);
+      cells.push_back(std::move(c));
+    }
+  }
+  if (json_path != nullptr) WriteJson(json_path, cells, rows);
+  return 0;
+}

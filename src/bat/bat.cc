@@ -67,18 +67,18 @@ Bat Bat::Mirror() const {
   return Bat(tail_, head_, props_.Mirrored(), tail_side_, head_side_);
 }
 
-std::shared_ptr<const HashIndex> Bat::EnsureHeadHash() const {
+std::shared_ptr<const HashIndex> Bat::EnsureHeadHash(int degree) const {
   std::lock_guard<std::mutex> lock(head_side_->mu);
   if (!head_side_->hash) {
-    head_side_->hash = std::make_shared<HashIndex>(head_);
+    head_side_->hash = std::make_shared<HashIndex>(head_, degree);
   }
   return head_side_->hash;
 }
 
-std::shared_ptr<const HashIndex> Bat::EnsureTailHash() const {
+std::shared_ptr<const HashIndex> Bat::EnsureTailHash(int degree) const {
   std::lock_guard<std::mutex> lock(tail_side_->mu);
   if (!tail_side_->hash) {
-    tail_side_->hash = std::make_shared<HashIndex>(tail_);
+    tail_side_->hash = std::make_shared<HashIndex>(tail_, degree);
   }
   return tail_side_->hash;
 }

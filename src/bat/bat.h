@@ -79,11 +79,13 @@ class Bat {
   // --- accelerators ----------------------------------------------------
 
   /// Hash index over the head column, built on first use and shared with
-  /// all copies/mirrors of this BAT.
-  std::shared_ptr<const HashIndex> EnsureHeadHash() const;
+  /// all copies/mirrors of this BAT. degree > 1 builds the accelerator on
+  /// the TaskPool (partitioned build); the structure is identical at any
+  /// degree, so whichever caller builds first cannot perturb later probes.
+  std::shared_ptr<const HashIndex> EnsureHeadHash(int degree = 1) const;
 
   /// Hash index over the tail column.
-  std::shared_ptr<const HashIndex> EnsureTailHash() const;
+  std::shared_ptr<const HashIndex> EnsureTailHash(int degree = 1) const;
 
   /// True if the hash accelerator on the head/tail side has already been
   /// built (without building it); the dispatch predicates use this.

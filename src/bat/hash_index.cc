@@ -1,5 +1,9 @@
 #include "bat/hash_index.h"
 
+#include <algorithm>
+
+#include "common/parallel.h"
+
 namespace moaflat::bat {
 namespace {
 
@@ -11,17 +15,58 @@ uint64_t NextPow2(uint64_t n) {
 
 }  // namespace
 
-HashIndex::HashIndex(ColumnPtr col) : col_(std::move(col)) {
+HashIndex::HashIndex(ColumnPtr col, int degree) : col_(std::move(col)) {
   const size_t n = col_->size();
   const uint64_t nbuckets = NextPow2(n + n / 2 + 1);
   mask_ = nbuckets - 1;
   buckets_.assign(nbuckets, kEnd);
   next_.assign(n, kEnd);
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t b = col_->HashAt(i) & mask_;
-    next_[i] = buckets_[b];
-    buckets_[b] = static_cast<uint32_t>(i) + 1;
+  const BlockPlan plan =
+      PlanBlocks(n, std::min(degree, kMaxScatterDegree));
+  if (plan.blocks <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t b = col_->HashAt(i) & mask_;
+      next_[i] = buckets_[b];
+      buckets_[b] = static_cast<uint32_t>(i) + 1;
+    }
+    return;
   }
+  // Partitioned parallel build. Phase 1: hash every position (disjoint
+  // slices). Positions are uint32, so n < 2^32 and every bucket index
+  // (nbuckets <= NextPow2(1.5 n)) fits in uint32 as well.
+  std::vector<uint32_t> bucket_of(n);
+  RunBlocks(plan, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      bucket_of[i] = static_cast<uint32_t>(col_->HashAt(i) & mask_);
+    }
+  });
+  // Phase 2: block-local scatter of positions by contiguous bucket
+  // range, so the linking phase visits each position exactly once
+  // (O(n) total, not blocks * n).
+  const size_t ranges = plan.blocks;
+  const uint64_t range_chunk = (nbuckets + ranges - 1) / ranges;
+  std::vector<std::vector<std::vector<uint32_t>>> scatter(
+      plan.blocks, std::vector<std::vector<uint32_t>>(ranges));
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    auto& mine = scatter[block];
+    for (size_t i = begin; i < end; ++i) {
+      mine[bucket_of[i] / range_chunk].push_back(static_cast<uint32_t>(i));
+    }
+  });
+  // Phase 3: each range owner links its buckets' positions — blocks in
+  // order, ascending inside each block, i.e. ascending overall: the same
+  // per-bucket insertion order as the serial loop, with disjoint writes
+  // (buckets_[b] by the range owner, next_[i] by the owner of
+  // bucket_of[i]).
+  RunBlocks(plan, [&](int range, size_t, size_t) {
+    for (size_t block = 0; block < plan.blocks; ++block) {
+      for (uint32_t i : scatter[block][range]) {
+        const uint32_t b = bucket_of[i];
+        next_[i] = buckets_[b];
+        buckets_[b] = i + 1;
+      }
+    }
+  });
 }
 
 }  // namespace moaflat::bat

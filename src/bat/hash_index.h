@@ -11,11 +11,18 @@ namespace moaflat::bat {
 
 /// Chained bucket hash table over one column, the classic Monet search
 /// accelerator stored "in a separate heap" (Fig. 2). Built once per column,
-/// then shared; probing never allocates.
+/// then shared; probing never allocates and is safe from any number of
+/// threads concurrently (the structure is immutable after construction).
 class HashIndex {
  public:
-  /// Builds the index over all positions of `col`.
-  explicit HashIndex(ColumnPtr col);
+  /// Builds the index over all positions of `col`. degree > 1 builds on
+  /// the TaskPool: a parallel hashing pass, then bucket-range-partitioned
+  /// chain linking. The resulting structure is bit-identical to the
+  /// serial build at any degree (each bucket's chain depends only on the
+  /// insertion order of its own positions, which stays ascending), so
+  /// probe results — including match *order* — never depend on the degree
+  /// the accelerator happened to be built at.
+  explicit HashIndex(ColumnPtr col, int degree = 1);
 
   /// Invokes `fn(pos)` for every position whose value equals probe[j].
   template <typename Fn>

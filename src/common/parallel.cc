@@ -4,7 +4,9 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
-#include <thread>
+
+#include "common/task_pool.h"
+#include "storage/page_accountant.h"
 
 namespace moaflat {
 namespace {
@@ -31,9 +33,6 @@ int DegreeFromEnv() {
   return static_cast<int>(d);
 }
 
-/// Blocks smaller than this run inline: thread start-up would dominate.
-constexpr size_t kMinItemsPerThread = 16 * 1024;
-
 }  // namespace
 
 int ParallelDegree() {
@@ -51,25 +50,49 @@ void SetParallelDegree(int degree) {
   g_degree.store(degree, std::memory_order_relaxed);
 }
 
-void ParallelBlocks(size_t n,
-                    const std::function<void(int, size_t, size_t)>& fn) {
-  const int degree = ParallelDegree();
-  if (degree <= 1 || n < 2 * kMinItemsPerThread) {
-    fn(0, 0, n);
-    return;
+BlockPlan PlanBlocks(size_t n, int degree) {
+  if (degree <= 0) degree = ParallelDegree();
+  BlockPlan plan;
+  plan.n = n;
+  if (degree <= 1 || n < 2 * kMinItemsPerBlock) {
+    plan.blocks = 1;
+    plan.chunk = n;
+    return plan;
   }
-  const size_t blocks = static_cast<size_t>(degree);
-  const size_t chunk = (n + blocks - 1) / blocks;
-  std::vector<std::thread> workers;
-  workers.reserve(blocks);
-  for (size_t b = 0; b < blocks; ++b) {
-    const size_t begin = b * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back(
-        [&fn, b, begin, end] { fn(static_cast<int>(b), begin, end); });
+  // Cap the block count so every block amortizes its dispatch, then round
+  // the chunk up; recomputing the count from the chunk leaves no empty
+  // trailing block.
+  size_t blocks = std::min<size_t>(degree, n / kMinItemsPerBlock);
+  plan.chunk = (n + blocks - 1) / blocks;
+  plan.blocks = (n + plan.chunk - 1) / plan.chunk;
+  return plan;
+}
+
+size_t RunBlocks(const BlockPlan& plan,
+                 const std::function<void(int, size_t, size_t)>& fn) {
+  if (plan.blocks <= 1) {
+    fn(0, 0, plan.n);
+    return 1;
   }
-  for (std::thread& w : workers) w.join();
+  TaskPool::Global().Run(plan.blocks, [&](size_t b) {
+    // No implicit accounting inside parallel blocks: the caller thread
+    // would otherwise attribute its blocks' touches to the context while
+    // worker-run blocks attribute nothing, making fault counts depend on
+    // scheduling. Kernels install explicit per-block shard accountants.
+    storage::IoScope mute(nullptr);
+    fn(static_cast<int>(b), plan.Begin(b), plan.End(b));
+  });
+  return plan.blocks;
+}
+
+size_t ParallelBlocks(size_t n, int degree,
+                      const std::function<void(int, size_t, size_t)>& fn) {
+  return RunBlocks(PlanBlocks(n, degree), fn);
+}
+
+size_t ParallelBlocks(size_t n,
+                      const std::function<void(int, size_t, size_t)>& fn) {
+  return RunBlocks(PlanBlocks(n), fn);
 }
 
 }  // namespace moaflat

@@ -1,9 +1,9 @@
 #ifndef MOAFLAT_COMMON_PARALLEL_H_
 #define MOAFLAT_COMMON_PARALLEL_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
-#include <vector>
 
 namespace moaflat {
 
@@ -11,17 +11,19 @@ namespace moaflat {
 /// parallelism via parallel iteration and parallel block execution" with
 /// deliberately coarse-grained primitives).
 ///
-/// Kernel operators split their *evaluation* phase into a few large blocks
-/// run on worker threads and keep result materialization and IO accounting
-/// serial (the page accountant is scoped per thread). Degree defaults to
-/// the MOAFLAT_THREADS environment variable, else 1 (single-threaded), so
-/// all measurements stay deterministic unless parallelism is requested.
+/// Kernel operators split their *evaluation* phase into contiguous blocks
+/// (morsels) executed on the persistent TaskPool and keep result
+/// materialization serial; per-block IO accounting is merged back into the
+/// context's accountant (storage::IoStats::MergeFrom), so page-fault
+/// totals stay exact at any degree. Degree resolution: the ExecContext may
+/// carry a per-context override; otherwise the process-wide degree below
+/// applies (MOAFLAT_THREADS, else 1, keeping measurements deterministic).
 
 /// Largest degree ParallelDegree() will report; values beyond this are
-/// rejected as misconfiguration (a worker thread per block would thrash).
+/// rejected as misconfiguration (a block per worker thread would thrash).
 inline constexpr int kMaxParallelDegree = 4096;
 
-/// Current degree of parallelism (>= 1). Resolution order:
+/// Current process-wide degree of parallelism (>= 1). Resolution order:
 ///
 ///  1. the last SetParallelDegree(d) with d >= 1, else
 ///  2. the MOAFLAT_THREADS environment variable — sampled once, on the
@@ -39,12 +41,54 @@ int ParallelDegree();
 /// the next ParallelDegree() call re-read MOAFLAT_THREADS.
 void SetParallelDegree(int degree);
 
-/// Runs `fn(block, begin, end)` over `n` items split into ParallelDegree()
-/// contiguous blocks. Blocks run concurrently when the degree > 1 and
-/// n is large enough to amortize thread start-up; `fn` must only touch its
-/// own block's state. Returns after all blocks complete.
-void ParallelBlocks(size_t n,
-                    const std::function<void(int, size_t, size_t)>& fn);
+/// Blocks smaller than this run inline: task dispatch would dominate.
+inline constexpr size_t kMinItemsPerBlock = 16 * 1024;
+
+/// Fan-out bound for kernel phases that build per-(block, partition)
+/// scatter structures (quadratic bookkeeping in the block count): past
+/// this, the scatter headers dominate any parallelism won. Phases that
+/// only shard linearly (selects, probes) use the full degree.
+inline constexpr int kMaxScatterDegree = 64;
+
+/// The partition of one parallel evaluation phase: `n` items split into
+/// `blocks` contiguous chunks. Computed once by PlanBlocks and then shared
+/// by the caller (shard buffers are sized to `blocks`) and the runner —
+/// the single source of truth that fixes the old degree-sampling race
+/// where a kernel sized its shard vector with one ParallelDegree() call
+/// while ParallelBlocks re-read the degree internally.
+struct BlockPlan {
+  size_t n = 0;
+  size_t blocks = 1;
+  size_t chunk = 0;  // items per block; the last block may be shorter
+
+  size_t Begin(size_t b) const { return std::min(n, b * chunk); }
+  size_t End(size_t b) const { return std::min(n, b * chunk + chunk); }
+};
+
+/// Plans the block split of `n` items at `degree`; degree <= 0 means the
+/// process-wide ParallelDegree(). Small inputs (n < 2 * kMinItemsPerBlock)
+/// or degree 1 plan a single block, which RunBlocks executes inline.
+BlockPlan PlanBlocks(size_t n, int degree = 0);
+
+/// Runs `fn(block, begin, end)` for every block of the plan on the
+/// persistent TaskPool (the calling thread participates) and returns the
+/// block count. Single-block plans run inline on the caller with its IO
+/// scope intact; multi-block runs execute every block with *no* implicit
+/// IO accounting scope — a kernel that touches pages inside `fn` must
+/// install its own per-block storage::IoStats (see IoStats::ForShard) and
+/// merge the shards afterwards. `fn` must only write block-local state.
+size_t RunBlocks(const BlockPlan& plan,
+                 const std::function<void(int, size_t, size_t)>& fn);
+
+/// One-shot convenience: PlanBlocks(n, degree) + RunBlocks. Returns the
+/// block count actually used, so callers that buffer per block can size
+/// from the same decision (or use PlanBlocks/RunBlocks directly).
+size_t ParallelBlocks(size_t n, int degree,
+                      const std::function<void(int, size_t, size_t)>& fn);
+
+/// Legacy entry: the process-wide degree.
+size_t ParallelBlocks(size_t n,
+                      const std::function<void(int, size_t, size_t)>& fn);
 
 }  // namespace moaflat
 

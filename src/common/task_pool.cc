@@ -1,0 +1,100 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+
+namespace moaflat {
+namespace {
+
+size_t WorkerCap() {
+  const size_t hw = std::thread::hardware_concurrency();
+  // Floor of 8: single-core CI machines still get real threads, so the
+  // TSan job exercises actual interleavings instead of degenerating to
+  // serial execution.
+  return std::max<size_t>(hw, 8);
+}
+
+}  // namespace
+
+TaskPool& TaskPool::Global() {
+  // Leaked like KernelRegistry::Global(): workers block in their queue
+  // wait at process exit; running their destructors would terminate().
+  static TaskPool* pool = new TaskPool();
+  return *pool;
+}
+
+size_t TaskPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+uint64_t TaskPool::jobs_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_run_;
+}
+
+void TaskPool::EnsureWorkers(size_t wanted) {
+  wanted = std::min(wanted, WorkerCap());
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < wanted) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void TaskPool::Run(size_t count, const std::function<void(size_t)>& task) {
+  if (count == 0) return;
+  if (count == 1) {
+    task(0);
+    return;
+  }
+  // `count - 1`: the caller is the count-th participant.
+  EnsureWorkers(count - 1);
+  auto job = std::make_shared<Job>(count, &task);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+    ++jobs_run_;
+  }
+  work_cv_.notify_all();
+  Participate(job);
+  // Participate() returns when no morsel is left to *claim*; wait until
+  // every claimed morsel also *finished* (workers may still be running
+  // theirs). The done_cv handshake publishes the tasks' writes.
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->done_cv.wait(lock, [&] { return job->completed.load() == count; });
+}
+
+void TaskPool::Participate(const std::shared_ptr<Job>& job) {
+  for (;;) {
+    const size_t t = job->next.fetch_add(1);
+    if (t >= job->count) break;
+    (*job->task)(t);
+    if (job->completed.fetch_add(1) + 1 == job->count) {
+      // Lock/unlock pairs with the waiter's predicate check so the final
+      // notify cannot be missed.
+      { std::lock_guard<std::mutex> lock(job->mu); }
+      job->done_cv.notify_all();
+    }
+  }
+  // Drained: retire the job from the queue (first observer wins).
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (it->get() == job.get()) {
+      jobs_.erase(it);
+      break;
+    }
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return !jobs_.empty(); });
+      job = jobs_.front();
+    }
+    Participate(job);
+  }
+}
+
+}  // namespace moaflat

@@ -1,0 +1,85 @@
+#ifndef MOAFLAT_COMMON_TASK_POOL_H_
+#define MOAFLAT_COMMON_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moaflat {
+
+/// Persistent worker pool behind all parallel kernel execution (the
+/// morsel-driven replacement of the old thread-spawn-per-ParallelBlocks
+/// scheme): worker threads are started lazily on the first parallel run and
+/// then reused by every kernel of every query, so the per-call cost of
+/// parallelism is one queue push instead of `degree` thread creations.
+///
+/// Scheduling model: one Run() call is a *job* of `count` independent
+/// tasks (the morsels). Jobs queue FIFO; every idle worker — and the
+/// calling thread itself — pulls morsel indices from the front job via an
+/// atomic cursor until the job is drained. Caller participation guarantees
+/// progress at any pool size (including zero workers) and makes nested
+/// Run() calls deadlock-free: a participant never waits on work it could
+/// be doing itself.
+///
+/// Worker count is capped at max(hardware_concurrency, 8) — the floor
+/// keeps real concurrency (and thus ThreadSanitizer coverage) even on
+/// single-core CI machines — and never exceeds what a job has asked for.
+class TaskPool {
+ public:
+  /// The process-wide pool all kernels share. Never destroyed (workers
+  /// may be blocked in their queue wait at process exit).
+  static TaskPool& Global();
+
+  /// Runs task(0) .. task(count-1), distributed over the pool workers and
+  /// the calling thread, and returns once all of them completed. Tasks
+  /// must be independent; completion gives the caller a happens-before
+  /// edge on everything the tasks wrote. count <= 1 runs inline.
+  void Run(size_t count, const std::function<void(size_t)>& task);
+
+  /// Workers started so far (grows lazily, never shrinks).
+  size_t thread_count() const;
+
+  /// Jobs executed through the pool since process start (tests use this
+  /// to assert kernels actually went through the pool).
+  uint64_t jobs_run() const;
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+ private:
+  struct Job {
+    explicit Job(size_t n, const std::function<void(size_t)>* fn)
+        : count(n), task(fn) {}
+    const size_t count;
+    const std::function<void(size_t)>* task;  // owned by the Run() caller
+    std::atomic<size_t> next{0};       // morsel claim cursor
+    std::atomic<size_t> completed{0};  // finished morsels
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+
+  TaskPool() = default;
+
+  void EnsureWorkers(size_t wanted);
+  void WorkerLoop();
+  /// Claims and runs morsels of `job` until drained; the last finisher
+  /// signals done_cv and the first to observe exhaustion dequeues the job.
+  void Participate(const std::shared_ptr<Job>& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  std::vector<std::thread> workers_;
+  uint64_t jobs_run_ = 0;
+};
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_TASK_POOL_H_

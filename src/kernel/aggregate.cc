@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
@@ -96,31 +98,81 @@ Result<Bat> FinishSetAggregate(const Bat& ab, ColumnBuilder& hb,
 
 /// Hash aggregation: one accumulator per group oid, groups emitted in
 /// ascending oid order.
+///
+/// The parallel evaluation partitions by *group*, not by accumulator
+/// shard: a scatter pass buckets row positions by group-oid hash (block-
+/// local buckets, so no contention), then each partition accumulates its
+/// groups from the concatenation of the block buckets — which visits every
+/// group's rows in ascending position order, exactly like the serial
+/// loop. No floating-point partial sums are ever merged, so sum/avg
+/// results are bit-identical to degree 1 (double addition is not
+/// associative; merging shard partials would not be).
 Result<Bat> HashSetAggregate(const ExecContext& ctx, AggKind kind,
                              const Bat& ab, OpRecorder& rec) {
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   head.TouchAll();
   tail.TouchAll();
-  std::unordered_map<Oid, Acc> groups;
-  std::vector<Oid> order;  // group oids, later sorted
-  for (size_t i = 0; i < ab.size(); ++i) {
-    const Oid g = head.OidAt(i);
-    auto [it, inserted] = groups.try_emplace(g);
-    if (inserted) order.push_back(g);
-    Accumulate(&it->second, tail, i, kind);
+  std::vector<std::pair<Oid, Acc>> groups;  // sorted by oid before emit
+  // Scatter bookkeeping is blocks x partitions; cap the fan-out so it
+  // stays linear in practice (kMaxScatterDegree^2 headers at worst).
+  const BlockPlan plan = PlanBlocks(
+      ab.size(), std::min(ctx.parallel_degree(), kMaxScatterDegree));
+  if (plan.blocks <= 1) {
+    std::unordered_map<Oid, size_t> index;
+    for (size_t i = 0; i < ab.size(); ++i) {
+      const Oid g = head.OidAt(i);
+      auto [it, inserted] = index.try_emplace(g, groups.size());
+      if (inserted) groups.emplace_back(g, Acc{});
+      Accumulate(&groups[it->second].second, tail, i, kind);
+    }
+  } else {
+    const size_t parts = plan.blocks;
+    const auto part_of = [parts](Oid g) {
+      return static_cast<size_t>(internal::MixSync(g, 0x5ca1ab1eULL) % parts);
+    };
+    // Scatter: block-local per-partition position lists.
+    std::vector<std::vector<std::vector<uint32_t>>> scatter(
+        plan.blocks, std::vector<std::vector<uint32_t>>(parts));
+    RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+      auto& mine = scatter[block];
+      for (size_t i = begin; i < end; ++i) {
+        mine[part_of(head.OidAt(i))].push_back(static_cast<uint32_t>(i));
+      }
+    });
+    // Accumulate: one block per partition (parts == plan.blocks, and
+    // RunBlocks keeps the no-implicit-IO-scope discipline); groups are
+    // disjoint across partitions, and each group's rows arrive in
+    // ascending order.
+    std::vector<std::vector<std::pair<Oid, Acc>>> pgroups(parts);
+    RunBlocks(plan, [&](int p, size_t, size_t) {
+      auto& out = pgroups[p];
+      std::unordered_map<Oid, size_t> index;
+      for (size_t block = 0; block < plan.blocks; ++block) {
+        for (uint32_t i : scatter[block][p]) {
+          const Oid g = head.OidAt(i);
+          auto [it, inserted] = index.try_emplace(g, out.size());
+          if (inserted) out.emplace_back(g, Acc{});
+          Accumulate(&out[it->second].second, tail, i, kind);
+        }
+      }
+    });
+    for (auto& pg : pgroups) {
+      groups.insert(groups.end(), pg.begin(), pg.end());
+    }
   }
-  std::sort(order.begin(), order.end());
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
   MF_RETURN_NOT_OK(ctx.ChargeMemory(
-      order.size() *
+      groups.size() *
       (sizeof(Oid) + TypeWidth(AggOutputType(kind, tail)))));
 
   ColumnBuilder hb(MonetType::kOidT);
   ColumnBuilder tb(AggOutputType(kind, tail), tail.str_heap());
-  hb.Reserve(order.size());
-  for (Oid g : order) {
+  hb.Reserve(groups.size());
+  for (const auto& [g, acc] : groups) {
     hb.AppendOid(g);
-    MF_RETURN_NOT_OK(AppendAcc(&tb, groups[g], tail, kind));
+    MF_RETURN_NOT_OK(AppendAcc(&tb, acc, tail, kind));
   }
   MF_ASSIGN_OR_RETURN(Bat res, FinishSetAggregate(ab, hb, tb));
   rec.Finish("hash_set_aggregate", res.size());
@@ -129,37 +181,69 @@ Result<Bat> HashSetAggregate(const ExecContext& ctx, AggKind kind,
 
 /// Run aggregation over a head-sorted (or void) grouping column: equal
 /// group oids are contiguous and ascending, so one sequential pass with a
-/// single accumulator suffices — no hash table, no sort.
+/// single accumulator per run suffices — no hash table, no sort.
+///
+/// The parallel evaluation snaps the block boundaries forward to the next
+/// run start, so every group's rows live entirely inside one block and
+/// each accumulator folds its rows in the serial order (bit-identical
+/// doubles); blocks emit (gid, Acc) runs that are concatenated serially
+/// in block order.
 Result<Bat> RunSetAggregate(const ExecContext& ctx, AggKind kind,
                             const Bat& ab, OpRecorder& rec) {
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   head.TouchAll();
   tail.TouchAll();
+  const size_t n = ab.size();
+
+  struct RunOut {
+    std::vector<Oid> gids;
+    std::vector<Acc> accs;
+  };
+  const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  // Snap each block start to its run boundary. Begins inside one giant
+  // run all advance to the same run end, leaving that block empty — never
+  // splitting a group.
+  std::vector<size_t> start(plan.blocks + 1, n);
+  start[0] = 0;
+  for (size_t b = 1; b < plan.blocks; ++b) {
+    size_t s = plan.Begin(b);
+    while (s < n && head.OidAt(s) == head.OidAt(s - 1)) ++s;
+    start[b] = s;
+  }
+  std::vector<RunOut> shards(plan.blocks);
+  RunBlocks(plan, [&](int b, size_t, size_t) {
+    RunOut& mine = shards[b];
+    Acc acc;
+    bool open = false;
+    Oid current = 0;
+    for (size_t i = start[b]; i < start[b + 1]; ++i) {
+      const Oid g = head.OidAt(i);
+      if (open && g != current) {
+        mine.gids.push_back(current);
+        mine.accs.push_back(acc);
+        acc = Acc{};
+      }
+      current = g;
+      open = true;
+      Accumulate(&acc, tail, i, kind);
+    }
+    if (open) {
+      mine.gids.push_back(current);
+      mine.accs.push_back(acc);
+    }
+  });
 
   ColumnBuilder hb(MonetType::kOidT);
   ColumnBuilder tb(AggOutputType(kind, tail), tail.str_heap());
   const uint64_t row_bytes =
       sizeof(Oid) + TypeWidth(AggOutputType(kind, tail));
-  Acc acc;
-  bool open = false;
-  Oid current = 0;
-  for (size_t i = 0; i < ab.size(); ++i) {
-    const Oid g = head.OidAt(i);
-    if (open && g != current) {
-      hb.AppendOid(current);
-      MF_RETURN_NOT_OK(AppendAcc(&tb, acc, tail, kind));
+  for (const RunOut& s : shards) {
+    for (size_t k = 0; k < s.gids.size(); ++k) {
+      hb.AppendOid(s.gids[k]);
+      MF_RETURN_NOT_OK(AppendAcc(&tb, s.accs[k], tail, kind));
       MF_RETURN_NOT_OK(ctx.ChargeMemory(row_bytes));
-      acc = Acc{};
     }
-    current = g;
-    open = true;
-    Accumulate(&acc, tail, i, kind);
-  }
-  if (open) {
-    hb.AppendOid(current);
-    MF_RETURN_NOT_OK(AppendAcc(&tb, acc, tail, kind));
-    MF_RETURN_NOT_OK(ctx.ChargeMemory(row_bytes));
   }
   MF_ASSIGN_OR_RETURN(Bat res, FinishSetAggregate(ab, hb, tb));
   rec.Finish("run_set_aggregate", res.size());
@@ -189,7 +273,7 @@ Result<Bat> SetAggregate(const ExecContext& ctx, AggKind kind, const Bat& ab) {
         std::string(TypeName(head.type())));
   }
   return KernelRegistry::Global().Dispatch<SetAggImplSig>(
-      "set_aggregate", MakeInput(ab), ctx, kind, ab, rec);
+      "set_aggregate", MakeInput(ctx, ab), ctx, kind, ab, rec);
 }
 
 Result<Value> ScalarAggregate(const ExecContext& ctx, AggKind kind,
@@ -232,19 +316,21 @@ void RegisterAggregateKernels(KernelRegistry& r) {
       },
       [](const DispatchInput& in) {
         return HeapPages(in.left.size, in.left.head_width) +
-               HeapPages(in.left.size, in.left.tail_width) + kCpuSequential;
+               HeapPages(in.left.size, in.left.tail_width) +
+               kCpuSequential / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<SetAggImplSig>(RunSetAggregate),
-      "head-sorted groups are contiguous: single sequential pass");
+      "head-sorted groups are contiguous: run-aligned parallel pass");
   r.Register<SetAggImplSig>(
       "set_aggregate", "hash_set_aggregate",
       [](const DispatchInput&) { return true; },
       [](const DispatchInput& in) {
         return HeapPages(in.left.size, in.left.head_width) +
-               HeapPages(in.left.size, in.left.tail_width) + kCpuHashed;
+               HeapPages(in.left.size, in.left.tail_width) +
+               kCpuHashed / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<SetAggImplSig>(HashSetAggregate),
-      "one accumulator per group oid via hash table");
+      "one accumulator per group oid, group-partitioned across the pool");
 }
 
 }  // namespace internal

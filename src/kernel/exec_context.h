@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "kernel/exec_tracer.h"
@@ -61,10 +62,28 @@ class ExecContext {
     seed_ = seed;
     return *this;
   }
+  /// Per-context degree of parallelism for the parallel-block kernels:
+  /// d >= 1 overrides the process-wide ParallelDegree() for every operator
+  /// run under this context (so one heavy query can fan out while a
+  /// latency-sensitive session stays serial); d <= 0 restores the process
+  /// default. Results are identical at any degree — the knob trades wall
+  /// clock against CPU, never answers.
+  ExecContext& WithParallelDegree(int degree) {
+    if (degree < 0) degree = 0;
+    if (degree > kMaxParallelDegree) degree = kMaxParallelDegree;
+    degree_ = degree;
+    return *this;
+  }
 
   ExecTracer* tracer() const { return tracer_; }
   storage::IoStats* io() const { return io_; }
   uint64_t seed() const { return seed_; }
+
+  /// Effective degree for kernels run under this context: the per-context
+  /// override when set, else the process-wide ParallelDegree().
+  int parallel_degree() const {
+    return degree_ > 0 ? degree_ : ParallelDegree();
+  }
 
   /// A deterministic generator derived from the context seed.
   Rng MakeRng() const { return Rng(seed_ ^ 0x9e3779b97f4a7c15ULL); }
@@ -94,6 +113,7 @@ class ExecContext {
   storage::IoStats* io_ = nullptr;
   uint64_t budget_ = 0;  // 0 = unlimited
   uint64_t seed_ = 0;
+  int degree_ = 0;  // 0 = process-wide ParallelDegree()
   std::shared_ptr<std::atomic<uint64_t>> charged_;
 };
 

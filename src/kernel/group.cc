@@ -1,10 +1,13 @@
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/parallel.h"
 #include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
+#include "storage/page_accountant.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -15,7 +18,9 @@ using bat::ColumnPtr;
 using internal::MixSync;
 
 /// Hash-consing of tail values into dense group oids with collision
-/// verification against a representative position.
+/// verification against a representative position. Representatives are
+/// kept in gid order, which is what lets the parallel variants merge
+/// block-local tables into the exact serial first-appearance numbering.
 class GroupTable {
  public:
   explicit GroupTable(const Column& col) : col_(col) {}
@@ -29,10 +34,14 @@ class GroupTable {
     }
     const Oid gid = next_++;
     bucket.push_back(Entry{static_cast<uint32_t>(i), gid});
+    reps_.push_back(static_cast<uint32_t>(i));
     return gid;
   }
 
   Oid group_count() const { return next_; }
+
+  /// Representative positions in gid (first-appearance) order.
+  const std::vector<uint32_t>& reps() const { return reps_; }
 
  private:
   struct Entry {
@@ -41,18 +50,47 @@ class GroupTable {
   };
   const Column& col_;
   std::unordered_map<uint64_t, std::vector<Entry>> table_;
+  std::vector<uint32_t> reps_;
   Oid next_ = 0;
 };
 
+/// Parallel hash grouping. Every block hash-conses its contiguous row
+/// range into a *local* table (writing local gids into its slice of
+/// `gids`); the serial merge then feeds each block's representatives — in
+/// block order, each block's in local first-appearance order — through one
+/// global table. Because blocks are contiguous and ascending, that visit
+/// order sorts representatives by their value's first global occurrence,
+/// so the global numbering is exactly the serial first-appearance
+/// numbering; a second parallel pass rewrites local to global gids.
 Result<Bat> HashGroup(const ExecContext& ctx, const Bat& ab, OpRecorder& rec) {
   // The result shares the head; only the gid tail is new storage.
   MF_RETURN_NOT_OK(ctx.ChargeMemory(ab.size() * sizeof(Oid)));
   const Column& tail = ab.tail();
   tail.TouchAll();
-  GroupTable groups(tail);
-  std::vector<Oid> gids;
-  gids.reserve(ab.size());
-  for (size_t i = 0; i < ab.size(); ++i) gids.push_back(groups.GidOf(i));
+  std::vector<Oid> gids(ab.size());
+  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  if (plan.blocks <= 1) {
+    GroupTable groups(tail);
+    for (size_t i = 0; i < ab.size(); ++i) gids[i] = groups.GidOf(i);
+  } else {
+    std::vector<std::unique_ptr<GroupTable>> locals(plan.blocks);
+    RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+      auto table = std::make_unique<GroupTable>(tail);
+      for (size_t i = begin; i < end; ++i) gids[i] = table->GidOf(i);
+      locals[block] = std::move(table);
+    });
+    GroupTable global(tail);
+    std::vector<std::vector<Oid>> to_global(plan.blocks);
+    for (size_t b = 0; b < plan.blocks; ++b) {
+      auto& map = to_global[b];
+      map.reserve(locals[b]->reps().size());
+      for (uint32_t rep : locals[b]->reps()) map.push_back(global.GidOf(rep));
+    }
+    RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+      const auto& map = to_global[block];
+      for (size_t i = begin; i < end; ++i) gids[i] = map[gids[i]];
+    });
+  }
 
   ColumnPtr gid_col = Column::MakeOid(std::move(gids));
   bat::Properties props;
@@ -67,7 +105,8 @@ Result<Bat> HashGroup(const ExecContext& ctx, const Bat& ab, OpRecorder& rec) {
 }
 
 /// Pair (previous gid, refined value) -> new dense gid, with
-/// representative-based collision verification.
+/// representative-based collision verification. Like GroupTable, keeps
+/// its representatives in gid order for the parallel merge.
 class RefineTable {
  public:
   explicit RefineTable(const Column& d) : d_(d) {}
@@ -80,17 +119,25 @@ class RefineTable {
     }
     const Oid gid = next_++;
     bucket.push_back(Entry{prev_gid, static_cast<uint32_t>(dpos), gid});
+    reps_.push_back(Rep{prev_gid, static_cast<uint32_t>(dpos)});
     return gid;
   }
+
+  struct Rep {
+    Oid prev_gid;
+    uint32_t dpos;  // position in cd whose tail is the representative
+  };
+  const std::vector<Rep>& reps() const { return reps_; }
 
  private:
   struct Entry {
     Oid prev_gid;
-    uint32_t rep;  // position in cd whose tail is the representative
+    uint32_t rep;
     Oid gid;
   };
   const Column& d_;
   std::unordered_map<uint64_t, std::vector<Entry>> table_;
+  std::vector<Rep> reps_;
   Oid next_ = 0;
 };
 
@@ -102,20 +149,84 @@ Result<Bat> FinishRefine(const Bat& ab, std::vector<Oid> gids) {
   return Bat::Make(ab.head_col(), gid_col, props);
 }
 
+/// Shared refinement machinery of the two variants: `dpos_of(i)` yields
+/// the position in CD whose tail refines row i (or a negative value for
+/// "missing", an error). Runs block-local RefineTables in parallel and
+/// merges them into the serial first-appearance numbering exactly as
+/// HashGroup does for its GroupTable.
+template <typename DposFn>
+Result<std::vector<Oid>> ParallelRefine(const ExecContext& ctx, const Bat& ab,
+                                        const Column& d, bool shard_io,
+                                        const DposFn& dpos_of) {
+  const Column& prev = ab.tail();
+  std::vector<Oid> gids(ab.size());
+  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  const auto missing = [] {
+    return Status::ExecutionError(
+        "group refinement: left head value missing on the right");
+  };
+  if (plan.blocks <= 1) {
+    RefineTable table(d);
+    for (size_t i = 0; i < ab.size(); ++i) {
+      const int64_t pos = dpos_of(i);
+      if (pos < 0) return missing();
+      gids[i] = table.Refine(prev.OidAt(i), static_cast<size_t>(pos));
+    }
+    return gids;
+  }
+
+  struct Shard {
+    std::unique_ptr<RefineTable> table;
+    storage::IoStats io = storage::IoStats::ForShard();
+    bool missing = false;
+  };
+  std::vector<Shard> shards(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    Shard& mine = shards[block];
+    storage::IoScope scope(shard_io ? &mine.io : nullptr);
+    mine.table = std::make_unique<RefineTable>(d);
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t pos = dpos_of(i);
+      if (pos < 0) {
+        mine.missing = true;
+        return;
+      }
+      gids[i] = mine.table->Refine(prev.OidAt(i), static_cast<size_t>(pos));
+    }
+  });
+  for (Shard& s : shards) {
+    if (shard_io && ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
+  }
+  for (const Shard& s : shards) {
+    if (s.missing) return missing();
+  }
+  RefineTable global(d);
+  std::vector<std::vector<Oid>> to_global(plan.blocks);
+  for (size_t b = 0; b < plan.blocks; ++b) {
+    auto& map = to_global[b];
+    map.reserve(shards[b].table->reps().size());
+    for (const RefineTable::Rep& rep : shards[b].table->reps()) {
+      map.push_back(global.Refine(rep.prev_gid, rep.dpos));
+    }
+  }
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    const auto& map = to_global[block];
+    for (size_t i = begin; i < end; ++i) gids[i] = map[gids[i]];
+  });
+  return gids;
+}
+
 /// Synced refinement: the refining values line up positionally.
 Result<Bat> SyncGroupRefine(const ExecContext& ctx, const Bat& ab,
                             const Bat& cd, OpRecorder& rec) {
   MF_RETURN_NOT_OK(ctx.ChargeMemory(ab.size() * sizeof(Oid)));
-  const Column& prev = ab.tail();
   const Column& d = cd.tail();
-  RefineTable table(d);
-  std::vector<Oid> gids;
-  gids.reserve(ab.size());
-  prev.TouchAll();
+  ab.tail().TouchAll();
   d.TouchAll();
-  for (size_t i = 0; i < ab.size(); ++i) {
-    gids.push_back(table.Refine(prev.OidAt(i), i));
-  }
+  MF_ASSIGN_OR_RETURN(
+      std::vector<Oid> gids,
+      ParallelRefine(ctx, ab, d, /*shard_io=*/false,
+                     [](size_t i) { return static_cast<int64_t>(i); }));
   MF_ASSIGN_OR_RETURN(Bat res, FinishRefine(ab, std::move(gids)));
   rec.Finish("sync_group_refine", res.size());
   return res;
@@ -125,22 +236,16 @@ Result<Bat> SyncGroupRefine(const ExecContext& ctx, const Bat& ab,
 Result<Bat> HashGroupRefine(const ExecContext& ctx, const Bat& ab,
                             const Bat& cd, OpRecorder& rec) {
   MF_RETURN_NOT_OK(ctx.ChargeMemory(ab.size() * sizeof(Oid)));
-  const Column& prev = ab.tail();
   const Column& d = cd.tail();
-  RefineTable table(d);
-  std::vector<Oid> gids;
-  gids.reserve(ab.size());
-  auto hash = cd.EnsureHeadHash();
-  prev.TouchAll();
-  for (size_t i = 0; i < ab.size(); ++i) {
-    const int64_t pos = hash->FindFirst(ab.head(), i);
-    if (pos < 0) {
-      return Status::ExecutionError(
-          "group refinement: left head value missing on the right");
-    }
-    d.TouchAt(static_cast<size_t>(pos));
-    gids.push_back(table.Refine(prev.OidAt(i), static_cast<size_t>(pos)));
-  }
+  auto hash = cd.EnsureHeadHash(ctx.parallel_degree());
+  ab.tail().TouchAll();
+  MF_ASSIGN_OR_RETURN(
+      std::vector<Oid> gids,
+      ParallelRefine(ctx, ab, d, /*shard_io=*/true, [&](size_t i) {
+        const int64_t pos = hash->FindFirst(ab.head(), i);
+        if (pos >= 0) d.TouchAt(static_cast<size_t>(pos));
+        return pos;
+      }));
   MF_ASSIGN_OR_RETURN(Bat res, FinishRefine(ab, std::move(gids)));
   rec.Finish("hash_group_refine", res.size());
   return res;
@@ -152,37 +257,40 @@ Result<Bat> HashGroupRefine(const ExecContext& ctx, const Bat& ab,
 Result<Bat> Group(const ExecContext& ctx, const Bat& ab) {
   OpRecorder rec(ctx, "group");
   return KernelRegistry::Global().Dispatch<UnaryImplSig>(
-      "group", MakeInput(ab), ctx, ab, rec);
+      "group", MakeInput(ctx, ab), ctx, ab, rec);
 }
 
 Result<Bat> GroupRefine(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
   OpRecorder rec(ctx, "group");
   return KernelRegistry::Global().Dispatch<BinaryImplSig>(
-      "group_refine", MakeInput(ab, cd), ctx, ab, cd, rec);
+      "group_refine", MakeInput(ctx, ab, cd), ctx, ab, cd, rec);
 }
 
 namespace internal {
 
 void RegisterGroupKernels(KernelRegistry& r) {
-  // Costs are expected cold page faults (Section 5.2.2 page geometry).
+  // Costs are expected cold page faults (Section 5.2.2 page geometry);
+  // CPU tie-breakers divide by the context degree where the evaluation
+  // phase runs on the TaskPool.
   r.Register<UnaryImplSig>(
       "group", "hash_group",
       [](const DispatchInput&) { return true; },
       [](const DispatchInput& in) {
-        return HeapPages(in.left.size, in.left.tail_width) + kCpuHashed;
+        return HeapPages(in.left.size, in.left.tail_width) +
+               kCpuHashed / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<UnaryImplSig>(HashGroup),
-      "hash-cons tail values into dense first-appearance oids");
+      "hash-cons tail values into dense first-appearance oids (parallel)");
   r.Register<BinaryImplSig>(
       "group_refine", "sync_group_refine",
       [](const DispatchInput& in) { return in.synced && in.right.has_value(); },
       [](const DispatchInput& in) {
         return HeapPages(in.left.size, in.left.tail_width) +
                HeapPages(in.right->size, in.right->tail_width) +
-               kCpuSequential;
+               kCpuSequential / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<BinaryImplSig>(SyncGroupRefine),
-      "operands synced: positional refinement pass");
+      "operands synced: positional refinement pass (parallel)");
   r.Register<BinaryImplSig>(
       "group_refine", "hash_group_refine",
       [](const DispatchInput& in) { return in.right.has_value(); },
@@ -194,10 +302,10 @@ void RegisterGroupKernels(KernelRegistry& r) {
         return build + HeapPages(in.left.size, in.left.tail_width) +
                RandomFetchPages(in.right->size, in.right->tail_width,
                                 static_cast<double>(in.left.size)) +
-               kCpuHashed;
+               kCpuHashed / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<BinaryImplSig>(HashGroupRefine),
-      "align refining values via CD's head hash accelerator");
+      "align refining values via CD's head hash accelerator (parallel)");
 }
 
 }  // namespace internal

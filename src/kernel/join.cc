@@ -1,7 +1,12 @@
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
 #include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
+#include "storage/page_accountant.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -96,29 +101,65 @@ Result<Bat> MergeJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   return res;
 }
 
+/// Hash join with a morsel-parallel probe phase. The build side's hash
+/// accelerator is built partitioned at the context degree; probe morsels
+/// collect (left, right) position pairs into per-block shards (with
+/// shard-local IoStats and charge gates), and the shards are merged
+/// serially in block order — so the emitted BUN sequence and the merged
+/// fault counts are identical to a serial probe at any degree.
 Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
                      OpRecorder& rec) {
   const Column& a = ab.head();
   const Column& b = ab.tail();
   const Column& c = cd.head();
   const Column& d = cd.tail();
-  JoinOut out(a, d);
-  ChargeGate gate(ctx, a, d);
-  auto hash = cd.EnsureHeadHash();
+  auto hash = cd.EnsureHeadHash(ctx.parallel_degree());
   b.TouchAll();
-  size_t gated = 0;
-  for (size_t i = 0; i < ab.size(); ++i) {
-    hash->ForEachMatch(b, i, [&](uint32_t pos) {
-      c.TouchAt(pos);
-      a.TouchAt(i);
-      d.TouchAt(pos);
+
+  struct Shard {
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;  // (left i, right pos)
+    storage::IoStats io = storage::IoStats::ForShard();
+    Status status = Status::OK();
+  };
+  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  std::vector<Shard> shards(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    Shard& mine = shards[block];
+    storage::IoScope scope(&mine.io);
+    // The charge counter is shared and atomic, so concurrent shard gates
+    // account exactly and an over-budget join stops all blocks early.
+    ChargeGate gate(ctx, a, d);
+    size_t gated = 0;
+    for (size_t i = begin; i < end && mine.status.ok(); ++i) {
+      hash->ForEachMatch(b, i, [&](uint32_t pos) {
+        c.TouchAt(pos);
+        a.TouchAt(i);
+        d.TouchAt(pos);
+        mine.pairs.emplace_back(static_cast<uint32_t>(i), pos);
+      });
+      mine.status = gate.Add(mine.pairs.size() - gated);
+      gated = mine.pairs.size();
+    }
+    if (mine.status.ok()) mine.status = gate.Flush();
+  });
+  for (Shard& s : shards) {
+    if (ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
+  }
+  for (Shard& s : shards) {
+    MF_RETURN_NOT_OK(s.status);
+  }
+
+  JoinOut out(a, d);
+  size_t total = 0;
+  for (const Shard& s : shards) total += s.pairs.size();
+  out.heads.Reserve(total);
+  out.tails.Reserve(total);
+  for (const Shard& s : shards) {
+    for (const auto& [i, pos] : s.pairs) {
       out.heads.AppendFrom(a, i);
       out.tails.AppendFrom(d, pos);
-    });
-    MF_RETURN_NOT_OK(gate.Add(out.heads.size() - gated));
-    gated = out.heads.size();
+    }
   }
-  MF_RETURN_NOT_OK(gate.Flush());
   MF_ASSIGN_OR_RETURN(Bat res, FinishJoin(ab, cd, out));
   rec.Finish("hash_join", res.size());
   return res;
@@ -133,7 +174,7 @@ Result<Bat> Join(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
   // KernelRegistry::Explain("join", ab, cd).
   OpRecorder rec(ctx, "join");
   return KernelRegistry::Global().Dispatch<BinaryImplSig>(
-      "join", MakeInput(ab, cd), ctx, ab, cd, rec);
+      "join", MakeInput(ctx, ab, cd), ctx, ab, cd, rec);
 }
 
 namespace internal {
@@ -189,10 +230,10 @@ void RegisterJoinKernels(KernelRegistry& r) {
                RandomFetchPages(in.right->size, in.right->head_width, est) +
                RandomFetchPages(in.left.size, in.left.head_width, est) +
                RandomFetchPages(in.right->size, in.right->tail_width, est) +
-               kCpuHashed;
+               kCpuHashed / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<BinaryImplSig>(HashJoin),
-      "probe the (cached) hash accelerator on CD's head");
+      "probe the (cached) hash accelerator on CD's head (parallel probe)");
 }
 
 }  // namespace internal

@@ -85,7 +85,7 @@ Result<Bat> SyncedNumericMultiplex(const ExecContext& ctx,
     return std::get<Value>(a).ToDouble().ValueOrDie();
   };
   // Each block writes a disjoint slice of the pre-sized output vector.
-  ParallelBlocks(n, [&](int, size_t begin, size_t end) {
+  ParallelBlocks(n, ctx.parallel_degree(), [&](int, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const double x = num_at(args[0], i);
       const double y = num_at(args[1], i);
@@ -127,32 +127,66 @@ Result<Bat> GeneralMultiplex(const ExecContext& ctx, const std::string& fn,
   }
 
   const size_t n = driver->size();
-  std::vector<Value> row(args.size());
-  for (size_t i = 0; i < n; ++i) {
-    bool complete = true;
-    for (size_t k = 0; k < args.size(); ++k) {
-      const int bi = sh.bat_of_arg[k];
-      if (bi >= 0) {
-        const Bat* b = sh.bats[bi];
-        size_t pos = i;
-        if (!synced && b != driver) {
-          const int64_t p = hashes[bi]->FindFirst(driver->head(), i);
-          if (p < 0) {
-            complete = false;
-            break;
-          }
-          pos = static_cast<size_t>(p);
-          b->tail().TouchAt(pos);
+  if (synced) {
+    // Synced rows are positionally independent: evaluate morsels on the
+    // TaskPool into per-block value shards (no touches happen here — every
+    // operand tail was sequentially touched above), then append serially
+    // in block order. Every row emits, so the output is [head, value] in
+    // the serial order at any degree.
+    const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+    std::vector<Value> vals(n);  // blocks fill disjoint [begin, end) slices
+    std::vector<Status> stats(plan.blocks, Status::OK());
+    RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+      std::vector<Value> row(args.size());
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t k = 0; k < args.size(); ++k) {
+          const int bi = sh.bat_of_arg[k];
+          row[k] = bi >= 0 ? sh.bats[bi]->tail().GetValue(i)
+                           : std::get<Value>(args[k]);
         }
-        row[k] = b->tail().GetValue(pos);
-      } else {
-        row[k] = std::get<Value>(args[k]);
+        Result<Value> v = ScalarApply(fn, row);
+        if (!v.ok()) {
+          stats[block] = v.status();
+          return;
+        }
+        vals[i] = std::move(v).Value();
       }
+    });
+    for (const Status& s : stats) {
+      MF_RETURN_NOT_OK(s);
     }
-    if (!complete) continue;
-    MF_ASSIGN_OR_RETURN(Value v, ScalarApply(fn, row));
-    hb.AppendFrom(driver->head(), i);
-    MF_RETURN_NOT_OK(tb.AppendValue(v));
+    for (size_t i = 0; i < n; ++i) {
+      hb.AppendFrom(driver->head(), i);
+      MF_RETURN_NOT_OK(tb.AppendValue(vals[i]));
+    }
+  } else {
+    std::vector<Value> row(args.size());
+    for (size_t i = 0; i < n; ++i) {
+      bool complete = true;
+      for (size_t k = 0; k < args.size(); ++k) {
+        const int bi = sh.bat_of_arg[k];
+        if (bi >= 0) {
+          const Bat* b = sh.bats[bi];
+          size_t pos = i;
+          if (b != driver) {
+            const int64_t p = hashes[bi]->FindFirst(driver->head(), i);
+            if (p < 0) {
+              complete = false;
+              break;
+            }
+            pos = static_cast<size_t>(p);
+            b->tail().TouchAt(pos);
+          }
+          row[k] = b->tail().GetValue(pos);
+        } else {
+          row[k] = std::get<Value>(args[k]);
+        }
+      }
+      if (!complete) continue;
+      MF_ASSIGN_OR_RETURN(Value v, ScalarApply(fn, row));
+      hb.AppendFrom(driver->head(), i);
+      MF_RETURN_NOT_OK(tb.AppendValue(v));
+    }
   }
 
   ColumnPtr out_head = hb.Finish();
@@ -206,6 +240,7 @@ Result<Bat> Multiplex(const ExecContext& ctx, const std::string& fn,
   }
   in.synced = sh.synced;
   in.param = OpParam{static_cast<int64_t>(args.size()), fn, sh.numeric};
+  in.degree = ctx.parallel_degree();
   return KernelRegistry::Global().Dispatch<MultiplexImplSig>("multiplex", in,
                                                              ctx, fn, args,
                                                              rec);
@@ -226,9 +261,12 @@ void RegisterMultiplexKernels(KernelRegistry& r) {
   r.Register<MultiplexImplSig>(
       "multiplex", "multiplex_synced",
       [](const DispatchInput& in) { return in.synced; },
-      [](const DispatchInput& in) { return MxTailPages(in) + kCpuSequential; },
+      [](const DispatchInput& in) {
+        return MxTailPages(in) +
+               kCpuSequential / ParallelCpuScale(in.left.size, in.degree);
+      },
       std::function<MultiplexImplSig>(SyncedMultiplex),
-      "positional row assembly over synced operands (boxed values)");
+      "positional row assembly over synced operands (boxed, parallel)");
   r.Register<MultiplexImplSig>(
       "multiplex", "multiplex_headjoin",
       [](const DispatchInput&) { return true; },

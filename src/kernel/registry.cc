@@ -41,6 +41,7 @@ std::string DispatchInput::ToString() const {
     out += "; param=";
     out += param->name.empty() ? std::to_string(param->code) : param->name;
   }
+  if (degree > 1) out += "; deg=" + std::to_string(degree);
   out += ")";
   return out;
 }
@@ -62,6 +63,19 @@ DispatchInput MakeInput(const Bat& ab, const Bat& cd) {
       (b.is_void() && c.is_void() && b.void_base() == c.void_base() &&
        b.size() == c.size()) ||
       (b.sync_key() == c.sync_key() && b.size() == c.size());
+  return in;
+}
+
+DispatchInput MakeInput(const ExecContext& ctx, const Bat& ab) {
+  DispatchInput in = MakeInput(ab);
+  in.degree = ctx.parallel_degree();
+  return in;
+}
+
+DispatchInput MakeInput(const ExecContext& ctx, const Bat& ab,
+                        const Bat& cd) {
+  DispatchInput in = MakeInput(ab, cd);
+  in.degree = ctx.parallel_degree();
   return in;
 }
 

@@ -76,8 +76,13 @@ Result<Bat> Unique(const ExecContext& ctx, const Bat& ab) {
   props.tsorted = ab.props().tsorted;
   props.hkey = ab.props().hkey;
   props.tkey = ab.props().tkey;
+  // The keep set depends on the tail values too (duplicate BUNs, not
+  // duplicate heads), so the tail sync key joins the derivation — same
+  // reasoning as SortTail.
   MF_ASSIGN_OR_RETURN(
-      Bat res, GatherPositions(ctx, ab, keep, props, HashString("unique")));
+      Bat res,
+      GatherPositions(ctx, ab, keep, props,
+                      MixSync(HashString("unique"), ab.tail().sync_key())));
   rec.Finish("hash_unique", res.size());
   return res;
 }
@@ -161,8 +166,16 @@ Result<Bat> SortTail(const ExecContext& ctx, const Bat& ab) {
   props.hkey = ab.props().hkey;
   props.tkey = ab.props().tkey;
   props.hsorted = ab.size() <= 1;
+  // The gather permutation is a function of the *tail* values, so the
+  // result-head key must mix the tail's sync key: two BATs with equal
+  // head keys but different tails (e.g. two attributes sharing a class
+  // head column) reorder differently, and deriving the key from the head
+  // alone would forge a synced proof between misaligned results.
   MF_ASSIGN_OR_RETURN(
-      Bat res, GatherPositions(ctx, ab, pos, props, HashString("sort_tail")));
+      Bat res,
+      GatherPositions(ctx, ab, pos, props,
+                      MixSync(HashString("sort_tail"),
+                              ab.tail().sync_key())));
   rec.Finish("stable_sort", res.size());
   return res;
 }
@@ -185,10 +198,13 @@ Result<Bat> TopN(const ExecContext& ctx, const Bat& ab, size_t n,
   bat::Properties props;
   props.tsorted = !descending;
   props.hkey = ab.props().hkey;
+  // Tail-dependent permutation: mix the tail sync key (see SortTail).
   MF_ASSIGN_OR_RETURN(
       Bat res,
       GatherPositions(ctx, ab, pos, props,
-                      MixSync(HashString("topn"), n * 2 + descending)));
+                      MixSync(HashString("topn"),
+                              MixSync(ab.tail().sync_key(),
+                                      n * 2 + descending))));
   rec.Finish("partial_sort_topn", res.size());
   return res;
 }

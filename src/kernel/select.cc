@@ -122,15 +122,20 @@ Result<Bat> BinsearchSelect(const ExecContext& ctx, const Bat& ab,
   return out;
 }
 
-/// Scan selection: predicate evaluation is parallel-block-executed
-/// (Section 2); materialization and IO accounting stay serial.
+/// Scan selection: predicate evaluation is split into morsels on the
+/// TaskPool (Section 2 parallel block execution) at the context's degree;
+/// materialization and IO accounting stay serial. The block plan is
+/// computed once and sizes the shard buffers — callers and runner share
+/// one block count, so a concurrent SetParallelDegree cannot make the
+/// runner index past the buffers it was sized for.
 Result<Bat> ScanSelect(const ExecContext& ctx, const Bat& ab, const Bound& lo,
                        const Bound& hi, OpRecorder& rec) {
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   tail.TouchAll();
-  std::vector<std::vector<uint32_t>> matches(ParallelDegree());
-  ParallelBlocks(tail.size(), [&](int block, size_t begin, size_t end) {
+  const BlockPlan plan = PlanBlocks(tail.size(), ctx.parallel_degree());
+  std::vector<std::vector<uint32_t>> matches(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
     auto& mine = matches[block];
     for (size_t i = begin; i < end; ++i) {
       if (InBounds(tail, i, lo, hi)) {
@@ -167,7 +172,7 @@ Result<Bat> RangeSelect(const ExecContext& ctx, const Bat& ab,
                         const Bound& lo, const Bound& hi) {
   OpRecorder rec(ctx, "select");
   return KernelRegistry::Global().Dispatch<SelectImplSig>(
-      "select", MakeInput(ab), ctx, ab, lo, hi, rec);
+      "select", MakeInput(ctx, ab), ctx, ab, lo, hi, rec);
 }
 
 /// Scan selection with an arbitrary tail predicate; used by != and LIKE.

@@ -1,7 +1,11 @@
+#include <vector>
+
+#include "common/parallel.h"
 #include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
+#include "storage/page_accountant.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -46,13 +50,31 @@ Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
   const bool cached = lookup != nullptr;
   if (!cached) {
     // First semijoin with this right operand: binary-search every element
-    // of CD's head in the extent (lines 7-15 of the pseudo-code).
+    // of CD's head in the extent (lines 7-15 of the pseudo-code). The
+    // probes are independent, so they run as morsels on the TaskPool;
+    // block shards concatenate in block order, reproducing the serial
+    // LOOKUP array (and, via the shard merge, its exact probe faults).
+    cd.head().TouchAll();
+    const BlockPlan plan = PlanBlocks(cd.size(), ctx.parallel_degree());
+    struct Shard {
+      std::vector<uint32_t> positions;
+      storage::IoStats io = storage::IoStats::ForShard();
+    };
+    std::vector<Shard> shards(plan.blocks);
+    RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+      Shard& mine = shards[block];
+      storage::IoScope scope(&mine.io);
+      for (size_t i = begin; i < end; ++i) {
+        const int64_t pos = dv->FindPosition(cd.head().OidAt(i));
+        if (pos >= 0) mine.positions.push_back(static_cast<uint32_t>(pos));
+      }
+    });
     auto positions = std::make_shared<std::vector<uint32_t>>();
     positions->reserve(cd.size());
-    cd.head().TouchAll();
-    for (size_t i = 0; i < cd.size(); ++i) {
-      const int64_t pos = dv->FindPosition(cd.head().OidAt(i));
-      if (pos >= 0) positions->push_back(static_cast<uint32_t>(pos));
+    for (Shard& s : shards) {
+      if (ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
+      positions->insert(positions->end(), s.positions.begin(),
+                        s.positions.end());
     }
     dv->StoreLookup(key, positions);
     lookup = positions;
@@ -141,24 +163,56 @@ Result<Bat> MergeSemijoin(const ExecContext& ctx, const Bat& ab,
   return res;
 }
 
+/// Hash semijoin with a morsel-parallel probe phase: probe morsels record
+/// matching left positions into per-block shards (shard-local IoStats and
+/// charge gates), merged serially in block order — results and fault
+/// totals are identical to the serial probe at any degree.
 Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
                          OpRecorder& rec) {
   const Column& a = ab.head();
   const Column& b = ab.tail();
+  auto hash = cd.EnsureHeadHash(ctx.parallel_degree());
+  a.TouchAll();
+
+  struct Shard {
+    std::vector<uint32_t> matches;
+    storage::IoStats io = storage::IoStats::ForShard();
+    Status status = Status::OK();
+  };
+  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  std::vector<Shard> shards(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    Shard& mine = shards[block];
+    storage::IoScope scope(&mine.io);
+    internal::ChargeGate gate(ctx, a, b);
+    for (size_t i = begin; i < end && mine.status.ok(); ++i) {
+      if (hash->Contains(a, i)) {
+        b.TouchAt(i);
+        mine.matches.push_back(static_cast<uint32_t>(i));
+        mine.status = gate.Add(1);
+      }
+    }
+    if (mine.status.ok()) mine.status = gate.Flush();
+  });
+  for (Shard& s : shards) {
+    if (ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
+  }
+  for (Shard& s : shards) {
+    MF_RETURN_NOT_OK(s.status);
+  }
+
   ColumnBuilder hb(BuilderType(a));
   ColumnBuilder tb(BuilderType(b), b.str_heap());
-  internal::ChargeGate gate(ctx, a, b);
-  auto hash = cd.EnsureHeadHash();
-  a.TouchAll();
-  for (size_t i = 0; i < ab.size(); ++i) {
-    if (hash->Contains(a, i)) {
-      b.TouchAt(i);
+  size_t total = 0;
+  for (const Shard& s : shards) total += s.matches.size();
+  hb.Reserve(total);
+  tb.Reserve(total);
+  for (const Shard& s : shards) {
+    for (uint32_t i : s.matches) {
       hb.AppendFrom(a, i);
       tb.AppendFrom(b, i);
-      MF_RETURN_NOT_OK(gate.Add(1));
     }
   }
-  MF_RETURN_NOT_OK(gate.Flush());
   MF_ASSIGN_OR_RETURN(Bat res, FinishSemijoin(ab, cd, hb, tb));
   rec.Finish("hash_semijoin", res.size());
   return res;
@@ -170,7 +224,7 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
 Result<Bat> Semijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
   OpRecorder rec(ctx, "semijoin");
   return KernelRegistry::Global().Dispatch<BinaryImplSig>(
-      "semijoin", MakeInput(ab, cd), ctx, ab, cd, rec);
+      "semijoin", MakeInput(ctx, ab, cd), ctx, ab, cd, rec);
 }
 
 Result<Bat> Diff(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
@@ -268,7 +322,8 @@ void RegisterSemijoinKernels(KernelRegistry& r) {
         return HeapPages(in.right->size, in.right->head_width) +
                RandomFetchPages(in.left.size, in.left.head_width, est) +
                RandomFetchPages(in.left.size, in.left.tail_width, est) +
-               kCpuSequential;
+               kCpuSequential /
+                   ParallelCpuScale(in.right->size, in.degree);
       },
       std::function<BinaryImplSig>(DatavectorSemijoin),
       "Section 5.2.1 datavector with the persistent LOOKUP cache");
@@ -300,10 +355,10 @@ void RegisterSemijoinKernels(KernelRegistry& r) {
         return build + HeapPages(in.left.size, in.left.head_width) +
                RandomFetchPages(in.left.size, in.left.tail_width,
                                 EstSemijoinMatches(in)) +
-               kCpuHashed;
+               kCpuHashed / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<BinaryImplSig>(HashSemijoin),
-      "probe the (cached) hash accelerator on CD's head");
+      "probe the (cached) hash accelerator on CD's head (parallel probe)");
 }
 
 }  // namespace internal

@@ -173,7 +173,7 @@ Result<Bat> ThetaJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   // `=` is the equi-join family with its own variants and accelerators.
   if (op == CmpOp::kEq) return Join(ctx, ab, cd);
   OpRecorder rec(ctx, "thetajoin");
-  DispatchInput in = MakeInput(ab, cd);
+  DispatchInput in = MakeInput(ctx, ab, cd);
   in.param = OpParam{static_cast<int64_t>(op), "", false};
   return KernelRegistry::Global().Dispatch<ThetaImplSig>("thetajoin", in, ctx,
                                                          ab, cd, op, rec);

@@ -43,6 +43,7 @@ void IoStats::Admit(uint64_t key, Access acc) {
   } else {
     ++rand_faults_;
   }
+  if (log_faults_) fault_log_.emplace_back(key, acc);
   lru_.push_front(key);
   resident_[key] = lru_.begin();
   if (capacity_ > 0 && resident_.size() > capacity_) {
@@ -52,9 +53,15 @@ void IoStats::Admit(uint64_t key, Access acc) {
   }
 }
 
+void IoStats::MergeFrom(const IoStats& shard) {
+  touches_ += shard.touches_;
+  for (const auto& [key, acc] : shard.fault_log_) Admit(key, acc);
+}
+
 void IoStats::Reset() {
   resident_.clear();
   lru_.clear();
+  fault_log_.clear();
   faults_ = seq_faults_ = rand_faults_ = touches_ = evictions_ = 0;
 }
 

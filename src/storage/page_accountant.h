@@ -6,6 +6,8 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace moaflat::storage {
 
@@ -44,6 +46,29 @@ class IoStats {
   /// Creates a memory-limited pager holding at most `capacity_pages`.
   explicit IoStats(size_t capacity_pages) : capacity_(capacity_pages) {}
 
+  /// Accountant for one block of a parallel kernel phase: unlimited
+  /// capacity (blocks start cold, so the fault set *is* the touched page
+  /// set) and an ordered fault log that MergeFrom replays. Install it via
+  /// IoScope inside the block, then merge the shards in block order.
+  static IoStats ForShard() {
+    IoStats s;
+    s.log_faults_ = true;
+    return s;
+  }
+
+  /// Replays a shard's faults (its first-touch-per-page log, in touch
+  /// order) into this accountant: pages already resident here stay hits,
+  /// new pages fault with the access kind of the shard's first touch.
+  /// Merging contiguous shards in block order therefore reproduces the
+  /// serial run's fault count, its sequential/random split and its
+  /// logical-touch total *exactly* under cold-run (unlimited-capacity)
+  /// accounting — the basis of the parallel kernels' exact IO accounting.
+  /// With an LRU capacity configured on *this*, replay order approximates
+  /// recency (shard-internal hits do not refresh the LRU).
+  /// `shard` must come from ForShard(); shards without a fault log only
+  /// contribute their logical-touch count.
+  void MergeFrom(const IoStats& shard);
+
   /// Records a touch of `len` bytes starting at `offset` within heap `heap`.
   void TouchBytes(uint64_t heap, uint64_t offset, uint64_t len, Access acc);
 
@@ -77,6 +102,8 @@ class IoStats {
   void Admit(uint64_t key, Access acc);
 
   size_t capacity_ = 0;  // 0 = unlimited (pure cold-run accounting)
+  bool log_faults_ = false;  // shard mode: record faults for MergeFrom
+  std::vector<std::pair<uint64_t, Access>> fault_log_;
   // LRU pool: most-recently-used pages at the front.
   std::list<uint64_t> lru_;
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <mutex>
 #include <numeric>
@@ -7,7 +8,9 @@
 #include "bat/bat.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/task_pool.h"
 #include "kernel/operators.h"
+#include "storage/page_accountant.h"
 
 namespace moaflat {
 namespace {
@@ -131,6 +134,89 @@ TEST(ParallelTest, ParallelMultiplexMatchesSerial) {
   for (size_t i = 0; i < serial.size(); i += 97) {
     EXPECT_DOUBLE_EQ(serial.tail().NumAt(i), parallel.tail().NumAt(i));
   }
+}
+
+TEST(TaskPoolTest, RunsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> seen(64);
+  TaskPool::Global().Run(seen.size(), [&](size_t t) { seen[t]++; });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(TaskPoolTest, WorkersArePersistentAcrossJobs) {
+  TaskPool& pool = TaskPool::Global();
+  TaskPool::Global().Run(4, [](size_t) {});
+  const size_t after_first = pool.thread_count();
+  EXPECT_GE(after_first, 1u);
+  for (int j = 0; j < 50; ++j) {
+    pool.Run(4, [](size_t) {});
+  }
+  // Reuse, not respawn: the worker count never grows past the first
+  // job's requirement for same-width jobs.
+  EXPECT_EQ(pool.thread_count(), after_first);
+}
+
+TEST(TaskPoolTest, NestedRunDoesNotDeadlock) {
+  std::atomic<int> total{0};
+  TaskPool::Global().Run(4, [&](size_t) {
+    TaskPool::Global().Run(4, [&](size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ParallelTest, PlanBlocksHonorsExplicitDegreeAndCoversRange) {
+  const BlockPlan plan = PlanBlocks(1000000, 5);
+  EXPECT_EQ(plan.blocks, 5u);
+  size_t covered = 0;
+  for (size_t b = 0; b < plan.blocks; ++b) {
+    EXPECT_EQ(plan.Begin(b), covered);
+    covered = plan.End(b);
+  }
+  EXPECT_EQ(covered, 1000000u);
+  // Small inputs plan a single inline block regardless of degree.
+  EXPECT_EQ(PlanBlocks(100, 8).blocks, 1u);
+  // The block count never exceeds what the morsel floor supports.
+  EXPECT_LE(PlanBlocks(40000, 64).blocks, 40000u / kMinItemsPerBlock);
+}
+
+TEST(ParallelTest, RunBlocksUsesThePlanNotTheLiveDegree) {
+  // The old degree-sampling race: a caller sized its shard buffers with
+  // one ParallelDegree() call while ParallelBlocks re-read the degree
+  // internally, so a concurrent SetParallelDegree could index out of
+  // range. Now the plan is the single source of truth: re-setting the
+  // process degree between planning and running must change nothing.
+  SetParallelDegree(6);
+  const BlockPlan plan = PlanBlocks(200000);
+  ASSERT_EQ(plan.blocks, 6u);
+  SetParallelDegree(2);  // the "concurrent" change
+  std::vector<int> hits(plan.blocks, 0);
+  const size_t ran = RunBlocks(plan, [&](int block, size_t, size_t) {
+    ASSERT_LT(static_cast<size_t>(block), plan.blocks);
+    hits[block]++;
+  });
+  SetParallelDegree(0);
+  EXPECT_EQ(ran, plan.blocks);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelTest, ShardMergeReproducesSerialFaults) {
+  // Serial: one accountant touches two ranges that share a boundary page.
+  storage::IoStats serial;
+  serial.TouchRange(42, 0, 1500, 4);     // pages 0..1 of heap 42
+  serial.TouchRange(42, 1500, 3000, 4);  // pages 1..2 (page 1 re-hit)
+
+  // Parallel: each range in its own cold shard, merged in block order.
+  storage::IoStats merged;
+  storage::IoStats s0 = storage::IoStats::ForShard();
+  storage::IoStats s1 = storage::IoStats::ForShard();
+  s0.TouchRange(42, 0, 1500, 4);
+  s1.TouchRange(42, 1500, 3000, 4);  // faults page 1 again in its shard
+  merged.MergeFrom(s0);
+  merged.MergeFrom(s1);
+
+  EXPECT_EQ(merged.faults(), serial.faults());
+  EXPECT_EQ(merged.sequential_faults(), serial.sequential_faults());
+  EXPECT_EQ(merged.random_faults(), serial.random_faults());
+  EXPECT_EQ(merged.logical_touches(), serial.logical_touches());
 }
 
 TEST(ParallelTest, IoAccountingUnaffectedByDegree) {
