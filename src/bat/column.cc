@@ -8,15 +8,6 @@
 namespace moaflat::bat {
 namespace {
 
-uint64_t MixHash(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
 uint64_t HashBytes(std::string_view s) {
   // FNV-1a.
   uint64_t h = 1469598103934665603ULL;
@@ -151,17 +142,11 @@ double Column::NumAt(size_t i) const {
 
 uint64_t Column::HashAt(size_t i) const {
   if (type_ == MonetType::kStr) return HashBytes(Str(i));
-  if (type_ == MonetType::kVoid || type_ == MonetType::kOidT) {
-    return MixHash(OidAt(i));
-  }
-  if (type_ == MonetType::kFlt || type_ == MonetType::kDbl) {
-    const double d = NumAt(i);
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    __builtin_memcpy(&bits, &d, sizeof(d));
-    return MixHash(bits);
-  }
-  return MixHash(static_cast<uint64_t>(static_cast<int64_t>(NumAt(i))));
+  if (type_ == MonetType::kVoid) return MixHash64(OidAt(i));
+  return VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return TypedValueHash(Data<T>()[i]);
+  });
 }
 
 bool Column::EqualAt(size_t i, const Column& other, size_t j) const {
@@ -198,11 +183,26 @@ int Column::CompareValue(size_t i, const Value& v) const {
   return 0;
 }
 
-bool Column::ComputeSorted() const {
-  for (size_t i = 1; i < size_; ++i) {
-    if (CompareAt(i - 1, *this, i) > 0) return false;
+bool Column::ComputeSorted() const { return RangeSorted(0, size_); }
+
+bool Column::RangeSorted(size_t lo, size_t hi) const {
+  if (hi > size_) hi = size_;
+  if (lo >= hi) return true;
+  if (is_void()) return true;  // dense ascending by construction
+  if (type_ == MonetType::kStr) {
+    for (size_t i = lo + 1; i < hi; ++i) {
+      if (Str(i - 1).compare(Str(i)) > 0) return false;
+    }
+    return true;
   }
-  return true;
+  return VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    const T* v = Data<T>().data();
+    for (size_t i = lo + 1; i < hi; ++i) {
+      if (v[i] < v[i - 1]) return false;
+    }
+    return true;
+  });
 }
 
 bool Column::ComputeKey() const {
@@ -326,6 +326,60 @@ void ColumnBuilder::AppendFrom(const Column& src, size_t i) {
   }
 }
 
+void ColumnBuilder::AppendRange(const Column& src, size_t lo, size_t hi) {
+  if (hi <= lo) return;
+  count_ += hi - lo;
+  if (type_ == MonetType::kOidT && src.is_void()) {
+    auto& v = std::get<std::vector<Oid>>(repr_);
+    const size_t at = v.size();
+    v.resize(at + (hi - lo));
+    const Oid base = src.void_base();
+    for (size_t k = 0; k < hi - lo; ++k) v[at + k] = base + lo + k;
+    return;
+  }
+  if (type_ == MonetType::kStr && src.str_heap() != heap_) {
+    auto& v = std::get<std::vector<int32_t>>(repr_);
+    v.reserve(v.size() + (hi - lo));
+    for (size_t i = lo; i < hi; ++i) v.push_back(heap_->Intern(src.Str(i)));
+    return;
+  }
+  Column::VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    auto& v = std::get<std::vector<T>>(repr_);
+    const auto& s = src.Data<T>();
+    v.insert(v.end(), s.begin() + lo, s.begin() + hi);
+  });
+}
+
+void ColumnBuilder::GatherFrom(const Column& src, const uint32_t* idx,
+                               size_t n) {
+  if (n == 0) return;
+  count_ += n;
+  if (type_ == MonetType::kOidT && src.is_void()) {
+    auto& v = std::get<std::vector<Oid>>(repr_);
+    const size_t at = v.size();
+    v.resize(at + n);
+    const Oid base = src.void_base();
+    for (size_t k = 0; k < n; ++k) v[at + k] = base + idx[k];
+    return;
+  }
+  if (type_ == MonetType::kStr && src.str_heap() != heap_) {
+    auto& v = std::get<std::vector<int32_t>>(repr_);
+    v.reserve(v.size() + n);
+    for (size_t k = 0; k < n; ++k) v.push_back(heap_->Intern(src.Str(idx[k])));
+    return;
+  }
+  Column::VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    auto& v = std::get<std::vector<T>>(repr_);
+    const T* s = src.Data<T>().data();
+    const size_t at = v.size();
+    v.resize(at + n);
+    T* out = v.data() + at;
+    for (size_t k = 0; k < n; ++k) out[k] = s[idx[k]];
+  });
+}
+
 Status ColumnBuilder::AppendValue(const Value& v) {
   MF_ASSIGN_OR_RETURN(Value cast, v.CastTo(type_));
   ++count_;
@@ -366,6 +420,63 @@ Status ColumnBuilder::AppendValue(const Value& v) {
       return Status::TypeError("cannot append to void builder");
   }
   return Status::TypeError("bad builder type");
+}
+
+// --------------------------------------------------------------------
+// ColumnScatter
+
+ColumnScatter::ColumnScatter(const Column& src, size_t total)
+    : src_(src),
+      type_(src.type() == MonetType::kVoid ? MonetType::kOidT : src.type()),
+      repr_(EmptyRepr(type_)),
+      heap_(src.str_heap()),
+      total_(total) {
+  Column::VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    std::get<std::vector<T>>(repr_).resize(total);
+  });
+}
+
+void ColumnScatter::Gather(const uint32_t* idx, size_t n, size_t at) {
+  if (n == 0) return;
+  if (src_.is_void()) {
+    auto& v = std::get<std::vector<Oid>>(repr_);
+    const Oid base = src_.void_base();
+    Oid* out = v.data() + at;
+    for (size_t k = 0; k < n; ++k) out[k] = base + idx[k];
+    return;
+  }
+  Column::VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    const T* s = src_.Data<T>().data();
+    T* out = std::get<std::vector<T>>(repr_).data() + at;
+    for (size_t k = 0; k < n; ++k) out[k] = s[idx[k]];
+  });
+}
+
+void ColumnScatter::GatherRange(size_t lo, size_t hi, size_t at) {
+  if (hi <= lo) return;
+  if (src_.is_void()) {
+    auto& v = std::get<std::vector<Oid>>(repr_);
+    const Oid base = src_.void_base();
+    Oid* out = v.data() + at;
+    for (size_t k = 0; k < hi - lo; ++k) out[k] = base + lo + k;
+    return;
+  }
+  Column::VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    const T* s = src_.Data<T>().data() + lo;
+    T* out = std::get<std::vector<T>>(repr_).data() + at;
+    std::copy(s, s + (hi - lo), out);
+  });
+}
+
+ColumnPtr ColumnScatter::Finish() {
+  if (type_ == MonetType::kStr) {
+    return Column::MakeStrOffsets(
+        heap_, std::move(std::get<std::vector<int32_t>>(repr_)));
+  }
+  return ColumnPtr(new Column(type_, total_, std::move(repr_), nullptr, 0));
 }
 
 ColumnPtr ColumnBuilder::Finish() {

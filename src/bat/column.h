@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -18,6 +20,59 @@ namespace moaflat::bat {
 
 class Column;
 using ColumnPtr = std::shared_ptr<const Column>;
+
+/// Tag carrying the native C++ storage type of a MonetType, passed to
+/// Column::VisitType visitors so kernel inner loops can be written once
+/// and instantiated per type.
+template <typename T>
+struct TypeTag {
+  using type = T;
+};
+
+/// Hash mixer shared by Column::HashAt and the typed probe fast paths.
+inline uint64_t MixHash64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Numeric view of one native storage value: the compile-time twin of
+/// Column::NumAt, for loops that hoisted the type dispatch via VisitType.
+/// Must agree with NumAt exactly (bit maps to 0/1, dates to their day
+/// number, everything else casts).
+template <typename T>
+inline double NumValue(T v) {
+  if constexpr (std::is_same_v<T, Date>) {
+    return static_cast<double>(v.days());
+  } else if constexpr (std::is_same_v<T, uint8_t>) {
+    return v ? 1.0 : 0.0;
+  } else {
+    return static_cast<double>(v);
+  }
+}
+
+/// Typed twin of Column::HashAt for fixed-width storage values. Produces
+/// the identical hash (HashAt is implemented in terms of it), so typed
+/// and boxed probes of one accelerator agree on every bucket.
+template <typename T>
+inline uint64_t TypedValueHash(T v) {
+  if constexpr (std::is_same_v<T, Oid>) {
+    return MixHash64(v);
+  } else if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    const double d = static_cast<double>(v);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(d));
+    return MixHash64(bits);
+  } else {
+    // Matches the boxed path's value -> double -> int64 round trip.
+    return MixHash64(
+        static_cast<uint64_t>(static_cast<int64_t>(NumValue(v))));
+  }
+}
 
 /// One column (head or tail) of a BAT: a typed, immutable value sequence
 /// stored as a dense BUN heap (Fig. 2 of the paper).
@@ -86,6 +141,53 @@ class Column {
     return std::get<std::vector<T>>(repr_);
   }
 
+  /// Typed view of the native BUN heap: the zero-dispatch access path for
+  /// kernel inner loops. T must be the storage type (str columns store
+  /// int32 heap offsets); void columns have no storage — callers branch on
+  /// is_void() first.
+  template <typename T>
+  std::span<const T> Span() const {
+    const auto& v = std::get<std::vector<T>>(repr_);
+    return std::span<const T>(v.data(), v.size());
+  }
+
+  /// Dispatches `t` to `f(TypeTag<T>{})` where T is the native storage
+  /// type, hoisting the per-value type switch of a kernel loop into one
+  /// dispatch per call. kStr visits as its int32 offset storage; kVoid
+  /// visits as Oid (the type its *values* carry — void columns have no
+  /// Span, so loops over them go through OidAt/void_base instead).
+  template <typename F>
+  static decltype(auto) VisitType(MonetType t, F&& f) {
+    switch (t) {
+      case MonetType::kVoid:
+      case MonetType::kOidT:
+        return f(TypeTag<Oid>{});
+      case MonetType::kBit:
+        return f(TypeTag<uint8_t>{});
+      case MonetType::kChr:
+        return f(TypeTag<char>{});
+      case MonetType::kSht:
+        return f(TypeTag<int16_t>{});
+      case MonetType::kInt:
+      case MonetType::kStr:
+        return f(TypeTag<int32_t>{});
+      case MonetType::kLng:
+        return f(TypeTag<int64_t>{});
+      case MonetType::kFlt:
+        return f(TypeTag<float>{});
+      case MonetType::kDbl:
+        return f(TypeTag<double>{});
+      case MonetType::kDate:
+        return f(TypeTag<Date>{});
+    }
+    return f(TypeTag<Oid>{});
+  }
+
+  /// True if values over [lo, hi) are non-decreasing; one type dispatch,
+  /// then a tight typed loop (the bulk replacement for per-element
+  /// CompareAt sortedness probes).
+  bool RangeSorted(size_t lo, size_t hi) const;
+
   /// Oid view: valid for void and oid columns.
   Oid OidAt(size_t i) const {
     if (is_void()) return void_base_ + i;
@@ -148,6 +250,14 @@ class Column {
   /// Reports a sequential touch of the whole column.
   void TouchAll() const { TouchRange(0, size_); }
 
+  /// Reports one random touch per gathered element — the batch equivalent
+  /// of a TouchAt loop, with the accountant's heap lookup hoisted out.
+  void TouchGather(const uint32_t* idx, size_t n) const {
+    if (storage::IoStats* io = storage::CurrentIo()) {
+      io->TouchGather(heap_id_, idx, n, width());
+    }
+  }
+
   /// Storage representation; exposed for the builder machinery only.
   struct VoidTag {};
   using Repr =
@@ -158,6 +268,7 @@ class Column {
 
  private:
   friend class ColumnBuilder;
+  friend class ColumnScatter;
 
   Column(MonetType type, size_t size, Repr repr,
          std::shared_ptr<storage::StringHeap> heap, Oid void_base);
@@ -188,6 +299,16 @@ class ColumnBuilder {
   /// append their oid view into an oid builder).
   void AppendFrom(const Column& src, size_t i);
 
+  /// Bulk-appends src[lo..hi): one type dispatch, then one contiguous
+  /// vector copy (memcpy for the fixed-width types) — the hoisted
+  /// replacement for an AppendFrom loop over a contiguous range.
+  void AppendRange(const Column& src, size_t lo, size_t hi);
+
+  /// Bulk-appends src[idx[k]] for k in [0, n): one type dispatch, then a
+  /// tight typed gather loop — the hoisted replacement for an AppendFrom
+  /// loop over a position list.
+  void GatherFrom(const Column& src, const uint32_t* idx, size_t n);
+
   void AppendOid(Oid v) {
     std::get<std::vector<Oid>>(repr_).push_back(v);
     ++count_;
@@ -214,6 +335,43 @@ class ColumnBuilder {
   Column::Repr repr_;
   std::shared_ptr<storage::StringHeap> heap_;
   size_t count_ = 0;
+};
+
+/// Pre-sized materialization sink for the two-phase morsel output pattern:
+/// once the per-block match counts are prefix-summed, every block gathers
+/// its results directly into its disjoint slice of the final heap,
+/// concurrently — no serial append loop, no builder growth.
+///
+///   ColumnScatter hs(head, total);
+///   RunBlocks(plan, [&](int b, ...) {
+///     hs.Gather(idx_of[b].data(), idx_of[b].size(), offset[b]);
+///   });
+///   ColumnPtr out = hs.Finish();
+///
+/// The result shares the source's string heap (str gathers copy offsets);
+/// a void source materializes as oid. Distinct [at, at+n) windows may be
+/// written from different threads concurrently.
+class ColumnScatter {
+ public:
+  ColumnScatter(const Column& src, size_t total);
+
+  /// Writes src[idx[k]] into position at+k for k in [0, n).
+  void Gather(const uint32_t* idx, size_t n, size_t at);
+
+  /// Contiguous variant: writes src[lo..hi) into positions starting at.
+  void GatherRange(size_t lo, size_t hi, size_t at);
+
+  size_t size() const { return total_; }
+
+  /// Finalizes into an immutable column; call once, after all gathers.
+  ColumnPtr Finish();
+
+ private:
+  const Column& src_;
+  MonetType type_;  // result type (void sources materialize as oid)
+  Column::Repr repr_;
+  std::shared_ptr<storage::StringHeap> heap_;
+  size_t total_;
 };
 
 }  // namespace moaflat::bat

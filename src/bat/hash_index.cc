@@ -13,6 +13,22 @@ uint64_t NextPow2(uint64_t n) {
   return p;
 }
 
+/// Runs `body(hash)` where hash(i) yields HashAt(i) with the per-value
+/// type dispatch hoisted out of the build loops (boxed fallback for str
+/// and void columns).
+template <typename Body>
+void WithHasher(const Column& col, Body&& body) {
+  if (!col.is_void() && col.type() != MonetType::kStr) {
+    Column::VisitType(col.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const T* v = col.Data<T>().data();
+      body([v](size_t i) { return TypedValueHash(v[i]); });
+    });
+    return;
+  }
+  body([&col](size_t i) { return col.HashAt(i); });
+}
+
 }  // namespace
 
 HashIndex::HashIndex(ColumnPtr col, int degree) : col_(std::move(col)) {
@@ -24,11 +40,13 @@ HashIndex::HashIndex(ColumnPtr col, int degree) : col_(std::move(col)) {
   const BlockPlan plan =
       PlanBlocks(n, std::min(degree, kMaxScatterDegree));
   if (plan.blocks <= 1) {
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t b = col_->HashAt(i) & mask_;
-      next_[i] = buckets_[b];
-      buckets_[b] = static_cast<uint32_t>(i) + 1;
-    }
+    WithHasher(*col_, [&](auto hash) {
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t b = hash(i) & mask_;
+        next_[i] = buckets_[b];
+        buckets_[b] = static_cast<uint32_t>(i) + 1;
+      }
+    });
     return;
   }
   // Partitioned parallel build. Phase 1: hash every position (disjoint
@@ -36,19 +54,27 @@ HashIndex::HashIndex(ColumnPtr col, int degree) : col_(std::move(col)) {
   // (nbuckets <= NextPow2(1.5 n)) fits in uint32 as well.
   std::vector<uint32_t> bucket_of(n);
   RunBlocks(plan, [&](int, size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      bucket_of[i] = static_cast<uint32_t>(col_->HashAt(i) & mask_);
-    }
+    WithHasher(*col_, [&](auto hash) {
+      for (size_t i = begin; i < end; ++i) {
+        bucket_of[i] = static_cast<uint32_t>(hash(i) & mask_);
+      }
+    });
   });
   // Phase 2: block-local scatter of positions by contiguous bucket
   // range, so the linking phase visits each position exactly once
-  // (O(n) total, not blocks * n).
+  // (O(n) total, not blocks * n). A counting pass pre-reserves every
+  // partition list, so the fill pass never reallocates mid-scatter.
   const size_t ranges = plan.blocks;
   const uint64_t range_chunk = (nbuckets + ranges - 1) / ranges;
   std::vector<std::vector<std::vector<uint32_t>>> scatter(
       plan.blocks, std::vector<std::vector<uint32_t>>(ranges));
   RunBlocks(plan, [&](int block, size_t begin, size_t end) {
     auto& mine = scatter[block];
+    std::vector<uint32_t> counts(ranges, 0);
+    for (size_t i = begin; i < end; ++i) {
+      ++counts[bucket_of[i] / range_chunk];
+    }
+    for (size_t r = 0; r < ranges; ++r) mine[r].reserve(counts[r]);
     for (size_t i = begin; i < end; ++i) {
       mine[bucket_of[i] / range_chunk].push_back(static_cast<uint32_t>(i));
     }

@@ -36,6 +36,37 @@ class HashIndex {
     }
   }
 
+  /// Bulk probe with the per-BUN type dispatch hoisted out of the loop:
+  /// invokes `fn(j, pos)` for every match of probe[j], j ascending over
+  /// [begin, end), matches in chain order — exactly the matches (and
+  /// order) a ForEachMatch loop produces. When both the indexed column
+  /// and the probe are fixed-width, hashing and equality run as typed
+  /// zero-dispatch operations, numerically identical to the boxed path:
+  /// each side hashes by its own storage rule (reproducing HashAt
+  /// bit-for-bit, including cross-type probes like an int FK against an
+  /// oid key) and equality compares the same double views EqualAt does.
+  /// str or void operands fall back to the boxed loop.
+  template <typename Fn>
+  void ForEachMatchRange(const Column& probe, size_t begin, size_t end,
+                         Fn&& fn) const {
+    const bool typed =
+        WithTypedProbe(probe, [&](const auto* kv, const auto* pv) {
+          for (size_t j = begin; j < end; ++j) {
+            const double x = NumValue(pv[j]);
+            uint32_t cur = buckets_[TypedValueHash(pv[j]) & mask_];
+            while (cur != kEnd) {
+              const uint32_t pos = cur - 1;
+              if (NumValue(kv[pos]) == x) fn(j, pos);
+              cur = next_[pos];
+            }
+          }
+        });
+    if (typed) return;
+    for (size_t j = begin; j < end; ++j) {
+      ForEachMatch(probe, j, [&](uint32_t pos) { fn(j, pos); });
+    }
+  }
+
   /// Returns the first matching position for probe[j], or -1.
   int64_t FindFirst(const Column& probe, size_t j) const {
     int64_t found = -1;
@@ -54,12 +85,61 @@ class HashIndex {
     return hit;
   }
 
+  /// Bulk containment with the type dispatch hoisted: invokes `fn(j)` for
+  /// every probe[j], j ascending over [begin, end), that has at least one
+  /// match — the zero-dispatch twin of a Contains loop.
+  template <typename Fn>
+  void ForEachContained(const Column& probe, size_t begin, size_t end,
+                        Fn&& fn) const {
+    const bool typed =
+        WithTypedProbe(probe, [&](const auto* kv, const auto* pv) {
+          for (size_t j = begin; j < end; ++j) {
+            const double x = NumValue(pv[j]);
+            uint32_t cur = buckets_[TypedValueHash(pv[j]) & mask_];
+            while (cur != kEnd) {
+              const uint32_t pos = cur - 1;
+              if (NumValue(kv[pos]) == x) {
+                fn(j);
+                break;
+              }
+              cur = next_[pos];
+            }
+          }
+        });
+    if (typed) return;
+    for (size_t j = begin; j < end; ++j) {
+      if (Contains(probe, j)) fn(j);
+    }
+  }
+
   size_t byte_size() const {
     return (buckets_.size() + next_.size()) * sizeof(uint32_t);
   }
 
  private:
   static constexpr uint32_t kEnd = 0;
+
+  /// Runs `body(keys_ptr, probe_ptr)` with both columns' native spans
+  /// when both are fixed-width (one two-type dispatch per call, probe
+  /// loops instantiated per type pair); returns false — without calling
+  /// `body` — when either side is str or void, i.e. needs the boxed path.
+  template <typename Body>
+  bool WithTypedProbe(const Column& probe, Body&& body) const {
+    const Column& keys = *col_;
+    if (keys.is_void() || probe.is_void() ||
+        keys.type() == MonetType::kStr || probe.type() == MonetType::kStr) {
+      return false;
+    }
+    Column::VisitType(keys.type(), [&](auto ktag) {
+      using K = typename decltype(ktag)::type;
+      const K* kv = keys.Data<K>().data();
+      Column::VisitType(probe.type(), [&](auto ptag) {
+        using P = typename decltype(ptag)::type;
+        body(kv, probe.Data<P>().data());
+      });
+    });
+    return true;
+  }
 
   ColumnPtr col_;
   std::vector<uint32_t> buckets_;  // 1-based heads, 0 = empty

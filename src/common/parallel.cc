@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <thread>
 
 #include "common/task_pool.h"
 #include "storage/page_accountant.h"
@@ -50,8 +51,31 @@ void SetParallelDegree(int degree) {
   g_degree.store(degree, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// 0 = auto (hardware concurrency, resolved per call — it is one cheap
+/// library call and tests flip the override around it).
+std::atomic<int> g_block_cap{0};
+
+}  // namespace
+
+int ParallelBlockCap() {
+  const int cap = g_block_cap.load(std::memory_order_relaxed);
+  if (cap > 0) return cap;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void SetParallelBlockCap(int cap) {
+  if (cap < 0) cap = 0;
+  if (cap > kMaxParallelDegree) cap = kMaxParallelDegree;
+  g_block_cap.store(cap, std::memory_order_relaxed);
+}
+
 BlockPlan PlanBlocks(size_t n, int degree) {
   if (degree <= 0) degree = ParallelDegree();
+  const int cap = ParallelBlockCap();
+  if (degree > cap) degree = cap;
   BlockPlan plan;
   plan.n = n;
   if (degree <= 1 || n < 2 * kMinItemsPerBlock) {

@@ -41,6 +41,20 @@ int ParallelDegree();
 /// the next ParallelDegree() call re-read MOAFLAT_THREADS.
 void SetParallelDegree(int degree);
 
+/// Most blocks any plan will produce, regardless of the requested degree:
+/// std::thread::hardware_concurrency() by default (at least 1). Fanning an
+/// evaluation phase out past the cores that can actually run it buys no
+/// wall clock and still pays per-block shard state and the ordered merge —
+/// the regime where a parallel kernel measures *slower* than serial. The
+/// degree stays the caller's upper bound; the cap is the hardware's.
+int ParallelBlockCap();
+
+/// Overrides the block cap for this process (tests force multi-block plans
+/// on small machines; benches may probe oversubscription). cap >= 1 sets
+/// it (clamped to kMaxParallelDegree); cap <= 0 restores the hardware
+/// default.
+void SetParallelBlockCap(int cap);
+
 /// Blocks smaller than this run inline: task dispatch would dominate.
 inline constexpr size_t kMinItemsPerBlock = 16 * 1024;
 

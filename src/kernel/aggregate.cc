@@ -51,6 +51,52 @@ void Accumulate(Acc* acc, const Column& tail, size_t i, AggKind kind) {
   }
 }
 
+/// Typed twin of Accumulate for fixed-width tails: the NumAt/CompareAt
+/// type dispatch is hoisted to the caller's Column::VisitType, leaving a
+/// zero-dispatch add/compare per row (sums fold in the identical order,
+/// so results stay bit-identical to the boxed path).
+template <typename T>
+void AccumulateTyped(Acc* acc, const T* tail, size_t i, AggKind kind) {
+  ++acc->count;
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      acc->sum += internal::NumValue(tail[i]);
+      break;
+    case AggKind::kMin:
+      if (!acc->has_best || tail[i] < tail[acc->best]) {
+        acc->best = i;
+        acc->has_best = true;
+      }
+      break;
+    case AggKind::kMax:
+      if (!acc->has_best || tail[acc->best] < tail[i]) {
+        acc->best = i;
+        acc->has_best = true;
+      }
+      break;
+    case AggKind::kCount:
+      break;
+  }
+}
+
+/// Runs `loop` with a per-row accumulator functor: typed when the tail is
+/// a fixed-width column, boxed otherwise.
+template <typename Loop>
+void WithAccumulator(const Column& tail, AggKind kind, Loop&& loop) {
+  if (!tail.is_void() && tail.type() != MonetType::kStr) {
+    Column::VisitType(tail.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const T* tv = tail.Data<T>().data();
+      loop([tv, kind](Acc* acc, size_t i) {
+        AccumulateTyped(acc, tv, i, kind);
+      });
+    });
+    return;
+  }
+  loop([&tail, kind](Acc* acc, size_t i) { Accumulate(acc, tail, i, kind); });
+}
+
 MonetType AggOutputType(AggKind kind, const Column& tail) {
   switch (kind) {
     case AggKind::kSum:
@@ -120,24 +166,37 @@ Result<Bat> HashSetAggregate(const ExecContext& ctx, AggKind kind,
       ab.size(), std::min(ctx.parallel_degree(), kMaxScatterDegree));
   if (plan.blocks <= 1) {
     std::unordered_map<Oid, size_t> index;
-    for (size_t i = 0; i < ab.size(); ++i) {
-      const Oid g = head.OidAt(i);
-      auto [it, inserted] = index.try_emplace(g, groups.size());
-      if (inserted) groups.emplace_back(g, Acc{});
-      Accumulate(&groups[it->second].second, tail, i, kind);
-    }
+    WithAccumulator(tail, kind, [&](auto accum) {
+      for (size_t i = 0; i < ab.size(); ++i) {
+        const Oid g = head.OidAt(i);
+        auto [it, inserted] = index.try_emplace(g, groups.size());
+        if (inserted) groups.emplace_back(g, Acc{});
+        accum(&groups[it->second].second, i);
+      }
+    });
   } else {
     const size_t parts = plan.blocks;
     const auto part_of = [parts](Oid g) {
       return static_cast<size_t>(internal::MixSync(g, 0x5ca1ab1eULL) % parts);
     };
-    // Scatter: block-local per-partition position lists.
+    // Scatter: block-local per-partition position lists. Each block
+    // hashes its rows once into a scratch partition-id array, counts,
+    // pre-reserves, then fills — no mid-scatter reallocation, no second
+    // hashing pass.
     std::vector<std::vector<std::vector<uint32_t>>> scatter(
         plan.blocks, std::vector<std::vector<uint32_t>>(parts));
+    std::vector<uint8_t> part_of_row(ab.size());  // parts <= 64 fits a byte
     RunBlocks(plan, [&](int block, size_t begin, size_t end) {
       auto& mine = scatter[block];
+      std::vector<uint32_t> counts(parts, 0);
       for (size_t i = begin; i < end; ++i) {
-        mine[part_of(head.OidAt(i))].push_back(static_cast<uint32_t>(i));
+        const auto p = static_cast<uint8_t>(part_of(head.OidAt(i)));
+        part_of_row[i] = p;
+        ++counts[p];
+      }
+      for (size_t p = 0; p < parts; ++p) mine[p].reserve(counts[p]);
+      for (size_t i = begin; i < end; ++i) {
+        mine[part_of_row[i]].push_back(static_cast<uint32_t>(i));
       }
     });
     // Accumulate: one block per partition (parts == plan.blocks, and
@@ -148,14 +207,16 @@ Result<Bat> HashSetAggregate(const ExecContext& ctx, AggKind kind,
     RunBlocks(plan, [&](int p, size_t, size_t) {
       auto& out = pgroups[p];
       std::unordered_map<Oid, size_t> index;
-      for (size_t block = 0; block < plan.blocks; ++block) {
-        for (uint32_t i : scatter[block][p]) {
-          const Oid g = head.OidAt(i);
-          auto [it, inserted] = index.try_emplace(g, out.size());
-          if (inserted) out.emplace_back(g, Acc{});
-          Accumulate(&out[it->second].second, tail, i, kind);
+      WithAccumulator(tail, kind, [&](auto accum) {
+        for (size_t block = 0; block < plan.blocks; ++block) {
+          for (uint32_t i : scatter[block][p]) {
+            const Oid g = head.OidAt(i);
+            auto [it, inserted] = index.try_emplace(g, out.size());
+            if (inserted) out.emplace_back(g, Acc{});
+            accum(&out[it->second].second, i);
+          }
         }
-      }
+      });
     });
     for (auto& pg : pgroups) {
       groups.insert(groups.end(), pg.begin(), pg.end());
@@ -214,24 +275,26 @@ Result<Bat> RunSetAggregate(const ExecContext& ctx, AggKind kind,
   std::vector<RunOut> shards(plan.blocks);
   RunBlocks(plan, [&](int b, size_t, size_t) {
     RunOut& mine = shards[b];
-    Acc acc;
-    bool open = false;
-    Oid current = 0;
-    for (size_t i = start[b]; i < start[b + 1]; ++i) {
-      const Oid g = head.OidAt(i);
-      if (open && g != current) {
+    WithAccumulator(tail, kind, [&](auto accum) {
+      Acc acc;
+      bool open = false;
+      Oid current = 0;
+      for (size_t i = start[b]; i < start[b + 1]; ++i) {
+        const Oid g = head.OidAt(i);
+        if (open && g != current) {
+          mine.gids.push_back(current);
+          mine.accs.push_back(acc);
+          acc = Acc{};
+        }
+        current = g;
+        open = true;
+        accum(&acc, i);
+      }
+      if (open) {
         mine.gids.push_back(current);
         mine.accs.push_back(acc);
-        acc = Acc{};
       }
-      current = g;
-      open = true;
-      Accumulate(&acc, tail, i, kind);
-    }
-    if (open) {
-      mine.gids.push_back(current);
-      mine.accs.push_back(acc);
-    }
+    });
   });
 
   ColumnBuilder hb(MonetType::kOidT);
@@ -282,7 +345,9 @@ Result<Value> ScalarAggregate(const ExecContext& ctx, AggKind kind,
   const Column& tail = ab.tail();
   tail.TouchAll();
   Acc acc;
-  for (size_t i = 0; i < ab.size(); ++i) Accumulate(&acc, tail, i, kind);
+  WithAccumulator(tail, kind, [&](auto accum) {
+    for (size_t i = 0; i < ab.size(); ++i) accum(&acc, i);
+  });
   rec.Finish(AggKindName(kind), 1);
   switch (kind) {
     case AggKind::kSum:

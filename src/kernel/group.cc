@@ -17,41 +17,118 @@ using bat::ColumnBuilder;
 using bat::ColumnPtr;
 using internal::MixSync;
 
-/// Hash-consing of tail values into dense group oids with collision
-/// verification against a representative position. Representatives are
-/// kept in gid order, which is what lets the parallel variants merge
-/// block-local tables into the exact serial first-appearance numbering.
+/// Runs `body(hash, eq)` where hash(i) = col.HashAt(i) and
+/// eq(i, j) = col.EqualAt(i, col, j), with the per-value type dispatch
+/// hoisted out of the caller's loop for fixed-width columns (boxed
+/// fallback for str and void).
+template <typename Body>
+void WithRowOps(const Column& col, Body&& body) {
+  if (!col.is_void() && col.type() != MonetType::kStr) {
+    Column::VisitType(col.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const T* v = col.Data<T>().data();
+      body([v](size_t i) { return bat::TypedValueHash(v[i]); },
+           [v](size_t i, size_t j) {
+             return bat::NumValue(v[i]) == bat::NumValue(v[j]);
+           });
+    });
+    return;
+  }
+  body([&col](size_t i) { return col.HashAt(i); },
+       [&col](size_t i, size_t j) { return col.EqualAt(i, col, j); });
+}
+
+/// Open-addressing hash -> dense id machinery shared by the two grouping
+/// tables: a linear-probed slot array over a flat per-id hash vector (no
+/// per-bucket chain allocations, no node-based map). Ids are dense and
+/// assigned in insertion order — the first-appearance numbering the
+/// parallel merges rely on. Callers keep their own id-indexed payload
+/// (the representative positions) and resolve collisions via `eq`.
+class HashSlots {
+ public:
+  HashSlots() {
+    slots_.assign(kInitialSlots, 0);
+    mask_ = kInitialSlots - 1;
+  }
+
+  /// Returns the id whose stored hash is `h` and for which eq(id) holds,
+  /// or -1 if no such id exists yet.
+  template <typename EqFn>
+  int64_t Find(uint64_t h, const EqFn& eq) const {
+    size_t s = h & mask_;
+    while (slots_[s] != 0) {
+      const uint32_t id = slots_[s] - 1;
+      if (hashes_[id] == h && eq(id)) return id;
+      s = (s + 1) & mask_;
+    }
+    return -1;
+  }
+
+  /// Appends the next dense id for `h`.
+  uint32_t Insert(uint64_t h) {
+    const uint32_t id = static_cast<uint32_t>(hashes_.size());
+    hashes_.push_back(h);
+    size_t s = h & mask_;
+    while (slots_[s] != 0) s = (s + 1) & mask_;
+    slots_[s] = id + 1;
+    if (hashes_.size() * 4 > slots_.size() * 3) Grow();
+    return id;
+  }
+
+  size_t size() const { return hashes_.size(); }
+
+ private:
+  static constexpr size_t kInitialSlots = 64;  // power of two; grows 2x
+
+  void Grow() {
+    slots_.assign(slots_.size() * 2, 0);
+    mask_ = slots_.size() - 1;
+    for (size_t k = 0; k < hashes_.size(); ++k) {
+      size_t s = hashes_[k] & mask_;
+      while (slots_[s] != 0) s = (s + 1) & mask_;
+      slots_[s] = static_cast<uint32_t>(k + 1);
+    }
+  }
+
+  std::vector<uint32_t> slots_;   // 1-based ids, 0 = empty
+  std::vector<uint64_t> hashes_;  // id -> stored hash, insertion order
+  uint64_t mask_;
+};
+
+/// Hash-consing of tail values into dense group oids (gid == insertion
+/// index), with collision verification against a representative position.
 class GroupTable {
  public:
   explicit GroupTable(const Column& col) : col_(col) {}
 
-  /// Returns the group oid of col[i], creating one if unseen.
-  Oid GidOf(size_t i) {
-    const uint64_t h = col_.HashAt(i);
-    auto& bucket = table_[h];
-    for (const Entry& e : bucket) {
-      if (col_.EqualAt(i, col_, e.rep)) return e.gid;
-    }
-    const Oid gid = next_++;
-    bucket.push_back(Entry{static_cast<uint32_t>(i), gid});
+  /// Returns the group oid of col[i], creating one if unseen. `h` must be
+  /// col.HashAt(i) and eq(i, j) value equality — both typically hoisted
+  /// via WithRowOps.
+  template <typename EqFn>
+  Oid GidOf(size_t i, uint64_t h, const EqFn& eq) {
+    const int64_t id =
+        slots_.Find(h, [&](uint32_t cand) { return eq(i, reps_[cand]); });
+    if (id >= 0) return static_cast<Oid>(id);
     reps_.push_back(static_cast<uint32_t>(i));
-    return gid;
+    return slots_.Insert(h);
   }
 
-  Oid group_count() const { return next_; }
+  /// Boxed convenience for the (small) merge phases.
+  Oid GidOf(size_t i) {
+    return GidOf(i, col_.HashAt(i), [this](size_t a, size_t b) {
+      return col_.EqualAt(a, col_, b);
+    });
+  }
+
+  Oid group_count() const { return static_cast<Oid>(reps_.size()); }
 
   /// Representative positions in gid (first-appearance) order.
   const std::vector<uint32_t>& reps() const { return reps_; }
 
  private:
-  struct Entry {
-    uint32_t rep;
-    Oid gid;
-  };
   const Column& col_;
-  std::unordered_map<uint64_t, std::vector<Entry>> table_;
+  HashSlots slots_;
   std::vector<uint32_t> reps_;
-  Oid next_ = 0;
 };
 
 /// Parallel hash grouping. Every block hash-conses its contiguous row
@@ -71,12 +148,20 @@ Result<Bat> HashGroup(const ExecContext& ctx, const Bat& ab, OpRecorder& rec) {
   const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
   if (plan.blocks <= 1) {
     GroupTable groups(tail);
-    for (size_t i = 0; i < ab.size(); ++i) gids[i] = groups.GidOf(i);
+    WithRowOps(tail, [&](auto hash, auto eq) {
+      for (size_t i = 0; i < ab.size(); ++i) {
+        gids[i] = groups.GidOf(i, hash(i), eq);
+      }
+    });
   } else {
     std::vector<std::unique_ptr<GroupTable>> locals(plan.blocks);
     RunBlocks(plan, [&](int block, size_t begin, size_t end) {
       auto table = std::make_unique<GroupTable>(tail);
-      for (size_t i = begin; i < end; ++i) gids[i] = table->GidOf(i);
+      WithRowOps(tail, [&](auto hash, auto eq) {
+        for (size_t i = begin; i < end; ++i) {
+          gids[i] = table->GidOf(i, hash(i), eq);
+        }
+      });
       locals[block] = std::move(table);
     });
     GroupTable global(tail);
@@ -104,23 +189,31 @@ Result<Bat> HashGroup(const ExecContext& ctx, const Bat& ab, OpRecorder& rec) {
   return res;
 }
 
-/// Pair (previous gid, refined value) -> new dense gid, with
-/// representative-based collision verification. Like GroupTable, keeps
-/// its representatives in gid order for the parallel merge.
+/// Pair (previous gid, refined value) -> new dense gid (gid == insertion
+/// index), keyed by MixSync(prev_gid, value hash) over the shared
+/// HashSlots machinery. Keeps its representatives in gid order for the
+/// parallel merge.
 class RefineTable {
  public:
   explicit RefineTable(const Column& d) : d_(d) {}
 
-  Oid Refine(Oid prev_gid, size_t dpos) {
-    const uint64_t h = MixSync(prev_gid, d_.HashAt(dpos));
-    auto& bucket = table_[h];
-    for (const Entry& e : bucket) {
-      if (e.prev_gid == prev_gid && d_.EqualAt(dpos, d_, e.rep)) return e.gid;
-    }
-    const Oid gid = next_++;
-    bucket.push_back(Entry{prev_gid, static_cast<uint32_t>(dpos), gid});
+  /// `dhash` must be d.HashAt(dpos) and deq(i, j) value equality on d —
+  /// hoisted via WithRowOps on the hot path.
+  template <typename EqFn>
+  Oid Refine(Oid prev_gid, size_t dpos, uint64_t dhash, const EqFn& deq) {
+    const uint64_t h = MixSync(prev_gid, dhash);
+    const int64_t id = slots_.Find(h, [&](uint32_t cand) {
+      return reps_[cand].prev_gid == prev_gid && deq(dpos, reps_[cand].dpos);
+    });
+    if (id >= 0) return static_cast<Oid>(id);
     reps_.push_back(Rep{prev_gid, static_cast<uint32_t>(dpos)});
-    return gid;
+    return slots_.Insert(h);
+  }
+
+  /// Boxed convenience for the (small) merge phases.
+  Oid Refine(Oid prev_gid, size_t dpos) {
+    return Refine(prev_gid, dpos, d_.HashAt(dpos),
+                  [this](size_t a, size_t b) { return d_.EqualAt(a, d_, b); });
   }
 
   struct Rep {
@@ -130,15 +223,9 @@ class RefineTable {
   const std::vector<Rep>& reps() const { return reps_; }
 
  private:
-  struct Entry {
-    Oid prev_gid;
-    uint32_t rep;
-    Oid gid;
-  };
   const Column& d_;
-  std::unordered_map<uint64_t, std::vector<Entry>> table_;
+  HashSlots slots_;
   std::vector<Rep> reps_;
-  Oid next_ = 0;
 };
 
 Result<Bat> FinishRefine(const Bat& ab, std::vector<Oid> gids) {
@@ -167,15 +254,23 @@ Result<std::vector<Oid>> ParallelRefine(const ExecContext& ctx, const Bat& ab,
   };
   if (plan.blocks <= 1) {
     RefineTable table(d);
-    for (size_t i = 0; i < ab.size(); ++i) {
-      const int64_t pos = dpos_of(i);
-      if (pos < 0) return missing();
-      gids[i] = table.Refine(prev.OidAt(i), static_cast<size_t>(pos));
-    }
+    bool miss = false;
+    WithRowOps(d, [&](auto dhash, auto deq) {
+      for (size_t i = 0; i < ab.size(); ++i) {
+        const int64_t pos = dpos_of(i);
+        if (pos < 0) {
+          miss = true;
+          return;
+        }
+        const size_t p = static_cast<size_t>(pos);
+        gids[i] = table.Refine(prev.OidAt(i), p, dhash(p), deq);
+      }
+    });
+    if (miss) return missing();
     return gids;
   }
 
-  struct Shard {
+  struct alignas(64) Shard {
     std::unique_ptr<RefineTable> table;
     storage::IoStats io = storage::IoStats::ForShard();
     bool missing = false;
@@ -185,14 +280,17 @@ Result<std::vector<Oid>> ParallelRefine(const ExecContext& ctx, const Bat& ab,
     Shard& mine = shards[block];
     storage::IoScope scope(shard_io ? &mine.io : nullptr);
     mine.table = std::make_unique<RefineTable>(d);
-    for (size_t i = begin; i < end; ++i) {
-      const int64_t pos = dpos_of(i);
-      if (pos < 0) {
-        mine.missing = true;
-        return;
+    WithRowOps(d, [&](auto dhash, auto deq) {
+      for (size_t i = begin; i < end; ++i) {
+        const int64_t pos = dpos_of(i);
+        if (pos < 0) {
+          mine.missing = true;
+          return;
+        }
+        const size_t p = static_cast<size_t>(pos);
+        gids[i] = mine.table->Refine(prev.OidAt(i), p, dhash(p), deq);
       }
-      gids[i] = mine.table->Refine(prev.OidAt(i), static_cast<size_t>(pos));
-    }
+    });
   });
   for (Shard& s : shards) {
     if (shard_io && ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);

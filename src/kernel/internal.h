@@ -4,11 +4,18 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 #include "bat/bat.h"
 #include "kernel/exec_context.h"
 
 namespace moaflat::kernel::internal {
+
+/// Numeric view of one native value — the compile-time twin of
+/// Column::NumAt for loops that hoisted the type dispatch via
+/// Column::VisitType (defined next to Column so the typed hash twin can
+/// share it).
+using bat::NumValue;
 
 /// Charges `rows` result BUNs of the given column shapes against the
 /// context's memory budget (the hook point of the ExecContext budget).
@@ -28,6 +35,10 @@ inline Status ChargeGather(const ExecContext& ctx, size_t rows,
 /// stopped mid-build with at most one chunk of overshoot.
 class ChargeGate {
  public:
+  /// Rows buffered between budget checks; also the bound on how far an
+  /// emit loop that feeds the gate per row can overshoot the budget.
+  static constexpr size_t kChunkRows = 1 << 16;
+
   ChargeGate(const ExecContext& ctx, const bat::Column& head,
              const bat::Column& tail)
       : ctx_(ctx),
@@ -50,7 +61,6 @@ class ChargeGate {
   }
 
  private:
-  static constexpr size_t kChunkRows = 1 << 16;
   const ExecContext& ctx_;
   uint64_t bytes_per_row_;
   size_t pending_ = 0;

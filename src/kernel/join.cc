@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -31,8 +32,8 @@ struct JoinOut {
 };
 
 /// Common epilogue of the materializing join variants.
-Result<Bat> FinishJoin(const Bat& ab, const Bat& cd, JoinOut& out) {
-  ColumnPtr out_head = out.heads.Finish();
+Result<Bat> FinishJoin(const Bat& ab, const Bat& cd, ColumnPtr out_head,
+                       ColumnPtr out_tail) {
   SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
                                     cd.head().sync_key()),
                             HashString("join")));
@@ -43,7 +44,7 @@ Result<Bat> FinishJoin(const Bat& ab, const Bat& cd, JoinOut& out) {
   props.hkey = ab.props().hkey && cd.props().hkey;
   props.tsorted = false;
   props.tkey = false;
-  return Bat::Make(out_head, out.tails.Finish(), props);
+  return Bat::Make(std::move(out_head), std::move(out_tail), props);
 }
 
 /// Positional join over provably identical join columns: the result is
@@ -96,17 +97,20 @@ Result<Bat> MergeJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     }
   }
   MF_RETURN_NOT_OK(gate.Flush());
-  MF_ASSIGN_OR_RETURN(Bat res, FinishJoin(ab, cd, out));
+  MF_ASSIGN_OR_RETURN(
+      Bat res, FinishJoin(ab, cd, out.heads.Finish(), out.tails.Finish()));
   rec.Finish("merge_join", res.size());
   return res;
 }
 
-/// Hash join with a morsel-parallel probe phase. The build side's hash
+/// Hash join, morsel-parallel in both phases. The build side's hash
 /// accelerator is built partitioned at the context degree; probe morsels
-/// collect (left, right) position pairs into per-block shards (with
-/// shard-local IoStats and charge gates), and the shards are merged
-/// serially in block order — so the emitted BUN sequence and the merged
-/// fault counts are identical to a serial probe at any degree.
+/// collect matching (left, right) positions into cache-line-aligned
+/// per-block shards (with shard-local IoStats and charge gates). The
+/// shards' counts are prefix-summed and every block then scatters its
+/// matches straight into the pre-sized result heaps, concurrently — the
+/// emitted BUN sequence and the merged fault counts stay identical to a
+/// serial probe at any degree.
 Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
                      OpRecorder& rec) {
   const Column& a = ab.head();
@@ -116,8 +120,9 @@ Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   auto hash = cd.EnsureHeadHash(ctx.parallel_degree());
   b.TouchAll();
 
-  struct Shard {
-    std::vector<std::pair<uint32_t, uint32_t>> pairs;  // (left i, right pos)
+  struct alignas(64) Shard {
+    std::vector<uint32_t> lefts;   // matching left positions
+    std::vector<uint32_t> rights;  // their right partners, in match order
     storage::IoStats io = storage::IoStats::ForShard();
     Status status = Status::OK();
   };
@@ -128,18 +133,29 @@ Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     storage::IoScope scope(&mine.io);
     // The charge counter is shared and atomic, so concurrent shard gates
     // account exactly and an over-budget join stops all blocks early.
+    // The gate is fed per match (so a high-fanout probe cannot overshoot
+    // the budget by more than the gate's charge chunk) and probing stops
+    // at the next chunk boundary once it trips.
     ChargeGate gate(ctx, a, d);
-    size_t gated = 0;
-    for (size_t i = begin; i < end && mine.status.ok(); ++i) {
-      hash->ForEachMatch(b, i, [&](uint32_t pos) {
+    size_t pending = 0;
+    constexpr size_t kProbeChunk = 16 * 1024;
+    for (size_t lo = begin; lo < end && mine.status.ok();
+         lo += kProbeChunk) {
+      const size_t hi = std::min(end, lo + kProbeChunk);
+      hash->ForEachMatchRange(b, lo, hi, [&](size_t i, uint32_t pos) {
+        if (!mine.status.ok()) return;
         c.TouchAt(pos);
         a.TouchAt(i);
         d.TouchAt(pos);
-        mine.pairs.emplace_back(static_cast<uint32_t>(i), pos);
+        mine.lefts.push_back(static_cast<uint32_t>(i));
+        mine.rights.push_back(pos);
+        if (++pending >= internal::ChargeGate::kChunkRows) {
+          mine.status = gate.Add(pending);
+          pending = 0;
+        }
       });
-      mine.status = gate.Add(mine.pairs.size() - gated);
-      gated = mine.pairs.size();
     }
+    if (mine.status.ok()) mine.status = gate.Add(pending);
     if (mine.status.ok()) mine.status = gate.Flush();
   });
   for (Shard& s : shards) {
@@ -149,18 +165,18 @@ Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     MF_RETURN_NOT_OK(s.status);
   }
 
-  JoinOut out(a, d);
-  size_t total = 0;
-  for (const Shard& s : shards) total += s.pairs.size();
-  out.heads.Reserve(total);
-  out.tails.Reserve(total);
-  for (const Shard& s : shards) {
-    for (const auto& [i, pos] : s.pairs) {
-      out.heads.AppendFrom(a, i);
-      out.tails.AppendFrom(d, pos);
-    }
+  std::vector<size_t> offset(plan.blocks + 1, 0);
+  for (size_t bl = 0; bl < plan.blocks; ++bl) {
+    offset[bl + 1] = offset[bl] + shards[bl].lefts.size();
   }
-  MF_ASSIGN_OR_RETURN(Bat res, FinishJoin(ab, cd, out));
+  bat::ColumnScatter hs(a, offset.back());
+  bat::ColumnScatter ts(d, offset.back());
+  RunBlocks(plan, [&](int block, size_t, size_t) {
+    const Shard& mine = shards[block];
+    hs.Gather(mine.lefts.data(), mine.lefts.size(), offset[block]);
+    ts.Gather(mine.rights.data(), mine.rights.size(), offset[block]);
+  });
+  MF_ASSIGN_OR_RETURN(Bat res, FinishJoin(ab, cd, hs.Finish(), ts.Finish()));
   rec.Finish("hash_join", res.size());
   return res;
 }

@@ -68,8 +68,44 @@ Result<MxShape> AnalyzeMx(const std::string& fn,
   return sh;
 }
 
+/// Lowers one multiplex argument to a typed accessor and continues with
+/// it: constants broadcast their double value, BAT tails of any
+/// fixed-width type read through a typed span (the NumAt type switch
+/// hoisted out of the loop), and anything else falls back to boxed NumAt.
+/// The continuation style lets the caller instantiate its inner loop once
+/// per accessor-type combination.
+template <typename Cont>
+decltype(auto) WithNumAccessor(const MxArg& arg, Cont&& cont) {
+  if (const Bat* b = std::get_if<Bat>(&arg)) {
+    const Column& t = b->tail();
+    if (!t.is_void() && t.type() != MonetType::kStr) {
+      return Column::VisitType(t.type(), [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        return cont([p = t.Data<T>().data()](size_t i) {
+          return internal::NumValue(p[i]);
+        });
+      });
+    }
+    return cont([&t](size_t i) { return t.NumAt(i); });
+  }
+  const double v = std::get<Value>(arg).ToDouble().ValueOrDie();
+  return cont([v](size_t) { return v; });
+}
+
+enum class NumOp { kAdd, kSub, kMul, kDiv, kNone };
+
+NumOp NumOpOf(const std::string& fn) {
+  if (fn == "+") return NumOp::kAdd;
+  if (fn == "-") return NumOp::kSub;
+  if (fn == "*") return NumOp::kMul;
+  if (fn == "/") return NumOp::kDiv;
+  return NumOp::kNone;
+}
+
 /// Unboxed fast path: binary arithmetic over synced numeric operands,
-/// parallel-block executed (Section 2).
+/// parallel-block executed (Section 2). The operator and both operand
+/// types are resolved once; the inner loop is a zero-dispatch typed pass
+/// writing disjoint slices of the pre-sized output vector.
 Result<Bat> SyncedNumericMultiplex(const ExecContext& ctx,
                                    const std::string& fn,
                                    const std::vector<MxArg>& args,
@@ -80,22 +116,33 @@ Result<Bat> SyncedNumericMultiplex(const ExecContext& ctx,
   const size_t n = driver->size();
   MF_RETURN_NOT_OK(ctx.ChargeMemory(n * sizeof(double)));
   std::vector<double> out(n);
-  auto num_at = [&](const MxArg& a, size_t i) -> double {
-    if (const Bat* b = std::get_if<Bat>(&a)) return b->tail().NumAt(i);
-    return std::get<Value>(a).ToDouble().ValueOrDie();
-  };
-  // Each block writes a disjoint slice of the pre-sized output vector.
-  ParallelBlocks(n, ctx.parallel_degree(), [&](int, size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const double x = num_at(args[0], i);
-      const double y = num_at(args[1], i);
-      double r = 0;
-      if (fn == "+") r = x + y;
-      if (fn == "-") r = x - y;
-      if (fn == "*") r = x * y;
-      if (fn == "/") r = (y == 0 ? 0 : x / y);
-      out[i] = r;
-    }
+  const NumOp op = NumOpOf(fn);
+  const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  WithNumAccessor(args[0], [&](auto ax) {
+    WithNumAccessor(args[1], [&](auto ay) {
+      RunBlocks(plan, [&](int, size_t begin, size_t end) {
+        double* o = out.data();
+        switch (op) {
+          case NumOp::kAdd:
+            for (size_t i = begin; i < end; ++i) o[i] = ax(i) + ay(i);
+            break;
+          case NumOp::kSub:
+            for (size_t i = begin; i < end; ++i) o[i] = ax(i) - ay(i);
+            break;
+          case NumOp::kMul:
+            for (size_t i = begin; i < end; ++i) o[i] = ax(i) * ay(i);
+            break;
+          case NumOp::kDiv:
+            for (size_t i = begin; i < end; ++i) {
+              const double y = ay(i);
+              o[i] = y == 0 ? 0 : ax(i) / y;
+            }
+            break;
+          case NumOp::kNone:  // unreachable: the variant predicate gates
+            break;
+        }
+      });
+    });
   });
   MF_ASSIGN_OR_RETURN(
       Bat res, Bat::Make(driver->head_col(), Column::MakeDbl(std::move(out)),
@@ -115,24 +162,17 @@ Result<Bat> GeneralMultiplex(const ExecContext& ctx, const std::string& fn,
   const Bat* driver = sh.driver;
   for (const Bat* b : sh.bats) b->tail().TouchAll();
 
-  ColumnBuilder hb(driver->head().type() == MonetType::kVoid
-                       ? MonetType::kOidT
-                       : driver->head().type());
   ColumnBuilder tb(sh.out_type);
-  std::vector<std::shared_ptr<const bat::HashIndex>> hashes(sh.bats.size());
-  if (!synced) {
-    for (size_t k = 0; k < sh.bats.size(); ++k) {
-      if (sh.bats[k] != driver) hashes[k] = sh.bats[k]->EnsureHeadHash();
-    }
-  }
+  ColumnPtr out_head;
 
   const size_t n = driver->size();
   if (synced) {
     // Synced rows are positionally independent: evaluate morsels on the
     // TaskPool into per-block value shards (no touches happen here — every
     // operand tail was sequentially touched above), then append serially
-    // in block order. Every row emits, so the output is [head, value] in
-    // the serial order at any degree.
+    // in block order. Every row emits, so the result head *is* the
+    // driver's head column: shared zero-copy (its sync key is exactly the
+    // one a fresh copy would be stamped with).
     const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
     std::vector<Value> vals(n);  // blocks fill disjoint [begin, end) slices
     std::vector<Status> stats(plan.blocks, Status::OK());
@@ -155,11 +195,19 @@ Result<Bat> GeneralMultiplex(const ExecContext& ctx, const std::string& fn,
     for (const Status& s : stats) {
       MF_RETURN_NOT_OK(s);
     }
+    out_head = driver->head_col();
+    tb.Reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      hb.AppendFrom(driver->head(), i);
       MF_RETURN_NOT_OK(tb.AppendValue(vals[i]));
     }
   } else {
+    std::vector<std::shared_ptr<const bat::HashIndex>> hashes(sh.bats.size());
+    for (size_t k = 0; k < sh.bats.size(); ++k) {
+      if (sh.bats[k] != driver) hashes[k] = sh.bats[k]->EnsureHeadHash();
+    }
+    ColumnBuilder hb(driver->head().type() == MonetType::kVoid
+                         ? MonetType::kOidT
+                         : driver->head().type());
     std::vector<Value> row(args.size());
     for (size_t i = 0; i < n; ++i) {
       bool complete = true;
@@ -187,13 +235,12 @@ Result<Bat> GeneralMultiplex(const ExecContext& ctx, const std::string& fn,
       hb.AppendFrom(driver->head(), i);
       MF_RETURN_NOT_OK(tb.AppendValue(v));
     }
+    out_head = hb.Finish();
+    SetSync(out_head, MixSync(driver->head().sync_key(),
+                              MixSync(HashString("multiplex"),
+                                      HashString(fn))));
   }
 
-  ColumnPtr out_head = hb.Finish();
-  SetSync(out_head,
-          synced ? driver->head().sync_key()
-                 : MixSync(driver->head().sync_key(),
-                           MixSync(HashString("multiplex"), HashString(fn))));
   bat::Properties props;
   props.hsorted = driver->props().hsorted;
   props.hkey = driver->props().hkey;

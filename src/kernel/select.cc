@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -8,6 +9,7 @@
 #include "kernel/operators.h"
 #include "kernel/registry.h"
 #include "kernel/scalar_fn.h"
+#include "storage/page_accountant.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -15,9 +17,11 @@ namespace {
 using bat::Column;
 using bat::ColumnBuilder;
 using bat::ColumnPtr;
+using bat::ColumnScatter;
 using internal::ChargeGather;
 using internal::HashString;
 using internal::MixSync;
+using internal::NumValue;
 using internal::SetSync;
 
 /// First position i in the (tail-sorted) column with col[i] >= v
@@ -66,12 +70,115 @@ MonetType BuilderType(const Column& c) {
   return c.type() == MonetType::kVoid ? MonetType::kOidT : c.type();
 }
 
+/// One block's match positions, on its own cache line so concurrent
+/// blocks never write to a shared one.
+struct alignas(64) MatchShard {
+  std::vector<uint32_t> idx;
+};
+
+/// Phase 2 of the two-phase morsel output shared by every scan-shaped
+/// selection: exclusive prefix sum over the per-block match counts, one
+/// memory charge, then every block gathers head and tail values directly
+/// into its disjoint slice of the pre-sized result heaps, concurrently.
+/// Head touches are accounted per match under per-block shard IoStats and
+/// merged in block order — the exact serial touch sequence.
+Result<std::pair<ColumnPtr, ColumnPtr>> GatherMatches(
+    const ExecContext& ctx, const Column& head, const Column& tail,
+    const BlockPlan& plan, std::vector<MatchShard>& matches) {
+  std::vector<size_t> offset(plan.blocks + 1, 0);
+  for (size_t b = 0; b < plan.blocks; ++b) {
+    offset[b + 1] = offset[b] + matches[b].idx.size();
+  }
+  const size_t total = offset.back();
+  MF_RETURN_NOT_OK(ChargeGather(ctx, total, head, tail));
+
+  ColumnScatter hs(head, total);
+  ColumnScatter ts(tail, total);
+  if (plan.blocks <= 1) {
+    // Serial: touch under the caller's accountant directly. A
+    // capacity-limited (LRU) pager must see the true touch sequence —
+    // shard replay only carries first-touch faults and would deflate
+    // the re-fault counts of evicted pages.
+    const std::vector<uint32_t>& idx = matches[0].idx;
+    head.TouchGather(idx.data(), idx.size());
+    hs.Gather(idx.data(), idx.size(), 0);
+    ts.Gather(idx.data(), idx.size(), 0);
+    return std::make_pair(hs.Finish(), ts.Finish());
+  }
+  struct alignas(64) IoShard {
+    storage::IoStats io = storage::IoStats::ForShard();
+  };
+  std::vector<IoShard> shards(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t, size_t) {
+    const std::vector<uint32_t>& idx = matches[block].idx;
+    storage::IoScope scope(&shards[block].io);
+    head.TouchGather(idx.data(), idx.size());
+    hs.Gather(idx.data(), idx.size(), offset[block]);
+    ts.Gather(idx.data(), idx.size(), offset[block]);
+  });
+  for (IoShard& s : shards) {
+    if (ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
+  }
+  return std::make_pair(hs.Finish(), ts.Finish());
+}
+
+/// Morsel-parallel range-predicate evaluation into per-block match lists.
+/// Fixed-width tails run a typed zero-dispatch loop (the bound values are
+/// lowered to doubles once — the exact comparison NumAt/CompareValue
+/// performs per element on the boxed path); str and void tails keep the
+/// boxed InBounds fallback.
+void ScanMatches(const Column& tail, const Bound& lo, const Bound& hi,
+                 const BlockPlan& plan, std::vector<MatchShard>& matches) {
+  const bool typed = !tail.is_void() && tail.type() != MonetType::kStr;
+  double lod = 0.0, hid = 0.0;
+  if (typed) {
+    if (lo.present) {
+      auto d = lo.value.ToDouble();
+      lod = d.ok() ? *d : 0.0;
+    }
+    if (hi.present) {
+      auto d = hi.value.ToDouble();
+      hid = d.ok() ? *d : 0.0;
+    }
+  }
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    std::vector<uint32_t>& mine = matches[block].idx;
+    if (!typed) {
+      for (size_t i = begin; i < end; ++i) {
+        if (InBounds(tail, i, lo, hi)) {
+          mine.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      return;
+    }
+    Column::VisitType(tail.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const T* v = tail.Data<T>().data();
+      const bool lo_p = lo.present, lo_i = lo.inclusive;
+      const bool hi_p = hi.present, hi_i = hi.inclusive;
+      for (size_t i = begin; i < end; ++i) {
+        const double x = NumValue(v[i]);
+        // Three-way compares spelled out so NaN keeps the boxed-path
+        // semantics (neither < nor >, i.e. "equal": kept iff inclusive).
+        if (lo_p) {
+          if (x < lod) continue;
+          if (!(x > lod) && !lo_i) continue;
+        }
+        if (hi_p) {
+          if (x > hid) continue;
+          if (!(x < hid) && !hi_i) continue;
+        }
+        mine.push_back(static_cast<uint32_t>(i));
+      }
+    });
+  });
+}
+
 /// Common epilogue of the range-select variants: sync key derivation and
 /// property propagation onto the materialized result.
-Result<Bat> FinishRangeSelect(const Bat& ab, ColumnBuilder& hb,
-                              ColumnBuilder& tb, const Bound& lo,
+Result<Bat> FinishRangeSelect(const Bat& ab, ColumnPtr out_head,
+                              ColumnPtr out_tail, const Bound& lo,
                               const Bound& hi, bool head_sorted) {
-  ColumnPtr out_head = hb.Finish();
   SetSync(out_head, MixSync(ab.head().sync_key(), BoundSyncHash(lo, hi)));
 
   const bool point = lo.present && hi.present && lo.inclusive &&
@@ -80,12 +187,13 @@ Result<Bat> FinishRangeSelect(const Bat& ab, ColumnBuilder& hb,
   props.hsorted = head_sorted;
   props.hkey = ab.props().hkey;
   props.tsorted = ab.props().tsorted || point;
-  props.tkey = point ? hb.size() <= 1 : ab.props().tkey;
-  return Bat::Make(out_head, tb.Finish(), props);
+  props.tkey = point ? out_head->size() <= 1 : ab.props().tkey;
+  return Bat::Make(std::move(out_head), std::move(out_tail), props);
 }
 
 /// Binary-search selection: the access path the paper keeps all attribute
-/// BATs sorted on tail for (Section 5.2).
+/// BATs sorted on tail for (Section 5.2). The qualifying range is
+/// contiguous, so materialization is two bulk range copies.
 Result<Bat> BinsearchSelect(const ExecContext& ctx, const Bat& ab,
                             const Bound& lo, const Bound& hi,
                             OpRecorder& rec) {
@@ -100,67 +208,43 @@ Result<Bat> BinsearchSelect(const ExecContext& ctx, const Bat& ab,
   head.TouchRange(begin, end);
   tail.TouchRange(begin, end);
 
+  // Detect result-head sortedness (dynamic property detection): bulk
+  // loads sort stably, so the heads inside one tail run are typically
+  // ascending, which later enables merge joins.
+  const bool heads_ascending = head.RangeSorted(begin, end);
   ColumnBuilder hb(BuilderType(head));
   ColumnBuilder tb(BuilderType(tail), tail.str_heap());
   hb.Reserve(end - begin);
   tb.Reserve(end - begin);
-  // Detect result-head sortedness on the fly (dynamic property
-  // detection): bulk loads sort stably, so the heads inside one tail
-  // run are typically ascending, which later enables merge joins.
-  bool heads_ascending = true;
-  for (size_t i = begin; i < end; ++i) {
-    if (i > begin && head.CompareAt(i - 1, head, i) > 0) {
-      heads_ascending = false;
-    }
-    hb.AppendFrom(head, i);
-    tb.AppendFrom(tail, i);
-  }
+  hb.AppendRange(head, begin, end);
+  tb.AppendRange(tail, begin, end);
 
-  MF_ASSIGN_OR_RETURN(Bat out,
-                      FinishRangeSelect(ab, hb, tb, lo, hi, heads_ascending));
+  MF_ASSIGN_OR_RETURN(Bat out, FinishRangeSelect(ab, hb.Finish(), tb.Finish(),
+                                                 lo, hi, heads_ascending));
   rec.Finish("binsearch_select", out.size());
   return out;
 }
 
-/// Scan selection: predicate evaluation is split into morsels on the
-/// TaskPool (Section 2 parallel block execution) at the context's degree;
-/// materialization and IO accounting stay serial. The block plan is
-/// computed once and sizes the shard buffers — callers and runner share
-/// one block count, so a concurrent SetParallelDegree cannot make the
-/// runner index past the buffers it was sized for.
+/// Scan selection, fully morsel-parallel in both phases (Section 2
+/// parallel block execution): blocks evaluate the typed predicate into
+/// per-block match lists, then — after one prefix sum sizes the result —
+/// gather their matches straight into the final heaps concurrently. The
+/// block plan is computed once and shared by both phases.
 Result<Bat> ScanSelect(const ExecContext& ctx, const Bat& ab, const Bound& lo,
                        const Bound& hi, OpRecorder& rec) {
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   tail.TouchAll();
   const BlockPlan plan = PlanBlocks(tail.size(), ctx.parallel_degree());
-  std::vector<std::vector<uint32_t>> matches(plan.blocks);
-  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
-    auto& mine = matches[block];
-    for (size_t i = begin; i < end; ++i) {
-      if (InBounds(tail, i, lo, hi)) {
-        mine.push_back(static_cast<uint32_t>(i));
-      }
-    }
-  });
-  size_t total = 0;
-  for (const auto& block : matches) total += block.size();
-  MF_RETURN_NOT_OK(ChargeGather(ctx, total, head, tail));
-
-  ColumnBuilder hb(BuilderType(head));
-  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
-  hb.Reserve(total);
-  tb.Reserve(total);
-  for (const auto& block : matches) {
-    for (uint32_t i : block) {
-      head.TouchAt(i);
-      hb.AppendFrom(head, i);
-      tb.AppendFrom(tail, i);
-    }
-  }
+  std::vector<MatchShard> matches(plan.blocks);
+  ScanMatches(tail, lo, hi, plan, matches);
+  MF_ASSIGN_OR_RETURN(auto cols,
+                      GatherMatches(ctx, head, tail, plan, matches));
 
   MF_ASSIGN_OR_RETURN(
-      Bat out, FinishRangeSelect(ab, hb, tb, lo, hi, ab.props().hsorted));
+      Bat out, FinishRangeSelect(ab, std::move(cols.first),
+                                 std::move(cols.second), lo, hi,
+                                 ab.props().hsorted));
   rec.Finish("scan_select", out.size());
   return out;
 }
@@ -176,6 +260,9 @@ Result<Bat> RangeSelect(const ExecContext& ctx, const Bat& ab,
 }
 
 /// Scan selection with an arbitrary tail predicate; used by != and LIKE.
+/// The predicate scan runs as morsels on the TaskPool (the predicates are
+/// pure reads) and materialization is the same two-phase parallel gather
+/// the range scan uses.
 template <typename Pred>
 Result<Bat> PredicateSelect(const ExecContext& ctx, const Bat& ab,
                             const char* impl, uint64_t pred_hash,
@@ -184,29 +271,26 @@ Result<Bat> PredicateSelect(const ExecContext& ctx, const Bat& ab,
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   tail.TouchAll();
-  std::vector<uint32_t> matches;
-  for (size_t i = 0; i < tail.size(); ++i) {
-    if (keep(i)) matches.push_back(static_cast<uint32_t>(i));
-  }
-  // Cardinality known -> charge before the result heap is materialized.
-  MF_RETURN_NOT_OK(ChargeGather(ctx, matches.size(), head, tail));
-  ColumnBuilder hb(BuilderType(head));
-  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
-  hb.Reserve(matches.size());
-  tb.Reserve(matches.size());
-  for (uint32_t i : matches) {
-    head.TouchAt(i);
-    hb.AppendFrom(head, i);
-    tb.AppendFrom(tail, i);
-  }
-  ColumnPtr out_head = hb.Finish();
+  const BlockPlan plan = PlanBlocks(tail.size(), ctx.parallel_degree());
+  std::vector<MatchShard> matches(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    std::vector<uint32_t>& mine = matches[block].idx;
+    for (size_t i = begin; i < end; ++i) {
+      if (keep(i)) mine.push_back(static_cast<uint32_t>(i));
+    }
+  });
+  MF_ASSIGN_OR_RETURN(auto cols,
+                      GatherMatches(ctx, head, tail, plan, matches));
+
+  ColumnPtr out_head = std::move(cols.first);
   SetSync(out_head, MixSync(head.sync_key(), pred_hash));
   bat::Properties props;
   props.hsorted = ab.props().hsorted;
   props.hkey = ab.props().hkey;
   props.tsorted = ab.props().tsorted;
   props.tkey = ab.props().tkey;
-  MF_ASSIGN_OR_RETURN(Bat out, Bat::Make(out_head, tb.Finish(), props));
+  MF_ASSIGN_OR_RETURN(
+      Bat out, Bat::Make(std::move(out_head), std::move(cols.second), props));
   rec.Finish(impl, out.size());
   return out;
 }
@@ -288,7 +372,7 @@ void RegisterSelectKernels(KernelRegistry& r) {
                RandomFetchPages(in.left.size, in.left.head_width, matches);
       },
       std::function<SelectImplSig>(ScanSelect),
-      "parallel-block full scan of the tail");
+      "parallel-block typed scan of the tail, two-phase parallel gather");
 }
 
 }  // namespace internal

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <vector>
 
 #include "common/parallel.h"
@@ -81,25 +82,61 @@ Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
   }
 
   // Insertion phase (lines 16-20): fetch matching head and tail values
-  // from EXTENT and VECTOR by position.
-  MF_RETURN_NOT_OK(ChargeGather(ctx, lookup->size(), extent, vector));
-  ColumnBuilder hb(MonetType::kOidT);
-  ColumnBuilder tb(BuilderType(vector), vector.str_heap());
-  hb.Reserve(lookup->size());
-  tb.Reserve(lookup->size());
+  // from EXTENT and VECTOR by position — morsels over the LOOKUP array
+  // scatter into the pre-sized result heaps concurrently (the positions
+  // are data, not results, so there is no match-count phase to run).
+  const size_t hits = lookup->size();
+  MF_RETURN_NOT_OK(ChargeGather(ctx, hits, extent, vector));
+  const BlockPlan iplan = PlanBlocks(hits, ctx.parallel_degree());
+  bat::ColumnScatter hs(extent, hits);
+  bat::ColumnScatter ts(vector, hits);
+  const uint32_t* pos_data = lookup->data();
   bool ascending = true;
-  uint32_t prev = 0;
-  for (size_t k = 0; k < lookup->size(); ++k) {
-    const uint32_t pos = (*lookup)[k];
-    if (k > 0 && pos < prev) ascending = false;
-    prev = pos;
-    extent.TouchAt(pos);
-    vector.TouchAt(pos);
-    hb.AppendOid(extent.OidAt(pos));
-    tb.AppendFrom(vector, pos);
+  if (iplan.blocks <= 1) {
+    // Serial: interleave the extent/vector touches per element under the
+    // caller's accountant, as the fetch loop really accesses them — a
+    // capacity-limited (LRU) pager is sensitive to that order, and shard
+    // replay would drop the re-faults of pages it evicts mid-phase.
+    for (size_t k = 0; k < hits; ++k) {
+      extent.TouchAt(pos_data[k]);
+      vector.TouchAt(pos_data[k]);
+      if (k > 0 && pos_data[k] < pos_data[k - 1]) ascending = false;
+    }
+    hs.Gather(pos_data, hits, 0);
+    ts.Gather(pos_data, hits, 0);
+  } else {
+    struct alignas(64) InsertShard {
+      storage::IoStats io = storage::IoStats::ForShard();
+      bool ascending = true;
+      uint32_t first = 0, last = 0;
+    };
+    std::vector<InsertShard> ishards(iplan.blocks);
+    RunBlocks(iplan, [&](int block, size_t begin, size_t end) {
+      InsertShard& mine = ishards[block];
+      storage::IoScope scope(&mine.io);
+      extent.TouchGather(pos_data + begin, end - begin);
+      vector.TouchGather(pos_data + begin, end - begin);
+      hs.Gather(pos_data + begin, end - begin, begin);
+      ts.Gather(pos_data + begin, end - begin, begin);
+      for (size_t k = begin + 1; k < end; ++k) {
+        if (pos_data[k] < pos_data[k - 1]) {
+          mine.ascending = false;
+          break;
+        }
+      }
+      mine.first = pos_data[begin];
+      mine.last = pos_data[end - 1];
+    });
+    for (size_t bl = 0; bl < iplan.blocks; ++bl) {
+      if (ctx.io() != nullptr) ctx.io()->MergeFrom(ishards[bl].io);
+      if (!ishards[bl].ascending ||
+          (bl > 0 && ishards[bl].first < ishards[bl - 1].last)) {
+        ascending = false;
+      }
+    }
   }
 
-  ColumnPtr out_head = hb.Finish();
+  ColumnPtr out_head = hs.Finish();
   // All datavector semijoins of one class against the same selection are
   // mutually synced: the key derives from the shared extent column and the
   // right operand's head value set.
@@ -110,16 +147,15 @@ Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
   props.hkey = cd.props().hkey;  // extent is duplicate-free
   props.tsorted = false;
   props.tkey = false;
-  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, ts.Finish(), props));
   rec.Finish(cached ? "datavector_semijoin(cached)" : "datavector_semijoin",
              res.size());
   return res;
 }
 
 /// Common epilogue of the merge/hash semijoin variants.
-Result<Bat> FinishSemijoin(const Bat& ab, const Bat& cd, ColumnBuilder& hb,
-                           ColumnBuilder& tb) {
-  ColumnPtr out_head = hb.Finish();
+Result<Bat> FinishSemijoin(const Bat& ab, const Bat& cd, ColumnPtr out_head,
+                           ColumnPtr out_tail) {
   SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
                                     cd.head().sync_key()),
                             HashString("semijoin")));
@@ -128,7 +164,7 @@ Result<Bat> FinishSemijoin(const Bat& ab, const Bat& cd, ColumnBuilder& hb,
   props.hkey = ab.props().hkey;
   props.tsorted = ab.props().tsorted;
   props.tkey = ab.props().tkey;
-  return Bat::Make(out_head, tb.Finish(), props);
+  return Bat::Make(std::move(out_head), std::move(out_tail), props);
 }
 
 Result<Bat> MergeSemijoin(const ExecContext& ctx, const Bat& ab,
@@ -158,15 +194,18 @@ Result<Bat> MergeSemijoin(const ExecContext& ctx, const Bat& ab,
     }
   }
   MF_RETURN_NOT_OK(gate.Flush());
-  MF_ASSIGN_OR_RETURN(Bat res, FinishSemijoin(ab, cd, hb, tb));
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      FinishSemijoin(ab, cd, hb.Finish(), tb.Finish()));
   rec.Finish("merge_semijoin", res.size());
   return res;
 }
 
-/// Hash semijoin with a morsel-parallel probe phase: probe morsels record
-/// matching left positions into per-block shards (shard-local IoStats and
-/// charge gates), merged serially in block order — results and fault
-/// totals are identical to the serial probe at any degree.
+/// Hash semijoin, morsel-parallel in both phases: probe morsels record
+/// matching left positions into cache-line-aligned per-block shards
+/// (shard-local IoStats and charge gates, merged serially in block order),
+/// then the prefix-summed blocks scatter their matches straight into the
+/// pre-sized result heaps concurrently — results and fault totals are
+/// identical to the serial probe at any degree.
 Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
                          OpRecorder& rec) {
   const Column& a = ab.head();
@@ -174,7 +213,7 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   auto hash = cd.EnsureHeadHash(ctx.parallel_degree());
   a.TouchAll();
 
-  struct Shard {
+  struct alignas(64) Shard {
     std::vector<uint32_t> matches;
     storage::IoStats io = storage::IoStats::ForShard();
     Status status = Status::OK();
@@ -185,12 +224,17 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     Shard& mine = shards[block];
     storage::IoScope scope(&mine.io);
     internal::ChargeGate gate(ctx, a, b);
-    for (size_t i = begin; i < end && mine.status.ok(); ++i) {
-      if (hash->Contains(a, i)) {
+    size_t gated = 0;
+    constexpr size_t kProbeChunk = 16 * 1024;
+    for (size_t lo = begin; lo < end && mine.status.ok();
+         lo += kProbeChunk) {
+      const size_t hi = std::min(end, lo + kProbeChunk);
+      hash->ForEachContained(a, lo, hi, [&](size_t i) {
         b.TouchAt(i);
         mine.matches.push_back(static_cast<uint32_t>(i));
-        mine.status = gate.Add(1);
-      }
+      });
+      mine.status = gate.Add(mine.matches.size() - gated);
+      gated = mine.matches.size();
     }
     if (mine.status.ok()) mine.status = gate.Flush();
   });
@@ -201,19 +245,19 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     MF_RETURN_NOT_OK(s.status);
   }
 
-  ColumnBuilder hb(BuilderType(a));
-  ColumnBuilder tb(BuilderType(b), b.str_heap());
-  size_t total = 0;
-  for (const Shard& s : shards) total += s.matches.size();
-  hb.Reserve(total);
-  tb.Reserve(total);
-  for (const Shard& s : shards) {
-    for (uint32_t i : s.matches) {
-      hb.AppendFrom(a, i);
-      tb.AppendFrom(b, i);
-    }
+  std::vector<size_t> offset(plan.blocks + 1, 0);
+  for (size_t bl = 0; bl < plan.blocks; ++bl) {
+    offset[bl + 1] = offset[bl] + shards[bl].matches.size();
   }
-  MF_ASSIGN_OR_RETURN(Bat res, FinishSemijoin(ab, cd, hb, tb));
+  bat::ColumnScatter hs(a, offset.back());
+  bat::ColumnScatter ts(b, offset.back());
+  RunBlocks(plan, [&](int block, size_t, size_t) {
+    const Shard& mine = shards[block];
+    hs.Gather(mine.matches.data(), mine.matches.size(), offset[block]);
+    ts.Gather(mine.matches.data(), mine.matches.size(), offset[block]);
+  });
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      FinishSemijoin(ab, cd, hs.Finish(), ts.Finish()));
   rec.Finish("hash_semijoin", res.size());
   return res;
 }
@@ -236,15 +280,20 @@ Result<Bat> Diff(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
   internal::ChargeGate gate(ctx, a, b);
   auto hash = cd.EnsureHeadHash();
   a.TouchAll();
+  // Collect positions first, then one bulk typed gather per column.
+  std::vector<uint32_t> misses;
   for (size_t i = 0; i < ab.size(); ++i) {
     if (!hash->Contains(a, i)) {
       b.TouchAt(i);
-      hb.AppendFrom(a, i);
-      tb.AppendFrom(b, i);
+      misses.push_back(static_cast<uint32_t>(i));
       MF_RETURN_NOT_OK(gate.Add(1));
     }
   }
   MF_RETURN_NOT_OK(gate.Flush());
+  hb.Reserve(misses.size());
+  tb.Reserve(misses.size());
+  hb.GatherFrom(a, misses.data(), misses.size());
+  tb.GatherFrom(b, misses.data(), misses.size());
   ColumnPtr out_head = hb.Finish();
   SetSync(out_head, MixSync(MixSync(a.sync_key(), cd.head().sync_key()),
                             HashString("kdiff")));
@@ -268,10 +317,8 @@ Result<Bat> Union(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
   ColumnBuilder tb(BuilderType(b), b.str_heap());
   a.TouchAll();
   b.TouchAll();
-  for (size_t i = 0; i < ab.size(); ++i) {
-    hb.AppendFrom(a, i);
-    tb.AppendFrom(b, i);
-  }
+  hb.AppendRange(a, 0, ab.size());
+  tb.AppendRange(b, 0, ab.size());
   auto hash = ab.EnsureHeadHash();
   const Column& c = cd.head();
   const Column& d = cd.tail();

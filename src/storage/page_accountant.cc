@@ -20,19 +20,66 @@ void IoStats::TouchBytes(uint64_t heap, uint64_t offset, uint64_t len,
   ++touches_;
   const uint64_t first = offset / kPageSize;
   const uint64_t last = (offset + len - 1) / kPageSize;
-  for (uint64_t p = first; p <= last; ++p) {
-    // 22 bits of page number per heap is plenty (16 GB heaps); heap ids are
-    // process-unique so collisions cannot occur in practice.
-    const uint64_t key = (heap << 22) | (p & ((1ULL << 22) - 1));
-    Admit(key, acc);
+  if (capacity_ > 0) {
+    for (uint64_t p = first; p <= last; ++p) AdmitLru(PageKey(heap, p), acc);
+    return;
+  }
+  for (uint64_t p = first; p <= last; ++p) TouchPageCold(heap, p, acc);
+}
+
+void IoStats::TouchGather(uint64_t heap, const uint32_t* idx, size_t n,
+                          int width) {
+  if (width <= 0 || n == 0) return;
+  if (capacity_ > 0) {
+    for (size_t k = 0; k < n; ++k) {
+      TouchElement(heap, idx[k], width, Access::kRandom);
+    }
+    return;
+  }
+  touches_ += n;
+  const uint64_t w = static_cast<uint64_t>(width);
+  if (kPageSize % w == 0) {
+    // Fixed widths divide the page size, so an element never straddles a
+    // page boundary: one page per index.
+    const uint64_t per_page = kPageSize / w;
+    for (size_t k = 0; k < n; ++k) {
+      TouchPageCold(heap, idx[k] / per_page, Access::kRandom);
+    }
+    return;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    const uint64_t off = idx[k] * w;
+    const uint64_t first = off / kPageSize;
+    const uint64_t last = (off + w - 1) / kPageSize;
+    for (uint64_t p = first; p <= last; ++p) {
+      TouchPageCold(heap, p, Access::kRandom);
+    }
   }
 }
 
-void IoStats::Admit(uint64_t key, Access acc) {
+void IoStats::TouchPageColdSlow(uint64_t heap, uint64_t page, Access acc) {
+  PageBitmap& bm = touched_[heap];
+  cache_heap_[cache_next_] = heap;
+  cache_bitmap_[cache_next_] = &bm;
+  cache_next_ = (cache_next_ + 1) % kHeapCacheSlots;
+  if (bm.TestAndSet(page & kPageMask)) {
+    memo_key_ = PageKey(heap, page);
+    return;
+  }
+  RecordFault(PageKey(heap, page), acc);
+}
+
+void IoStats::AdmitCold(uint64_t heap, uint64_t page, Access acc) {
+  // Replay path: bypass the memos (they are maintained by RecordFault /
+  // TouchPageColdSlow anyway) but share the bitmap residency state.
+  TouchPageCold(heap, page, acc);
+}
+
+void IoStats::AdmitLru(uint64_t key, Access acc) {
   auto it = resident_.find(key);
   if (it != resident_.end()) {
-    // Hit. Under a capacity limit, refresh recency.
-    if (capacity_ > 0 && it->second != lru_.begin()) {
+    // Hit: refresh recency.
+    if (it->second != lru_.begin()) {
       lru_.splice(lru_.begin(), lru_, it->second);
     }
     return;
@@ -46,7 +93,7 @@ void IoStats::Admit(uint64_t key, Access acc) {
   if (log_faults_) fault_log_.emplace_back(key, acc);
   lru_.push_front(key);
   resident_[key] = lru_.begin();
-  if (capacity_ > 0 && resident_.size() > capacity_) {
+  if (resident_.size() > capacity_) {
     resident_.erase(lru_.back());
     lru_.pop_back();
     ++evictions_;
@@ -55,14 +102,55 @@ void IoStats::Admit(uint64_t key, Access acc) {
 
 void IoStats::MergeFrom(const IoStats& shard) {
   touches_ += shard.touches_;
-  for (const auto& [key, acc] : shard.fault_log_) Admit(key, acc);
+  if (capacity_ > 0) {
+    for (const auto& [key, acc] : shard.fault_log_) AdmitLru(key, acc);
+    return;
+  }
+  for (const auto& [key, acc] : shard.fault_log_) {
+    AdmitCold(key >> 22, key & kPageMask, acc);
+  }
 }
 
 void IoStats::Reset() {
+  touched_.clear();
+  InvalidateMemos();
   resident_.clear();
   lru_.clear();
   fault_log_.clear();
   faults_ = seq_faults_ = rand_faults_ = touches_ = evictions_ = 0;
+}
+
+void IoStats::CopyFrom(const IoStats& other) {
+  capacity_ = other.capacity_;
+  log_faults_ = other.log_faults_;
+  fault_log_ = other.fault_log_;
+  touched_ = other.touched_;
+  lru_ = other.lru_;
+  // Rebuild the iterator map against the copied list.
+  resident_.clear();
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) resident_[*it] = it;
+  faults_ = other.faults_;
+  seq_faults_ = other.seq_faults_;
+  rand_faults_ = other.rand_faults_;
+  touches_ = other.touches_;
+  evictions_ = other.evictions_;
+  InvalidateMemos();
+}
+
+void IoStats::MoveFrom(IoStats&& other) {
+  capacity_ = other.capacity_;
+  log_faults_ = other.log_faults_;
+  fault_log_ = std::move(other.fault_log_);
+  touched_ = std::move(other.touched_);
+  lru_ = std::move(other.lru_);
+  resident_ = std::move(other.resident_);
+  faults_ = other.faults_;
+  seq_faults_ = other.seq_faults_;
+  rand_faults_ = other.rand_faults_;
+  touches_ = other.touches_;
+  evictions_ = other.evictions_;
+  InvalidateMemos();
+  other.Reset();
 }
 
 IoStats* CurrentIo() { return t_current_io; }

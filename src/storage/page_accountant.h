@@ -1,6 +1,7 @@
 #ifndef MOAFLAT_STORAGE_PAGE_ACCOUNTANT_H_
 #define MOAFLAT_STORAGE_PAGE_ACCOUNTANT_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -39,12 +40,31 @@ enum class Access { kSequential, kRandom };
 /// fault again on the next touch — the "excessive swapping" regime the
 /// paper observes on Q1 when the hot-set outgrows main memory (Section
 /// 6.2). Unlimited capacity (the default) is the pure cold-run model.
+///
+/// Cost: every kernel inner loop reports its touches here, so the
+/// unlimited-capacity mode (what all cold-run kernels execute under) is a
+/// per-heap touched-page *bitmap* behind two one-entry memos — the common
+/// repeat-page / repeat-heap touch costs one integer compare plus one bit
+/// test, never a hash probe. Only the LRU mode keeps the recency map, and
+/// only it pays for one.
 class IoStats {
  public:
   IoStats() = default;
 
   /// Creates a memory-limited pager holding at most `capacity_pages`.
   explicit IoStats(size_t capacity_pages) : capacity_(capacity_pages) {}
+
+  // The cold-mode memos point into touched_; remap them on copy/move.
+  IoStats(const IoStats& other) { CopyFrom(other); }
+  IoStats& operator=(const IoStats& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  IoStats(IoStats&& other) noexcept { MoveFrom(std::move(other)); }
+  IoStats& operator=(IoStats&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
 
   /// Accountant for one block of a parallel kernel phase: unlimited
   /// capacity (blocks start cold, so the fault set *is* the touched page
@@ -86,6 +106,10 @@ class IoStats {
                (hi - lo) * static_cast<uint64_t>(width), Access::kSequential);
   }
 
+  /// Batch API for gather loops: equivalent to one random TouchElement per
+  /// index, in order, with the heap resolved once for the whole batch.
+  void TouchGather(uint64_t heap, const uint32_t* idx, size_t n, int width);
+
   uint64_t faults() const { return faults_; }
   uint64_t sequential_faults() const { return seq_faults_; }
   uint64_t random_faults() const { return rand_faults_; }
@@ -95,16 +119,98 @@ class IoStats {
   /// again), e.g. between benchmark repetitions.
   void Reset();
 
-  size_t resident_pages() const { return resident_.size(); }
+  size_t resident_pages() const {
+    // Without a capacity nothing is ever evicted, so the resident set is
+    // exactly the faulted set.
+    return capacity_ > 0 ? resident_.size() : static_cast<size_t>(faults_);
+  }
   uint64_t evictions() const { return evictions_; }
 
  private:
-  void Admit(uint64_t key, Access acc);
+  /// Touched-page bitmap of one heap (cold-run mode).
+  struct PageBitmap {
+    std::vector<uint64_t> words;
+
+    /// Tests-and-sets the page bit; true if the page was already touched.
+    bool TestAndSet(uint64_t page) {
+      const size_t word = static_cast<size_t>(page >> 6);
+      if (word >= words.size()) words.resize(word + 1, 0);
+      const uint64_t bit = 1ULL << (page & 63);
+      const bool hit = (words[word] & bit) != 0;
+      words[word] |= bit;
+      return hit;
+    }
+  };
+
+  static constexpr uint64_t kPageMask = (1ULL << 22) - 1;
+  // 22 bits of page number per heap is plenty (16 GB heaps); heap ids are
+  // process-unique so collisions cannot occur in practice.
+  static uint64_t PageKey(uint64_t heap, uint64_t page) {
+    return (heap << 22) | (page & kPageMask);
+  }
+
+  /// LRU-mode admission (the only path that pays for the recency map).
+  void AdmitLru(uint64_t key, Access acc);
+  /// Cold-mode admission of one page, bypassing the memos.
+  void AdmitCold(uint64_t heap, uint64_t page, Access acc);
+  /// Cold-mode slow path of TouchPage: resolve the heap bitmap.
+  void TouchPageColdSlow(uint64_t heap, uint64_t page, Access acc);
+
+  /// Cold-mode touch of one page: one compare against the last-page memo,
+  /// else one bit test in the heap's bitmap, resolved through a small
+  /// direct-scanned cache (kernels touch at most a handful of heaps per
+  /// phase, but they *rotate* — a join alternates probe/head/tail heaps
+  /// per match — so a single-heap memo would miss every touch).
+  void TouchPageCold(uint64_t heap, uint64_t page, Access acc) {
+    const uint64_t key = PageKey(heap, page);
+    if (key == memo_key_) return;  // repeat touch of the resident memo page
+    for (size_t s = 0; s < kHeapCacheSlots; ++s) {
+      if (cache_heap_[s] == heap) {
+        if (cache_bitmap_[s]->TestAndSet(page & kPageMask)) {
+          memo_key_ = key;
+          return;
+        }
+        RecordFault(key, acc);
+        return;
+      }
+    }
+    TouchPageColdSlow(heap, page, acc);
+  }
+
+  void RecordFault(uint64_t key, Access acc) {
+    ++faults_;
+    if (acc == Access::kSequential) {
+      ++seq_faults_;
+    } else {
+      ++rand_faults_;
+    }
+    if (log_faults_) fault_log_.emplace_back(key, acc);
+    memo_key_ = key;
+  }
+
+  void CopyFrom(const IoStats& other);
+  void MoveFrom(IoStats&& other);
+  void InvalidateMemos() {
+    cache_heap_.fill(~0ULL);
+    cache_bitmap_.fill(nullptr);
+    cache_next_ = 0;
+    memo_key_ = ~0ULL;
+  }
 
   size_t capacity_ = 0;  // 0 = unlimited (pure cold-run accounting)
   bool log_faults_ = false;  // shard mode: record faults for MergeFrom
   std::vector<std::pair<uint64_t, Access>> fault_log_;
-  // LRU pool: most-recently-used pages at the front.
+  // Cold-run state: per-heap touched-page bitmaps behind a last-page memo
+  // and a small heap -> bitmap cache (round-robin replacement; bitmap
+  // pointers stay valid across inserts, the map is node-based).
+  static constexpr size_t kHeapCacheSlots = 4;
+  std::unordered_map<uint64_t, PageBitmap> touched_;
+  std::array<uint64_t, kHeapCacheSlots> cache_heap_{~0ULL, ~0ULL, ~0ULL,
+                                                    ~0ULL};
+  std::array<PageBitmap*, kHeapCacheSlots> cache_bitmap_{};
+  size_t cache_next_ = 0;
+  uint64_t memo_key_ = ~0ULL;
+  // LRU pool (capacity mode only): most-recently-used pages at the front.
   std::list<uint64_t> lru_;
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;
   uint64_t faults_ = 0;

@@ -99,6 +99,103 @@ TEST(ColumnBuilderTest, AppendValueCoerces) {
   EXPECT_DOUBLE_EQ(out->NumAt(0), 4.0);
 }
 
+TEST(ColumnBuilderTest, AppendRangeMatchesAppendFromLoop) {
+  auto ints = Column::MakeInt({5, 6, 7, 8, 9});
+  ColumnBuilder bulk(MonetType::kInt);
+  bulk.AppendRange(*ints, 1, 4);
+  auto out = bulk.Finish();
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->Data<int32_t>(), (std::vector<int32_t>{6, 7, 8}));
+  // Void sources materialize their oid view.
+  auto v = Column::MakeVoid(100, 10);
+  ColumnBuilder ob(MonetType::kOidT);
+  ob.AppendRange(*v, 2, 5);
+  EXPECT_EQ(ob.Finish()->Data<Oid>(), (std::vector<Oid>{102, 103, 104}));
+  // Strings on a shared heap copy offsets; a foreign heap re-interns.
+  auto strs = Column::MakeStr({"a", "bb", "ccc"});
+  ColumnBuilder shared(MonetType::kStr, strs->str_heap());
+  shared.AppendRange(*strs, 0, 3);
+  auto sh = shared.Finish();
+  EXPECT_EQ(sh->Str(2), "ccc");
+  ColumnBuilder foreign(MonetType::kStr);
+  foreign.AppendRange(*strs, 1, 3);
+  auto fo = foreign.Finish();
+  EXPECT_EQ(fo->Str(0), "bb");
+  EXPECT_EQ(fo->Str(1), "ccc");
+}
+
+TEST(ColumnBuilderTest, GatherFromMatchesAppendFromLoop) {
+  auto dbls = Column::MakeDbl({0.5, 1.5, 2.5, 3.5});
+  const std::vector<uint32_t> idx{3, 0, 0, 2};
+  ColumnBuilder gathered(MonetType::kDbl);
+  ColumnBuilder looped(MonetType::kDbl);
+  gathered.GatherFrom(*dbls, idx.data(), idx.size());
+  for (uint32_t i : idx) looped.AppendFrom(*dbls, i);
+  EXPECT_EQ(gathered.Finish()->Data<double>(),
+            looped.Finish()->Data<double>());
+}
+
+TEST(ColumnScatterTest, ConcurrentSlicesAssembleTheGather) {
+  auto ints = Column::MakeInt({10, 20, 30, 40, 50});
+  const std::vector<uint32_t> a{4, 2};
+  const std::vector<uint32_t> b{0, 1, 3};
+  ColumnScatter sc(*ints, 5);
+  sc.Gather(b.data(), b.size(), 2);  // out-of-order block writes
+  sc.Gather(a.data(), a.size(), 0);
+  auto out = sc.Finish();
+  EXPECT_EQ(out->Data<int32_t>(),
+            (std::vector<int32_t>{50, 30, 10, 20, 40}));
+  // Void source scatters its oid view.
+  auto v = Column::MakeVoid(7, 10);
+  ColumnScatter vs(*v, 2);
+  const std::vector<uint32_t> vi{9, 0};
+  vs.Gather(vi.data(), vi.size(), 0);
+  EXPECT_EQ(vs.Finish()->Data<Oid>(), (std::vector<Oid>{16, 7}));
+  // String gathers share the source heap.
+  auto strs = Column::MakeStr({"x", "yy", "zzz"});
+  ColumnScatter ss(*strs, 2);
+  const std::vector<uint32_t> si{2, 1};
+  ss.Gather(si.data(), si.size(), 0);
+  auto sout = ss.Finish();
+  EXPECT_EQ(sout->str_heap(), strs->str_heap());
+  EXPECT_EQ(sout->Str(0), "zzz");
+  EXPECT_EQ(sout->Str(1), "yy");
+}
+
+TEST(ColumnTest, RangeSortedAgreesWithCompareLoop) {
+  auto c = Column::MakeInt({1, 3, 3, 2, 5});
+  EXPECT_TRUE(c->RangeSorted(0, 3));
+  EXPECT_FALSE(c->RangeSorted(0, 4));
+  EXPECT_TRUE(c->RangeSorted(3, 5));
+  EXPECT_TRUE(c->RangeSorted(2, 2));
+  EXPECT_TRUE(Column::MakeVoid(0, 5)->RangeSorted(0, 5));
+  auto s = Column::MakeStr({"a", "b", "a"});
+  EXPECT_TRUE(s->RangeSorted(0, 2));
+  EXPECT_FALSE(s->RangeSorted(0, 3));
+}
+
+TEST(ColumnTest, SpanExposesNativeStorage) {
+  auto c = Column::MakeLng({4, 5, 6});
+  auto span = c->Span<int64_t>();
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[1], 5);
+  EXPECT_EQ(span.data(), c->Data<int64_t>().data());
+}
+
+TEST(ColumnTest, TypedValueHashMatchesHashAt) {
+  auto ints = Column::MakeInt({-3, 0, 41});
+  auto oids = Column::MakeOid({41, 7});
+  auto dbls = Column::MakeDbl({41.0, -2.5});
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(TypedValueHash(ints->Data<int32_t>()[i]), ints->HashAt(i));
+  }
+  EXPECT_EQ(TypedValueHash(oids->Data<Oid>()[0]), oids->HashAt(0));
+  EXPECT_EQ(TypedValueHash(dbls->Data<double>()[1]), dbls->HashAt(1));
+  // Equal values hash equal across the integer-valued storage types
+  // (what lets a typed int probe hit an oid-keyed accelerator).
+  EXPECT_EQ(ints->HashAt(2), oids->HashAt(0));
+}
+
 TEST(BatTest, MakeValidatesSizes) {
   auto ok = Bat::Make(Column::MakeVoid(0, 2), Column::MakeInt({1, 2}));
   EXPECT_TRUE(ok.ok());

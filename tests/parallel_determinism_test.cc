@@ -108,9 +108,19 @@ Measured RunAt(int degree, const char* op, Body&& body) {
                   io.logical_touches()};
 }
 
+/// The hardware block cap would fold a degree-8 plan down to the machine's
+/// core count (a single block on 1-core CI), silently skipping the
+/// shard-merge paths this suite exists to test; force full fan-out for the
+/// duration of a run.
+struct ForceFanout {
+  ForceFanout() { SetParallelBlockCap(kMaxParallelDegree); }
+  ~ForceFanout() { SetParallelBlockCap(0); }
+};
+
 template <typename Body>
 void ExpectDegreeInvariant(const char* op, const char* want_impl,
                            Body&& body) {
+  ForceFanout fanout;
   Measured serial = RunAt(1, op, body);
   const uint64_t jobs_before = TaskPool::Global().jobs_run();
   Measured parallel = RunAt(8, op, body);
@@ -295,6 +305,7 @@ TEST(ParallelDeterminismTest, ContextDegreeOverridesProcessDegree) {
   // A context pinned to degree 1 stays serial even when the process-wide
   // degree says otherwise, and vice versa — the per-context knob is what
   // lets a latency-sensitive session coexist with a fan-out query.
+  ForceFanout force_fanout;
   SetParallelDegree(8);
   ExecContext pinned;
   pinned.WithParallelDegree(1);

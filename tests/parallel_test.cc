@@ -164,6 +164,7 @@ TEST(TaskPoolTest, NestedRunDoesNotDeadlock) {
 }
 
 TEST(ParallelTest, PlanBlocksHonorsExplicitDegreeAndCoversRange) {
+  SetParallelBlockCap(kMaxParallelDegree);  // exact counts need no HW cap
   const BlockPlan plan = PlanBlocks(1000000, 5);
   EXPECT_EQ(plan.blocks, 5u);
   size_t covered = 0;
@@ -176,6 +177,19 @@ TEST(ParallelTest, PlanBlocksHonorsExplicitDegreeAndCoversRange) {
   EXPECT_EQ(PlanBlocks(100, 8).blocks, 1u);
   // The block count never exceeds what the morsel floor supports.
   EXPECT_LE(PlanBlocks(40000, 64).blocks, 40000u / kMinItemsPerBlock);
+  SetParallelBlockCap(0);
+}
+
+TEST(ParallelTest, BlockCapBoundsThePlanToTheHardware) {
+  // A degree past the machine's core count buys no wall clock and still
+  // pays shard merges, so the planner clamps the block count to the cap.
+  SetParallelBlockCap(3);
+  EXPECT_EQ(PlanBlocks(1000000, 8).blocks, 3u);
+  EXPECT_EQ(PlanBlocks(1000000, 2).blocks, 2u);  // degree below cap wins
+  SetParallelBlockCap(0);
+  EXPECT_GE(ParallelBlockCap(), 1);  // auto: hardware concurrency, >= 1
+  EXPECT_LE(PlanBlocks(1u << 24, kMaxParallelDegree).blocks,
+            static_cast<size_t>(ParallelBlockCap()));
 }
 
 TEST(ParallelTest, RunBlocksUsesThePlanNotTheLiveDegree) {
@@ -184,6 +198,7 @@ TEST(ParallelTest, RunBlocksUsesThePlanNotTheLiveDegree) {
   // internally, so a concurrent SetParallelDegree could index out of
   // range. Now the plan is the single source of truth: re-setting the
   // process degree between planning and running must change nothing.
+  SetParallelBlockCap(kMaxParallelDegree);
   SetParallelDegree(6);
   const BlockPlan plan = PlanBlocks(200000);
   ASSERT_EQ(plan.blocks, 6u);
@@ -194,6 +209,7 @@ TEST(ParallelTest, RunBlocksUsesThePlanNotTheLiveDegree) {
     hits[block]++;
   });
   SetParallelDegree(0);
+  SetParallelBlockCap(0);
   EXPECT_EQ(ran, plan.blocks);
   for (int h : hits) EXPECT_EQ(h, 1);
 }
