@@ -159,6 +159,43 @@ int main(int argc, char** argv) {
     for (auto& v : g) v = static_cast<Oid>(rng.Uniform(0, 4095));
     return Bat(Column::MakeOid(std::move(g)), DblAttr(small, 12).tail_col());
   }();
+  // Theta-join operands: a small right side keeps the ~n*m/2 output near
+  // the input cardinality. The comparison reads the right side's *head*.
+  Bat theta_left = IntAttr(rows / 8, 0, 1000, 14);
+  Bat theta_right = [&] {
+    Rng rng(15);
+    std::vector<int32_t> h(8);
+    for (auto& v : h) v = static_cast<int32_t>(rng.Uniform(0, 1000));
+    std::vector<Oid> t(8);
+    std::iota(t.begin(), t.end(), Oid{1});
+    return Bat(Column::MakeInt(std::move(h)), Column::MakeOid(std::move(t)));
+  }();
+  // kdiff/kunion operands: ~half the probe side misses.
+  Bat set_left = [&] {
+    Rng rng(16);
+    std::vector<Oid> h(small);
+    for (auto& v : h) v = static_cast<Oid>(rng.Uniform(0, 2 * small));
+    return Bat(Column::MakeOid(std::move(h)), DblAttr(small, 17).tail_col());
+  }();
+  Bat set_right = [&] {
+    Rng rng(18);
+    std::vector<Oid> h(small);
+    for (auto& v : h) v = static_cast<Oid>(rng.Uniform(0, 2 * small));
+    return Bat(Column::MakeOid(std::move(h)), DblAttr(small, 19).tail_col());
+  }();
+  // Head-join multiplex: the second operand carries its own head column
+  // (no sync proof), with ~half the driver's head values present.
+  Bat hj_driver = [&] {
+    std::vector<Oid> h(small);
+    std::iota(h.begin(), h.end(), Oid{1});
+    return Bat(Column::MakeOid(std::move(h)), DblAttr(small, 20).tail_col());
+  }();
+  Bat hj_other = [&] {
+    Rng rng(21);
+    std::vector<Oid> h(small);
+    for (auto& v : h) v = static_cast<Oid>(rng.Uniform(1, 2 * small));
+    return Bat(Column::MakeOid(std::move(h)), DblAttr(small, 22).tail_col());
+  }();
 
   struct Named {
     const char* name;
@@ -195,6 +232,27 @@ int main(int argc, char** argv) {
       {"hash_set_aggregate_sum",
        [&](const kernel::ExecContext& ctx) {
          return kernel::SetAggregate(ctx, kernel::AggKind::kSum, hagg)
+             .ValueOrDie()
+             .size();
+       }},
+      {"theta_join_band",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::ThetaJoin(ctx, theta_left, theta_right,
+                                  kernel::CmpOp::kLt)
+             .ValueOrDie()
+             .size();
+       }},
+      {"kdiff",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::Diff(ctx, set_left, set_right).ValueOrDie().size();
+       }},
+      {"kunion",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::Union(ctx, set_left, set_right).ValueOrDie().size();
+       }},
+      {"headjoin_multiplex",
+       [&](const kernel::ExecContext& ctx) {
+         return kernel::Multiplex(ctx, "+", {hj_driver, hj_other})
              .ValueOrDie()
              .size();
        }},

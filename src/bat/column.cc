@@ -1,6 +1,7 @@
 #include "bat/column.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_set>
 
 #include "storage/memory_tracker.h"
@@ -381,52 +382,49 @@ void ColumnBuilder::GatherFrom(const Column& src, const uint32_t* idx,
 }
 
 Status ColumnBuilder::AppendValue(const Value& v) {
+  if (type_ == MonetType::kVoid) {
+    return Status::TypeError("cannot append to void builder");
+  }
   MF_ASSIGN_OR_RETURN(Value cast, v.CastTo(type_));
   ++count_;
-  switch (type_) {
-    case MonetType::kOidT:
-      std::get<std::vector<Oid>>(repr_).push_back(cast.AsOid());
-      return Status::OK();
-    case MonetType::kBit:
-      std::get<std::vector<uint8_t>>(repr_).push_back(cast.AsBit() ? 1 : 0);
-      return Status::OK();
-    case MonetType::kChr:
-      std::get<std::vector<char>>(repr_).push_back(cast.AsChr());
-      return Status::OK();
-    case MonetType::kSht:
-      std::get<std::vector<int16_t>>(repr_).push_back(
-          static_cast<int16_t>(cast.AsInt()));
-      return Status::OK();
-    case MonetType::kInt:
-      std::get<std::vector<int32_t>>(repr_).push_back(cast.AsInt());
-      return Status::OK();
-    case MonetType::kLng:
-      std::get<std::vector<int64_t>>(repr_).push_back(cast.AsLng());
-      return Status::OK();
-    case MonetType::kFlt:
-      std::get<std::vector<float>>(repr_).push_back(cast.AsFlt());
-      return Status::OK();
-    case MonetType::kDbl:
-      std::get<std::vector<double>>(repr_).push_back(cast.AsDbl());
-      return Status::OK();
-    case MonetType::kDate:
-      std::get<std::vector<Date>>(repr_).push_back(cast.AsDate());
-      return Status::OK();
-    case MonetType::kStr:
-      std::get<std::vector<int32_t>>(repr_).push_back(
-          heap_->Intern(cast.AsStr()));
-      return Status::OK();
-    case MonetType::kVoid:
-      return Status::TypeError("cannot append to void builder");
+  if (type_ == MonetType::kStr) {
+    std::get<std::vector<int32_t>>(repr_).push_back(
+        heap_->Intern(cast.AsStr()));
+    return Status::OK();
   }
-  return Status::TypeError("bad builder type");
+  Column::VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    std::get<std::vector<T>>(repr_).push_back(NativeValueOf<T>(cast));
+  });
+  return Status::OK();
+}
+
+Status ColumnBuilder::AppendRepeat(const Value& v, size_t n) {
+  if (n == 0) return Status::OK();
+  if (type_ == MonetType::kVoid) {
+    return Status::TypeError("cannot append to void builder");
+  }
+  MF_ASSIGN_OR_RETURN(Value cast, v.CastTo(type_));
+  count_ += n;
+  if (type_ == MonetType::kStr) {
+    const int32_t off = heap_->Intern(cast.AsStr());
+    auto& vec = std::get<std::vector<int32_t>>(repr_);
+    vec.resize(vec.size() + n, off);
+    return Status::OK();
+  }
+  Column::VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    auto& vec = std::get<std::vector<T>>(repr_);
+    vec.resize(vec.size() + n, NativeValueOf<T>(cast));
+  });
+  return Status::OK();
 }
 
 // --------------------------------------------------------------------
 // ColumnScatter
 
 ColumnScatter::ColumnScatter(const Column& src, size_t total)
-    : src_(src),
+    : src_(&src),
       type_(src.type() == MonetType::kVoid ? MonetType::kOidT : src.type()),
       repr_(EmptyRepr(type_)),
       heap_(src.str_heap()),
@@ -437,35 +435,47 @@ ColumnScatter::ColumnScatter(const Column& src, size_t total)
   });
 }
 
+ColumnScatter::ColumnScatter(MonetType type, size_t total)
+    : type_(type == MonetType::kVoid ? MonetType::kOidT : type),
+      repr_(EmptyRepr(type_)),
+      total_(total) {
+  Column::VisitType(type_, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    std::get<std::vector<T>>(repr_).resize(total);
+  });
+}
+
 void ColumnScatter::Gather(const uint32_t* idx, size_t n, size_t at) {
+  assert(src_ != nullptr && "computed-result sinks take Slot<T>, not Gather");
   if (n == 0) return;
-  if (src_.is_void()) {
+  if (src_->is_void()) {
     auto& v = std::get<std::vector<Oid>>(repr_);
-    const Oid base = src_.void_base();
+    const Oid base = src_->void_base();
     Oid* out = v.data() + at;
     for (size_t k = 0; k < n; ++k) out[k] = base + idx[k];
     return;
   }
   Column::VisitType(type_, [&](auto tag) {
     using T = typename decltype(tag)::type;
-    const T* s = src_.Data<T>().data();
+    const T* s = src_->Data<T>().data();
     T* out = std::get<std::vector<T>>(repr_).data() + at;
     for (size_t k = 0; k < n; ++k) out[k] = s[idx[k]];
   });
 }
 
 void ColumnScatter::GatherRange(size_t lo, size_t hi, size_t at) {
+  assert(src_ != nullptr && "computed-result sinks take Slot<T>, not Gather");
   if (hi <= lo) return;
-  if (src_.is_void()) {
+  if (src_->is_void()) {
     auto& v = std::get<std::vector<Oid>>(repr_);
-    const Oid base = src_.void_base();
+    const Oid base = src_->void_base();
     Oid* out = v.data() + at;
     for (size_t k = 0; k < hi - lo; ++k) out[k] = base + lo + k;
     return;
   }
   Column::VisitType(type_, [&](auto tag) {
     using T = typename decltype(tag)::type;
-    const T* s = src_.Data<T>().data() + lo;
+    const T* s = src_->Data<T>().data() + lo;
     T* out = std::get<std::vector<T>>(repr_).data() + at;
     std::copy(s, s + (hi - lo), out);
   });

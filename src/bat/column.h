@@ -54,6 +54,32 @@ inline double NumValue(T v) {
   }
 }
 
+/// Native storage value of a boxed Value already cast to the storage type
+/// T — the single Value -> native mapping shared by
+/// ColumnBuilder::AppendValue/AppendRepeat and the kernel result sinks.
+template <typename T>
+inline T NativeValueOf(const Value& v) {
+  if constexpr (std::is_same_v<T, Oid>) {
+    return v.AsOid();
+  } else if constexpr (std::is_same_v<T, uint8_t>) {
+    return v.AsBit() ? 1 : 0;
+  } else if constexpr (std::is_same_v<T, char>) {
+    return v.AsChr();
+  } else if constexpr (std::is_same_v<T, int16_t>) {
+    return static_cast<int16_t>(v.AsInt());
+  } else if constexpr (std::is_same_v<T, int32_t>) {
+    return v.AsInt();
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    return v.AsLng();
+  } else if constexpr (std::is_same_v<T, float>) {
+    return v.AsFlt();
+  } else if constexpr (std::is_same_v<T, double>) {
+    return v.AsDbl();
+  } else {
+    return v.AsDate();
+  }
+}
+
 /// Typed twin of Column::HashAt for fixed-width storage values. Produces
 /// the identical hash (HashAt is implemented in terms of it), so typed
 /// and boxed probes of one accelerator agree on every bucket.
@@ -187,6 +213,32 @@ class Column {
   /// then a tight typed loop (the bulk replacement for per-element
   /// CompareAt sortedness probes).
   bool RangeSorted(size_t lo, size_t hi) const;
+
+  /// Lowers this column to a zero-dispatch numeric accessor and runs
+  /// `cont(acc)` with it, where `acc(i)` equals NumAt(i) exactly: the type
+  /// switch is hoisted out of the caller's loop, void columns compute
+  /// base+i, and every fixed-width type reads through its native span.
+  /// Returns false — without calling `cont` — for str columns, whose
+  /// comparisons are not numeric; callers keep a boxed fallback for them.
+  /// Because CompareAt between non-str columns is defined as the
+  /// three-way comparison of the two NumAt views, two accessors obtained
+  /// here form an exact typed three-way-compare replacement for CompareAt
+  /// in sort and Satisfies loops.
+  template <typename Cont>
+  bool WithNumView(Cont&& cont) const {
+    if (type_ == MonetType::kStr) return false;
+    if (is_void()) {
+      cont([base = void_base_](size_t i) {
+        return static_cast<double>(base + i);
+      });
+      return true;
+    }
+    VisitType(type_, [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      cont([p = Data<T>().data()](size_t i) { return NumValue(p[i]); });
+    });
+    return true;
+  }
 
   /// Oid view: valid for void and oid columns.
   Oid OidAt(size_t i) const {
@@ -325,6 +377,11 @@ class ColumnBuilder {
   /// Appends a boxed value (must be coercible to the builder type).
   Status AppendValue(const Value& v);
 
+  /// Appends `n` copies of `v`: the cast (and, for str, the intern) runs
+  /// once, then one typed fill — the bulk replacement for an AppendValue
+  /// loop over a repeated constant.
+  Status AppendRepeat(const Value& v, size_t n);
+
   size_t size() const { return count_; }
 
   /// Finalizes into an immutable column.
@@ -355,6 +412,19 @@ class ColumnScatter {
  public:
   ColumnScatter(const Column& src, size_t total);
 
+  /// Sink for *computed* results of a fixed-width type (no source column):
+  /// blocks write native values directly into their disjoint slice via
+  /// Slot<T>(). str results need a shared heap — use a ColumnBuilder.
+  ColumnScatter(MonetType type, size_t total);
+
+  /// Raw write pointer of the pre-sized native heap; T must be the
+  /// storage type of the scatter's result type. Distinct index windows
+  /// may be written from different threads concurrently.
+  template <typename T>
+  T* Slot() {
+    return std::get<std::vector<T>>(repr_).data();
+  }
+
   /// Writes src[idx[k]] into position at+k for k in [0, n).
   void Gather(const uint32_t* idx, size_t n, size_t at);
 
@@ -367,7 +437,7 @@ class ColumnScatter {
   ColumnPtr Finish();
 
  private:
-  const Column& src_;
+  const Column* src_ = nullptr;  // null for the computed-result sink
   MonetType type_;  // result type (void sources materialize as oid)
   Column::Repr repr_;
   std::shared_ptr<storage::StringHeap> heap_;

@@ -85,6 +85,67 @@ class HashIndex {
     return hit;
   }
 
+  /// Bulk first-match probe with the type dispatch hoisted: invokes
+  /// `fn(j, pos)` for every probe[j], j ascending over [begin, end), that
+  /// has a match, where pos is the *smallest* matching position — the
+  /// zero-dispatch twin of a FindFirst loop (FindFirst scans the whole
+  /// chain and keeps the minimum, so so does this).
+  template <typename Fn>
+  void ForEachFirstMatch(const Column& probe, size_t begin, size_t end,
+                         Fn&& fn) const {
+    const bool typed =
+        WithTypedProbe(probe, [&](const auto* kv, const auto* pv) {
+          for (size_t j = begin; j < end; ++j) {
+            const double x = NumValue(pv[j]);
+            int64_t found = -1;
+            uint32_t cur = buckets_[TypedValueHash(pv[j]) & mask_];
+            while (cur != kEnd) {
+              const uint32_t pos = cur - 1;
+              if (NumValue(kv[pos]) == x &&
+                  (found < 0 || pos < static_cast<uint64_t>(found))) {
+                found = pos;
+              }
+              cur = next_[pos];
+            }
+            if (found >= 0) fn(j, static_cast<uint32_t>(found));
+          }
+        });
+    if (typed) return;
+    for (size_t j = begin; j < end; ++j) {
+      const int64_t pos = FindFirst(probe, j);
+      if (pos >= 0) fn(j, static_cast<uint32_t>(pos));
+    }
+  }
+
+  /// Bulk anti-probe with the type dispatch hoisted: invokes `fn(j)` for
+  /// every probe[j], j ascending over [begin, end), that has *no* match —
+  /// the zero-dispatch twin of a !Contains loop (kdiff/kunion probes).
+  template <typename Fn>
+  void ForEachMissing(const Column& probe, size_t begin, size_t end,
+                      Fn&& fn) const {
+    const bool typed =
+        WithTypedProbe(probe, [&](const auto* kv, const auto* pv) {
+          for (size_t j = begin; j < end; ++j) {
+            const double x = NumValue(pv[j]);
+            bool hit = false;
+            uint32_t cur = buckets_[TypedValueHash(pv[j]) & mask_];
+            while (cur != kEnd) {
+              const uint32_t pos = cur - 1;
+              if (NumValue(kv[pos]) == x) {
+                hit = true;
+                break;
+              }
+              cur = next_[pos];
+            }
+            if (!hit) fn(j);
+          }
+        });
+    if (typed) return;
+    for (size_t j = begin; j < end; ++j) {
+      if (!Contains(probe, j)) fn(j);
+    }
+  }
+
   /// Bulk containment with the type dispatch hoisted: invokes `fn(j)` for
   /// every probe[j], j ascending over [begin, end), that has at least one
   /// match — the zero-dispatch twin of a Contains loop.

@@ -32,10 +32,10 @@ Result<Bat> InsertBuns(const ExecContext& ctx, const Bat& ab,
   ColumnBuilder tb(BuilderType(t), t.str_heap());
   hb.Reserve(ab.size() + heads.size());
   tb.Reserve(ab.size() + heads.size());
-  for (size_t i = 0; i < ab.size(); ++i) {
-    hb.AppendFrom(h, i);
-    tb.AppendFrom(t, i);
-  }
+  // The carried-over prefix is one contiguous typed copy per column; only
+  // the genuinely boxed inputs (the inserted Values) append per row.
+  hb.AppendRange(h, 0, ab.size());
+  tb.AppendRange(t, 0, ab.size());
   for (size_t k = 0; k < heads.size(); ++k) {
     MF_RETURN_NOT_OK(hb.AppendValue(heads[k]));
     MF_RETURN_NOT_OK(tb.AppendValue(tails[k]));

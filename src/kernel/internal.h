@@ -17,16 +17,26 @@ namespace moaflat::kernel::internal {
 /// share it).
 using bat::NumValue;
 
+/// Materialized byte width of one value of `c`: void columns materialize
+/// as oids. The single width rule behind every budget charge.
+inline int ChargeWidth(const bat::Column& c) {
+  return c.is_void() ? TypeWidth(MonetType::kOidT) : c.width();
+}
+
+/// Bytes one result BUN of the given column shapes occupies.
+inline uint64_t ChargeRowBytes(const bat::Column& head,
+                               const bat::Column& tail) {
+  return static_cast<uint64_t>(ChargeWidth(head) + ChargeWidth(tail));
+}
+
 /// Charges `rows` result BUNs of the given column shapes against the
 /// context's memory budget (the hook point of the ExecContext budget).
 /// Called by operators once the result cardinality is known, before the
 /// result heap is materialized.
 inline Status ChargeGather(const ExecContext& ctx, size_t rows,
                            const bat::Column& head, const bat::Column& tail) {
-  const int hw = head.is_void() ? TypeWidth(MonetType::kOidT) : head.width();
-  const int tw = tail.is_void() ? TypeWidth(MonetType::kOidT) : tail.width();
   return ctx.ChargeMemory(static_cast<uint64_t>(rows) *
-                          static_cast<uint64_t>(hw + tw));
+                          ChargeRowBytes(head, tail));
 }
 
 /// Incremental budget gate for operators whose result cardinality is not
@@ -41,10 +51,14 @@ class ChargeGate {
 
   ChargeGate(const ExecContext& ctx, const bat::Column& head,
              const bat::Column& tail)
-      : ctx_(ctx),
-        bytes_per_row_(static_cast<uint64_t>(
-            (head.is_void() ? TypeWidth(MonetType::kOidT) : head.width()) +
-            (tail.is_void() ? TypeWidth(MonetType::kOidT) : tail.width()))) {}
+      : ctx_(ctx), bytes_per_row_(ChargeRowBytes(head, tail)) {}
+
+  /// Gate over an explicit per-row byte width, for operators whose result
+  /// columns are not copies of operand columns (e.g. a multiplex tail of
+  /// the scalar function's result type). Zero-width results (a shared
+  /// zero-copy column) contribute zero, like the void columns above.
+  ChargeGate(const ExecContext& ctx, uint64_t bytes_per_row)
+      : ctx_(ctx), bytes_per_row_(bytes_per_row) {}
 
   /// Accounts `rows` more emitted result rows.
   Status Add(size_t rows) {

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "kernel/operators.h"
 #include "kernel/registry.h"
 #include "kernel/scalar_fn.h"
+#include "storage/page_accountant.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -92,6 +94,20 @@ decltype(auto) WithNumAccessor(const MxArg& arg, Cont&& cont) {
   return cont([v](size_t) { return v; });
 }
 
+/// Bit-gated twin of WithNumAccessor for arguments the caller has proved
+/// kBit-typed (two shapes instead of one per storage type — this keeps
+/// the 3-argument ifthen from cubing the instantiation count).
+template <typename Cont>
+decltype(auto) WithBitAccessor(const MxArg& arg, Cont&& cont) {
+  if (const Bat* b = std::get_if<Bat>(&arg)) {
+    return cont([p = b->tail().Data<uint8_t>().data()](size_t i) {
+      return p[i] != 0;
+    });
+  }
+  const bool v = std::get<Value>(arg).AsBit();
+  return cont([v](size_t) { return v; });
+}
+
 enum class NumOp { kAdd, kSub, kMul, kDiv, kNone };
 
 NumOp NumOpOf(const std::string& fn) {
@@ -152,112 +168,467 @@ Result<Bat> SyncedNumericMultiplex(const ExecContext& ctx,
   return res;
 }
 
-/// General path shared by the synced and head-join variants: boxed Value
-/// rows, positional when `synced`, aligned via head hashes otherwise.
-Result<Bat> GeneralMultiplex(const ExecContext& ctx, const std::string& fn,
-                             const std::vector<MxArg>& args, bool synced,
-                             OpRecorder& rec) {
-  (void)ctx;  // boxed path materializes via builders; nothing to pre-charge
+/// Converts a double evaluation result to the native storage type — the
+/// static_cast twin of Value::CastTo's numeric casts (which is why the
+/// typed paths are gated to types that round-trip through double
+/// exactly).
+template <typename T>
+T FromDouble(double v) {
+  if constexpr (std::is_same_v<T, Date>) {
+    return Date(static_cast<int32_t>(v));
+  } else if constexpr (std::is_same_v<T, uint8_t>) {
+    return v != 0 ? 1 : 0;
+  } else {
+    return static_cast<T>(v);
+  }
+}
+
+bool ArgNumViewable(const MxArg& a) {
+  if (const Bat* b = std::get_if<Bat>(&a)) {
+    return b->tail().type() != MonetType::kStr;
+  }
+  return std::get<Value>(a).ToDouble().ok();
+}
+
+bool ArgBitTyped(const MxArg& a) {
+  if (const Bat* b = std::get_if<Bat>(&a)) {
+    return b->tail().type() == MonetType::kBit;
+  }
+  return std::get<Value>(a).type() == MonetType::kBit;
+}
+
+MonetType ArgType(const MxArg& a) {
+  if (const Bat* b = std::get_if<Bat>(&a)) return b->tail().type();
+  return std::get<Value>(a).type();
+}
+
+/// Per-arg position resolution shared by the evaluation loops: output row
+/// r reads source row rows[r] (identity when rows == nullptr), and arg k
+/// reads its BAT's tail there directly (synced) or through the head-join
+/// alignment map `pos` when given.
+struct ArgIndexer {
+  const MxShape* sh;
+  const uint32_t* rows = nullptr;                      // kept source rows
+  const std::vector<std::vector<int64_t>>* pos = nullptr;  // alignment
+  size_t base = 0;  // identity mapping offset (block-local staging)
+
+  size_t operator()(size_t k, size_t r) const {
+    const size_t src = rows != nullptr ? rows[r] : base + r;
+    if (pos == nullptr) return src;
+    const int bi = sh->bat_of_arg[k];
+    if (bi < 0 || sh->bats[bi] == sh->driver) return src;
+    return static_cast<size_t>((*pos)[bi][src]);
+  }
+};
+
+/// Attempts the unboxed row evaluation of `fn`: for output rows r in
+/// [begin, end), argument k reads its value at position at(k, r) and the
+/// double result lands in out[r]. Covers arithmetic (except "/", whose
+/// division-by-zero error a value-producing loop cannot report), the
+/// comparisons, and/or/not, ifthen and the calendar functions, each gated
+/// so the result is bit-identical to ScalarApply + CastTo
+/// (Value::Compare over numeric operands *is* the double comparison; the
+/// logical functions require genuinely bit-typed operands; ifthen
+/// requires both branches to already carry the result type, and a result
+/// type that round-trips through double exactly). Returns false — nothing
+/// evaluated — when the function or argument shapes need the boxed path;
+/// calling with begin == end is the eligibility probe.
+bool TypedEvalRows(const std::string& fn, const std::vector<MxArg>& args,
+                   MonetType out_type, size_t begin, size_t end,
+                   const ArgIndexer& at, double* out) {
+  const NumOp arith = NumOpOf(fn);
+  if (arith != NumOp::kNone && arith != NumOp::kDiv && args.size() == 2 &&
+      out_type == MonetType::kDbl && ArgNumViewable(args[0]) &&
+      ArgNumViewable(args[1])) {
+    WithNumAccessor(args[0], [&](auto ax) {
+      WithNumAccessor(args[1], [&](auto ay) {
+        for (size_t r = begin; r < end; ++r) {
+          const double x = ax(at(0, r));
+          const double y = ay(at(1, r));
+          out[r] = arith == NumOp::kAdd   ? x + y
+                   : arith == NumOp::kSub ? x - y
+                                          : x * y;
+        }
+      });
+    });
+    return true;
+  }
+  const bool cmp = fn == "=" || fn == "!=" || fn == "<" || fn == "<=" ||
+                   fn == ">" || fn == ">=";
+  if (cmp && args.size() == 2 && ArgNumViewable(args[0]) &&
+      ArgNumViewable(args[1])) {
+    // One loop instantiation per accessor pair: the comparison is encoded
+    // as the wanted outcomes of the three-way result, exactly mirroring
+    // Value::Compare (including its NaN => "equal" behavior).
+    const bool lt = fn == "<" || fn == "<=" || fn == "!=";
+    const bool eq = fn == "=" || fn == "<=" || fn == ">=";
+    const bool gt = fn == ">" || fn == ">=" || fn == "!=";
+    WithNumAccessor(args[0], [&](auto ax) {
+      WithNumAccessor(args[1], [&](auto ay) {
+        for (size_t r = begin; r < end; ++r) {
+          const double x = ax(at(0, r));
+          const double y = ay(at(1, r));
+          out[r] = (x < y ? lt : x > y ? gt : eq) ? 1.0 : 0.0;
+        }
+      });
+    });
+    return true;
+  }
+  if ((fn == "and" || fn == "or") && args.size() == 2 &&
+      ArgBitTyped(args[0]) && ArgBitTyped(args[1])) {
+    WithBitAccessor(args[0], [&](auto ax) {
+      WithBitAccessor(args[1], [&](auto ay) {
+        const bool conj = fn == "and";
+        for (size_t r = begin; r < end; ++r) {
+          const bool a = ax(at(0, r));
+          const bool b = ay(at(1, r));
+          out[r] = (conj ? (a && b) : (a || b)) ? 1.0 : 0.0;
+        }
+      });
+    });
+    return true;
+  }
+  if (fn == "not" && args.size() == 1 && ArgBitTyped(args[0])) {
+    WithBitAccessor(args[0], [&](auto ax) {
+      for (size_t r = begin; r < end; ++r) {
+        out[r] = ax(at(0, r)) ? 0.0 : 1.0;
+      }
+    });
+    return true;
+  }
+  if (fn == "ifthen" && args.size() == 3 && ArgBitTyped(args[0]) &&
+      ArgType(args[1]) == out_type && ArgType(args[2]) == out_type &&
+      (out_type == MonetType::kBit || out_type == MonetType::kChr ||
+       out_type == MonetType::kInt || out_type == MonetType::kFlt ||
+       out_type == MonetType::kDbl)) {
+    WithBitAccessor(args[0], [&](auto ac) {
+      WithNumAccessor(args[1], [&](auto ax) {
+        WithNumAccessor(args[2], [&](auto ay) {
+          for (size_t r = begin; r < end; ++r) {
+            out[r] = ac(at(0, r)) ? ax(at(1, r)) : ay(at(2, r));
+          }
+        });
+      });
+    });
+    return true;
+  }
+  if ((fn == "year" || fn == "month" || fn == "day") && args.size() == 1) {
+    const Bat* b = std::get_if<Bat>(&args[0]);
+    if (b != nullptr && b->tail().type() == MonetType::kDate) {
+      const Date* dv = b->tail().Data<Date>().data();
+      const int which = fn == "year" ? 0 : fn == "month" ? 1 : 2;
+      for (size_t r = begin; r < end; ++r) {
+        const Date d = dv[at(0, r)];
+        out[r] = static_cast<double>(which == 0   ? d.Year()
+                                     : which == 1 ? d.Month()
+                                                  : d.Day());
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Boxed evaluation of output rows [begin, end): one ScalarApply per row
+/// into out[r] — the fallback for the scalar functions TypedEvalRows does
+/// not cover (strings, exotic casts, "/" with its error reporting).
+Status BoxedEvalRows(const std::string& fn, const std::vector<MxArg>& args,
+                     const MxShape& sh, size_t begin, size_t end,
+                     const ArgIndexer& at, Value* out) {
+  std::vector<Value> row(args.size());
+  for (size_t r = begin; r < end; ++r) {
+    for (size_t k = 0; k < args.size(); ++k) {
+      const int bi = sh.bat_of_arg[k];
+      row[k] = bi >= 0 ? sh.bats[bi]->tail().GetValue(at(k, r))
+                       : std::get<Value>(args[k]);
+    }
+    Result<Value> v = ScalarApply(fn, row);
+    if (!v.ok()) return v.status();
+    out[r] = std::move(v).Value();
+  }
+  return Status::OK();
+}
+
+/// Writes boxed results [begin, end) into the fixed-width scatter slice:
+/// the CastTo + native store the old per-row AppendValue loop performed,
+/// without the builder.
+Status StoreBoxed(const Value* vals, MonetType out_type, size_t begin,
+                  size_t end, size_t at, bat::ColumnScatter& ts) {
+  Status status = Status::OK();
+  Column::VisitType(out_type, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    T* out = ts.Slot<T>() + at;
+    for (size_t r = begin; r < end; ++r) {
+      Result<Value> cast = vals[r].CastTo(out_type);
+      if (!cast.ok()) {
+        status = cast.status();
+        return;
+      }
+      out[r - begin] = bat::NativeValueOf<T>(*cast);
+    }
+  });
+  return status;
+}
+
+/// Converts typed (double) results into the fixed-width scatter slice:
+/// one type dispatch, then a tight cast loop.
+void StoreTyped(const double* vals, MonetType out_type, size_t n, size_t at,
+                bat::ColumnScatter& ts) {
+  Column::VisitType(out_type, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    T* out = ts.Slot<T>() + at;
+    for (size_t r = 0; r < n; ++r) out[r] = FromDouble<T>(vals[r]);
+  });
+}
+
+/// Synced multiplex: rows are positionally independent, so evaluation
+/// morsels run on the TaskPool writing results straight into disjoint
+/// slices of the pre-sized result heap — typed zero-dispatch loops where
+/// TypedEvalRows covers the function, one boxed ScalarApply per row
+/// otherwise (str results keep a serial builder: interning into the
+/// shared heap is not concurrent). Every row emits, so the result head
+/// is the driver's head column, shared zero-copy.
+Result<Bat> SyncedMultiplex(const ExecContext& ctx, const std::string& fn,
+                            const std::vector<MxArg>& args, OpRecorder& rec) {
   MF_ASSIGN_OR_RETURN(MxShape sh, AnalyzeMx(fn, args));
   const Bat* driver = sh.driver;
   for (const Bat* b : sh.bats) b->tail().TouchAll();
-
-  ColumnBuilder tb(sh.out_type);
-  ColumnPtr out_head;
-
   const size_t n = driver->size();
-  if (synced) {
-    // Synced rows are positionally independent: evaluate morsels on the
-    // TaskPool into per-block value shards (no touches happen here — every
-    // operand tail was sequentially touched above), then append serially
-    // in block order. Every row emits, so the result head *is* the
-    // driver's head column: shared zero-copy (its sync key is exactly the
-    // one a fresh copy would be stamped with).
-    const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  // The result tail materializes n values of the scalar result type; the
+  // head is zero-copy. This path used to charge nothing — a large synced
+  // multiplex bypassed admission entirely.
+  MF_RETURN_NOT_OK(ctx.ChargeMemory(
+      static_cast<uint64_t>(n) *
+      static_cast<uint64_t>(TypeWidth(sh.out_type))));
+
+  const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  const ArgIndexer ident{&sh};
+  ColumnPtr out_tail;
+  if (sh.out_type == MonetType::kStr) {
     std::vector<Value> vals(n);  // blocks fill disjoint [begin, end) slices
     std::vector<Status> stats(plan.blocks, Status::OK());
     RunBlocks(plan, [&](int block, size_t begin, size_t end) {
-      std::vector<Value> row(args.size());
-      for (size_t i = begin; i < end; ++i) {
-        for (size_t k = 0; k < args.size(); ++k) {
-          const int bi = sh.bat_of_arg[k];
-          row[k] = bi >= 0 ? sh.bats[bi]->tail().GetValue(i)
-                           : std::get<Value>(args[k]);
-        }
-        Result<Value> v = ScalarApply(fn, row);
-        if (!v.ok()) {
-          stats[block] = v.status();
-          return;
-        }
-        vals[i] = std::move(v).Value();
-      }
+      stats[block] =
+          BoxedEvalRows(fn, args, sh, begin, end, ident, vals.data());
     });
     for (const Status& s : stats) {
       MF_RETURN_NOT_OK(s);
     }
-    out_head = driver->head_col();
+    ColumnBuilder tb(sh.out_type);
     tb.Reserve(n);
     for (size_t i = 0; i < n; ++i) {
       MF_RETURN_NOT_OK(tb.AppendValue(vals[i]));
     }
+    out_tail = tb.Finish();
   } else {
-    std::vector<std::shared_ptr<const bat::HashIndex>> hashes(sh.bats.size());
-    for (size_t k = 0; k < sh.bats.size(); ++k) {
-      if (sh.bats[k] != driver) hashes[k] = sh.bats[k]->EnsureHeadHash();
-    }
-    ColumnBuilder hb(driver->head().type() == MonetType::kVoid
-                         ? MonetType::kOidT
-                         : driver->head().type());
-    std::vector<Value> row(args.size());
-    for (size_t i = 0; i < n; ++i) {
-      bool complete = true;
-      for (size_t k = 0; k < args.size(); ++k) {
-        const int bi = sh.bat_of_arg[k];
-        if (bi >= 0) {
-          const Bat* b = sh.bats[bi];
-          size_t pos = i;
-          if (b != driver) {
-            const int64_t p = hashes[bi]->FindFirst(driver->head(), i);
-            if (p < 0) {
-              complete = false;
-              break;
-            }
-            pos = static_cast<size_t>(p);
-            b->tail().TouchAt(pos);
-          }
-          row[k] = b->tail().GetValue(pos);
-        } else {
-          row[k] = std::get<Value>(args[k]);
-        }
+    bat::ColumnScatter ts(sh.out_type, n);
+    std::vector<Status> stats(plan.blocks, Status::OK());
+    double probe;
+    if (TypedEvalRows(fn, args, sh.out_type, 0, 0, ident, &probe)) {
+      if (sh.out_type == MonetType::kDbl) {
+        // The hot arithmetic shape: evaluation writes the result heap
+        // directly, no staging buffer and no conversion pass.
+        double* out = ts.Slot<double>();
+        RunBlocks(plan, [&](int, size_t begin, size_t end) {
+          TypedEvalRows(fn, args, sh.out_type, begin, end, ident, out);
+        });
+      } else {
+        RunBlocks(plan, [&](int, size_t begin, size_t end) {
+          std::vector<double> tmp(end - begin);
+          const ArgIndexer shifted{&sh, nullptr, nullptr, begin};
+          TypedEvalRows(fn, args, sh.out_type, 0, end - begin, shifted,
+                        tmp.data());
+          StoreTyped(tmp.data(), sh.out_type, end - begin, begin, ts);
+        });
       }
-      if (!complete) continue;
-      MF_ASSIGN_OR_RETURN(Value v, ScalarApply(fn, row));
-      hb.AppendFrom(driver->head(), i);
-      MF_RETURN_NOT_OK(tb.AppendValue(v));
+    } else {
+      std::vector<Value> vals(n);
+      RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+        stats[block] =
+            BoxedEvalRows(fn, args, sh, begin, end, ident, vals.data());
+        if (stats[block].ok()) {
+          stats[block] =
+              StoreBoxed(vals.data(), sh.out_type, begin, end, begin, ts);
+        }
+      });
     }
-    out_head = hb.Finish();
-    SetSync(out_head, MixSync(driver->head().sync_key(),
-                              MixSync(HashString("multiplex"),
-                                      HashString(fn))));
+    for (const Status& s : stats) {
+      MF_RETURN_NOT_OK(s);
+    }
+    out_tail = ts.Finish();
   }
 
   bat::Properties props;
   props.hsorted = driver->props().hsorted;
   props.hkey = driver->props().hkey;
-  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
-  rec.Finish(synced ? "multiplex_synced" : "multiplex_headjoin", res.size());
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      Bat::Make(driver->head_col(), out_tail, props));
+  rec.Finish("multiplex_synced", res.size());
   return res;
 }
 
-Result<Bat> SyncedMultiplex(const ExecContext& ctx, const std::string& fn,
-                            const std::vector<MxArg>& args, OpRecorder& rec) {
-  return GeneralMultiplex(ctx, fn, args, /*synced=*/true, rec);
-}
-
+/// Head-join multiplex: aligns every non-driver operand to the driver's
+/// head values via the hash accelerators, then evaluates complete rows.
+/// Both phases run as morsels: bulk typed first-match probes fill the
+/// per-operand position maps, blocks collect their complete rows (charged
+/// against the memory budget through shard gates — this path used to be
+/// budget-exempt) and evaluate them into shard-local buffers, and the
+/// prefix-summed blocks scatter heads and tails into the pre-sized
+/// result heaps concurrently.
 Result<Bat> HeadJoinMultiplex(const ExecContext& ctx, const std::string& fn,
                               const std::vector<MxArg>& args,
                               OpRecorder& rec) {
-  return GeneralMultiplex(ctx, fn, args, /*synced=*/false, rec);
+  MF_ASSIGN_OR_RETURN(MxShape sh, AnalyzeMx(fn, args));
+  const Bat* driver = sh.driver;
+  for (const Bat* b : sh.bats) b->tail().TouchAll();
+  const size_t n = driver->size();
+  const size_t nb = sh.bats.size();
+
+  std::vector<std::shared_ptr<const bat::HashIndex>> hashes(nb);
+  for (size_t k = 0; k < nb; ++k) {
+    if (sh.bats[k] != driver) {
+      hashes[k] = sh.bats[k]->EnsureHeadHash(ctx.parallel_degree());
+    }
+  }
+
+  // Alignment maps: pos[k][i] = first position of bats[k] whose head
+  // equals the driver head at i, -1 when absent (row i then drops out).
+  // Blocks write disjoint [begin, end) windows. The maps are O(n) per
+  // non-driver operand, so they charge the budget like group.cc's oid
+  // maps do — admission must see them before the allocation commits.
+  std::vector<std::vector<int64_t>> pos(nb);
+  uint64_t align_bytes = 0;
+  for (size_t k = 0; k < nb; ++k) {
+    if (sh.bats[k] != driver) align_bytes += n * sizeof(int64_t);
+  }
+  MF_RETURN_NOT_OK(ctx.ChargeMemory(align_bytes));
+  for (size_t k = 0; k < nb; ++k) {
+    if (sh.bats[k] != driver) pos[k].assign(n, -1);
+  }
+
+  const uint64_t row_bytes = static_cast<uint64_t>(
+      internal::ChargeWidth(driver->head()) + TypeWidth(sh.out_type));
+  const bool str_out = sh.out_type == MonetType::kStr;
+
+  struct alignas(64) Shard {
+    std::vector<uint32_t> keep;  // complete driver rows, ascending
+    std::vector<double> vals;    // typed results
+    std::vector<Value> boxed;    // boxed results (str or exotic fns)
+    storage::IoStats io = storage::IoStats::ForShard();
+    Status status = Status::OK();
+  };
+  const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  std::vector<Shard> shards(plan.blocks);
+  double probe;
+  const bool typed =
+      !str_out && TypedEvalRows(fn, args, sh.out_type, 0, 0,
+                                ArgIndexer{&sh}, &probe);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    Shard& mine = shards[block];
+    // Serial plans touch the caller's accountant directly: a capacity-
+    // limited (LRU) pager needs the true touch sequence, and shard
+    // replay only carries first-touch faults (see select.cc).
+    std::optional<storage::IoScope> scope;
+    if (plan.blocks > 1) scope.emplace(&mine.io);
+    internal::ChargeGate gate(ctx, row_bytes);
+    for (size_t k = 0; k < nb; ++k) {
+      if (sh.bats[k] == driver) continue;
+      const Column& tail = sh.bats[k]->tail();
+      hashes[k]->ForEachFirstMatch(driver->head(), begin, end,
+                                   [&](size_t j, uint32_t p) {
+                                     tail.TouchAt(p);
+                                     pos[k][j] = p;
+                                   });
+    }
+    for (size_t i = begin; i < end && mine.status.ok(); ++i) {
+      bool complete = true;
+      for (size_t k = 0; k < nb; ++k) {
+        if (sh.bats[k] != driver && pos[k][i] < 0) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) continue;
+      mine.keep.push_back(static_cast<uint32_t>(i));
+      mine.status = gate.Add(1);
+    }
+    if (!mine.status.ok()) return;
+    mine.status = gate.Flush();
+    if (!mine.status.ok()) return;
+    const size_t m = mine.keep.size();
+    const ArgIndexer at{&sh, mine.keep.data(), &pos};
+    if (typed) {
+      mine.vals.resize(m);
+      TypedEvalRows(fn, args, sh.out_type, 0, m, at, mine.vals.data());
+    } else {
+      mine.boxed.resize(m);
+      mine.status = BoxedEvalRows(fn, args, sh, 0, m, at,
+                                  mine.boxed.data());
+    }
+  });
+  for (Shard& s : shards) {
+    if (ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
+  }
+  for (Shard& s : shards) {
+    MF_RETURN_NOT_OK(s.status);
+  }
+
+  std::vector<size_t> offset(plan.blocks + 1, 0);
+  for (size_t bl = 0; bl < plan.blocks; ++bl) {
+    offset[bl + 1] = offset[bl] + shards[bl].keep.size();
+  }
+  bat::ColumnScatter hs(driver->head(), offset.back());
+  ColumnPtr out_tail;
+  if (str_out) {
+    RunBlocks(plan, [&](int block, size_t, size_t) {
+      const Shard& mine = shards[block];
+      hs.Gather(mine.keep.data(), mine.keep.size(), offset[block]);
+    });
+    ColumnBuilder tb(sh.out_type);
+    tb.Reserve(offset.back());
+    for (size_t bl = 0; bl < plan.blocks; ++bl) {
+      for (const Value& v : shards[bl].boxed) {
+        MF_RETURN_NOT_OK(tb.AppendValue(v));
+      }
+    }
+    out_tail = tb.Finish();
+  } else {
+    bat::ColumnScatter ts(sh.out_type, offset.back());
+    std::vector<Status> stats(plan.blocks, Status::OK());
+    RunBlocks(plan, [&](int block, size_t, size_t) {
+      const Shard& mine = shards[block];
+      hs.Gather(mine.keep.data(), mine.keep.size(), offset[block]);
+      if (typed) {
+        StoreTyped(mine.vals.data(), sh.out_type, mine.vals.size(),
+                   offset[block], ts);
+      } else {
+        stats[block] = StoreBoxed(mine.boxed.data(), sh.out_type, 0,
+                                  mine.boxed.size(), offset[block], ts);
+      }
+    });
+    for (const Status& s : stats) {
+      MF_RETURN_NOT_OK(s);
+    }
+    out_tail = ts.Finish();
+  }
+  ColumnPtr out_head = hs.Finish();
+
+  // The kept-row set is a function of every non-driver operand's head
+  // value set, so their sync keys join the derivation — a head-only key
+  // would forge a synced proof between head-joins against different
+  // right-hand operands.
+  uint64_t key = driver->head().sync_key();
+  for (const Bat* b : sh.bats) {
+    if (b != driver) key = MixSync(key, b->head().sync_key());
+  }
+  SetSync(out_head, MixSync(key, MixSync(HashString("multiplex"),
+                                         HashString(fn))));
+  bat::Properties props;
+  props.hsorted = driver->props().hsorted;
+  props.hkey = driver->props().hkey;
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, out_tail, props));
+  rec.Finish("multiplex_headjoin", res.size());
+  return res;
 }
 
 /// All variants read every operand tail once; the dispatch input carries
@@ -313,23 +684,25 @@ void RegisterMultiplexKernels(KernelRegistry& r) {
                kCpuSequential / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<MultiplexImplSig>(SyncedMultiplex),
-      "positional row assembly over synced operands (boxed, parallel)");
+      "positional row evaluation over synced operands (typed, parallel)");
   r.Register<MultiplexImplSig>(
       "multiplex", "multiplex_headjoin",
       [](const DispatchInput&) { return true; },
       [](const DispatchInput& in) {
         // Aligning each non-driver operand costs a hash build over its
-        // head plus per-row aligned tail fetches.
+        // head plus per-row aligned tail fetches; the probe/evaluation
+        // phase morselizes over the driver.
         double extra = 0;
         if (in.right.has_value()) {
           extra = HeapPages(in.right->size, in.right->head_width) +
                   RandomFetchPages(in.right->size, in.right->tail_width,
                                    static_cast<double>(in.left.size));
         }
-        return MxTailPages(in) + extra + kCpuHashed;
+        return MxTailPages(in) + extra +
+               kCpuHashed / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<MultiplexImplSig>(HeadJoinMultiplex),
-      "natural join on heads via the hash accelerators");
+      "natural join on heads via the hash accelerators (parallel probe)");
 }
 
 }  // namespace internal

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/parallel.h"
@@ -265,36 +266,83 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
 
 }  // namespace
 
-Result<Bat> Semijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
-  OpRecorder rec(ctx, "semijoin");
-  return KernelRegistry::Global().Dispatch<BinaryImplSig>(
-      "semijoin", MakeInput(ctx, ab, cd), ctx, ab, cd, rec);
+namespace {
+
+/// Per-block anti-probe state shared by the kdiff/kunion miss phases.
+struct alignas(64) MissShard {
+  std::vector<uint32_t> misses;
+  storage::IoStats io = storage::IoStats::ForShard();
+  Status status = Status::OK();
+};
+
+/// Morsel-parallel anti-probe: for every probe row in [0, probe.size())
+/// with no match in `hash`, records the position into a per-block shard
+/// (typed bulk ForEachMissing, shard-local IoStats, `touch` reported per
+/// miss) and charges `gate_bytes_per_row` against the budget. Shards merge
+/// in block order, reproducing the serial probe's misses and fault
+/// sequence exactly.
+Result<std::vector<MissShard>> ParallelMisses(
+    const ExecContext& ctx, const bat::HashIndex& hash, const Column& probe,
+    const Column& touch, uint64_t gate_bytes_per_row, const BlockPlan& plan) {
+  std::vector<MissShard> shards(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    MissShard& mine = shards[block];
+    // Serial plans touch the caller's accountant directly: a capacity-
+    // limited (LRU) pager needs the true touch sequence, and shard
+    // replay only carries first-touch faults (see select.cc).
+    std::optional<storage::IoScope> scope;
+    if (plan.blocks > 1) scope.emplace(&mine.io);
+    internal::ChargeGate gate(ctx, gate_bytes_per_row);
+    constexpr size_t kProbeChunk = 16 * 1024;
+    size_t gated = 0;
+    for (size_t lo = begin; lo < end && mine.status.ok();
+         lo += kProbeChunk) {
+      const size_t hi = std::min(end, lo + kProbeChunk);
+      hash.ForEachMissing(probe, lo, hi, [&](size_t i) {
+        touch.TouchAt(i);
+        mine.misses.push_back(static_cast<uint32_t>(i));
+      });
+      mine.status = gate.Add(mine.misses.size() - gated);
+      gated = mine.misses.size();
+    }
+    if (mine.status.ok()) mine.status = gate.Flush();
+  });
+  for (MissShard& s : shards) {
+    if (ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
+  }
+  for (MissShard& s : shards) {
+    MF_RETURN_NOT_OK(s.status);
+  }
+  return shards;
 }
 
-Result<Bat> Diff(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
-  OpRecorder rec(ctx, "kdiff");
+/// Anti-semijoin (Monet kdiff): keeps the AB BUNs whose head has no match
+/// in CD's head — the parallel typed anti-probe feeding a two-phase
+/// scatter. The kept set depends only on the two head value sequences, so
+/// the head-only sync-key derivation is genuinely sound here (unlike the
+/// theta-join, whose matches read the left *tail*).
+Result<Bat> HashAntiSemijoin(const ExecContext& ctx, const Bat& ab,
+                             const Bat& cd, OpRecorder& rec) {
   const Column& a = ab.head();
   const Column& b = ab.tail();
-  ColumnBuilder hb(BuilderType(a));
-  ColumnBuilder tb(BuilderType(b), b.str_heap());
-  internal::ChargeGate gate(ctx, a, b);
-  auto hash = cd.EnsureHeadHash();
+  auto hash = cd.EnsureHeadHash(ctx.parallel_degree());
   a.TouchAll();
-  // Collect positions first, then one bulk typed gather per column.
-  std::vector<uint32_t> misses;
-  for (size_t i = 0; i < ab.size(); ++i) {
-    if (!hash->Contains(a, i)) {
-      b.TouchAt(i);
-      misses.push_back(static_cast<uint32_t>(i));
-      MF_RETURN_NOT_OK(gate.Add(1));
-    }
+  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  MF_ASSIGN_OR_RETURN(
+      std::vector<MissShard> shards,
+      ParallelMisses(ctx, *hash, a, b, internal::ChargeRowBytes(a, b), plan));
+  std::vector<size_t> offset(plan.blocks + 1, 0);
+  for (size_t bl = 0; bl < plan.blocks; ++bl) {
+    offset[bl + 1] = offset[bl] + shards[bl].misses.size();
   }
-  MF_RETURN_NOT_OK(gate.Flush());
-  hb.Reserve(misses.size());
-  tb.Reserve(misses.size());
-  hb.GatherFrom(a, misses.data(), misses.size());
-  tb.GatherFrom(b, misses.data(), misses.size());
-  ColumnPtr out_head = hb.Finish();
+  bat::ColumnScatter hs(a, offset.back());
+  bat::ColumnScatter ts(b, offset.back());
+  RunBlocks(plan, [&](int block, size_t, size_t) {
+    const MissShard& mine = shards[block];
+    hs.Gather(mine.misses.data(), mine.misses.size(), offset[block]);
+    ts.Gather(mine.misses.data(), mine.misses.size(), offset[block]);
+  });
+  ColumnPtr out_head = hs.Finish();
   SetSync(out_head, MixSync(MixSync(a.sync_key(), cd.head().sync_key()),
                             HashString("kdiff")));
   bat::Properties props;
@@ -302,13 +350,18 @@ Result<Bat> Diff(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
   props.hkey = ab.props().hkey;
   props.tsorted = ab.props().tsorted;
   props.tkey = ab.props().tkey;
-  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, tb.Finish(), props));
+  MF_ASSIGN_OR_RETURN(Bat res, Bat::Make(out_head, ts.Finish(), props));
   rec.Finish("hash_antisemijoin", res.size());
   return res;
 }
 
-Result<Bat> Union(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
-  OpRecorder rec(ctx, "kunion");
+/// Set union on heads (Monet kunion): all of AB, plus the CD BUNs whose
+/// head is absent from AB. The CD anti-probe runs as morsels; the result
+/// assembles through bulk typed appends (one contiguous range copy per AB
+/// column, one gather per miss list) — mixed source columns rule out a
+/// single-column scatter.
+Result<Bat> HashUnion(const ExecContext& ctx, const Bat& ab, const Bat& cd,
+                      OpRecorder& rec) {
   MF_RETURN_NOT_OK(
       ChargeGather(ctx, ab.size() + cd.size(), ab.head(), ab.tail()));
   const Column& a = ab.head();
@@ -317,23 +370,47 @@ Result<Bat> Union(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
   ColumnBuilder tb(BuilderType(b), b.str_heap());
   a.TouchAll();
   b.TouchAll();
+  hb.Reserve(ab.size());
+  tb.Reserve(ab.size());
   hb.AppendRange(a, 0, ab.size());
   tb.AppendRange(b, 0, ab.size());
-  auto hash = ab.EnsureHeadHash();
+  auto hash = ab.EnsureHeadHash(ctx.parallel_degree());
   const Column& c = cd.head();
   const Column& d = cd.tail();
   c.TouchAll();
-  for (size_t j = 0; j < cd.size(); ++j) {
-    if (!hash->Contains(c, j)) {
-      d.TouchAt(j);
-      hb.AppendFrom(c, j);
-      tb.AppendFrom(d, j);
-    }
+  const BlockPlan plan = PlanBlocks(cd.size(), ctx.parallel_degree());
+  // The result rows were charged upfront (the ab.size()+cd.size() upper
+  // bound above), so the miss gate adds nothing more.
+  MF_ASSIGN_OR_RETURN(std::vector<MissShard> shards,
+                      ParallelMisses(ctx, *hash, c, d, 0, plan));
+  for (const MissShard& s : shards) {
+    hb.GatherFrom(c, s.misses.data(), s.misses.size());
+    tb.GatherFrom(d, s.misses.data(), s.misses.size());
   }
   MF_ASSIGN_OR_RETURN(Bat res,
                       Bat::Make(hb.Finish(), tb.Finish(), bat::Properties{}));
   rec.Finish("hash_union", res.size());
   return res;
+}
+
+}  // namespace
+
+Result<Bat> Semijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  OpRecorder rec(ctx, "semijoin");
+  return KernelRegistry::Global().Dispatch<BinaryImplSig>(
+      "semijoin", MakeInput(ctx, ab, cd), ctx, ab, cd, rec);
+}
+
+Result<Bat> Diff(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  OpRecorder rec(ctx, "kdiff");
+  return KernelRegistry::Global().Dispatch<BinaryImplSig>(
+      "kdiff", MakeInput(ctx, ab, cd), ctx, ab, cd, rec);
+}
+
+Result<Bat> Union(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
+  OpRecorder rec(ctx, "kunion");
+  return KernelRegistry::Global().Dispatch<BinaryImplSig>(
+      "kunion", MakeInput(ctx, ab, cd), ctx, ab, cd, rec);
 }
 
 Result<Bat> Intersect(const ExecContext& ctx, const Bat& ab, const Bat& cd) {
@@ -406,6 +483,47 @@ void RegisterSemijoinKernels(KernelRegistry& r) {
       },
       std::function<BinaryImplSig>(HashSemijoin),
       "probe the (cached) hash accelerator on CD's head (parallel probe)");
+
+  // kdiff/kunion have one registered shape each today; registration still
+  // buys degree-aware costs in the decision table (Explain) and a seam
+  // for future merge/sync variants.
+  r.Register<BinaryImplSig>(
+      "kdiff", "hash_antisemijoin",
+      [](const DispatchInput& in) { return in.right.has_value(); },
+      [](const DispatchInput& in) {
+        const double build =
+            in.right->head_hashed
+                ? 0.0
+                : HeapPages(in.right->size, in.right->head_width);
+        // Misses are the left rows minus the expected equi-matches.
+        const double est = static_cast<double>(in.left.size) -
+                           EstSemijoinMatches(in);
+        return build + HeapPages(in.left.size, in.left.head_width) +
+               RandomFetchPages(in.left.size, in.left.tail_width,
+                                est > 0 ? est : 0) +
+               kCpuHashed / ParallelCpuScale(in.left.size, in.degree);
+      },
+      std::function<BinaryImplSig>(HashAntiSemijoin),
+      "anti-probe the hash accelerator on CD's head (parallel probe)");
+  r.Register<BinaryImplSig>(
+      "kunion", "hash_union",
+      [](const DispatchInput& in) { return in.right.has_value(); },
+      [](const DispatchInput& in) {
+        const double build =
+            in.left.head_hashed
+                ? 0.0
+                : HeapPages(in.left.size, in.left.head_width);
+        const double est = static_cast<double>(in.right->size) -
+                           EstSemijoinMatches(in);
+        return HeapPages(in.left.size, in.left.head_width) +
+               HeapPages(in.left.size, in.left.tail_width) + build +
+               HeapPages(in.right->size, in.right->head_width) +
+               RandomFetchPages(in.right->size, in.right->tail_width,
+                                est > 0 ? est : 0) +
+               kCpuHashed / ParallelCpuScale(in.right->size, in.degree);
+      },
+      std::function<BinaryImplSig>(HashUnion),
+      "copy AB, anti-probe CD against AB's head hash (parallel probe)");
 }
 
 }  // namespace internal

@@ -1,10 +1,14 @@
 #include <algorithm>
 #include <numeric>
+#include <optional>
+#include <vector>
 
+#include "common/parallel.h"
 #include "kernel/cost_model.h"
 #include "kernel/internal.h"
 #include "kernel/operators.h"
 #include "kernel/registry.h"
+#include "storage/page_accountant.h"
 
 namespace moaflat::kernel {
 namespace {
@@ -32,119 +36,277 @@ bool Satisfies(int cmp, CmpOp op) {
   return false;
 }
 
+/// Dispatches `op` to `loop(keep)` where keep(x, y) evaluates the
+/// predicate over the two *double* views — the exact hoisted twin of
+/// Satisfies(CompareAt(...), op), including the NaN behavior of the
+/// three-way comparison (kLe/kGe are the negations of >/<, not <=/>=).
+template <typename Loop>
+void WithCmpPredicate(CmpOp op, Loop&& loop) {
+  switch (op) {
+    case CmpOp::kEq:
+      loop([](double x, double y) { return !(x < y) && !(x > y); });
+      return;
+    case CmpOp::kNe:
+      loop([](double x, double y) { return x < y || x > y; });
+      return;
+    case CmpOp::kLt:
+      loop([](double x, double y) { return x < y; });
+      return;
+    case CmpOp::kLe:
+      loop([](double x, double y) { return !(x > y); });
+      return;
+    case CmpOp::kGt:
+      loop([](double x, double y) { return x > y; });
+      return;
+    case CmpOp::kGe:
+      loop([](double x, double y) { return !(x < y); });
+      return;
+  }
+}
+
 /// Common epilogue of the theta-join variants. Emission order interleaves
 /// runs from both sides; no ordering or key property survives a theta-join
-/// in general.
-Result<Bat> FinishThetaJoin(const Bat& ab, const Bat& cd, ColumnBuilder& hb,
-                            ColumnBuilder& tb) {
-  ColumnPtr out_head = hb.Finish();
-  SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
-                                    cd.head().sync_key()),
-                            HashString("thetajoin")));
-  return Bat::Make(out_head, tb.Finish(), bat::Properties{});
+/// in general. The result sync key must derive from *everything* the BUN
+/// sequence depends on: both operands' head AND tail keys plus the
+/// comparison — deriving it from the heads alone (the PR 3 SortTail bug
+/// class) forged a synced proof between theta-joins over identically
+/// headed but differently tail-reordered operands, letting downstream
+/// dispatch pick a positional variant on unaligned data.
+Result<Bat> FinishThetaJoin(const Bat& ab, const Bat& cd, CmpOp op,
+                            ColumnPtr out_head, ColumnPtr out_tail) {
+  const uint64_t left = MixSync(ab.head().sync_key(), ab.tail().sync_key());
+  const uint64_t right = MixSync(cd.head().sync_key(), cd.tail().sync_key());
+  SetSync(out_head,
+          MixSync(MixSync(MixSync(left, right),
+                          static_cast<uint64_t>(op)),
+                  HashString("thetajoin")));
+  return Bat::Make(std::move(out_head), std::move(out_tail),
+                   bat::Properties{});
+}
+
+/// Per-block match state of the two-phase theta-join materialization.
+struct alignas(64) ThetaShard {
+  std::vector<uint32_t> lefts;   // matching left positions, i ascending
+  std::vector<uint32_t> rights;  // their right partners, in match order
+  storage::IoStats io = storage::IoStats::ForShard();
+  Status status = Status::OK();
+};
+
+/// Shared tail of both variants: per-block match lists -> prefix sum ->
+/// concurrent scatter into the pre-sized result heaps, with the shard
+/// IoStats merged in block order (reproducing the serial touch sequence
+/// under cold-run accounting).
+Result<Bat> MaterializeThetaMatches(const ExecContext& ctx, const Bat& ab,
+                                    const Bat& cd, CmpOp op,
+                                    const BlockPlan& plan,
+                                    std::vector<ThetaShard>& shards) {
+  for (ThetaShard& s : shards) {
+    if (ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
+  }
+  for (ThetaShard& s : shards) {
+    MF_RETURN_NOT_OK(s.status);
+  }
+  std::vector<size_t> offset(plan.blocks + 1, 0);
+  for (size_t bl = 0; bl < plan.blocks; ++bl) {
+    offset[bl + 1] = offset[bl] + shards[bl].lefts.size();
+  }
+  bat::ColumnScatter hs(ab.head(), offset.back());
+  bat::ColumnScatter ts(cd.tail(), offset.back());
+  RunBlocks(plan, [&](int block, size_t, size_t) {
+    const ThetaShard& mine = shards[block];
+    hs.Gather(mine.lefts.data(), mine.lefts.size(), offset[block]);
+    ts.Gather(mine.rights.data(), mine.rights.size(), offset[block]);
+  });
+  return FinishThetaJoin(ab, cd, op, hs.Finish(), ts.Finish());
 }
 
 /// Band algorithm for the ordered comparisons: sort CD's heads once, then
-/// for each left BUN emit the qualifying prefix/suffix run.
+/// for each left BUN emit the qualifying prefix/suffix run. Left BUNs are
+/// independent, so they run as morsels on the TaskPool; the typed double
+/// views of B and C drive both the binary search and the per-run check
+/// with the NumAt dispatch hoisted out (str operands keep the boxed
+/// CompareAt path).
 Result<Bat> BandThetaJoin(const ExecContext& ctx, const Bat& ab,
                           const Bat& cd, CmpOp op, OpRecorder& rec) {
   const Column& a = ab.head();
   const Column& b = ab.tail();
   const Column& c = cd.head();
   const Column& d = cd.tail();
-  ColumnBuilder hb(BuilderType(a));
-  ColumnBuilder tb(BuilderType(d), d.str_heap());
-  internal::ChargeGate gate(ctx, a, d);
 
-  std::vector<size_t> order(cd.size());
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<uint32_t> order(cd.size());
+  std::iota(order.begin(), order.end(), 0u);
   if (!cd.props().hsorted) {
-    std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
-      return c.CompareAt(x, c, y) < 0;
+    const bool typed = c.WithNumView([&](auto cv) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t x, uint32_t y) { return cv(x) < cv(y); });
     });
+    if (!typed) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t x, uint32_t y) {
+                         return c.CompareAt(x, c, y) < 0;
+                       });
+    }
   }
   b.TouchAll();
   c.TouchAll();
-  for (size_t i = 0; i < ab.size(); ++i) {
-    // First position in the sorted right side with c >= b[i].
-    size_t lo = 0, hi = order.size();
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (c.CompareAt(order[mid], b, i) < 0) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    // Emit the side of the partition the comparison selects. Ties need
-    // local scanning since `lo` is the first >=.
-    // The predicate is b <op> c, evaluated via CompareAt(b_i, c_pos).
-    auto emit = [&](size_t j) -> Status {
-      const size_t pos = order[j];
-      if (Satisfies(b.CompareAt(i, c, pos), op)) {
-        a.TouchAt(i);
-        d.TouchAt(pos);
-        hb.AppendFrom(a, i);
-        tb.AppendFrom(d, pos);
-        return gate.Add(1);
-      }
-      return Status::OK();
-    };
-    if (op == CmpOp::kLt || op == CmpOp::kLe) {
-      // b < c: everything from the partition point rightwards (plus the
-      // tie run just before it for <=).
-      size_t start = lo;
-      while (start > 0 && c.CompareAt(order[start - 1], b, i) == 0) {
-        --start;
-      }
-      for (size_t j = start; j < order.size(); ++j) {
-        MF_RETURN_NOT_OK(emit(j));
-      }
-    } else {
-      // b > c / b >= c: everything left of the partition point (plus
-      // the tie run for >=).
-      size_t end = lo;
-      while (end < order.size() && c.CompareAt(order[end], b, i) == 0) {
-        ++end;
-      }
-      for (size_t j = 0; j < end; ++j) {
-        MF_RETURN_NOT_OK(emit(j));
-      }
-    }
-  }
 
-  MF_RETURN_NOT_OK(gate.Flush());
-  MF_ASSIGN_OR_RETURN(Bat res, FinishThetaJoin(ab, cd, hb, tb));
+  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  std::vector<ThetaShard> shards(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    ThetaShard& mine = shards[block];
+    // Serial plans touch the caller's accountant directly: a capacity-
+    // limited (LRU) pager needs the true touch sequence, and shard
+    // replay only carries first-touch faults (see select.cc).
+    std::optional<storage::IoScope> scope;
+    if (plan.blocks > 1) scope.emplace(&mine.io);
+    internal::ChargeGate gate(ctx, a, d);
+    auto emit = [&](size_t i, size_t j) {
+      const uint32_t pos = order[j];
+      a.TouchAt(i);
+      d.TouchAt(pos);
+      mine.lefts.push_back(static_cast<uint32_t>(i));
+      mine.rights.push_back(pos);
+      mine.status = gate.Add(1);
+    };
+    // One typed pass: bv/cv are the hoisted NumAt views; `keep` is the
+    // hoisted Satisfies. The boxed fallback below mirrors it exactly.
+    bool typed = false;
+    b.WithNumView([&](auto bv) {
+      c.WithNumView([&](auto cv) {
+        typed = true;
+        WithCmpPredicate(op, [&](auto keep) {
+          for (size_t i = begin; i < end && mine.status.ok(); ++i) {
+            const double x = bv(i);
+            // First position in the sorted right side with c >= b[i].
+            size_t lo = 0, hi = order.size();
+            while (lo < hi) {
+              const size_t mid = lo + (hi - lo) / 2;
+              if (cv(order[mid]) < x) {
+                lo = mid + 1;
+              } else {
+                hi = mid;
+              }
+            }
+            // Emit the side of the partition the comparison selects. Ties
+            // need local scanning since `lo` is the first >=.
+            if (op == CmpOp::kLt || op == CmpOp::kLe) {
+              size_t start = lo;
+              while (start > 0 && !(cv(order[start - 1]) < x) &&
+                     !(cv(order[start - 1]) > x)) {
+                --start;
+              }
+              for (size_t j = start;
+                   j < order.size() && mine.status.ok(); ++j) {
+                if (keep(x, cv(order[j]))) emit(i, j);
+              }
+            } else {
+              size_t run_end = lo;
+              while (run_end < order.size() &&
+                     !(cv(order[run_end]) < x) && !(cv(order[run_end]) > x)) {
+                ++run_end;
+              }
+              for (size_t j = 0; j < run_end && mine.status.ok(); ++j) {
+                if (keep(x, cv(order[j]))) emit(i, j);
+              }
+            }
+          }
+        });
+      });
+    });
+    if (!typed) {
+      for (size_t i = begin; i < end && mine.status.ok(); ++i) {
+        size_t lo = 0, hi = order.size();
+        while (lo < hi) {
+          const size_t mid = lo + (hi - lo) / 2;
+          if (c.CompareAt(order[mid], b, i) < 0) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (op == CmpOp::kLt || op == CmpOp::kLe) {
+          size_t start = lo;
+          while (start > 0 && c.CompareAt(order[start - 1], b, i) == 0) {
+            --start;
+          }
+          for (size_t j = start; j < order.size() && mine.status.ok(); ++j) {
+            if (Satisfies(b.CompareAt(i, c, order[j]), op)) emit(i, j);
+          }
+        } else {
+          size_t run_end = lo;
+          while (run_end < order.size() &&
+                 c.CompareAt(order[run_end], b, i) == 0) {
+            ++run_end;
+          }
+          for (size_t j = 0; j < run_end && mine.status.ok(); ++j) {
+            if (Satisfies(b.CompareAt(i, c, order[j]), op)) emit(i, j);
+          }
+        }
+      }
+    }
+    if (mine.status.ok()) mine.status = gate.Flush();
+  });
+
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      MaterializeThetaMatches(ctx, ab, cd, op, plan, shards));
   rec.Finish("sort_band_thetajoin", res.size());
   return res;
 }
 
 /// Nested-loop fallback: evaluates the comparison on every BUN pair; the
-/// only variant that can serve `!=` (whose result is not a band).
+/// only variant that can serve `!=` (whose result is not a band). The
+/// left side runs as morsels; the pair loop is a zero-dispatch typed pass
+/// for non-str operands.
 Result<Bat> NestedThetaJoin(const ExecContext& ctx, const Bat& ab,
                             const Bat& cd, CmpOp op, OpRecorder& rec) {
   const Column& a = ab.head();
   const Column& b = ab.tail();
   const Column& c = cd.head();
   const Column& d = cd.tail();
-  ColumnBuilder hb(BuilderType(a));
-  ColumnBuilder tb(BuilderType(d), d.str_heap());
-  internal::ChargeGate gate(ctx, a, d);
   b.TouchAll();
   c.TouchAll();
-  for (size_t i = 0; i < ab.size(); ++i) {
-    for (size_t j = 0; j < cd.size(); ++j) {
-      if (Satisfies(b.CompareAt(i, c, j), op)) {
-        a.TouchAt(i);
-        d.TouchAt(j);
-        hb.AppendFrom(a, i);
-        tb.AppendFrom(d, j);
-        MF_RETURN_NOT_OK(gate.Add(1));
+  const size_t m = cd.size();
+
+  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  std::vector<ThetaShard> shards(plan.blocks);
+  RunBlocks(plan, [&](int block, size_t begin, size_t end) {
+    ThetaShard& mine = shards[block];
+    std::optional<storage::IoScope> scope;  // serial: caller's accountant
+    if (plan.blocks > 1) scope.emplace(&mine.io);
+    internal::ChargeGate gate(ctx, a, d);
+    auto emit = [&](size_t i, size_t j) {
+      a.TouchAt(i);
+      d.TouchAt(j);
+      mine.lefts.push_back(static_cast<uint32_t>(i));
+      mine.rights.push_back(static_cast<uint32_t>(j));
+      mine.status = gate.Add(1);
+    };
+    bool typed = false;
+    b.WithNumView([&](auto bv) {
+      c.WithNumView([&](auto cv) {
+        typed = true;
+        WithCmpPredicate(op, [&](auto keep) {
+          for (size_t i = begin; i < end && mine.status.ok(); ++i) {
+            const double x = bv(i);
+            for (size_t j = 0; j < m && mine.status.ok(); ++j) {
+              if (keep(x, cv(j))) emit(i, j);
+            }
+          }
+        });
+      });
+    });
+    if (!typed) {
+      for (size_t i = begin; i < end && mine.status.ok(); ++i) {
+        for (size_t j = 0; j < m && mine.status.ok(); ++j) {
+          if (Satisfies(b.CompareAt(i, c, j), op)) emit(i, j);
+        }
       }
     }
-  }
-  MF_RETURN_NOT_OK(gate.Flush());
-  MF_ASSIGN_OR_RETURN(Bat res, FinishThetaJoin(ab, cd, hb, tb));
+    if (mine.status.ok()) mine.status = gate.Flush();
+  });
+
+  MF_ASSIGN_OR_RETURN(Bat res,
+                      MaterializeThetaMatches(ctx, ab, cd, op, plan, shards));
   rec.Finish("nested_thetajoin", res.size());
   return res;
 }
@@ -156,7 +318,8 @@ CmpOp ParamOp(const DispatchInput& in) {
 /// Expected output of an inequality join is a large fraction of the cross
 /// product; both variants gather it from the same columns, so their page
 /// costs tie and the CPU tie-breaker decides (band sorts once and probes,
-/// nested compares every pair).
+/// nested compares every pair). Both evaluation phases morselize over the
+/// left side, so the tie-breakers scale with the planned block count.
 double ThetaGatherPages(const DispatchInput& in) {
   const double out = 0.5 * static_cast<double>(in.left.size) *
                      static_cast<double>(in.right->size);
@@ -185,9 +348,9 @@ Result<Bat> Fetch(const ExecContext& ctx, const Bat& ab,
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   MF_RETURN_NOT_OK(internal::ChargeGather(ctx, positions.size(), head, tail));
-  ColumnBuilder hb(MonetType::kOidT);
-  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
   positions.tail().TouchAll();
+  // Validate and collect first, then one bulk typed gather per column.
+  std::vector<uint32_t> pos(positions.size());
   for (size_t i = 0; i < positions.size(); ++i) {
     const Oid p = positions.tail().OidAt(i);
     if (p >= ab.size()) {
@@ -195,11 +358,16 @@ Result<Bat> Fetch(const ExecContext& ctx, const Bat& ab,
                                 " out of range (size " +
                                 std::to_string(ab.size()) + ")");
     }
-    head.TouchAt(p);
-    tail.TouchAt(p);
-    hb.AppendOid(p);
-    tb.AppendFrom(tail, p);
+    pos[i] = static_cast<uint32_t>(p);
   }
+  head.TouchGather(pos.data(), pos.size());
+  tail.TouchGather(pos.data(), pos.size());
+  ColumnBuilder hb(MonetType::kOidT);
+  ColumnBuilder tb(BuilderType(tail), tail.str_heap());
+  hb.Reserve(pos.size());
+  tb.Reserve(pos.size());
+  for (uint32_t p : pos) hb.AppendOid(p);
+  tb.GatherFrom(tail, pos.data(), pos.size());
   MF_ASSIGN_OR_RETURN(Bat res,
                       Bat::Make(hb.Finish(), tb.Finish(), bat::Properties{}));
   rec.Finish("positional_fetch", res.size());
@@ -239,16 +407,22 @@ void RegisterThetaJoinKernels(KernelRegistry& r) {
         return op == CmpOp::kLt || op == CmpOp::kLe || op == CmpOp::kGt ||
                op == CmpOp::kGe;
       },
-      [](const DispatchInput& in) { return ThetaGatherPages(in) + kCpuSequential; },
+      [](const DispatchInput& in) {
+        return ThetaGatherPages(in) +
+               kCpuSequential / ParallelCpuScale(in.left.size, in.degree);
+      },
       std::function<ThetaImplSig>(BandThetaJoin),
-      "sort CD's heads once, emit the qualifying run per left BUN");
+      "sort CD's heads once, emit the qualifying run per left BUN morsel");
   r.Register<ThetaImplSig>(
       "thetajoin", "nested_thetajoin",
       [](const DispatchInput& in) {
         return in.right.has_value() && in.param.has_value() &&
                ParamOp(in) != CmpOp::kEq;
       },
-      [](const DispatchInput& in) { return ThetaGatherPages(in) + kCpuHashed; },
+      [](const DispatchInput& in) {
+        return ThetaGatherPages(in) +
+               kCpuHashed / ParallelCpuScale(in.left.size, in.degree);
+      },
       std::function<ThetaImplSig>(NestedThetaJoin),
       "compare every BUN pair; the only shape serving '!='");
 }

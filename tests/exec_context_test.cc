@@ -138,6 +138,55 @@ TEST(ExecContextTest, BudgetGatesJoinAndGroupPaths) {
   EXPECT_EQ(grouped.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(ExecContextTest, BudgetGatesBoxedMultiplexAndProjectPaths) {
+  // Regression: the boxed multiplex paths and ProjectConst materialized
+  // their result tails without charging the budget — a large head-join
+  // multiplex bypassed admission entirely.
+  Bat price = SmallBat(20000);
+
+  // Synced boxed multiplex (3 args -> not the unboxed binary fast path).
+  Bat flags(price.head_col(), bat::Column::MakeBit([] {
+              std::vector<uint8_t> v(20000);
+              for (size_t i = 0; i < v.size(); ++i) v[i] = i % 2;
+              return v;
+            }()));
+  ExecContext tight;
+  tight.WithMemoryBudget(1024);
+  auto synced =
+      kernel::Multiplex(tight, "ifthen", {flags, price, Value::Int(0)});
+  ASSERT_FALSE(synced.ok());
+  EXPECT_EQ(synced.status().code(), StatusCode::kResourceExhausted);
+
+  // Head-join multiplex: a second operand with its own head column.
+  Bat other(bat::Column::MakeOid([] {
+              std::vector<Oid> h(20000);
+              for (size_t i = 0; i < h.size(); ++i) h[i] = h.size() - i;
+              return h;
+            }()),
+            price.tail_col());
+  ExecContext tight2;
+  tight2.WithMemoryBudget(1024);
+  auto headjoin = kernel::Multiplex(tight2, "+", {price, other});
+  ASSERT_FALSE(headjoin.ok());
+  EXPECT_EQ(headjoin.status().code(), StatusCode::kResourceExhausted);
+
+  // ProjectConst's per-row constant tail.
+  ExecContext tight3;
+  tight3.WithMemoryBudget(1024);
+  auto projected = kernel::ProjectConst(tight3, price, Value::Int(7));
+  ASSERT_FALSE(projected.ok());
+  EXPECT_EQ(projected.status().code(), StatusCode::kResourceExhausted);
+
+  // All three succeed under a roomy budget and report their charges.
+  ExecContext roomy;
+  roomy.WithMemoryBudget(10u << 20);
+  ASSERT_TRUE(
+      kernel::Multiplex(roomy, "ifthen", {flags, price, Value::Int(0)}).ok());
+  ASSERT_TRUE(kernel::Multiplex(roomy, "+", {price, other}).ok());
+  ASSERT_TRUE(kernel::ProjectConst(roomy, price, Value::Int(7)).ok());
+  EXPECT_GT(roomy.memory_charged(), 0u);
+}
+
 TEST(ExecContextTest, CopiesShareTheChargeCounter) {
   ExecContext ctx;
   ctx.WithMemoryBudget(1u << 20);

@@ -238,6 +238,113 @@ TEST(ParallelDeterminismTest, SyncedBoxedMultiplex) {
       });
 }
 
+TEST(ParallelDeterminismTest, BandThetaJoinAllOrderedOps) {
+  // The band variant serves <, <=, >, >= (kEq delegates to the equi-join
+  // family, covered by HashJoin above). 60K left rows split into >= 3
+  // blocks; 16 distinct right values keep the ~n*m/2 output bounded.
+  struct Case {
+    kernel::CmpOp op;
+    const char* name;
+  };
+  for (const Case c : {Case{kernel::CmpOp::kLt, "kLt"},
+                       Case{kernel::CmpOp::kLe, "kLe"},
+                       Case{kernel::CmpOp::kGt, "kGt"},
+                       Case{kernel::CmpOp::kGe, "kGe"}}) {
+    SCOPED_TRACE(c.name);
+    ExpectDegreeInvariant(
+        "thetajoin", "sort_band_thetajoin", [&](const ExecContext& ctx) {
+          constexpr size_t kLeft = 60000;
+          Rng rng(43);
+          std::vector<int32_t> lt(kLeft);
+          for (auto& v : lt) v = static_cast<int32_t>(rng.Uniform(0, 1000));
+          Bat left(Column::MakeOid(DenseHeads(kLeft)), Column::MakeInt(lt));
+          std::vector<int32_t> rh(16);
+          for (auto& v : rh) v = static_cast<int32_t>(rng.Uniform(0, 1000));
+          Bat right(Column::MakeInt(rh), Column::MakeOid(DenseHeads(16)));
+          return kernel::ThetaJoin(ctx, left, right, c.op).ValueOrDie();
+        });
+  }
+}
+
+TEST(ParallelDeterminismTest, EqThetaJoinDelegatesToParallelEquiJoin) {
+  // The sixth CmpOp: '=' routes to the equi-join family, whose hash probe
+  // is morsel-parallel — the delegation must stay degree-invariant too.
+  ExpectDegreeInvariant("join", "hash_join", [](const ExecContext& ctx) {
+    Rng rng(71);
+    std::vector<int32_t> lt(kRows);
+    for (auto& v : lt) v = static_cast<int32_t>(rng.Uniform(0, 20000));
+    Bat left(Column::MakeOid(DenseHeads(kRows)), Column::MakeInt(lt));
+    std::vector<int32_t> rh(2000);
+    for (auto& v : rh) v = static_cast<int32_t>(rng.Uniform(0, 20000));
+    Bat right(Column::MakeInt(rh), Column::MakeOid(DenseHeads(2000)));
+    return kernel::ThetaJoin(ctx, left, right, kernel::CmpOp::kEq)
+        .ValueOrDie();
+  });
+}
+
+TEST(ParallelDeterminismTest, NestedThetaJoinNotEqual) {
+  // '!=' is the only comparison the band shape cannot serve: the nested
+  // variant must run, morsel-parallel over the left side.
+  ExpectDegreeInvariant(
+      "thetajoin", "nested_thetajoin", [](const ExecContext& ctx) {
+        constexpr size_t kLeft = 40000;
+        Rng rng(47);
+        std::vector<int32_t> lt(kLeft);
+        for (auto& v : lt) v = static_cast<int32_t>(rng.Uniform(0, 8));
+        Bat left(Column::MakeOid(DenseHeads(kLeft)), Column::MakeInt(lt));
+        Bat right(Column::MakeInt({0, 1, 2, 3, 4, 5, 6, 7}),
+                  Column::MakeOid(DenseHeads(8)));
+        return kernel::ThetaJoin(ctx, left, right, kernel::CmpOp::kNe)
+            .ValueOrDie();
+      });
+}
+
+TEST(ParallelDeterminismTest, KdiffAntiProbe) {
+  ExpectDegreeInvariant(
+      "kdiff", "hash_antisemijoin", [](const ExecContext& ctx) {
+        Rng rng(59);
+        std::vector<Oid> heads(kRows);
+        for (auto& v : heads) v = static_cast<Oid>(rng.Uniform(0, 99999));
+        Bat ab(Column::MakeOid(heads), PriceBat(kRows).tail_col());
+        std::vector<Oid> drop(30000);
+        for (auto& v : drop) v = static_cast<Oid>(rng.Uniform(0, 99999));
+        Bat cd(Column::MakeOid(drop), Column::MakeVoid(0, drop.size()));
+        return kernel::Diff(ctx, ab, cd).ValueOrDie();
+      });
+}
+
+TEST(ParallelDeterminismTest, KunionAntiProbe) {
+  ExpectDegreeInvariant("kunion", "hash_union", [](const ExecContext& ctx) {
+    Rng rng(61);
+    std::vector<Oid> lh(kRows / 2), rh(kRows);
+    for (auto& v : lh) v = static_cast<Oid>(rng.Uniform(0, 99999));
+    for (auto& v : rh) v = static_cast<Oid>(rng.Uniform(0, 99999));
+    Bat ab(Column::MakeOid(lh), PriceBat(kRows / 2).tail_col());
+    Bat cd(Column::MakeOid(rh), PriceBat(kRows).tail_col());
+    return kernel::Union(ctx, ab, cd).ValueOrDie();
+  });
+}
+
+TEST(ParallelDeterminismTest, HeadJoinMultiplex) {
+  ExpectDegreeInvariant(
+      "multiplex", "multiplex_headjoin", [](const ExecContext& ctx) {
+        // The second operand carries its own head column (no sync proof),
+        // with only ~half the driver's head values present: alignment must
+        // go through the hash accelerators and drop the misses.
+        Rng rng(67);
+        Bat driver(Column::MakeOid(DenseHeads(kRows)),
+                   PriceBat(kRows).tail_col());
+        std::vector<Oid> rheads(kRows);
+        for (auto& v : rheads) {
+          v = static_cast<Oid>(rng.Uniform(1, 2 * kRows));
+        }
+        std::vector<double> rvals(kRows);
+        for (auto& v : rvals) v = rng.NextDouble() * 1e3;
+        Bat other(Column::MakeOid(rheads), Column::MakeDbl(rvals));
+        return kernel::Multiplex(ctx, "+", {driver, other}).ValueOrDie();
+      });
+}
+
 TEST(ParallelDeterminismTest, RunSetAggregateBitIdenticalSums) {
   ExpectDegreeInvariant(
       "set_aggregate", "run_set_aggregate", [](const ExecContext& ctx) {

@@ -90,6 +90,41 @@ TEST(ThetaJoinTest, RandomizedAgainstBruteForce) {
   }
 }
 
+TEST(ThetaJoinTest, TailReorderCannotForgeASyncProof) {
+  // Regression: FinishThetaJoin used to derive the result-head sync key
+  // from the operand *heads* alone (the PR 3 SortTail bug class). Two
+  // theta-joins over operands sharing one head column but carrying
+  // different (e.g. differently reordered) tails then compared sync-equal
+  // even though their BUN sequences are unrelated, and downstream
+  // dispatch could pick a positional variant on unaligned data.
+  Rng rng(53);
+  auto heads = Column::MakeOid([] {
+    std::vector<Oid> h(64);
+    for (size_t i = 0; i < h.size(); ++i) h[i] = i;
+    return h;
+  }());
+  std::vector<int32_t> t1(64), t2(64);
+  for (size_t i = 0; i < 64; ++i) {
+    t1[i] = static_cast<int32_t>(rng.Uniform(0, 100));
+    t2[63 - i] = t1[i];  // the same value set, reordered
+  }
+  Bat attr1(heads, Column::MakeInt(t1));
+  Bat attr2(heads, Column::MakeInt(t2));
+  Bat right(Column::MakeInt({25, 50, 75}), Column::MakeOid({1, 2, 3}));
+
+  Bat j1 = ThetaJoin(attr1, right, CmpOp::kLt).ValueOrDie();
+  Bat j2 = ThetaJoin(attr2, right, CmpOp::kLt).ValueOrDie();
+  EXPECT_FALSE(j1.SyncedWith(j2));
+
+  // The same dataflow still proves a positional correspondence...
+  Bat again = ThetaJoin(attr1, right, CmpOp::kLt).ValueOrDie();
+  EXPECT_TRUE(j1.SyncedWith(again));
+
+  // ...and a different comparison over identical operands must not.
+  Bat j4 = ThetaJoin(attr1, right, CmpOp::kLe).ValueOrDie();
+  EXPECT_FALSE(j1.SyncedWith(j4));
+}
+
 TEST(FetchTest, PositionalAccess) {
   Bat ab(Column::MakeOid({9, 8, 7}), Column::MakeStr({"x", "y", "z"}));
   Bat pos(Column::MakeVoid(0, 2), Column::MakeOid({2, 0}));
