@@ -10,7 +10,8 @@
 // --rows   scan-select input cardinality (default 10,000,000; the other
 //          kernels run at N/4 to keep total runtime balanced)
 // --json   write machine-readable results (wall-ns, faults, degree,
-//          result rows per bench x degree) for perf-trajectory tracking
+//          effective block count, result rows per bench x degree, plus the
+//          machine's ParallelBlockCap) for perf-trajectory tracking
 // --reps   timed repetitions per cell; best-of is reported (default 3)
 
 #include <chrono>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "bat/bat.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "kernel/exec_context.h"
 #include "kernel/operators.h"
@@ -41,6 +43,12 @@ struct Cell {
   int64_t wall_ns;
   uint64_t faults;
   size_t rows;
+  /// Blocks the planner actually produces for this bench's evaluation
+  /// phase at this degree — distinct from the requested degree whenever
+  /// the morsel floor or ParallelBlockCap() flattens the fan-out, which is
+  /// exactly the regime where "no speedup at degree 8" is the planner
+  /// working as intended, not a regression.
+  size_t blocks;
 };
 
 int64_t NowNs() {
@@ -74,9 +82,10 @@ Bat DblAttr(size_t n, uint64_t seed) {
 /// Times `run(ctx)` at the given per-context degree: `reps` repetitions,
 /// each under a fresh cold IoStats; best wall time and the (repetition-
 /// invariant) fault count are recorded.
-Cell Measure(const std::string& bench, int degree, int reps,
+Cell Measure(const std::string& bench, int degree, int reps, size_t input_rows,
              const std::function<size_t(const kernel::ExecContext&)>& run) {
-  Cell cell{bench, degree, INT64_MAX, 0, 0};
+  Cell cell{bench, degree, INT64_MAX, 0, 0,
+            PlanBlocks(input_rows, degree).blocks};
   for (int r = 0; r < reps; ++r) {
     storage::IoStats io;
     kernel::ExecContext ctx;
@@ -98,13 +107,15 @@ void WriteJson(const char* path, const std::vector<Cell>& cells,
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_parallel_scan\",\n");
-  std::fprintf(f, "  \"scan_rows\": %zu,\n  \"results\": [\n", rows);
+  std::fprintf(f, "  \"scan_rows\": %zu,\n  \"block_cap\": %d,\n", rows,
+               ParallelBlockCap());
+  std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     std::fprintf(f,
-                 "    {\"bench\": \"%s\", \"degree\": %d, \"wall_ns\": "
-                 "%lld, \"faults\": %llu, \"rows\": %zu}%s\n",
-                 c.bench.c_str(), c.degree,
+                 "    {\"bench\": \"%s\", \"degree\": %d, \"blocks\": %zu, "
+                 "\"wall_ns\": %lld, \"faults\": %llu, \"rows\": %zu}%s\n",
+                 c.bench.c_str(), c.degree, c.blocks,
                  static_cast<long long>(c.wall_ns),
                  static_cast<unsigned long long>(c.faults), c.rows,
                  i + 1 < cells.size() ? "," : "");
@@ -199,58 +210,59 @@ int main(int argc, char** argv) {
 
   struct Named {
     const char* name;
+    size_t input_rows;  // driver cardinality the block planner sees
     std::function<size_t(const kernel::ExecContext&)> run;
   };
   const std::vector<Named> benches = {
-      {"scan_select",
+      {"scan_select", rows,
        [&](const kernel::ExecContext& ctx) {
          return kernel::SelectRange(ctx, scan_attr, Value::Int(0),
                                     Value::Int(1 << 14))
              .ValueOrDie()
              .size();
        }},
-      {"multiplex_mul",
+      {"multiplex_mul", rows,
        [&](const kernel::ExecContext& ctx) {
          return kernel::Multiplex(ctx, "*", {mx_a, mx_b})
              .ValueOrDie()
              .size();
        }},
-      {"hash_join",
+      {"hash_join", small,
        [&](const kernel::ExecContext& ctx) {
          return kernel::Join(ctx, fk, pk).ValueOrDie().size();
        }},
-      {"hash_group",
+      {"hash_group", small,
        [&](const kernel::ExecContext& ctx) {
          return kernel::Group(ctx, group_attr).ValueOrDie().size();
        }},
-      {"run_set_aggregate_sum",
+      {"run_set_aggregate_sum", small,
        [&](const kernel::ExecContext& ctx) {
          return kernel::SetAggregate(ctx, kernel::AggKind::kSum, agg)
              .ValueOrDie()
              .size();
        }},
-      {"hash_set_aggregate_sum",
+      {"hash_set_aggregate_sum", small,
        [&](const kernel::ExecContext& ctx) {
          return kernel::SetAggregate(ctx, kernel::AggKind::kSum, hagg)
              .ValueOrDie()
              .size();
        }},
-      {"theta_join_band",
+      {"theta_join_band", rows / 8,
        [&](const kernel::ExecContext& ctx) {
          return kernel::ThetaJoin(ctx, theta_left, theta_right,
                                   kernel::CmpOp::kLt)
              .ValueOrDie()
              .size();
        }},
-      {"kdiff",
+      {"kdiff", small,
        [&](const kernel::ExecContext& ctx) {
          return kernel::Diff(ctx, set_left, set_right).ValueOrDie().size();
        }},
-      {"kunion",
+      {"kunion", small,
        [&](const kernel::ExecContext& ctx) {
          return kernel::Union(ctx, set_left, set_right).ValueOrDie().size();
        }},
-      {"headjoin_multiplex",
+      {"headjoin_multiplex", small,
        [&](const kernel::ExecContext& ctx) {
          return kernel::Multiplex(ctx, "+", {hj_driver, hj_other})
              .ValueOrDie()
@@ -258,18 +270,20 @@ int main(int argc, char** argv) {
        }},
   };
 
-  std::printf("== parallel kernels on the TaskPool (%zu scan rows) ==\n",
-              rows);
-  std::printf("%-24s %6s %12s %10s %10s %8s\n", "bench", "degree",
-              "wall(ms)", "faults", "rows", "speedup");
+  std::printf(
+      "== parallel kernels on the TaskPool (%zu scan rows, block cap %d) "
+      "==\n",
+      rows, ParallelBlockCap());
+  std::printf("%-24s %6s %7s %12s %10s %10s %8s\n", "bench", "degree",
+              "blocks", "wall(ms)", "faults", "rows", "speedup");
   std::vector<Cell> cells;
   for (const Named& b : benches) {
     int64_t base_ns = 0;
     for (int degree : {1, 2, 4, 8}) {
-      Cell c = Measure(b.name, degree, reps, b.run);
+      Cell c = Measure(b.name, degree, reps, b.input_rows, b.run);
       if (degree == 1) base_ns = c.wall_ns;
-      std::printf("%-24s %6d %12.3f %10llu %10zu %7.2fx\n", c.bench.c_str(),
-                  c.degree, c.wall_ns / 1e6,
+      std::printf("%-24s %6d %7zu %12.3f %10llu %10zu %7.2fx\n",
+                  c.bench.c_str(), c.degree, c.blocks, c.wall_ns / 1e6,
                   static_cast<unsigned long long>(c.faults), c.rows,
                   base_ns > 0 ? static_cast<double>(base_ns) / c.wall_ns
                               : 0.0);

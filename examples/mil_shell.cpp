@@ -4,6 +4,12 @@
 //
 // Usage:  example_mil_shell [scale_factor] < script.mil
 //         echo 'count(select(Item_returnflag, 'R'))' | example_mil_shell
+//         example_mil_shell --connect host:port    # remote query service
+//
+// In --connect mode each input line is sent to a running
+// `service::WireServer` (SUBMIT, then WAIT + TRACE + RESULT), so the same
+// shell drives a shared multi-session service instead of a private
+// in-process database.
 //
 // Try the paper's Q13 plan:
 //   orders := select(Order_clerk, "Clerk#000000005")
@@ -19,12 +25,87 @@
 
 #include "mil/interpreter.h"
 #include "mil/parser.h"
+#include "service/wire.h"
 #include "storage/page_accountant.h"
 #include "tpcd/loader.h"
 
 using namespace moaflat;  // NOLINT
 
+namespace {
+
+/// Remote mode: one wire session, one SUBMIT per input line. The protocol
+/// rewrites `;` to statement separators, so multi-statement lines work.
+int RunRemote(const std::string& host, uint16_t port) {
+  service::WireClient cli;
+  if (Status st = cli.Connect(host, port); !st.ok()) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(), port,
+                 st.ToString().c_str());
+    return 1;
+  }
+  auto call = [&](const std::string& line) {
+    auto r = cli.Call(line);
+    return r.ok() ? *r : "ERR " + r.status().ToString();
+  };
+  const std::string open = call("OPEN");
+  if (open.rfind("OK ", 0) != 0) {
+    std::fprintf(stderr, "OPEN failed: %s\n", open.c_str());
+    return 1;
+  }
+  const std::string sid = open.substr(3);
+  std::fprintf(stderr, "connected to %s:%u, session %s\n", host.c_str(),
+               port, sid.c_str());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string submit = call("SUBMIT " + sid + " " + line);
+    std::printf("%s\n", submit.c_str());
+    if (submit.rfind("OK ", 0) != 0) continue;
+    const std::string qid = submit.substr(3, submit.find(' ', 3) - 3);
+    std::printf("%s\n", call("WAIT " + qid).c_str());
+    if (call("TRACE " + qid).rfind("OK", 0) == 0) {
+      if (auto body = cli.ReadBody(); body.ok()) {
+        for (const std::string& row : *body) std::printf("%s\n", row.c_str());
+      }
+    }
+    // Show the last statement's variable, like the local shell does.
+    const size_t assign = line.rfind(":=");
+    if (assign == std::string::npos) continue;
+    const size_t stmt = line.rfind(';', assign);
+    std::string var = line.substr(stmt == std::string::npos ? 0 : stmt + 1,
+                                  assign - (stmt == std::string::npos
+                                                ? 0
+                                                : stmt + 1));
+    while (!var.empty() && var.front() == ' ') var.erase(0, 1);
+    while (!var.empty() && var.back() == ' ') var.pop_back();
+    if (var.empty()) continue;
+    if (call("RESULT " + qid + " " + var + " 8").rfind("OK", 0) == 0) {
+      if (auto body = cli.ReadBody(); body.ok()) {
+        std::printf("%s =\n", var.c_str());
+        for (const std::string& row : *body) std::printf("%s\n", row.c_str());
+      }
+    }
+  }
+  call("CLOSE " + sid);
+  call("BYE");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--connect") {
+    const std::string target = argv[2];
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "usage: %s --connect host:port\n", argv[0]);
+      return 1;
+    }
+    return RunRemote(target.substr(0, colon),
+                     static_cast<uint16_t>(
+                         std::atoi(target.c_str() + colon + 1)));
+  }
+
   const double sf = argc > 1 ? std::atof(argv[1]) : 0.005;
   auto inst = tpcd::MakeInstance(sf).ValueOrDie();
   std::fprintf(stderr,

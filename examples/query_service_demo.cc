@@ -1,0 +1,162 @@
+// The query service end to end: a TPC-D catalog served to four concurrent
+// sessions with distinct budgets, parallel degrees and fair-share weights;
+// cost-model-priced admission (the Section 5.2.2 fault predictions decide
+// who runs, waits, or is refused at the door); and the line-protocol wire
+// front end a remote MIL shell attaches to.
+//
+//   1. load TPC-D, hand the catalog to a QueryService,
+//   2. price a plan without running it, then veto it on a strict session,
+//   3. run the Fig. 10 Q13 revenue-loss query from four sessions at once,
+//   4. round-trip OPEN / SUBMIT / WAIT / RESULT over a loopback socket.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "service/query_service.h"
+#include "service/wire.h"
+#include "tpcd/loader.h"
+
+int main() {
+  using namespace moaflat;  // NOLINT
+  using service::Admission;
+  using service::QueryResult;
+  using service::QueryService;
+  using service::QueryState;
+  using service::ServiceConfig;
+  using service::SessionOptions;
+
+  auto inst = tpcd::MakeInstance(0.01).ValueOrDie();
+  std::printf("TPC-D SF %.2f loaded: %zu item rows, probe clerk %s\n\n",
+              inst->scale_factor, inst->num_items, inst->probe_clerk.c_str());
+
+  const std::string q13 =
+      "orders := select(Order_clerk, \"" + inst->probe_clerk +
+      "\")\n"
+      "items := join(Item_order, orders)\n"
+      "returns := semijoin(Item_returnflag, items)\n"
+      "ritems := select(returns, 'R')\n"
+      "critems := semijoin(Item_order, ritems)\n"
+      "prices := semijoin(Item_extendedprice, critems)\n"
+      "disc := semijoin(Item_discount, critems)\n"
+      "gross := [*](prices, disc)\n"
+      "LOSS := {sum}(gross)\n";
+
+  ServiceConfig cfg;
+  cfg.executors = 4;
+  QueryService svc(cfg);
+  svc.SetCatalog(inst->db.env());
+
+  // --- pricing and the veto ---------------------------------------------
+  // A dry Price() run predicts the plan's cold fault volume from the same
+  // cost functions the kernel dispatcher uses; a session opened with a
+  // max_query_cost below that prediction has the query refused *before*
+  // anything executes, and stays usable for cheaper work.
+  SessionOptions strict;
+  strict.max_query_cost = 0.5;
+  const uint64_t miser = svc.OpenSession(strict).ValueOrDie();
+  auto price = svc.Price(miser, q13).ValueOrDie();
+  std::printf("Q13 priced at %.1f predicted faults over %zu statements\n",
+              price.faults, price.stmts.size());
+  QueryResult vetoed =
+      svc.Wait(svc.Submit(miser, q13).ValueOrDie()).ValueOrDie();
+  std::printf("strict session (cap %.1f): %s\n", strict.max_query_cost,
+              vetoed.admission.reason.c_str());
+  QueryResult cheap =
+      svc.Wait(svc.Submit(miser, "x := calc.length(\"admission\")\n").ValueOrDie())
+          .ValueOrDie();
+  const Value* x = cheap.state == QueryState::kDone
+                       ? std::get_if<Value>(&cheap.results.at("x"))
+                       : nullptr;
+  std::printf("same session afterwards: calc %s, x = %s\n\n",
+              cheap.state == QueryState::kDone ? "ran" : "failed",
+              x ? x->ToString().c_str() : "?");
+
+  // --- four concurrent sessions -----------------------------------------
+  // Distinct budgets, degrees and weights; each query runs under its own
+  // ExecContext, so traces, fault counts and memory charges never mix, and
+  // morsels reach the shared TaskPool under the session's stride weight.
+  struct Profile {
+    uint64_t budget;
+    int degree;
+    uint32_t weight;
+  };
+  const std::vector<Profile> profiles = {
+      {64u << 20, 1, 1}, {256u << 20, 4, 2}, {128u << 20, 2, 1},
+      {256u << 20, 3, 4}};
+  std::vector<uint64_t> session_ids;
+  for (const Profile& p : profiles) {
+    SessionOptions o;
+    o.memory_budget = p.budget;
+    o.parallel_degree = p.degree;
+    o.weight = p.weight;
+    session_ids.push_back(svc.OpenSession(o).ValueOrDie());
+  }
+  std::vector<uint64_t> qids(profiles.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    clients.emplace_back([&, i] {
+      qids[i] = svc.Submit(session_ids[i], q13).ValueOrDie();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  std::printf("%-8s %7s %7s %7s %9s %11s\n", "session", "degree", "weight",
+              "faults", "charged", "elapsed(us)");
+  std::vector<std::string> losses;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    QueryResult r = svc.Wait(qids[i]).ValueOrDie();
+    losses.push_back(std::get<bat::Bat>(r.results.at("LOSS")).DebugString(4));
+    std::printf("%-8llu %7d %7u %7llu %8.1fK %11lld\n",
+                static_cast<unsigned long long>(r.session),
+                profiles[i].degree, profiles[i].weight,
+                static_cast<unsigned long long>(r.faults),
+                r.memory_charged / 1024.0,
+                static_cast<long long>(r.elapsed_us));
+  }
+  bool identical = true;
+  for (const std::string& l : losses) identical &= l == losses.front();
+  std::printf("LOSS identical across degrees/weights: %s\n%s",
+              identical ? "yes" : "NO", losses.front().c_str());
+  auto stats = svc.stats();
+  std::printf("\nservice totals: %llu submitted, %llu completed, %llu "
+              "vetoed\n\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.vetoed));
+
+  // --- the wire front end -----------------------------------------------
+  service::WireServer server(svc);  // ephemeral loopback port
+  if (Status st = server.Start(); !st.ok()) {
+    std::printf("wire server unavailable here: %s\n", st.ToString().c_str());
+    return 0;
+  }
+  std::printf("wire server on 127.0.0.1:%d\n", server.port());
+  service::WireClient cli;
+  if (Status st = cli.Connect("127.0.0.1", server.port()); !st.ok()) {
+    std::printf("connect failed: %s\n", st.ToString().c_str());
+    return 0;
+  }
+  // Replies carry the ids: OPEN -> "OK <sid>", SUBMIT -> "OK <qid> ...".
+  auto call = [&](const std::string& cmd) {
+    std::string reply = cli.Call(cmd).ValueOrDie();
+    std::printf("> %s\n< %s\n", cmd.c_str(), reply.c_str());
+    return reply;
+  };
+  const std::string sid =
+      call("OPEN degree=2 budget=67108864").substr(3);
+  const std::string submit =
+      call("SUBMIT " + sid + " flags := histogram(Item_returnflag)");
+  const std::string qid = submit.substr(3, submit.find(' ', 3) - 3);
+  call("WAIT " + qid);
+  call("RESULT " + qid + " flags 8");
+  for (const std::string& row : cli.ReadBody().ValueOrDie()) {
+    std::printf("  %s\n", row.c_str());
+  }
+  call("CLOSE " + sid);
+  call("BYE");
+  cli.Close();
+  server.Stop();
+  return 0;
+}

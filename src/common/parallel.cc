@@ -98,14 +98,18 @@ size_t RunBlocks(const BlockPlan& plan,
     fn(0, 0, plan.n);
     return 1;
   }
-  TaskPool::Global().Run(plan.blocks, [&](size_t b) {
-    // No implicit accounting inside parallel blocks: the caller thread
-    // would otherwise attribute its blocks' touches to the context while
-    // worker-run blocks attribute nothing, making fault counts depend on
-    // scheduling. Kernels install explicit per-block shard accountants.
-    storage::IoScope mute(nullptr);
-    fn(static_cast<int>(b), plan.Begin(b), plan.End(b));
-  });
+  TaskPool::Global().Run(
+      plan.blocks,
+      [&](size_t b) {
+        // No implicit accounting inside parallel blocks: the caller thread
+        // would otherwise attribute its blocks' touches to the context
+        // while worker-run blocks attribute nothing, making fault counts
+        // depend on scheduling. Kernels install explicit per-block shard
+        // accountants.
+        storage::IoScope mute(nullptr);
+        fn(static_cast<int>(b), plan.Begin(b), plan.End(b));
+      },
+      SchedTag{plan.sched_group, plan.sched_weight});
   return plan.blocks;
 }
 

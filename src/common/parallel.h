@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace moaflat {
@@ -74,6 +75,13 @@ struct BlockPlan {
   size_t n = 0;
   size_t blocks = 1;
   size_t chunk = 0;  // items per block; the last block may be shorter
+
+  /// Fair-share identity forwarded to the TaskPool: which session's group
+  /// the blocks are charged to and at what weight. Stamped by
+  /// ExecContext::Plan(); plans built directly via PlanBlocks run in the
+  /// shared best-effort group 0.
+  uint64_t sched_group = 0;
+  uint32_t sched_weight = 1;
 
   size_t Begin(size_t b) const { return std::min(n, b * chunk); }
   size_t End(size_t b) const { return std::min(n, b * chunk + chunk); }

@@ -1,0 +1,63 @@
+#include "common/stride_scheduler.h"
+
+#include <algorithm>
+
+namespace moaflat {
+
+uint64_t StrideScheduler::MinPass() const {
+  uint64_t min_pass = 0;
+  bool first = true;
+  for (const auto& [group, g] : groups_) {
+    if (first || g.pass < min_pass) min_pass = g.pass;
+    first = false;
+  }
+  return min_pass;
+}
+
+void StrideScheduler::Enqueue(uint64_t id, uint64_t group, uint32_t weight) {
+  if (entry_group_.count(id)) return;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    Group g;
+    // Join at the current minimum pass: a session that sat idle does not
+    // accumulate a pass deficit it could later spend as a burst.
+    g.pass = MinPass();
+    g.stride = kStrideUnit / std::max<uint32_t>(weight, 1);
+    it = groups_.emplace(group, std::move(g)).first;
+  }
+  it->second.entries.push_back(id);
+  entry_group_.emplace(id, group);
+}
+
+void StrideScheduler::Remove(uint64_t id) {
+  auto eit = entry_group_.find(id);
+  if (eit == entry_group_.end()) return;
+  auto git = groups_.find(eit->second);
+  auto& entries = git->second.entries;
+  entries.erase(std::find(entries.begin(), entries.end(), id));
+  if (entries.empty()) groups_.erase(git);
+  entry_group_.erase(eit);
+}
+
+std::optional<uint64_t> StrideScheduler::Pick() {
+  if (groups_.empty()) return std::nullopt;
+  auto best = groups_.begin();
+  for (auto it = std::next(best); it != groups_.end(); ++it) {
+    if (it->second.pass < best->second.pass) best = it;
+  }
+  Group& g = best->second;
+  const uint64_t id = g.entries.front();
+  // Round-robin within the group; the group pays one stride per pick.
+  g.entries.pop_front();
+  g.entries.push_back(id);
+  g.pass += g.stride;
+  return id;
+}
+
+std::optional<uint64_t> StrideScheduler::GroupPass(uint64_t group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return std::nullopt;
+  return it->second.pass;
+}
+
+}  // namespace moaflat

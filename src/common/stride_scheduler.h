@@ -1,0 +1,70 @@
+#ifndef MOAFLAT_COMMON_STRIDE_SCHEDULER_H_
+#define MOAFLAT_COMMON_STRIDE_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+namespace moaflat {
+
+/// Weighted fair-share policy over long-lived entries (Waldspurger's stride
+/// scheduling): every entry belongs to a *group* (a session), every group
+/// holds a pass counter, and each Pick() returns an entry of the
+/// minimum-pass group, advancing that group's pass by `kStrideUnit /
+/// weight`. Over any window, a group of weight w therefore receives picks
+/// in proportion w / sum(weights) — one fan-out analytic session cannot
+/// starve the others, it merely gets its share.
+///
+/// Entries stay schedulable until Remove()d: a TaskPool job is picked once
+/// per morsel claim, not once per lifetime. Within a group, entries
+/// round-robin. A group (re)joining the scheduler starts at the current
+/// minimum pass, so an idle session cannot hoard credit and then burst.
+///
+/// Not thread-safe: the caller (TaskPool) serializes access under its own
+/// queue mutex. That is what keeps the policy unit-testable in isolation.
+class StrideScheduler {
+ public:
+  /// Pass advance per pick for weight 1; a group of weight w advances by
+  /// kStrideUnit / w. Large enough that integer division keeps distinct
+  /// strides for any plausible weight.
+  static constexpr uint64_t kStrideUnit = uint64_t{1} << 20;
+
+  /// Makes `id` schedulable under `group`. A group's weight is set by the
+  /// first entry that (re)creates it; weight 0 is treated as 1.
+  void Enqueue(uint64_t id, uint64_t group, uint32_t weight);
+
+  /// Removes `id`; its group disappears when its last entry does.
+  /// Unknown ids are ignored (retirement races are the caller's normal
+  /// case, not an error).
+  void Remove(uint64_t id);
+
+  /// Returns the next entry under the fair-share policy and charges its
+  /// group one stride; nullopt when no entries are queued. The entry
+  /// remains queued — call Remove() when it is exhausted.
+  std::optional<uint64_t> Pick();
+
+  bool empty() const { return entry_group_.empty(); }
+  size_t size() const { return entry_group_.size(); }
+
+  /// Pass counter of `group` (tests); nullopt if the group has no entries.
+  std::optional<uint64_t> GroupPass(uint64_t group) const;
+
+ private:
+  struct Group {
+    uint64_t pass = 0;
+    uint64_t stride = kStrideUnit;
+    std::deque<uint64_t> entries;  // round-robin within the group
+  };
+
+  uint64_t MinPass() const;
+
+  std::map<uint64_t, Group> groups_;
+  std::unordered_map<uint64_t, uint64_t> entry_group_;  // id -> group
+};
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_STRIDE_SCHEDULER_H_

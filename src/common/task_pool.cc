@@ -40,7 +40,8 @@ void TaskPool::EnsureWorkers(size_t wanted) {
   }
 }
 
-void TaskPool::Run(size_t count, const std::function<void(size_t)>& task) {
+void TaskPool::Run(size_t count, const std::function<void(size_t)>& task,
+                   SchedTag tag) {
   if (count == 0) return;
   if (count == 1) {
     task(0);
@@ -48,41 +49,45 @@ void TaskPool::Run(size_t count, const std::function<void(size_t)>& task) {
   }
   // `count - 1`: the caller is the count-th participant.
   EnsureWorkers(count - 1);
-  auto job = std::make_shared<Job>(count, &task);
+  std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    jobs_.push_back(job);
+    job = std::make_shared<Job>(next_job_id_++, count, &task);
+    active_.emplace(job->id, job);
+    sched_.Enqueue(job->id, tag.group, tag.weight);
     ++jobs_run_;
   }
   work_cv_.notify_all();
-  Participate(job);
-  // Participate() returns when no morsel is left to *claim*; wait until
-  // every claimed morsel also *finished* (workers may still be running
-  // theirs). The done_cv handshake publishes the tasks' writes.
+  // The caller drains its *own* job in a tight loop (no scheduler pass):
+  // its throughput alone bounds the job's completion time, whatever the
+  // workers are busy with, and a nested Run() never waits on work it
+  // could be doing itself.
+  for (;;) {
+    const size_t t = job->next.fetch_add(1);
+    if (t >= count) break;
+    RunMorsel(job, t);
+  }
+  Retire(*job);
+  // No morsel is left to *claim*; wait until every claimed morsel also
+  // *finished* (workers may still be running theirs). The done_cv
+  // handshake publishes the tasks' writes.
   std::unique_lock<std::mutex> lock(job->mu);
   job->done_cv.wait(lock, [&] { return job->completed.load() == count; });
 }
 
-void TaskPool::Participate(const std::shared_ptr<Job>& job) {
-  for (;;) {
-    const size_t t = job->next.fetch_add(1);
-    if (t >= job->count) break;
-    (*job->task)(t);
-    if (job->completed.fetch_add(1) + 1 == job->count) {
-      // Lock/unlock pairs with the waiter's predicate check so the final
-      // notify cannot be missed.
-      { std::lock_guard<std::mutex> lock(job->mu); }
-      job->done_cv.notify_all();
-    }
+void TaskPool::RunMorsel(const std::shared_ptr<Job>& job, size_t t) {
+  (*job->task)(t);
+  if (job->completed.fetch_add(1) + 1 == job->count) {
+    // Lock/unlock pairs with the waiter's predicate check so the final
+    // notify cannot be missed.
+    { std::lock_guard<std::mutex> lock(job->mu); }
+    job->done_cv.notify_all();
   }
-  // Drained: retire the job from the queue (first observer wins).
+}
+
+void TaskPool::Retire(const Job& job) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
-    if (it->get() == job.get()) {
-      jobs_.erase(it);
-      break;
-    }
-  }
+  if (active_.erase(job.id) > 0) sched_.Remove(job.id);
 }
 
 void TaskPool::WorkerLoop() {
@@ -90,10 +95,20 @@ void TaskPool::WorkerLoop() {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return !jobs_.empty(); });
-      job = jobs_.front();
+      work_cv_.wait(lock, [&] { return !active_.empty(); });
+      const auto id = sched_.Pick();
+      if (!id) continue;
+      job = active_.at(*id);
     }
-    Participate(job);
+    // One morsel per scheduler pick: between two morsels of a fan-out job
+    // the worker re-consults the stride scheduler, which is what lets a
+    // concurrent small job's morsels interleave at its fair share.
+    const size_t t = job->next.fetch_add(1);
+    if (t >= job->count) {
+      Retire(*job);
+      continue;
+    }
+    RunMorsel(job, t);
   }
 }
 

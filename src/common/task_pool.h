@@ -5,14 +5,24 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/stride_scheduler.h"
+
 namespace moaflat {
+
+/// Fair-share identity of a job: which session (or other principal) its
+/// morsels are charged to, and that principal's scheduling weight. The
+/// default tag puts untagged work into one shared best-effort group.
+struct SchedTag {
+  uint64_t group = 0;
+  uint32_t weight = 1;
+};
 
 /// Persistent worker pool behind all parallel kernel execution (the
 /// morsel-driven replacement of the old thread-spawn-per-ParallelBlocks
@@ -21,12 +31,16 @@ namespace moaflat {
 /// parallelism is one queue push instead of `degree` thread creations.
 ///
 /// Scheduling model: one Run() call is a *job* of `count` independent
-/// tasks (the morsels). Jobs queue FIFO; every idle worker — and the
-/// calling thread itself — pulls morsel indices from the front job via an
-/// atomic cursor until the job is drained. Caller participation guarantees
-/// progress at any pool size (including zero workers) and makes nested
-/// Run() calls deadlock-free: a participant never waits on work it could
-/// be doing itself.
+/// tasks (the morsels). Idle workers pick which job to serve through a
+/// weighted StrideScheduler keyed by the job's SchedTag group, claim ONE
+/// morsel from that job's atomic cursor, run it, and re-consult the
+/// scheduler — so a 10M-row fan-out scan interleaves with a small query's
+/// morsels instead of holding every worker until it drains. The calling
+/// thread additionally participates in its own job until that job is
+/// drained: caller participation guarantees progress at any pool size
+/// (including zero workers), makes nested Run() calls deadlock-free, and
+/// bounds a small job's completion by the caller's own throughput even
+/// when all workers are busy elsewhere.
 ///
 /// Worker count is capped at max(hardware_concurrency, 8) — the floor
 /// keeps real concurrency (and thus ThreadSanitizer coverage) even on
@@ -40,8 +54,10 @@ class TaskPool {
   /// Runs task(0) .. task(count-1), distributed over the pool workers and
   /// the calling thread, and returns once all of them completed. Tasks
   /// must be independent; completion gives the caller a happens-before
-  /// edge on everything the tasks wrote. count <= 1 runs inline.
-  void Run(size_t count, const std::function<void(size_t)>& task);
+  /// edge on everything the tasks wrote. count <= 1 runs inline. `tag`
+  /// assigns the job's morsels to a fair-share group.
+  void Run(size_t count, const std::function<void(size_t)>& task,
+           SchedTag tag = {});
 
   /// Workers started so far (grows lazily, never shrinks).
   size_t thread_count() const;
@@ -55,8 +71,9 @@ class TaskPool {
 
  private:
   struct Job {
-    explicit Job(size_t n, const std::function<void(size_t)>* fn)
-        : count(n), task(fn) {}
+    Job(uint64_t job_id, size_t n, const std::function<void(size_t)>* fn)
+        : id(job_id), count(n), task(fn) {}
+    const uint64_t id;
     const size_t count;
     const std::function<void(size_t)>* task;  // owned by the Run() caller
     std::atomic<size_t> next{0};       // morsel claim cursor
@@ -69,14 +86,20 @@ class TaskPool {
 
   void EnsureWorkers(size_t wanted);
   void WorkerLoop();
-  /// Claims and runs morsels of `job` until drained; the last finisher
-  /// signals done_cv and the first to observe exhaustion dequeues the job.
-  void Participate(const std::shared_ptr<Job>& job);
+  /// Runs one claimed morsel; the last finisher signals done_cv.
+  void RunMorsel(const std::shared_ptr<Job>& job, size_t t);
+  /// Removes a drained job from active_ and the scheduler (idempotent:
+  /// every participant that over-claims calls this).
+  void Retire(const Job& job);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Job>> jobs_;
+  // Invariant under mu_: active_ keys == scheduler entries, so after a
+  // successful wait on !active_.empty() a Pick() always yields a job.
+  std::map<uint64_t, std::shared_ptr<Job>> active_;
+  StrideScheduler sched_;
   std::vector<std::thread> workers_;
+  uint64_t next_job_id_ = 1;
   uint64_t jobs_run_ = 0;
 };
 

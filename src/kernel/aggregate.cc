@@ -162,8 +162,7 @@ Result<Bat> HashSetAggregate(const ExecContext& ctx, AggKind kind,
   std::vector<std::pair<Oid, Acc>> groups;  // sorted by oid before emit
   // Scatter bookkeeping is blocks x partitions; cap the fan-out so it
   // stays linear in practice (kMaxScatterDegree^2 headers at worst).
-  const BlockPlan plan = PlanBlocks(
-      ab.size(), std::min(ctx.parallel_degree(), kMaxScatterDegree));
+  const BlockPlan plan = ctx.Plan(ab.size(), kMaxScatterDegree);
   if (plan.blocks <= 1) {
     std::unordered_map<Oid, size_t> index;
     WithAccumulator(tail, kind, [&](auto accum) {
@@ -261,7 +260,7 @@ Result<Bat> RunSetAggregate(const ExecContext& ctx, AggKind kind,
     std::vector<Oid> gids;
     std::vector<Acc> accs;
   };
-  const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(n);
   // Snap each block start to its run boundary. Begins inside one giant
   // run all advance to the same run end, leaving that block empty — never
   // splitting a group.

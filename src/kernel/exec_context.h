@@ -74,6 +74,16 @@ class ExecContext {
     degree_ = degree;
     return *this;
   }
+  /// Fair-share identity on the shared TaskPool: every parallel block
+  /// planned through this context (Plan()) is charged to `group` at
+  /// `weight`. Group 0 is the shared best-effort group; the query service
+  /// assigns one group per session so a fan-out analytic session cannot
+  /// starve the others.
+  ExecContext& WithSchedule(uint64_t group, uint32_t weight = 1) {
+    sched_group_ = group;
+    sched_weight_ = weight > 0 ? weight : 1;
+    return *this;
+  }
 
   ExecTracer* tracer() const { return tracer_; }
   storage::IoStats* io() const { return io_; }
@@ -83,6 +93,24 @@ class ExecContext {
   /// override when set, else the process-wide ParallelDegree().
   int parallel_degree() const {
     return degree_ > 0 ? degree_ : ParallelDegree();
+  }
+
+  uint64_t sched_group() const { return sched_group_; }
+  uint32_t sched_weight() const { return sched_weight_; }
+
+  /// Plans a parallel evaluation phase of `n` items at this context's
+  /// degree and stamps the plan with the context's fair-share identity —
+  /// the one entry point kernels use, so every block they submit to the
+  /// TaskPool is scheduled under the owning session's group and weight.
+  /// `max_degree` further caps the fan-out (scatter phases pass
+  /// kMaxScatterDegree); 0 = no extra cap.
+  BlockPlan Plan(size_t n, int max_degree = 0) const {
+    int degree = parallel_degree();
+    if (max_degree > 0 && degree > max_degree) degree = max_degree;
+    BlockPlan plan = PlanBlocks(n, degree);
+    plan.sched_group = sched_group_;
+    plan.sched_weight = sched_weight_;
+    return plan;
   }
 
   /// A deterministic generator derived from the context seed.
@@ -108,12 +136,21 @@ class ExecContext {
     return Status::OK();
   }
 
+  /// Returns previously charged bytes of *transient* working state
+  /// (probe/match shards, head-join alignment maps): such state is charged
+  /// while live, so the budget caps honest peak memory, and released when
+  /// the operator frees it — unlike result BUNs, whose charges accumulate
+  /// for the context's lifetime (the total-intermediate-MB model).
+  void ReleaseMemory(uint64_t bytes) const { charged_->fetch_sub(bytes); }
+
  private:
   ExecTracer* tracer_ = nullptr;
   storage::IoStats* io_ = nullptr;
   uint64_t budget_ = 0;  // 0 = unlimited
   uint64_t seed_ = 0;
   int degree_ = 0;  // 0 = process-wide ParallelDegree()
+  uint64_t sched_group_ = 0;
+  uint32_t sched_weight_ = 1;
   std::shared_ptr<std::atomic<uint64_t>> charged_;
 };
 

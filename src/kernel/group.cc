@@ -145,7 +145,7 @@ Result<Bat> HashGroup(const ExecContext& ctx, const Bat& ab, OpRecorder& rec) {
   const Column& tail = ab.tail();
   tail.TouchAll();
   std::vector<Oid> gids(ab.size());
-  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(ab.size());
   if (plan.blocks <= 1) {
     GroupTable groups(tail);
     WithRowOps(tail, [&](auto hash, auto eq) {
@@ -247,7 +247,7 @@ Result<std::vector<Oid>> ParallelRefine(const ExecContext& ctx, const Bat& ab,
                                         const DposFn& dpos_of) {
   const Column& prev = ab.tail();
   std::vector<Oid> gids(ab.size());
-  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(ab.size());
   const auto missing = [] {
     return Status::ExecutionError(
         "group refinement: left head value missing on the right");

@@ -80,6 +80,34 @@ class ChargeGate {
   size_t pending_ = 0;
 };
 
+/// RAII budget charge for *transient* working state — probe/match shards,
+/// head-join alignment maps, anything sized to the data but freed before
+/// the operator returns. Charged like result bytes so the budget caps
+/// honest peak memory (the admission controller's capacity math), but
+/// released on destruction: transient state does not accumulate in the
+/// context's total-intermediate model, and a failed operator releases it
+/// automatically on unwind.
+class TransientCharge {
+ public:
+  explicit TransientCharge(const ExecContext& ctx) : ctx_(ctx) {}
+  ~TransientCharge() { ctx_.ReleaseMemory(bytes_); }
+
+  Status Add(uint64_t bytes) {
+    MF_RETURN_NOT_OK(ctx_.ChargeMemory(bytes));
+    bytes_ += bytes;
+    return Status::OK();
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+  TransientCharge(const TransientCharge&) = delete;
+  TransientCharge& operator=(const TransientCharge&) = delete;
+
+ private:
+  const ExecContext& ctx_;
+  uint64_t bytes_ = 0;
+};
+
 /// Deterministic combination of sync keys: operators derive the sync key of
 /// a result head column from the operand keys so that structurally
 /// identical dataflows yield identical keys (the basis of synced-property

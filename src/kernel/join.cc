@@ -126,7 +126,7 @@ Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     storage::IoStats io = storage::IoStats::ForShard();
     Status status = Status::OK();
   };
-  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(ab.size());
   std::vector<Shard> shards(plan.blocks);
   RunBlocks(plan, [&](int block, size_t begin, size_t end) {
     Shard& mine = shards[block];
@@ -169,6 +169,11 @@ Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
     offset[bl + 1] = offset[bl] + shards[bl].lefts.size();
   }
+  // The (left, right) position shards are transient working state: charge
+  // them across the scatter (peak = shards + result heaps), released when
+  // they die with this scope.
+  internal::TransientCharge staging(ctx);
+  MF_RETURN_NOT_OK(staging.Add(offset.back() * 2 * sizeof(uint32_t)));
   bat::ColumnScatter hs(a, offset.back());
   bat::ColumnScatter ts(d, offset.back());
   RunBlocks(plan, [&](int block, size_t, size_t) {

@@ -133,7 +133,7 @@ Result<Bat> SyncedNumericMultiplex(const ExecContext& ctx,
   MF_RETURN_NOT_OK(ctx.ChargeMemory(n * sizeof(double)));
   std::vector<double> out(n);
   const NumOp op = NumOpOf(fn);
-  const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(n);
   WithNumAccessor(args[0], [&](auto ax) {
     WithNumAccessor(args[1], [&](auto ay) {
       RunBlocks(plan, [&](int, size_t begin, size_t end) {
@@ -401,7 +401,7 @@ Result<Bat> SyncedMultiplex(const ExecContext& ctx, const std::string& fn,
       static_cast<uint64_t>(n) *
       static_cast<uint64_t>(TypeWidth(sh.out_type))));
 
-  const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(n);
   const ArgIndexer ident{&sh};
   ColumnPtr out_tail;
   if (sh.out_type == MonetType::kStr) {
@@ -494,14 +494,16 @@ Result<Bat> HeadJoinMultiplex(const ExecContext& ctx, const std::string& fn,
   // Alignment maps: pos[k][i] = first position of bats[k] whose head
   // equals the driver head at i, -1 when absent (row i then drops out).
   // Blocks write disjoint [begin, end) windows. The maps are O(n) per
-  // non-driver operand, so they charge the budget like group.cc's oid
-  // maps do — admission must see them before the allocation commits.
+  // non-driver operand and die with this call, so they charge the budget
+  // as transient working state — admission sees the peak before the
+  // allocation commits, and the charge is released on return.
   std::vector<std::vector<int64_t>> pos(nb);
   uint64_t align_bytes = 0;
   for (size_t k = 0; k < nb; ++k) {
     if (sh.bats[k] != driver) align_bytes += n * sizeof(int64_t);
   }
-  MF_RETURN_NOT_OK(ctx.ChargeMemory(align_bytes));
+  internal::TransientCharge staging(ctx);
+  MF_RETURN_NOT_OK(staging.Add(align_bytes));
   for (size_t k = 0; k < nb; ++k) {
     if (sh.bats[k] != driver) pos[k].assign(n, -1);
   }
@@ -517,7 +519,7 @@ Result<Bat> HeadJoinMultiplex(const ExecContext& ctx, const std::string& fn,
     storage::IoStats io = storage::IoStats::ForShard();
     Status status = Status::OK();
   };
-  const BlockPlan plan = PlanBlocks(n, ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(n);
   std::vector<Shard> shards(plan.blocks);
   double probe;
   const bool typed =
@@ -577,6 +579,10 @@ Result<Bat> HeadJoinMultiplex(const ExecContext& ctx, const std::string& fn,
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
     offset[bl + 1] = offset[bl] + shards[bl].keep.size();
   }
+  // Kept-row and typed-value shards are further transient staging, live
+  // until the scatter below finishes; released with the alignment maps.
+  MF_RETURN_NOT_OK(staging.Add(
+      offset.back() * (sizeof(uint32_t) + (typed ? sizeof(double) : 0))));
   bat::ColumnScatter hs(driver->head(), offset.back());
   ColumnPtr out_tail;
   if (str_out) {

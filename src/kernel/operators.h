@@ -63,6 +63,15 @@ Result<Bat> SelectCmp(const ExecContext& ctx, const Bat& ab, CmpOp op,
 Result<Bat> SelectLike(const ExecContext& ctx, const Bat& ab,
                        const std::string& pattern);
 
+/// Two-probe selectivity estimate for a range selection: on a tail-sorted
+/// operand, two untouched binary searches bracket the qualifying range and
+/// the estimate is exact. Returns the qualifying fraction in [0, 1], or a
+/// negative value when the tail order admits no cheap estimate (unsorted or
+/// void tails) — callers then fall back to kDispatchSelectivity. Feeds both
+/// the select dispatch and admission-control plan pricing; never touches
+/// pages.
+double EstimateSelectivity(const Bat& ab, const Bound& lo, const Bound& hi);
+
 // ---------------------------------------------------------------------
 // Joins.
 

@@ -42,6 +42,9 @@ std::string DispatchInput::ToString() const {
     out += param->name.empty() ? std::to_string(param->code) : param->name;
   }
   if (degree > 1) out += "; deg=" + std::to_string(degree);
+  if (est_selectivity >= 0) {
+    out += "; sel=" + std::to_string(est_selectivity);
+  }
   out += ")";
   return out;
 }
@@ -98,6 +101,13 @@ const KernelRegistry::Variant* KernelRegistry::Choose(
     }
   }
   return best;
+}
+
+std::optional<double> KernelRegistry::PriceCheapest(
+    const std::string& op, const DispatchInput& in) const {
+  const Variant* v = Choose(op, in);
+  if (v == nullptr) return std::nullopt;
+  return v->cost(in);
 }
 
 KernelRegistry::Explanation KernelRegistry::Explain(

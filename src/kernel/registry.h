@@ -76,6 +76,12 @@ struct DispatchInput {
   /// evaluation phase scales with the TaskPool; page-fault terms are
   /// degree-invariant (parallel execution never saves a cold fault).
   int degree = 1;
+  /// Estimated fraction of qualifying rows, when the caller can do better
+  /// than the fixed kDispatchSelectivity prior — the select entry point
+  /// sets this from a two-probe binary-search estimate on tail-sorted
+  /// operands. Negative = unknown; cost functions fall back to the
+  /// constant.
+  double est_selectivity = -1.0;
 
   std::string ToString() const;
 };
@@ -146,6 +152,13 @@ class KernelRegistry {
   /// The dynamic-optimization step: cheapest applicable variant of `op`
   /// for this input, or nullptr when none applies (or `op` is unknown).
   const Variant* Choose(const std::string& op, const DispatchInput& in) const;
+
+  /// Predicted page-fault cost of the variant Choose() would pick —
+  /// the plan-pricing entry point admission control uses to veto or queue
+  /// a query before anything executes. nullopt when no variant applies
+  /// (or `op` is unknown).
+  std::optional<double> PriceCheapest(const std::string& op,
+                                      const DispatchInput& in) const;
 
   /// Runs the chosen variant. `Args` must match the family's exec
   /// signature exactly (the OpRecorder reference last).

@@ -25,13 +25,16 @@ using internal::NumValue;
 using internal::SetSync;
 
 /// First position i in the (tail-sorted) column with col[i] >= v
-/// (or > v when `after_equal`). Binary search; probes are counted.
-size_t LowerPos(const Column& col, const Value& v, bool after_equal) {
+/// (or > v when `after_equal`). Binary search; probes are counted unless
+/// `touch` is false (the selectivity *estimate* must not perturb the fault
+/// accounting of the execution it prices).
+size_t LowerPos(const Column& col, const Value& v, bool after_equal,
+                bool touch = true) {
   size_t lo = 0;
   size_t hi = col.size();
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
-    col.TouchAt(mid);
+    if (touch) col.TouchAt(mid);
     const int c = col.CompareValue(mid, v);
     const bool go_right = after_equal ? (c <= 0) : (c < 0);
     if (go_right) {
@@ -90,6 +93,11 @@ Result<std::pair<ColumnPtr, ColumnPtr>> GatherMatches(
     offset[b + 1] = offset[b] + matches[b].idx.size();
   }
   const size_t total = offset.back();
+  // The match lists are transient working state: charge them while the
+  // gather holds both them and the result heaps live (the operator's peak),
+  // release on return when the shards die.
+  internal::TransientCharge staging(ctx);
+  MF_RETURN_NOT_OK(staging.Add(total * sizeof(uint32_t)));
   MF_RETURN_NOT_OK(ChargeGather(ctx, total, head, tail));
 
   ColumnScatter hs(head, total);
@@ -235,7 +243,7 @@ Result<Bat> ScanSelect(const ExecContext& ctx, const Bat& ab, const Bound& lo,
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   tail.TouchAll();
-  const BlockPlan plan = PlanBlocks(tail.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(tail.size());
   std::vector<MatchShard> matches(plan.blocks);
   ScanMatches(tail, lo, hi, plan, matches);
   MF_ASSIGN_OR_RETURN(auto cols,
@@ -251,12 +259,16 @@ Result<Bat> ScanSelect(const ExecContext& ctx, const Bat& ab, const Bound& lo,
 
 
 /// Shared entry of all range/point selections on the tail: one data-driven
-/// dispatch over the registered variants (Section 5.1).
+/// dispatch over the registered variants (Section 5.1), with the dispatch
+/// input refined by the two-probe selectivity estimate where the tail
+/// order admits one.
 Result<Bat> RangeSelect(const ExecContext& ctx, const Bat& ab,
                         const Bound& lo, const Bound& hi) {
   OpRecorder rec(ctx, "select");
-  return KernelRegistry::Global().Dispatch<SelectImplSig>(
-      "select", MakeInput(ctx, ab), ctx, ab, lo, hi, rec);
+  DispatchInput in = MakeInput(ctx, ab);
+  in.est_selectivity = EstimateSelectivity(ab, lo, hi);
+  return KernelRegistry::Global().Dispatch<SelectImplSig>("select", in, ctx,
+                                                          ab, lo, hi, rec);
 }
 
 /// Scan selection with an arbitrary tail predicate; used by != and LIKE.
@@ -271,7 +283,7 @@ Result<Bat> PredicateSelect(const ExecContext& ctx, const Bat& ab,
   const Column& head = ab.head();
   const Column& tail = ab.tail();
   tail.TouchAll();
-  const BlockPlan plan = PlanBlocks(tail.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(tail.size());
   std::vector<MatchShard> matches(plan.blocks);
   RunBlocks(plan, [&](int block, size_t begin, size_t end) {
     std::vector<uint32_t>& mine = matches[block].idx;
@@ -296,6 +308,22 @@ Result<Bat> PredicateSelect(const ExecContext& ctx, const Bat& ab,
 }
 
 }  // namespace
+
+double EstimateSelectivity(const Bat& ab, const Bound& lo, const Bound& hi) {
+  if (!ab.props().tsorted || ab.tail().is_void() || ab.size() == 0) {
+    return -1.0;
+  }
+  // Two untouched binary-search probes bracket the qualifying range on the
+  // sorted tail — O(log n) compares, no page touches, so pricing a select
+  // never perturbs the fault accounting of running it.
+  const Column& tail = ab.tail();
+  size_t begin = 0;
+  size_t end = tail.size();
+  if (lo.present) begin = LowerPos(tail, lo.value, !lo.inclusive, false);
+  if (hi.present) end = LowerPos(tail, hi.value, hi.inclusive, false);
+  if (begin > end) begin = end;
+  return static_cast<double>(end - begin) / static_cast<double>(tail.size());
+}
 
 Result<Bat> Select(const ExecContext& ctx, const Bat& ab, const Value& v) {
   Bound b{true, true, v};
@@ -345,18 +373,26 @@ Result<Bat> SelectLike(const ExecContext& ctx, const Bat& ab,
 
 namespace internal {
 
+/// The select variants' selectivity prior: the two-probe estimate when the
+/// entry point could compute one (tail-sorted operand with known bounds),
+/// else the fixed kDispatchSelectivity constant.
+double DispatchSelectivity(const DispatchInput& in) {
+  return in.est_selectivity >= 0 ? in.est_selectivity : kDispatchSelectivity;
+}
+
 void RegisterSelectKernels(KernelRegistry& r) {
-  // Costs are expected cold page faults (Section 5.2.2): the true
-  // selectivity is unknown at dispatch time, so both variants price their
-  // result gather at the same assumed selectivity and the decision hinges
-  // on the access path — log2(pages) probes vs a full tail scan.
+  // Costs are expected cold page faults (Section 5.2.2). Both variants
+  // price their result gather at the same selectivity prior, so the
+  // decision hinges on the access path — log2(pages) probes vs a full
+  // tail scan — until the estimated match volume makes the binsearch's
+  // range copy itself approach the scan.
   r.Register<SelectImplSig>(
       "select", "binsearch_select",
       [](const DispatchInput& in) {
         return in.left.props.tsorted && !in.left.tail_void;
       },
       [](const DispatchInput& in) {
-        const double s = kDispatchSelectivity;
+        const double s = DispatchSelectivity(in);
         return BinarySearchPages(in.left.size, in.left.tail_width) +
                s * (HeapPages(in.left.size, in.left.tail_width) +
                     HeapPages(in.left.size, in.left.head_width));
@@ -367,9 +403,13 @@ void RegisterSelectKernels(KernelRegistry& r) {
       "select", "scan_select",
       [](const DispatchInput&) { return true; },
       [](const DispatchInput& in) {
-        const double matches = kDispatchSelectivity * in.left.size;
+        const double matches = DispatchSelectivity(in) * in.left.size;
+        // The CPU tie-breaker (n compares vs the binsearch's log n)
+        // decides the page-count ties of small operands, where both
+        // variants round to the same one or two pages.
         return HeapPages(in.left.size, in.left.tail_width) +
-               RandomFetchPages(in.left.size, in.left.head_width, matches);
+               RandomFetchPages(in.left.size, in.left.head_width, matches) +
+               kCpuSequential / ParallelCpuScale(in.left.size, in.degree);
       },
       std::function<SelectImplSig>(ScanSelect),
       "parallel-block typed scan of the tail, two-phase parallel gather");

@@ -57,7 +57,7 @@ Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
     // block shards concatenate in block order, reproducing the serial
     // LOOKUP array (and, via the shard merge, its exact probe faults).
     cd.head().TouchAll();
-    const BlockPlan plan = PlanBlocks(cd.size(), ctx.parallel_degree());
+    const BlockPlan plan = ctx.Plan(cd.size());
     struct Shard {
       std::vector<uint32_t> positions;
       storage::IoStats io = storage::IoStats::ForShard();
@@ -88,7 +88,7 @@ Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
   // are data, not results, so there is no match-count phase to run).
   const size_t hits = lookup->size();
   MF_RETURN_NOT_OK(ChargeGather(ctx, hits, extent, vector));
-  const BlockPlan iplan = PlanBlocks(hits, ctx.parallel_degree());
+  const BlockPlan iplan = ctx.Plan(hits);
   bat::ColumnScatter hs(extent, hits);
   bat::ColumnScatter ts(vector, hits);
   const uint32_t* pos_data = lookup->data();
@@ -219,7 +219,7 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     storage::IoStats io = storage::IoStats::ForShard();
     Status status = Status::OK();
   };
-  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(ab.size());
   std::vector<Shard> shards(plan.blocks);
   RunBlocks(plan, [&](int block, size_t begin, size_t end) {
     Shard& mine = shards[block];
@@ -250,6 +250,10 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
     offset[bl + 1] = offset[bl] + shards[bl].matches.size();
   }
+  // Match-position shards are transient: charged across the scatter
+  // (peak = shards + result heaps), released when this scope frees them.
+  internal::TransientCharge staging(ctx);
+  MF_RETURN_NOT_OK(staging.Add(offset.back() * sizeof(uint32_t)));
   bat::ColumnScatter hs(a, offset.back());
   bat::ColumnScatter ts(b, offset.back());
   RunBlocks(plan, [&](int block, size_t, size_t) {
@@ -327,7 +331,7 @@ Result<Bat> HashAntiSemijoin(const ExecContext& ctx, const Bat& ab,
   const Column& b = ab.tail();
   auto hash = cd.EnsureHeadHash(ctx.parallel_degree());
   a.TouchAll();
-  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(ab.size());
   MF_ASSIGN_OR_RETURN(
       std::vector<MissShard> shards,
       ParallelMisses(ctx, *hash, a, b, internal::ChargeRowBytes(a, b), plan));
@@ -335,6 +339,10 @@ Result<Bat> HashAntiSemijoin(const ExecContext& ctx, const Bat& ab,
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
     offset[bl + 1] = offset[bl] + shards[bl].misses.size();
   }
+  // Miss-position shards are transient: charged across the scatter,
+  // released when this scope frees them.
+  internal::TransientCharge staging(ctx);
+  MF_RETURN_NOT_OK(staging.Add(offset.back() * sizeof(uint32_t)));
   bat::ColumnScatter hs(a, offset.back());
   bat::ColumnScatter ts(b, offset.back());
   RunBlocks(plan, [&](int block, size_t, size_t) {
@@ -378,11 +386,19 @@ Result<Bat> HashUnion(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   const Column& c = cd.head();
   const Column& d = cd.tail();
   c.TouchAll();
-  const BlockPlan plan = PlanBlocks(cd.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(cd.size());
   // The result rows were charged upfront (the ab.size()+cd.size() upper
   // bound above), so the miss gate adds nothing more.
   MF_ASSIGN_OR_RETURN(std::vector<MissShard> shards,
                       ParallelMisses(ctx, *hash, c, d, 0, plan));
+  internal::TransientCharge staging(ctx);
+  {
+    uint64_t miss_bytes = 0;
+    for (const MissShard& s : shards) {
+      miss_bytes += s.misses.size() * sizeof(uint32_t);
+    }
+    MF_RETURN_NOT_OK(staging.Add(miss_bytes));
+  }
   for (const MissShard& s : shards) {
     hb.GatherFrom(c, s.misses.data(), s.misses.size());
     tb.GatherFrom(d, s.misses.data(), s.misses.size());

@@ -110,6 +110,10 @@ Result<Bat> MaterializeThetaMatches(const ExecContext& ctx, const Bat& ab,
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
     offset[bl + 1] = offset[bl] + shards[bl].lefts.size();
   }
+  // The (left, right) match shards are transient: charged across the
+  // scatter, released when the caller frees them right after this returns.
+  internal::TransientCharge staging(ctx);
+  MF_RETURN_NOT_OK(staging.Add(offset.back() * 2 * sizeof(uint32_t)));
   bat::ColumnScatter hs(ab.head(), offset.back());
   bat::ColumnScatter ts(cd.tail(), offset.back());
   RunBlocks(plan, [&](int block, size_t, size_t) {
@@ -150,7 +154,7 @@ Result<Bat> BandThetaJoin(const ExecContext& ctx, const Bat& ab,
   b.TouchAll();
   c.TouchAll();
 
-  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(ab.size());
   std::vector<ThetaShard> shards(plan.blocks);
   RunBlocks(plan, [&](int block, size_t begin, size_t end) {
     ThetaShard& mine = shards[block];
@@ -267,7 +271,7 @@ Result<Bat> NestedThetaJoin(const ExecContext& ctx, const Bat& ab,
   c.TouchAll();
   const size_t m = cd.size();
 
-  const BlockPlan plan = PlanBlocks(ab.size(), ctx.parallel_degree());
+  const BlockPlan plan = ctx.Plan(ab.size());
   std::vector<ThetaShard> shards(plan.blocks);
   RunBlocks(plan, [&](int block, size_t begin, size_t end) {
     ThetaShard& mine = shards[block];

@@ -59,6 +59,7 @@ Status MilInterpreter::Run(const MilProgram& program) {
 }
 
 Status MilInterpreter::Exec(const MilStmt& stmt) {
+  if (hook_) MF_RETURN_NOT_OK(hook_(stmt));
   // The session context (explicit, or a per-statement snapshot of the
   // legacy thread-local scopes); the statement runs under a copy with a
   // local tracer so the per-statement implementation choices can be

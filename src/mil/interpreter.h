@@ -1,6 +1,7 @@
 #ifndef MOAFLAT_MIL_INTERPRETER_H_
 #define MOAFLAT_MIL_INTERPRETER_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <variant>
@@ -72,6 +73,14 @@ class MilInterpreter {
   /// Executes a single statement.
   Status Exec(const MilStmt& stmt);
 
+  /// Statement-level execution hook: called before each statement runs;
+  /// a non-OK return aborts the program with that status, leaving the
+  /// environment with the bindings committed so far. The query service
+  /// uses this for cooperative cancellation between the statements of an
+  /// admitted program (a running kernel is never interrupted mid-flight).
+  using StmtHook = std::function<Status(const MilStmt&)>;
+  void SetStmtHook(StmtHook hook) { hook_ = std::move(hook); }
+
   const std::vector<StmtTrace>& traces() const { return traces_; }
 
   /// Renders the trace like Fig. 10 of the paper (elapsed ms, page faults,
@@ -85,6 +94,7 @@ class MilInterpreter {
 
   MilEnv* env_;
   const kernel::ExecContext* ctx_;
+  StmtHook hook_;
   std::vector<StmtTrace> traces_;
 };
 

@@ -1,0 +1,49 @@
+#ifndef MOAFLAT_SERVICE_PRICER_H_
+#define MOAFLAT_SERVICE_PRICER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mil/interpreter.h"
+#include "mil/program.h"
+
+namespace moaflat::service {
+
+/// Predicted cost of one statement of a MIL plan.
+struct StmtPrice {
+  std::string text;     // the statement, rendered
+  double faults = 0;    // expected cold page faults (Section 5.2.2 model)
+  double est_rows = 0;  // estimated result cardinality
+};
+
+/// Predicted cost of a whole MIL program — what admission control compares
+/// against the session's and the service's fault capacity before anything
+/// executes.
+struct PlanPrice {
+  double faults = 0;            // sum over the statements
+  uint64_t est_result_bytes = 0;  // rough cumulative result volume
+  std::vector<StmtPrice> stmts;
+
+  std::string ToString() const;
+};
+
+/// Prices `program` against the bindings of `env` without executing it:
+/// statements over registered operator families ask the KernelRegistry
+/// which variant dynamic optimization would pick and what it would cost
+/// (KernelRegistry::PriceCheapest over estimated operand views); cardinality
+/// estimates propagate statement to statement (two-probe selectivity for
+/// selects on tail-sorted bound BATs, EstEquiMatches for equi-joins,
+/// operand cardinality elsewhere). Unregistered reshaping operators are
+/// priced as sequential passes over their operands. Nothing is executed, no
+/// accelerator is built, no page is touched.
+///
+/// Fails only on statements that could never execute (unknown operator,
+/// unbound first operand) — pricing is deliberately more permissive than
+/// execution, since its job is a capacity estimate, not validation.
+Result<PlanPrice> PriceProgram(const mil::MilProgram& program,
+                               const mil::MilEnv& env);
+
+}  // namespace moaflat::service
+
+#endif  // MOAFLAT_SERVICE_PRICER_H_

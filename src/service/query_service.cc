@@ -1,0 +1,333 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "kernel/exec_tracer.h"
+#include "mil/parser.h"
+
+namespace moaflat::service {
+
+QueryService::QueryService(ServiceConfig cfg) : cfg_(cfg) {
+  if (cfg_.executors < 1) cfg_.executors = 1;
+  executors_.reserve(static_cast<size_t>(cfg_.executors));
+  for (int i = 0; i < cfg_.executors; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Cancel whatever is running; executors notice between statements.
+    for (auto& [id, q] : queries_) q->cancel = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : executors_) t.join();
+}
+
+void QueryService::SetCatalog(mil::MilEnv catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  catalog_ = std::move(catalog);
+}
+
+Result<uint64_t> QueryService::OpenSession(SessionOptions opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= cfg_.max_sessions) {
+    return Status::ResourceExhausted(
+        "session limit reached (" + std::to_string(cfg_.max_sessions) + ")");
+  }
+  Session s;
+  s.id = next_session_++;
+  s.opts = opts;
+  s.env = catalog_;
+  const uint64_t id = s.id;
+  sessions_.emplace(id, std::move(s));
+  return id;
+}
+
+Status QueryService::CloseSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::KeyError("unknown session " + std::to_string(session_id));
+  }
+  Session& s = it->second;
+  s.closing = true;
+  // Veto everything still waiting; cancel the running query cooperatively.
+  for (auto wait_it = admit_order_.begin(); wait_it != admit_order_.end();) {
+    auto q = queries_.at(*wait_it);
+    if (q->session == session_id) {
+      q->state = QueryState::kVetoed;
+      q->admission.action = Admission::kVeto;
+      q->admission.reason = "session closed";
+      ++counters_.vetoed;
+      s.pending--;
+      wait_it = admit_order_.erase(wait_it);
+    } else {
+      ++wait_it;
+    }
+  }
+  for (auto& [id, q] : queries_) {
+    if (q->session == session_id && q->state == QueryState::kRunning) {
+      q->cancel = true;
+    }
+  }
+  if (!s.busy) sessions_.erase(it);
+  done_cv_.notify_all();
+  return Status::OK();
+}
+
+Result<uint64_t> QueryService::Submit(uint64_t session_id,
+                                      const std::string& mil_text) {
+  MF_ASSIGN_OR_RETURN(mil::MilProgram program, mil::ParseMil(mil_text));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || it->second.closing) {
+    return Status::KeyError("unknown or closed session " +
+                            std::to_string(session_id));
+  }
+  Session& s = it->second;
+
+  // Price before anything executes: the cost model sees the session's
+  // current bindings (including results of its earlier queries).
+  MF_ASSIGN_OR_RETURN(PlanPrice price, PriceProgram(program, s.env));
+
+  auto q = std::make_shared<Query>();
+  q->id = next_query_++;
+  q->session = session_id;
+  q->program = std::move(program);
+  q->admission.predicted_cost = price.faults;
+  ++counters_.submitted;
+
+  // --- the admission decision, in veto-first order --------------------
+  const double session_cap = s.opts.max_query_cost;
+  const double service_cap = cfg_.max_query_cost;
+  const size_t session_queue =
+      s.opts.max_queued > 0 ? s.opts.max_queued : cfg_.session_queue_limit;
+  std::string veto;
+  if (session_cap > 0 && price.faults > session_cap) {
+    veto = "predicted cost " + std::to_string(price.faults) +
+           " exceeds session max_query_cost " + std::to_string(session_cap);
+  } else if (service_cap > 0 && price.faults > service_cap) {
+    veto = "predicted cost " + std::to_string(price.faults) +
+           " exceeds service max_query_cost " + std::to_string(service_cap);
+  } else if (s.pending >= session_queue) {
+    veto = "session admission queue full (" + std::to_string(session_queue) +
+           ")";
+  } else if (admit_order_.size() >= cfg_.queue_limit) {
+    veto = "service admission queue full (" +
+           std::to_string(cfg_.queue_limit) + ")";
+  }
+  if (!veto.empty()) {
+    q->state = QueryState::kVetoed;
+    q->admission.action = Admission::kVeto;
+    q->admission.reason = std::move(veto);
+    ++counters_.vetoed;
+    queries_.emplace(q->id, q);
+    done_cv_.notify_all();
+    return q->id;
+  }
+
+  // kAdmit means "starts immediately": the session is idle, nothing is
+  // waiting ahead of it, and the predicted cost fits the capacity that is
+  // actually reserved right now. Anything else waits its FIFO turn.
+  const bool capacity_ok =
+      cfg_.admit_capacity <= 0 ||
+      inflight_cost_ + price.faults <= cfg_.admit_capacity;
+  if (s.busy || !capacity_ok || !admit_order_.empty()) {
+    q->admission.action = Admission::kQueue;
+    q->admission.reason = s.busy          ? "session busy"
+                          : !capacity_ok  ? "service at capacity"
+                                          : "behind earlier submissions";
+  } else {
+    q->admission.action = Admission::kAdmit;
+  }
+  q->state = QueryState::kQueued;
+  s.pending++;
+  queries_.emplace(q->id, q);
+  admit_order_.push_back(q->id);
+  lock.unlock();
+  work_cv_.notify_one();
+  return q->id;
+}
+
+Result<PlanPrice> QueryService::Price(uint64_t session_id,
+                                      const std::string& mil_text) const {
+  MF_ASSIGN_OR_RETURN(mil::MilProgram program, mil::ParseMil(mil_text));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::KeyError("unknown session " + std::to_string(session_id));
+  }
+  return PriceProgram(program, it->second.env);
+}
+
+QueryResult QueryService::Snapshot(const Query& q) const {
+  QueryResult r;
+  r.id = q.id;
+  r.session = q.session;
+  r.state = q.state;
+  r.status = q.status;
+  r.admission = q.admission;
+  r.results = q.results;
+  r.traces = q.traces;
+  r.faults = q.faults;
+  r.memory_charged = q.memory_charged;
+  r.elapsed_us = q.elapsed_us;
+  return r;
+}
+
+Result<QueryResult> QueryService::Poll(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::KeyError("unknown query " + std::to_string(query_id));
+  }
+  return Snapshot(*it->second);
+}
+
+Result<QueryResult> QueryService::Wait(uint64_t query_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::KeyError("unknown query " + std::to_string(query_id));
+  }
+  std::shared_ptr<Query> q = it->second;
+  done_cv_.wait(lock, [&] {
+    return q->state == QueryState::kDone || q->state == QueryState::kError ||
+           q->state == QueryState::kVetoed;
+  });
+  return Snapshot(*q);
+}
+
+QueryService::Stats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.sessions_open = sessions_.size();
+  s.inflight_cost = inflight_cost_;
+  s.queued = admit_order_.size();
+  return s;
+}
+
+std::shared_ptr<QueryService::Query> QueryService::PickRunnable() {
+  for (auto it = admit_order_.begin(); it != admit_order_.end(); ++it) {
+    auto q = queries_.at(*it);
+    Session& s = sessions_.at(q->session);
+    if (s.busy) continue;  // one query per session; later sessions may run
+    if (cfg_.admit_capacity > 0 &&
+        inflight_cost_ + q->admission.predicted_cost > cfg_.admit_capacity) {
+      // Strict FIFO under the capacity bound: a large query at the head is
+      // not overtaken by cheaper later ones, so it cannot starve.
+      break;
+    }
+    admit_order_.erase(it);
+    s.busy = true;
+    inflight_cost_ += q->admission.predicted_cost;
+    q->state = QueryState::kRunning;
+    return q;
+  }
+  return nullptr;
+}
+
+void QueryService::ExecutorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !admit_order_.empty(); });
+    if (stopping_) return;
+    std::shared_ptr<Query> q = PickRunnable();
+    if (q == nullptr) {
+      // Head blocked on capacity or every waiting session busy: sleep until
+      // a completion or submission changes the picture.
+      work_cv_.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    RunQuery(q);
+    lock.lock();
+  }
+}
+
+void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
+  // Snapshot the session configuration and environment under the lock; the
+  // run itself touches neither the service state nor other sessions. The
+  // environment copy is cheap (columns are shared) and gives failed or
+  // cancelled queries transactional behavior: bindings commit only on
+  // success.
+  SessionOptions opts;
+  mil::MilEnv env;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Session& s = sessions_.at(q->session);
+    opts = s.opts;
+    env = s.env;
+  }
+
+  // The per-query ExecContext: own fault accountant, tracer and memory
+  // charge counter (so budgets cap one query and sessions stay reusable),
+  // the session's degree, and the session id as fair-share group on the
+  // shared TaskPool.
+  storage::IoStats io;
+  kernel::ExecTracer tracer;
+  kernel::ExecContext ctx;
+  ctx.WithIo(&io)
+      .WithTracer(&tracer)
+      .WithMemoryBudget(opts.memory_budget)
+      .WithParallelDegree(opts.parallel_degree)
+      .WithSchedule(q->session, opts.weight)
+      .WithSeed(opts.seed);
+
+  mil::MilInterpreter interp(&env, &ctx);
+  interp.SetStmtHook([this, &q](const mil::MilStmt&) -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q->cancel) {
+      return Status::ExecutionError("query cancelled (session closed)");
+    }
+    return Status::OK();
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  Status run = interp.Run(q->program);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  q->traces = interp.traces();
+  q->faults = io.faults();
+  q->memory_charged = ctx.memory_charged();
+  q->elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  if (run.ok()) {
+    q->state = QueryState::kDone;
+    // Expose the declared result names; a program without a result clause
+    // (the common case for wire submissions) exposes every statement var.
+    std::vector<std::string> names = q->program.results;
+    if (names.empty()) {
+      for (const mil::MilStmt& s : q->program.stmts) names.push_back(s.var);
+    }
+    for (const std::string& name : names) {
+      auto it = env.bindings().find(name);
+      if (it != env.bindings().end()) q->results.emplace(name, it->second);
+    }
+    ++counters_.completed;
+  } else {
+    q->state = QueryState::kError;
+    q->status = run;
+    ++counters_.failed;
+  }
+
+  auto sit = sessions_.find(q->session);
+  if (sit != sessions_.end()) {
+    Session& s = sit->second;
+    s.busy = false;
+    s.pending--;
+    if (run.ok() && !s.closing) s.env = std::move(env);  // commit bindings
+    if (s.closing && s.pending == 0) sessions_.erase(sit);
+  }
+  inflight_cost_ -= q->admission.predicted_cost;
+  work_cv_.notify_all();  // capacity freed; the session is idle again
+  done_cv_.notify_all();
+}
+
+}  // namespace moaflat::service

@@ -1,0 +1,200 @@
+#ifndef MOAFLAT_SERVICE_QUERY_SERVICE_H_
+#define MOAFLAT_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernel/exec_context.h"
+#include "mil/interpreter.h"
+#include "mil/program.h"
+#include "service/pricer.h"
+#include "storage/page_accountant.h"
+
+/// The embedded query service: a multi-session front end over the MIL
+/// interpreter. Each session wraps an ExecContext of its own — memory
+/// budget, parallelism degree, fair-share weight on the shared TaskPool —
+/// and queries are priced by the Section 5.2.2 cost model *before*
+/// execution: admission control admits, queues, or vetoes each statement
+/// plan from its predicted fault volume, so one runaway analytic query is
+/// refused at the door instead of thrashing every session's working set.
+namespace moaflat::service {
+
+/// Per-session knobs, fixed at OpenSession.
+struct SessionOptions {
+  /// Cap on cumulative materialized bytes per query (0 = unlimited). Each
+  /// query runs under a fresh charge counter, so a vetoed or failed query
+  /// leaves the session reusable.
+  uint64_t memory_budget = 0;
+  /// Parallel degree of the session's ExecContext (0 = process default).
+  int parallel_degree = 0;
+  /// Fair-share weight of the session's TaskPool group. A weight-2 session
+  /// advances its stride pass half as fast, i.e. receives twice the morsel
+  /// share of a weight-1 session under contention.
+  uint32_t weight = 1;
+  /// Veto any query whose predicted fault volume exceeds this (0 = defer
+  /// to the service-wide limit).
+  double max_query_cost = 0;
+  /// Queued (admitted but not yet running) queries allowed on this session
+  /// (0 = service default).
+  size_t max_queued = 0;
+  /// RNG seed of the session context.
+  uint64_t seed = 0;
+};
+
+/// Service-wide configuration.
+struct ServiceConfig {
+  size_t max_sessions = 64;
+  /// Executor threads draining admitted queries. Each runs one query at a
+  /// time; morsel-level fairness inside a query is the TaskPool's job.
+  int executors = 2;
+  /// Total predicted fault volume allowed in flight at once (0 =
+  /// unlimited). Admission queues queries that would exceed it.
+  double admit_capacity = 0;
+  /// Service-wide per-query veto threshold on predicted faults (0 =
+  /// unlimited).
+  double max_query_cost = 0;
+  /// Bounded FIFO admission queue: queries waiting across all sessions.
+  size_t queue_limit = 64;
+  /// Default per-session pending-query bound.
+  size_t session_queue_limit = 8;
+};
+
+enum class Admission { kAdmit, kQueue, kVeto };
+
+/// The deterministic admission verdict reported for every submission.
+struct AdmissionDecision {
+  Admission action = Admission::kAdmit;
+  /// Predicted cold page faults of the whole plan (PlanPrice::faults).
+  double predicted_cost = 0;
+  std::string reason;  // set on kQueue / kVeto
+};
+
+enum class QueryState { kQueued, kRunning, kDone, kError, kVetoed };
+
+/// Snapshot of one submitted query, returned by Poll/Wait. Terminal states:
+/// kDone (results bound), kError (status holds the failure), kVetoed
+/// (admission refused it; predicted cost in `admission`).
+struct QueryResult {
+  uint64_t id = 0;
+  uint64_t session = 0;
+  QueryState state = QueryState::kQueued;
+  Status status = Status::OK();
+  AdmissionDecision admission;
+  /// Result bindings (the program's result names) after a kDone run.
+  std::map<std::string, mil::MilEnv::Binding> results;
+  /// Per-statement Fig. 10 traces of the run.
+  std::vector<mil::StmtTrace> traces;
+  uint64_t faults = 0;          // simulated cold faults of the run
+  uint64_t memory_charged = 0;  // bytes still charged at completion
+  int64_t elapsed_us = 0;
+};
+
+/// The query service. Thread-safe: sessions may be opened, submitted to and
+/// polled from any thread; `executors` internal threads drain the admitted
+/// queue. Bit-identical to direct execution — the service only adds
+/// admission and scheduling, never changes an answer.
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig cfg = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Catalog every new session starts from (BAT bindings are cheap
+  /// copy-on-write column references, not data copies).
+  void SetCatalog(mil::MilEnv catalog);
+
+  Result<uint64_t> OpenSession(SessionOptions opts = {});
+
+  /// Marks the session closing: the running query (if any) is cancelled
+  /// cooperatively between statements, pending queries are vetoed, and no
+  /// new submissions are accepted.
+  Status CloseSession(uint64_t session_id);
+
+  /// Parses, prices and admits `mil_text` on the session. Returns a query
+  /// id usable with Poll/Wait in every admission outcome — a vetoed query
+  /// is a first-class result carrying its predicted cost. Fails only on
+  /// parse/pricing errors or an unknown session.
+  Result<uint64_t> Submit(uint64_t session_id, const std::string& mil_text);
+
+  /// Dry run of admission pricing: what would this program cost on this
+  /// session right now? Executes nothing.
+  Result<PlanPrice> Price(uint64_t session_id,
+                          const std::string& mil_text) const;
+
+  /// Non-blocking snapshot of a query.
+  Result<QueryResult> Poll(uint64_t query_id) const;
+
+  /// Blocks until the query reaches a terminal state, then returns it.
+  Result<QueryResult> Wait(uint64_t query_id);
+
+  struct Stats {
+    size_t sessions_open = 0;
+    uint64_t submitted = 0;
+    uint64_t vetoed = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    double inflight_cost = 0;  // predicted faults currently running
+    size_t queued = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    SessionOptions opts;
+    mil::MilEnv env;
+    bool busy = false;     // a query of this session is running
+    bool closing = false;
+    size_t pending = 0;    // queries admitted/queued but not yet terminal
+  };
+
+  struct Query {
+    uint64_t id = 0;
+    uint64_t session = 0;
+    mil::MilProgram program;
+    AdmissionDecision admission;
+    QueryState state = QueryState::kQueued;
+    Status status = Status::OK();
+    std::map<std::string, mil::MilEnv::Binding> results;
+    std::vector<mil::StmtTrace> traces;
+    uint64_t faults = 0;
+    uint64_t memory_charged = 0;
+    int64_t elapsed_us = 0;
+    bool cancel = false;  // checked between statements
+  };
+
+  void ExecutorLoop();
+  /// Picks the next runnable query under mu_: earliest submission whose
+  /// session is idle, honoring the capacity bound strictly in FIFO order.
+  std::shared_ptr<Query> PickRunnable();
+  void RunQuery(const std::shared_ptr<Query>& q);
+  QueryResult Snapshot(const Query& q) const;
+
+  ServiceConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // executors: new runnable work
+  std::condition_variable done_cv_;   // waiters: a query reached terminal
+  mil::MilEnv catalog_;
+  std::map<uint64_t, Session> sessions_;
+  std::map<uint64_t, std::shared_ptr<Query>> queries_;
+  std::deque<uint64_t> admit_order_;  // submitted, waiting to run (FIFO)
+  double inflight_cost_ = 0;
+  uint64_t next_session_ = 1;  // TaskPool group 0 is the shared group
+  uint64_t next_query_ = 1;
+  Stats counters_;
+  bool stopping_ = false;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace moaflat::service
+
+#endif  // MOAFLAT_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,99 @@
+#ifndef MOAFLAT_SERVICE_WIRE_H_
+#define MOAFLAT_SERVICE_WIRE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "service/query_service.h"
+
+/// A thin line-protocol socket front end over the embedded QueryService, so
+/// a MIL shell can attach remotely (`mil_shell --connect host:port`). One
+/// text line per request, one `OK ...` / `ERR ...` line per reply;
+/// multi-line replies (RESULT, TRACE) end with a lone `.`:
+///
+///   OPEN [budget=N] [degree=D] [weight=W] [maxcost=C] [seed=S]
+///                                  -> OK <sid>
+///   SUBMIT <sid> <mil text>        -> OK <qid> ADMIT|QUEUE|VETO cost=<c> ...
+///   PRICE <sid> <mil text>         -> OK cost=<c> bytes=<b>
+///   POLL <qid> / WAIT <qid>        -> OK <state> cost=<c> faults=<f> ...
+///   RESULT <qid> <var> [max_rows]  -> OK <rows>, then rows, then "."
+///   TRACE <qid>                    -> OK, then Fig. 10 lines, then "."
+///   CLOSE <sid>                    -> OK
+///   PING                           -> OK moaflat
+///   BYE                            -> OK bye (connection closes)
+///
+/// In SUBMIT/PRICE the MIL text is the rest of the line; `;` separates
+/// statements (rewritten to newlines before parsing).
+namespace moaflat::service {
+
+class WireServer {
+ public:
+  /// Serves `service` on 127.0.0.1:`port` (0 = ephemeral, see port()).
+  explicit WireServer(QueryService& service, uint16_t port = 0);
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// Binds, listens and starts the accept thread.
+  Status Start();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, shuts down live connections, joins all threads.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  std::string HandleLine(const std::string& line, bool& close_conn);
+
+  QueryService& service_;
+  uint16_t port_;
+  // Read by AcceptLoop() while Stop() retires it, hence atomic; the fd is
+  // only close()d after the accept thread joins, so the value it loaded
+  // stays valid (shutdown() is what wakes the blocked accept()).
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards conns_/threads_ against Stop()
+  std::vector<int> conns_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+/// Minimal blocking client for the wire protocol, used by the remote MIL
+/// shell and the tests.
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { Close(); }
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line and returns the first reply line.
+  Result<std::string> Call(const std::string& line);
+
+  /// Reads lines of a multi-line reply body until the `.` terminator.
+  Result<std::vector<std::string>> ReadBody();
+
+ private:
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace moaflat::service
+
+#endif  // MOAFLAT_SERVICE_WIRE_H_

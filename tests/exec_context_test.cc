@@ -187,6 +187,35 @@ TEST(ExecContextTest, BudgetGatesBoxedMultiplexAndProjectPaths) {
   EXPECT_GT(roomy.memory_charged(), 0u);
 }
 
+TEST(ExecContextTest, TransientStagingIsChargedAtPeakAndReleased) {
+  // Regression: the parallel gather's per-block match lists were invisible
+  // to the budget — a query could peak far above its cap as long as the
+  // *result* fit. The staging charge must gate at the operator's true peak
+  // (result + match lists) and be released when the shards die.
+  constexpr size_t kRows = 100000;
+  Bat ab = SmallBat(kRows);
+  const uint64_t result_bytes = kRows * 12;   // oid head (8) + int tail (4)
+  const uint64_t staging_bytes = kRows * 4;   // one uint32 match slot / row
+
+  // Budget above the result but below result + staging: the all-matching
+  // scan select must be vetoed at its peak, not admitted for its result.
+  ExecContext tight;
+  tight.WithMemoryBudget(result_bytes + staging_bytes / 2);
+  auto res = kernel::SelectCmp(tight, ab, kernel::CmpOp::kGe, Value::Int(0));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(tight.memory_charged(), 0u);  // rejected peak fully refunded
+
+  // Roomy budget: succeeds, and afterwards exactly the result remains
+  // charged — the transient staging bytes were released.
+  ExecContext roomy;
+  roomy.WithMemoryBudget(result_bytes + 2 * staging_bytes);
+  auto ok = kernel::SelectCmp(roomy, ab, kernel::CmpOp::kGe, Value::Int(0));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->size(), kRows);
+  EXPECT_EQ(roomy.memory_charged(), result_bytes);
+}
+
 TEST(ExecContextTest, CopiesShareTheChargeCounter) {
   ExecContext ctx;
   ctx.WithMemoryBudget(1u << 20);

@@ -1,0 +1,431 @@
+// Tests for the query service: the stride-scheduling fair-share policy in
+// isolation, cost-model-priced admission control (admit / queue / veto),
+// session isolation (traces, IO, budgets) across concurrent TPC-D queries,
+// bit-identity of service execution vs direct interpretation, and the
+// line-protocol wire front end.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bat/bat.h"
+#include "common/stride_scheduler.h"
+#include "kernel/exec_context.h"
+#include "mil/interpreter.h"
+#include "mil/parser.h"
+#include "service/pricer.h"
+#include "service/query_service.h"
+#include "service/wire.h"
+#include "tpcd/loader.h"
+
+namespace moaflat {
+namespace {
+
+using bat::Bat;
+using bat::Column;
+using service::Admission;
+using service::QueryService;
+using service::QueryState;
+using service::ServiceConfig;
+using service::SessionOptions;
+
+// ------------------------------------------------------------- scheduler
+
+TEST(StrideSchedulerTest, WeightIsProportionalShare) {
+  StrideScheduler s;
+  s.Enqueue(1, /*group=*/1, /*weight=*/1);
+  s.Enqueue(2, /*group=*/2, /*weight=*/2);
+  int picks1 = 0, picks2 = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto id = s.Pick();
+    ASSERT_TRUE(id.has_value());
+    (*id == 1 ? picks1 : picks2)++;
+  }
+  // Stride scheduling is deterministic: the weight-2 group advances its
+  // pass half as fast, so it receives twice the picks (±1 for phase).
+  EXPECT_NEAR(picks2, 200, 1);
+  EXPECT_NEAR(picks1, 100, 1);
+}
+
+TEST(StrideSchedulerTest, RoundRobinWithinGroup) {
+  StrideScheduler s;
+  s.Enqueue(10, 1, 1);
+  s.Enqueue(11, 1, 1);
+  s.Enqueue(12, 1, 1);
+  std::vector<uint64_t> order;
+  for (int i = 0; i < 6; ++i) order.push_back(*s.Pick());
+  EXPECT_EQ(order, (std::vector<uint64_t>{10, 11, 12, 10, 11, 12}));
+}
+
+TEST(StrideSchedulerTest, LateJoinerGetsNoBackCredit) {
+  StrideScheduler s;
+  s.Enqueue(1, 1, 1);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(*s.Pick(), 1u);
+  // A group joining after 100 picks starts at the current minimum pass:
+  // it must share from now on, not burst to "catch up" 100 picks.
+  s.Enqueue(2, 2, 1);
+  int picks2 = 0;
+  for (int i = 0; i < 10; ++i) picks2 += *s.Pick() == 2 ? 1 : 0;
+  EXPECT_EQ(picks2, 5);
+}
+
+TEST(StrideSchedulerTest, RemoveIsIdempotentAndEmptiesCleanly) {
+  StrideScheduler s;
+  EXPECT_FALSE(s.Pick().has_value());
+  s.Enqueue(1, 1, 1);
+  s.Remove(99);  // unknown ids are ignored
+  s.Remove(1);
+  s.Remove(1);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Pick().has_value());
+}
+
+// -------------------------------------------------------------- helpers
+
+std::string Q13Mil(const std::string& clerk) {
+  return "orders := select(Order_clerk, \"" + clerk +
+         "\")\n"
+         "items := join(Item_order, orders)\n"
+         "returns := semijoin(Item_returnflag, items)\n"
+         "ritems := select(returns, 'R')\n"
+         "critems := semijoin(Item_order, ritems)\n"
+         "prices := semijoin(Item_extendedprice, critems)\n"
+         "disc := semijoin(Item_discount, critems)\n"
+         "gross := [*](prices, disc)\n"
+         "LOSS := {sum}(gross)\n";
+}
+
+const std::string kHistogramMil = "flags := histogram(Item_returnflag)\n";
+
+struct DirectRun {
+  std::vector<std::string> impls;
+  uint64_t faults = 0;
+  std::map<std::string, std::string> result_dumps;
+};
+
+/// Runs `mil_text` directly through the interpreter — the reference the
+/// service must be bit-identical to.
+DirectRun RunDirect(const mil::MilEnv& catalog, const std::string& mil_text,
+                    const std::vector<std::string>& dump_vars) {
+  DirectRun out;
+  mil::MilProgram prog = mil::ParseMil(mil_text).ValueOrDie();
+  mil::MilEnv env = catalog;
+  storage::IoStats io;
+  kernel::ExecTracer tracer;
+  kernel::ExecContext ctx;
+  ctx.WithIo(&io).WithTracer(&tracer);
+  mil::MilInterpreter interp(&env, &ctx);
+  Status run = interp.Run(prog);
+  EXPECT_TRUE(run.ok()) << run.ToString();
+  for (const mil::StmtTrace& t : interp.traces()) out.impls.push_back(t.impl);
+  out.faults = io.faults();
+  for (const std::string& v : dump_vars) {
+    out.result_dumps[v] =
+        env.GetBat(v).ValueOrDie().DebugString(/*max_rows=*/1000000);
+  }
+  return out;
+}
+
+std::vector<std::string> ImplsOf(const service::QueryResult& r) {
+  std::vector<std::string> impls;
+  for (const mil::StmtTrace& t : r.traces) impls.push_back(t.impl);
+  return impls;
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(QueryServiceTest, PricesPlansWithoutExecuting) {
+  auto inst = tpcd::MakeInstance(0.004).ValueOrDie();
+  QueryService svc;
+  svc.SetCatalog(inst->db.env());
+  uint64_t sid = svc.OpenSession().ValueOrDie();
+
+  auto price = svc.Price(sid, Q13Mil(inst->probe_clerk));
+  ASSERT_TRUE(price.ok()) << price.status().ToString();
+  EXPECT_EQ(price->stmts.size(), 9u);
+  EXPECT_GT(price->faults, 0.0);
+  // The pricer is a pure estimator: nothing ran, so nothing was traced and
+  // no query exists.
+  EXPECT_EQ(svc.stats().submitted, 0u);
+  EXPECT_FALSE(price->ToString().empty());
+}
+
+TEST(QueryServiceTest, VetoReportsPredictedCostAndSessionStaysUsable) {
+  auto inst = tpcd::MakeInstance(0.004).ValueOrDie();
+  QueryService svc;
+  svc.SetCatalog(inst->db.env());
+
+  SessionOptions opts;
+  opts.max_query_cost = 0.01;  // below any real plan
+  uint64_t sid = svc.OpenSession(opts).ValueOrDie();
+
+  uint64_t vetoed = svc.Submit(sid, Q13Mil(inst->probe_clerk)).ValueOrDie();
+  service::QueryResult vr = svc.Wait(vetoed).ValueOrDie();
+  EXPECT_EQ(vr.state, QueryState::kVetoed);
+  EXPECT_EQ(vr.admission.action, Admission::kVeto);
+  EXPECT_GT(vr.admission.predicted_cost, 0.01);
+  EXPECT_NE(vr.admission.reason.find("max_query_cost"), std::string::npos);
+
+  // The vetoed query never ran: no faults, no traces, and the session
+  // accepts further work. `mirror` is priced at zero cost, under any cap.
+  EXPECT_EQ(vr.faults, 0u);
+  EXPECT_TRUE(vr.traces.empty());
+  uint64_t ok_q = svc.Submit(sid, "m := mirror(Item_order)\n").ValueOrDie();
+  service::QueryResult ok_r = svc.Wait(ok_q).ValueOrDie();
+  EXPECT_EQ(ok_r.state, QueryState::kDone);
+
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.vetoed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(QueryServiceTest, CapacityQueuesAndDrainsFifo) {
+  // A service whose in-flight predicted-fault capacity fits one scan
+  // program at a time: while the first runs (a multi-scan of a 4M-row
+  // BAT, far slower than the submission path), the second submission must
+  // be QUEUEd — not vetoed, not run concurrently — and still complete
+  // once the first finishes and releases its reserved cost.
+  constexpr size_t kRows = 4000000;
+  std::vector<int32_t> tail(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    tail[i] = static_cast<int32_t>(i * 2654435761u % 1000003);
+  }
+  mil::MilEnv catalog;
+  catalog.BindBat("big", Bat(Column::MakeVoid(Oid{1} << 40, kRows),
+                             Column::MakeInt(std::move(tail))));
+  std::ostringstream scans;
+  for (int i = 1; i <= 6; ++i) scans << "b" << i << " := select.<(big, -1)\n";
+  const std::string scan_mil = scans.str();
+
+  QueryService probe;
+  probe.SetCatalog(catalog);
+  const double cost =
+      probe.Price(probe.OpenSession().ValueOrDie(), scan_mil)
+          .ValueOrDie()
+          .faults;
+  ASSERT_GT(cost, 0.0);
+
+  ServiceConfig cfg;
+  cfg.admit_capacity = cost * 1.5;  // one in flight, never two
+  QueryService tight(cfg);
+  tight.SetCatalog(catalog);
+  uint64_t s1 = tight.OpenSession().ValueOrDie();
+  uint64_t s2 = tight.OpenSession().ValueOrDie();
+  uint64_t q1 = tight.Submit(s1, scan_mil).ValueOrDie();
+  uint64_t q2 = tight.Submit(s2, scan_mil).ValueOrDie();
+  service::QueryResult r1 = tight.Wait(q1).ValueOrDie();
+  service::QueryResult r2 = tight.Wait(q2).ValueOrDie();
+  EXPECT_EQ(r1.state, QueryState::kDone);
+  EXPECT_EQ(r2.state, QueryState::kDone);
+  // The second submission arrived while the first held (or was about to
+  // hold) the capacity, so it could not start immediately.
+  EXPECT_EQ(r2.admission.action, Admission::kQueue);
+  EXPECT_FALSE(r2.admission.reason.empty());
+  EXPECT_EQ(tight.stats().inflight_cost, 0.0);
+}
+
+// ------------------------------------------------- isolation + identity
+
+TEST(QueryServiceTest, FourConcurrentSessionsBitIdenticalToDirectRuns) {
+  auto inst = tpcd::MakeInstance(0.004).ValueOrDie();
+  const mil::MilEnv catalog = inst->db.env();
+  const std::string q13 = Q13Mil(inst->probe_clerk);
+
+  // Warm the shared accelerators (hash indexes, datavector LOOKUP caches)
+  // once, so reference and service runs see identical accelerator state.
+  (void)RunDirect(catalog, q13, {});
+  (void)RunDirect(catalog, kHistogramMil, {});
+
+  DirectRun ref13 = RunDirect(catalog, q13, {"LOSS"});
+  DirectRun ref_h = RunDirect(catalog, kHistogramMil, {"flags"});
+
+  QueryService svc;
+  svc.SetCatalog(catalog);
+
+  // Four sessions with distinct budgets, degrees and weights.
+  struct Plan {
+    SessionOptions opts;
+    const std::string* mil;
+    const DirectRun* ref;
+    const char* result_var;
+  };
+  SessionOptions a, b, c, d;
+  a.parallel_degree = 1;
+  a.memory_budget = 64u << 20;
+  b.parallel_degree = 4;
+  b.weight = 2;
+  c.parallel_degree = 2;
+  c.memory_budget = 32u << 20;
+  d.parallel_degree = 3;
+  d.weight = 3;
+  std::vector<Plan> plans = {{a, &q13, &ref13, "LOSS"},
+                             {b, &q13, &ref13, "LOSS"},
+                             {c, &kHistogramMil, &ref_h, "flags"},
+                             {d, &kHistogramMil, &ref_h, "flags"}};
+
+  std::vector<uint64_t> qids(plans.size());
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    threads.emplace_back([&, i] {
+      uint64_t sid = svc.OpenSession(plans[i].opts).ValueOrDie();
+      qids[i] = svc.Submit(sid, *plans[i].mil).ValueOrDie();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < plans.size(); ++i) {
+    service::QueryResult r = svc.Wait(qids[i]).ValueOrDie();
+    ASSERT_EQ(r.state, QueryState::kDone) << r.status.ToString();
+    // Zero crosstalk and bit-identity: each session's per-statement
+    // implementation choices, fault counts, and result rows equal the
+    // direct single-threaded run — at any parallel degree.
+    EXPECT_EQ(ImplsOf(r), plans[i].ref->impls) << "session " << i;
+    EXPECT_EQ(r.faults, plans[i].ref->faults) << "session " << i;
+    const auto it = r.results.find(plans[i].result_var);
+    ASSERT_NE(it, r.results.end());
+    const Bat& out = std::get<Bat>(it->second);
+    EXPECT_EQ(out.DebugString(1000000),
+              plans[i].ref->result_dumps.at(plans[i].result_var))
+        << "session " << i;
+  }
+}
+
+TEST(QueryServiceTest, BudgetsAreSessionPrivate) {
+  auto inst = tpcd::MakeInstance(0.004).ValueOrDie();
+  QueryService svc;
+  svc.SetCatalog(inst->db.env());
+
+  SessionOptions tight;
+  tight.memory_budget = 2048;  // vastly below Q13's intermediates
+  SessionOptions roomy;
+  roomy.memory_budget = 256u << 20;
+  uint64_t st = svc.OpenSession(tight).ValueOrDie();
+  uint64_t sr = svc.OpenSession(roomy).ValueOrDie();
+
+  const std::string q13 = Q13Mil(inst->probe_clerk);
+  uint64_t qt = svc.Submit(st, q13).ValueOrDie();
+  uint64_t qr = svc.Submit(sr, q13).ValueOrDie();
+  service::QueryResult rt = svc.Wait(qt).ValueOrDie();
+  service::QueryResult rr = svc.Wait(qr).ValueOrDie();
+
+  // The tight session's query fails on its own budget; the roomy session,
+  // running concurrently against the same catalog, is untouched.
+  EXPECT_EQ(rt.state, QueryState::kError);
+  EXPECT_EQ(rt.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rr.state, QueryState::kDone) << rr.status.ToString();
+
+  // A failed query commits nothing: the tight session does not see the
+  // partial bindings, and stays usable.
+  uint64_t q2 = svc.Submit(st, "m := mirror(Order_clerk)\n").ValueOrDie();
+  EXPECT_EQ(svc.Wait(q2).ValueOrDie().state, QueryState::kDone);
+}
+
+// ------------------------------------------------------------ fair share
+
+TEST(QueryServiceTest, SmallQueryCompletesWhileLargeScanIsInFlight) {
+  // A 10M-row scan session saturating the TaskPool must not starve a
+  // small interactive query: per-session stride scheduling bounds the
+  // small query's completion to "while the scan is still running".
+  constexpr size_t kBigRows = 10000000;
+  std::vector<int32_t> big_tail(kBigRows);
+  for (size_t i = 0; i < kBigRows; ++i) {
+    big_tail[i] = static_cast<int32_t>(i * 2654435761u % 1000003);
+  }
+  std::vector<int32_t> small_tail(20000);
+  for (size_t i = 0; i < small_tail.size(); ++i) {
+    small_tail[i] = static_cast<int32_t>(i * 31 % 997);
+  }
+  mil::MilEnv catalog;
+  catalog.BindBat("big", Bat(Column::MakeVoid(Oid{1} << 40, kBigRows),
+                             Column::MakeInt(std::move(big_tail))));
+  catalog.BindBat("small", Bat(Column::MakeVoid(Oid{2} << 40, 20000),
+                               Column::MakeInt(std::move(small_tail))));
+
+  QueryService svc;
+  svc.SetCatalog(catalog);
+  SessionOptions heavy;
+  heavy.parallel_degree = 8;  // fan the scan out across the pool
+  SessionOptions light;
+  light.parallel_degree = 2;
+  uint64_t sh = svc.OpenSession(heavy).ValueOrDie();
+  uint64_t sl = svc.OpenSession(light).ValueOrDie();
+
+  // Twelve full scans of the 10M-row BAT (each selects nothing, so the
+  // work is pure scan), vs one scan of the 20k-row BAT.
+  std::ostringstream big_mil;
+  for (int i = 1; i <= 12; ++i) {
+    big_mil << "b" << i << " := select.<(big, -1)\n";
+  }
+  uint64_t big_q = svc.Submit(sh, big_mil.str()).ValueOrDie();
+  uint64_t small_q = svc.Submit(sl, "s := select.<(small, 100)\n").ValueOrDie();
+
+  service::QueryResult small_r = svc.Wait(small_q).ValueOrDie();
+  ASSERT_EQ(small_r.state, QueryState::kDone) << small_r.status.ToString();
+  // The moment the small query is done, the big scan must still be going.
+  service::QueryResult big_now = svc.Poll(big_q).ValueOrDie();
+  EXPECT_NE(big_now.state, QueryState::kDone)
+      << "10M-row scan finished before the 20k-row query";
+
+  service::QueryResult big_r = svc.Wait(big_q).ValueOrDie();
+  EXPECT_EQ(big_r.state, QueryState::kDone) << big_r.status.ToString();
+}
+
+// ----------------------------------------------------------------- wire
+
+TEST(WireProtocolTest, OpenSubmitWaitResultOverSocket) {
+  std::vector<int32_t> tail(1000);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    tail[i] = static_cast<int32_t>(i % 83);
+  }
+  mil::MilEnv catalog;
+  catalog.BindBat("nums", Bat(Column::MakeVoid(Oid{1} << 40, tail.size()),
+                              Column::MakeInt(std::move(tail))));
+  QueryService svc;
+  svc.SetCatalog(catalog);
+  service::WireServer server(svc, /*port=*/0);
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket: " << started.ToString();
+  }
+
+  service::WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(client.Call("PING").ValueOrDie(), "OK moaflat");
+
+  std::string open = client.Call("OPEN degree=2 budget=1048576").ValueOrDie();
+  ASSERT_EQ(open.rfind("OK ", 0), 0u) << open;
+  const std::string sid = open.substr(3);
+
+  std::string submitted =
+      client.Call("SUBMIT " + sid + " t := select(nums, 7)").ValueOrDie();
+  ASSERT_EQ(submitted.rfind("OK ", 0), 0u) << submitted;
+  std::istringstream is(submitted.substr(3));
+  std::string qid, action;
+  is >> qid >> action;
+  EXPECT_TRUE(action == "ADMIT" || action == "QUEUE") << submitted;
+
+  std::string waited = client.Call("WAIT " + qid).ValueOrDie();
+  EXPECT_EQ(waited.rfind("OK DONE", 0), 0u) << waited;
+
+  std::string result = client.Call("RESULT " + qid + " t 100").ValueOrDie();
+  ASSERT_EQ(result.rfind("OK ", 0), 0u) << result;
+  std::vector<std::string> rows = client.ReadBody().ValueOrDie();
+  EXPECT_FALSE(rows.empty());
+
+  // Unpriceable or malformed input is a structured error, not a hangup.
+  EXPECT_EQ(client.Call("SUBMIT 999 x := mirror(nums)").ValueOrDie().rfind(
+                "ERR ", 0),
+            0u);
+  EXPECT_EQ(client.Call("NONSENSE").ValueOrDie().rfind("ERR ", 0), 0u);
+
+  EXPECT_EQ(client.Call("CLOSE " + sid).ValueOrDie(), "OK");
+  EXPECT_EQ(client.Call("BYE").ValueOrDie(), "OK bye");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace moaflat
