@@ -11,6 +11,10 @@
 // shell drives a shared multi-session service instead of a private
 // in-process database.
 //
+// A line starting with `\check` runs the static analyzer only — it prints
+// the line-anchored diagnostics and the inferred result schema of the rest
+// of the line (locally, or via the wire CHECK verb) and executes nothing.
+//
 // Try the paper's Q13 plan:
 //   orders := select(Order_clerk, "Clerk#000000005")
 //   items := join(Item_order, orders)
@@ -23,6 +27,7 @@
 #include <iostream>
 #include <string>
 
+#include "mil/analyzer.h"
 #include "mil/interpreter.h"
 #include "mil/parser.h"
 #include "service/wire.h"
@@ -58,6 +63,19 @@ int RunRemote(const std::string& host, uint16_t port) {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("\\check", 0) == 0) {
+      // Static analysis only: diagnostics + inferred schema, no execution.
+      const std::string check = call("CHECK " + sid + " " + line.substr(6));
+      std::printf("%s\n", check.c_str());
+      if (check.rfind("OK", 0) == 0) {
+        if (auto body = cli.ReadBody(); body.ok()) {
+          for (const std::string& row : *body) {
+            std::printf("%s\n", row.c_str());
+          }
+        }
+      }
+      continue;
+    }
     const std::string submit = call("SUBMIT " + sid + " " + line);
     std::printf("%s\n", submit.c_str());
     if (submit.rfind("OK ", 0) != 0) continue;
@@ -120,6 +138,22 @@ int main(int argc, char** argv) {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("\\check", 0) == 0) {
+      // Static analysis only: diagnostics + inferred schema, no execution.
+      auto program = mil::ParseMil(line.substr(6));
+      if (!program.ok()) {
+        std::printf("parse error: %s\n", program.status().ToString().c_str());
+        continue;
+      }
+      const mil::AnalysisReport report = mil::AnalyzeProgram(*program, env);
+      std::printf("%s%s", report.DiagnosticsString().c_str(),
+                  report.SchemaString(mil::ResultNames(*program)).c_str());
+      std::printf("%s (%d error%s, %d warning%s)\n",
+                  report.ok() ? "ok" : "rejected", report.errors,
+                  report.errors == 1 ? "" : "s", report.warnings,
+                  report.warnings == 1 ? "" : "s");
+      continue;
+    }
     auto program = mil::ParseMil(line);
     if (!program.ok()) {
       std::printf("parse error: %s\n", program.status().ToString().c_str());

@@ -21,7 +21,7 @@ void DescribeBat(const moa::Database& db, const std::string& name,
               b->datavector() ? " +datavector" : "");
 }
 
-std::string StructureOf(const moa::Database& db, const moa::ClassDef& cls) {
+std::string StructureOf(const moa::ClassDef& cls) {
   std::string inner = "OBJECT(";
   bool first = true;
   for (const auto& attr : cls.attrs) {
@@ -70,7 +70,7 @@ int main() {
                     "    field   ");
       }
     }
-    std::printf("  structure: %s\n\n", StructureOf(db, cls).c_str());
+    std::printf("  structure: %s\n\n", StructureOf(cls).c_str());
   }
   return 0;
 }

@@ -110,7 +110,7 @@ int Date::Day() const {
 std::string Date::ToString() const {
   int y, m, d;
   CivilFromDays(days_, &y, &m, &d);
-  char buf[16];
+  char buf[40];  // fits INT_MIN-INT_MIN-INT_MIN, so no -Wformat-truncation
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
   return buf;
 }

@@ -134,6 +134,9 @@ Status AppendAcc(ColumnBuilder* tb, const Acc& acc, const Column& tail,
 Result<Bat> FinishSetAggregate(const Bat& ab, ColumnBuilder& hb,
                                ColumnBuilder& tb) {
   ColumnPtr out_head = hb.Finish();
+  // The result's head set (the groups) is a function of ab's head column
+  // alone; tails determine aggregate *values*, never which BUNs exist.
+  // lint:allow(sync-head-only)
   SetSync(out_head,
           MixSync(ab.head().sync_key(), HashString("set_aggregate")));
   bat::Properties props;

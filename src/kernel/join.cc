@@ -34,7 +34,12 @@ struct JoinOut {
 /// Common epilogue of the materializing join variants.
 Result<Bat> FinishJoin(const Bat& ab, const Bat& cd, ColumnPtr out_head,
                        ColumnPtr out_tail) {
-  SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
+  // The surviving left BUNs depend on ab's *tail* values (they matched
+  // cd's head), so the tail key must feed the derivation: two left
+  // operands sharing a head column but carrying different tails must not
+  // forge equal sync keys.
+  SetSync(out_head, MixSync(MixSync(MixSync(ab.head().sync_key(),
+                                            ab.tail().sync_key()),
                                     cd.head().sync_key()),
                             HashString("join")));
   bat::Properties props;
@@ -51,7 +56,8 @@ Result<Bat> FinishJoin(const Bat& ab, const Bat& cd, ColumnPtr out_head,
 /// exactly [A, D]; both columns are shared, no data moves.
 Result<Bat> FetchJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
                       OpRecorder& rec) {
-  (void)ctx;  // zero-copy: nothing is materialized, nothing to charge
+  // zero-copy: nothing is materialized, nothing to charge
+  (void)ctx;  // lint:allow(uncharged-kernel)
   ab.head().TouchAll();
   cd.tail().TouchAll();
   bat::Properties props;

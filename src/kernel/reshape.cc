@@ -39,6 +39,9 @@ Result<Bat> GatherPositions(const ExecContext& ctx, const Bat& ab,
   hb.GatherFrom(head, pos.data(), pos.size());
   tb.GatherFrom(tail, pos.data(), pos.size());
   ColumnPtr out_head = hb.Finish();
+  // Each caller encodes what chose `pos` into sync_salt — unique/topn mix
+  // the tail sync key, slice its index bounds — so tail dependence enters
+  // the derivation there, not here.  lint:allow(sync-head-only)
   SetSync(out_head, MixSync(head.sync_key(), sync_salt));
   return Bat::Make(out_head, tb.Finish(), props);
 }

@@ -187,7 +187,12 @@ void ScanMatches(const Column& tail, const Bound& lo, const Bound& hi,
 Result<Bat> FinishRangeSelect(const Bat& ab, ColumnPtr out_head,
                               ColumnPtr out_tail, const Bound& lo,
                               const Bound& hi, bool head_sorted) {
-  SetSync(out_head, MixSync(ab.head().sync_key(), BoundSyncHash(lo, hi)));
+  // The qualifying set depends on the *tail* values, so the tail key feeds
+  // the derivation: equal heads with different tails select different BUNs
+  // and must not forge equal sync keys.
+  SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
+                                    ab.tail().sync_key()),
+                            BoundSyncHash(lo, hi)));
 
   const bool point = lo.present && hi.present && lo.inclusive &&
                      hi.inclusive && lo.value == hi.value;
@@ -295,7 +300,9 @@ Result<Bat> PredicateSelect(const ExecContext& ctx, const Bat& ab,
                       GatherMatches(ctx, head, tail, plan, matches));
 
   ColumnPtr out_head = std::move(cols.first);
-  SetSync(out_head, MixSync(head.sync_key(), pred_hash));
+  // Mix the tail key too: the predicate qualified BUNs by tail value.
+  SetSync(out_head,
+          MixSync(MixSync(head.sync_key(), tail.sync_key()), pred_hash));
   bat::Properties props;
   props.hsorted = ab.props().hsorted;
   props.hkey = ab.props().hkey;

@@ -1,0 +1,99 @@
+#ifndef MOAFLAT_MIL_ANALYSIS_TYPES_H_
+#define MOAFLAT_MIL_ANALYSIS_TYPES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "common/types.h"
+
+/// Result types of the MIL static analyzer (mil/analyzer.h): line-anchored
+/// diagnostics, abstract bindings (inferred BAT schemas plus cardinality
+/// intervals), and per-statement fault-cost intervals. These are what the
+/// interpreter gate, the admission pricer and the wire CHECK verb consume.
+namespace moaflat::mil {
+
+enum class Severity { kWarning, kError };
+
+/// One finding of the static analyzer, anchored to the source line of the
+/// statement it is about. Errors reject the program before anything
+/// executes; warnings (program hygiene) ride along in reports.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  int line = 0;       // 1-based statement source line; 0 = whole program
+  std::string var;    // binding the offending statement defines (may be "")
+  std::string message;
+
+  /// "line 3: error: unknown MIL variable 'foo'"
+  std::string ToString() const;
+};
+
+/// [lo, hi] result-cardinality interval of a binding: every execution of
+/// the analyzed program yields a cardinality inside it.
+struct CardInterval {
+  double lo = 0;
+  double hi = 0;
+};
+
+/// What the analyzer proved about one binding without executing anything:
+/// its shape (BAT column types or scalar type), the cardinality interval,
+/// and the provable head-key property (the lever that keeps equi-join
+/// upper bounds linear instead of quadratic).
+struct AbstractBinding {
+  enum class Kind { kBat, kScalar, kUnknown };
+  Kind kind = Kind::kUnknown;
+  MonetType head = MonetType::kVoid;    // kBat: inferred head type
+  MonetType tail = MonetType::kVoid;    // kBat: inferred tail type
+  MonetType scalar = MonetType::kVoid;  // kScalar: value type
+  CardInterval card;
+  bool head_key = false;  // head values provably unique
+  /// Catalog binding behind this name, when the name resolves to a BAT of
+  /// the session environment: seeds exact cardinalities, real dispatch
+  /// views and two-probe selectivity estimates. Null for derived results.
+  const bat::Bat* bound = nullptr;
+
+  /// "[void,str] rows in [1500, 1500]" / "dbl scalar"
+  std::string ToString() const;
+};
+
+/// Per-statement record: the inferred result and the Section 5.2.2
+/// fault-cost interval of the statement (cheapest applicable variant priced
+/// over the lo- and hi-cardinality operand views, cold cache). The hi end
+/// is a sound per-run bound — no execution faults more. The lo end is the
+/// optimistic per-statement estimate: pages shared across statements are
+/// charged once at run time, so a warm multi-statement run can measure
+/// below the per-statement sum of lo ends.
+struct StmtInfo {
+  int line = 0;
+  std::string var;
+  std::string text;
+  AbstractBinding result;
+  double faults_lo = 0;
+  double faults_hi = 0;
+};
+
+/// The full analyzer verdict over one program: semantic + hygiene
+/// diagnostics, per-statement inference, and the final abstract bindings
+/// (the inferred result schema).
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<StmtInfo> stmts;
+  std::map<std::string, AbstractBinding> bindings;
+  int errors = 0;
+  int warnings = 0;
+
+  /// No error-severity diagnostics: the program may execute.
+  bool ok() const { return errors == 0; }
+
+  /// All diagnostics, one per line.
+  std::string DiagnosticsString() const;
+  /// First error rendered, or "" when ok(); the one-line veto reason.
+  std::string FirstError() const;
+  /// The inferred schema of `names` (result bindings), one per line.
+  std::string SchemaString(const std::vector<std::string>& names) const;
+};
+
+}  // namespace moaflat::mil
+
+#endif  // MOAFLAT_MIL_ANALYSIS_TYPES_H_

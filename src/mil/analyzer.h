@@ -1,0 +1,42 @@
+#ifndef MOAFLAT_MIL_ANALYZER_H_
+#define MOAFLAT_MIL_ANALYZER_H_
+
+#include <vector>
+
+#include "mil/analysis_types.h"
+#include "mil/interpreter.h"
+#include "mil/program.h"
+
+/// The MIL static analyzer: a pass over a parsed program that runs before
+/// interpretation and admission. Three cooperating analyses:
+///
+///  1. Semantic checking — name resolution against the environment
+///     catalog, use-before-def, arity and operator applicability, and BAT
+///     head/tail type inference through every operator the interpreter
+///     supports. Violations become line-anchored error Diagnostics instead
+///     of mid-execution failures.
+///  2. Abstract cardinality/cost interval analysis — a [lo, hi]
+///     cardinality interval per binding, propagated through the statement
+///     DAG (catalog-bound operands seeded exactly, selects narrowed by the
+///     two-probe kernel::EstimateSelectivity), and a Section 5.2.2
+///     fault-cost interval per statement. Admission vetoes compare against
+///     the hi bound, which is sound: no execution can cost more.
+///  3. Program hygiene — dead bindings, shadowed rebinds and statically
+///     empty results, as warnings.
+///
+/// The analyzer never executes a statement, builds no accelerator and
+/// touches no page.
+namespace moaflat::mil {
+
+/// Analyzes `program` against the bindings of `env`. Always returns a
+/// report; report.ok() says whether execution may proceed.
+AnalysisReport AnalyzeProgram(const MilProgram& program, const MilEnv& env);
+
+/// Result-binding names of a program: the declared results, or — matching
+/// the executor's exposure rule for programs without a result clause — the
+/// name of every statement.
+std::vector<std::string> ResultNames(const MilProgram& program);
+
+}  // namespace moaflat::mil
+
+#endif  // MOAFLAT_MIL_ANALYZER_H_

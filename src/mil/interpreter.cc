@@ -6,6 +6,7 @@
 
 #include "kernel/exec_tracer.h"
 #include "kernel/scalar_fn.h"
+#include "mil/analyzer.h"
 
 namespace moaflat::mil {
 namespace {
@@ -52,6 +53,14 @@ Result<Value> MilEnv::GetValue(const std::string& name) const {
 }
 
 Status MilInterpreter::Run(const MilProgram& program) {
+  // Static analysis gate: an ill-formed program is rejected before any
+  // statement executes — no binding committed, no page touched, no trace
+  // emitted. Hygiene warnings do not block.
+  AnalysisReport report = AnalyzeProgram(program, *env_);
+  if (!report.ok()) {
+    return Status::TypeError("program rejected by static analysis:\n" +
+                             report.DiagnosticsString());
+  }
   for (const MilStmt& stmt : program.stmts) {
     MF_RETURN_NOT_OK(Exec(stmt));
   }

@@ -27,6 +27,7 @@ struct Token {
   Tok kind = Tok::kEnd;
   std::string text;
   size_t pos = 0;
+  int line = 1;  // 1-based source line, the anchor for diagnostics
 };
 
 class Lexer {
@@ -43,7 +44,8 @@ class Lexer {
         continue;
       }
       if (c == '\n' || c == ';') {
-        out.push_back({Tok::kNewline, "\n", start});
+        out.push_back({Tok::kNewline, "\n", start, line_});
+        if (c == '\n') ++line_;
         ++i_;
         continue;
       }
@@ -63,7 +65,7 @@ class Lexer {
         }
         op += close;
         ++i_;
-        out.push_back({Tok::kIdent, op, start});
+        out.push_back({Tok::kIdent, op, start, line_});
         continue;
       }
       if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
@@ -91,7 +93,7 @@ class Lexer {
           if (src_[i_] == '.') is_float = true;
           num += src_[i_++];
         }
-        out.push_back({is_float ? Tok::kFloat : Tok::kInt, num, start});
+        out.push_back({is_float ? Tok::kFloat : Tok::kInt, num, start, line_});
         continue;
       }
       switch (c) {
@@ -99,7 +101,7 @@ class Lexer {
           if (i_ + 2 >= src_.size() || src_[i_ + 2] != '\'') {
             return Status::ParseError("bad char literal");
           }
-          out.push_back({Tok::kChar, std::string(1, src_[i_ + 1]), start});
+          out.push_back({Tok::kChar, std::string(1, src_[i_ + 1]), start, line_});
           i_ += 3;
           continue;
         }
@@ -111,28 +113,28 @@ class Lexer {
             return Status::ParseError("unterminated string");
           }
           ++i_;
-          out.push_back({Tok::kString, s, start});
+          out.push_back({Tok::kString, s, start, line_});
           continue;
         }
         case '(':
-          out.push_back({Tok::kLParen, "(", start});
+          out.push_back({Tok::kLParen, "(", start, line_});
           ++i_;
           continue;
         case ')':
-          out.push_back({Tok::kRParen, ")", start});
+          out.push_back({Tok::kRParen, ")", start, line_});
           ++i_;
           continue;
         case ',':
-          out.push_back({Tok::kComma, ",", start});
+          out.push_back({Tok::kComma, ",", start, line_});
           ++i_;
           continue;
         case '.':
-          out.push_back({Tok::kDot, ".", start});
+          out.push_back({Tok::kDot, ".", start, line_});
           ++i_;
           continue;
         case ':':
           if (i_ + 1 < src_.size() && src_[i_ + 1] == '=') {
-            out.push_back({Tok::kAssign, ":=", start});
+            out.push_back({Tok::kAssign, ":=", start, line_});
             i_ += 2;
             continue;
           }
@@ -142,7 +144,7 @@ class Lexer {
                                     "' at " + std::to_string(i_));
       }
     }
-    out.push_back({Tok::kEnd, "", src_.size()});
+    out.push_back({Tok::kEnd, "", src_.size(), line_});
     return out;
   }
 
@@ -163,17 +165,18 @@ class Lexer {
       for (const char* p : kPostfix) {
         if (suffix == p && dot > 0) {
           EmitIdentWithPostfix(id.substr(0, dot), start, out);
-          out->push_back({Tok::kDot, ".", start + dot});
-          out->push_back({Tok::kIdent, suffix, start + dot + 1});
+          out->push_back({Tok::kDot, ".", start + dot, line_});
+          out->push_back({Tok::kIdent, suffix, start + dot + 1, line_});
           return;
         }
       }
     }
-    out->push_back({Tok::kIdent, id, start});
+    out->push_back({Tok::kIdent, id, start, line_});
   }
 
   const std::string& src_;
   size_t i_ = 0;
+  int line_ = 1;
 };
 
 class Parser {
@@ -198,6 +201,9 @@ class Parser {
   Token Next() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
 
   Status ParseStatement() {
+    // Every statement flattened out of this source line (nested calls,
+    // postfix chains) anchors to the line of its first token.
+    stmt_line_ = Peek().line;
     std::string var;
     if (Peek().kind == Tok::kIdent && Peek(1).kind == Tok::kAssign) {
       var = Next().text;
@@ -239,7 +245,7 @@ class Parser {
       const bool last = Peek().kind != Tok::kDot;
       const std::string name =
           last && !bind_to.empty() ? bind_to : FreshTemp();
-      builder_.Let(name, op, std::move(args));
+      Bind(name, op, std::move(args));
       primary = V(name);
     }
     return primary;
@@ -262,7 +268,7 @@ class Parser {
           const bool last = Peek().kind != Tok::kDot;
           const std::string name =
               last && !bind_to.empty() ? bind_to : FreshTemp();
-          builder_.Let(name, t.text, std::move(args));
+          Bind(name, t.text, std::move(args));
           return V(name);
         }
         if (t.text == "true") return L(Value::Bit(true));
@@ -290,9 +296,17 @@ class Parser {
 
   std::string FreshTemp() { return "_t" + std::to_string(++temps_); }
 
+  /// builder_.Let with the current statement's source line stamped on.
+  void Bind(const std::string& name, std::string op,
+            std::vector<MilArg> args) {
+    builder_.Let(name, std::move(op), std::move(args));
+    builder_.program().stmts.back().line = stmt_line_;
+  }
+
   std::vector<Token> toks_;
   size_t pos_ = 0;
   int temps_ = 0;
+  int stmt_line_ = 1;
   MilBuilder builder_;
 };
 

@@ -31,8 +31,12 @@ std::string MilProgram::ToString() const {
 
 const std::string& MilBuilder::Let(std::string name, std::string op,
                                    std::vector<MilArg> args) {
+  // Programmatic statements render one per line (ToString), so the ordinal
+  // doubles as the line anchor for analyzer diagnostics; the parser
+  // overwrites it with the true source line.
+  const int line = static_cast<int>(program_.stmts.size()) + 1;
   program_.stmts.push_back(
-      MilStmt{std::move(name), std::move(op), std::move(args)});
+      MilStmt{std::move(name), std::move(op), std::move(args), line});
   return program_.stmts.back().var;
 }
 

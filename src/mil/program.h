@@ -53,6 +53,10 @@ struct MilStmt {
   std::string var;
   std::string op;
   std::vector<MilArg> args;
+  /// 1-based source line of the statement; every statement flattened out of
+  /// one source line shares it, so analyzer diagnostics anchor to the text
+  /// the user actually wrote. 0 = unknown (hand-built programs).
+  int line = 0;
 
   /// Renders like the paper's Fig. 10, e.g.
   /// `orders := select(Order_clerk, "Clerk#000000088")`.

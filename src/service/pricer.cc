@@ -1,455 +1,23 @@
 #include "service/pricer.h"
 
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <map>
-#include <optional>
-#include <set>
 #include <sstream>
 
-#include "kernel/cost_model.h"
-#include "kernel/operators.h"
-#include "kernel/registry.h"
+#include "common/types.h"
+#include "mil/analyzer.h"
 
 namespace moaflat::service {
 namespace {
 
-using bat::Bat;
-using kernel::Bound;
-using kernel::CmpOp;
-using kernel::DispatchInput;
-using kernel::OperandView;
-using kernel::OpParam;
-
-bool IsSetAggOp(const std::string& op) {
-  return op.size() > 2 && op.front() == '{' && op.back() == '}';
+/// Bytes per BUN of an inferred result, for the rough cumulative volume
+/// estimate admission reports alongside the fault bound.
+int RowWidth(const mil::AbstractBinding& b) {
+  if (b.kind == mil::AbstractBinding::Kind::kScalar) {
+    return TypeWidth(b.scalar);
+  }
+  return TypeWidth(b.head) + TypeWidth(b.tail);
 }
-bool IsMultiplexOp(const std::string& op) {
-  return op.size() > 2 && op.front() == '[' && op.back() == ']';
-}
-bool IsScalarAggOp(const std::string& op) {
-  return op == "sum" || op == "count" || op == "avg" || op == "min" ||
-         op == "max";
-}
-
-/// Sequential-pass price of one operand: its heap pages. The fallback for
-/// reshaping operators that have no registered cost function.
-double PagesOf(const OperandView& v) {
-  return kernel::HeapPages(v.size, v.head_width) +
-         kernel::HeapPages(v.size, v.tail_width);
-}
-
-/// What the pricer knows about one name: the dispatch-relevant view, the
-/// estimated cardinality (kept as a double so selectivities compose without
-/// rounding collapse), and — for catalog BATs — the real binding, which
-/// enables exact sync detection and two-probe selectivity estimates.
-struct EstView {
-  OperandView view;
-  double rows = 0;
-  const Bat* bound = nullptr;
-};
-
-/// View of a result we have not materialized: cardinality and widths only,
-/// no properties, no accelerators. Deliberately pessimistic — dispatch on a
-/// property-free view prices the scan/hash variants, never a sorted-only
-/// shortcut the real result might not support.
-EstView Derived(double rows, int head_width, int tail_width) {
-  EstView e;
-  e.rows = rows < 0 ? 0 : rows;
-  e.view.size = static_cast<size_t>(std::llround(e.rows));
-  e.view.head_width = head_width;
-  e.view.tail_width = tail_width;
-  e.view.head_void = head_width == 0;
-  e.view.tail_void = tail_width == 0;
-  e.view.head_oidlike = head_width == 0;
-  return e;
-}
-
-class Pricer {
- public:
-  explicit Pricer(const mil::MilEnv& env) : env_(env) {}
-
-  Result<PlanPrice> Run(const mil::MilProgram& program) {
-    PlanPrice price;
-    for (const mil::MilStmt& stmt : program.stmts) {
-      MF_ASSIGN_OR_RETURN(StmtPrice sp, PriceStmt(stmt));
-      price.faults += sp.faults;
-      auto it = views_.find(stmt.var);
-      if (it != views_.end()) {
-        price.est_result_bytes += static_cast<uint64_t>(
-            std::llround(it->second.rows) *
-            (it->second.view.head_width + it->second.view.tail_width));
-      }
-      price.stmts.push_back(std::move(sp));
-    }
-    return price;
-  }
-
- private:
-  /// Resolves an operand name to its estimated view: priced earlier in this
-  /// program, or bound in the catalog environment.
-  Result<EstView> ViewOf(const mil::MilArg& a) {
-    if (a.kind != mil::MilArg::Kind::kVar) {
-      return Status::Invalid("operand '" + a.ToString() +
-                             "' of a priced statement must be a BAT");
-    }
-    auto it = views_.find(a.var);
-    if (it != views_.end()) return it->second;
-    auto env_it = env_.bindings().find(a.var);
-    if (env_it != env_.bindings().end()) {
-      if (const Bat* b = std::get_if<Bat>(&env_it->second)) {
-        EstView e;
-        e.view = OperandView::Of(*b);
-        e.rows = static_cast<double>(b->size());
-        e.bound = b;
-        views_[a.var] = e;
-        return e;
-      }
-      return Status::TypeError("operand '" + a.var +
-                               "' of a priced statement is a scalar");
-    }
-    return Status::KeyError("undefined MIL variable '" + a.var + "'");
-  }
-
-  /// Literal or already-known scalar value of an argument; nullopt when the
-  /// value only exists at run time (e.g. a calc.* result).
-  std::optional<Value> MaybeVal(const mil::MilArg& a) const {
-    if (a.kind == mil::MilArg::Kind::kLit) return a.lit;
-    if (scalars_.count(a.var) > 0) return std::nullopt;
-    auto it = env_.bindings().find(a.var);
-    if (it != env_.bindings().end()) {
-      if (const Value* v = std::get_if<Value>(&it->second)) return *v;
-    }
-    return std::nullopt;
-  }
-
-  /// Registry price of a family on this input, or a sequential-pass
-  /// fallback when no variant applies to the estimated (property-free)
-  /// views.
-  double FamilyPrice(const std::string& family, const DispatchInput& in) {
-    if (auto c = kernel::KernelRegistry::Global().PriceCheapest(family, in)) {
-      return *c;
-    }
-    double pages = PagesOf(in.left);
-    if (in.right) pages += PagesOf(*in.right);
-    return pages + kernel::kCpuSequential;
-  }
-
-  DispatchInput InputOf(const EstView& l) const {
-    DispatchInput in;
-    in.left = l.view;
-    return in;
-  }
-
-  /// Two-operand input: when both operands are catalog BATs, take the
-  /// kernel's own snapshot (exact sync keys, alignment, accelerators);
-  /// otherwise combine the estimated views with no cross-operand facts.
-  DispatchInput InputOf(const EstView& l, const EstView& r) const {
-    if (l.bound != nullptr && r.bound != nullptr) {
-      return kernel::MakeInput(*l.bound, *r.bound);
-    }
-    DispatchInput in;
-    in.left = l.view;
-    in.right = r.view;
-    return in;
-  }
-
-  void BindScalar(const std::string& var) { scalars_.insert(var); }
-
-  Result<StmtPrice> PriceStmt(const mil::MilStmt& stmt) {
-    StmtPrice sp;
-    sp.text = stmt.ToString();
-    const std::string& op = stmt.op;
-
-    // Scalar producers: no BAT result, negligible page cost beyond the
-    // operand pass of the aggregate.
-    if (op.rfind("calc.", 0) == 0) {
-      BindScalar(stmt.var);
-      sp.est_rows = 1;
-      return sp;
-    }
-    if (IsScalarAggOp(op) && stmt.args.size() == 1) {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      BindScalar(stmt.var);
-      sp.faults = kernel::HeapPages(in.view.size, in.view.tail_width);
-      sp.est_rows = 1;
-      return sp;
-    }
-
-    if (IsMultiplexOp(op)) {
-      const std::string fn = op.substr(1, op.size() - 2);
-      // The driver is the first BAT operand; estimated results are priced
-      // as unsynced, which makes the head-join variant's alignment cost
-      // visible to admission (the conservative direction).
-      EstView driver;
-      std::optional<EstView> other;
-      bool have_driver = false;
-      for (const mil::MilArg& a : stmt.args) {
-        if (a.kind != mil::MilArg::Kind::kVar) continue;
-        if (scalars_.count(a.var) > 0) continue;
-        auto env_it = env_.bindings().find(a.var);
-        if (env_it != env_.bindings().end() &&
-            std::get_if<Value>(&env_it->second) != nullptr) {
-          continue;
-        }
-        MF_ASSIGN_OR_RETURN(EstView v, ViewOf(a));
-        if (!have_driver) {
-          driver = v;
-          have_driver = true;
-        } else if (!other) {
-          other = v;
-        }
-      }
-      if (!have_driver) {
-        return Status::Invalid("multiplex [" + fn + "] has no BAT operand");
-      }
-      DispatchInput in =
-          other ? InputOf(driver, *other) : InputOf(driver);
-      in.param = OpParam{static_cast<int64_t>(stmt.args.size()), fn, false};
-      sp.faults = FamilyPrice("multiplex", in);
-      sp.est_rows = driver.rows;
-      views_[stmt.var] = Derived(driver.rows, driver.view.head_width, 8);
-      return sp;
-    }
-
-    if (IsSetAggOp(op)) {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      sp.faults = FamilyPrice("set_aggregate", InputOf(in));
-      sp.est_rows = in.rows;  // one row per group; groups <= input rows
-      views_[stmt.var] = Derived(in.rows, in.view.head_width, 8);
-      return sp;
-    }
-
-    if (op == "select" || op.rfind("select.", 0) == 0) {
-      return PriceSelect(stmt);
-    }
-
-    if (op == "join" || op == "semijoin" || op == "kintersect" ||
-        op == "kdiff" || op == "kunion") {
-      if (stmt.args.size() < 2) {
-        return Status::Invalid(op + " needs two BAT operands");
-      }
-      MF_ASSIGN_OR_RETURN(EstView l, ViewOf(stmt.args[0]));
-      MF_ASSIGN_OR_RETURN(EstView r, ViewOf(stmt.args[1]));
-      const double matches = kernel::EstEquiMatches(
-          static_cast<uint64_t>(l.rows), static_cast<uint64_t>(r.rows));
-      const std::string family = op == "join"      ? "join"
-                                 : op == "kdiff"   ? "kdiff"
-                                 : op == "kunion"  ? "kunion"
-                                                   : "semijoin";
-      sp.faults = FamilyPrice(family, InputOf(l, r));
-      if (op == "join") {
-        sp.est_rows = matches;
-        views_[stmt.var] =
-            Derived(matches, l.view.head_width, r.view.tail_width);
-      } else if (op == "kdiff") {
-        sp.est_rows = std::max(0.0, l.rows - matches);
-        views_[stmt.var] =
-            Derived(sp.est_rows, l.view.head_width, l.view.tail_width);
-      } else if (op == "kunion") {
-        sp.est_rows = l.rows + std::max(0.0, r.rows - matches);
-        views_[stmt.var] =
-            Derived(sp.est_rows, l.view.head_width, l.view.tail_width);
-      } else {  // semijoin / kintersect
-        sp.est_rows = matches;
-        views_[stmt.var] =
-            Derived(matches, l.view.head_width, l.view.tail_width);
-      }
-      return sp;
-    }
-
-    if (op.rfind("thetajoin.", 0) == 0) {
-      MF_ASSIGN_OR_RETURN(EstView l, ViewOf(stmt.args[0]));
-      MF_ASSIGN_OR_RETURN(EstView r, ViewOf(stmt.args[1]));
-      const std::string cmp = op.substr(10);
-      CmpOp c = CmpOp::kLt;
-      if (cmp == "<=") c = CmpOp::kLe;
-      if (cmp == ">") c = CmpOp::kGt;
-      if (cmp == ">=") c = CmpOp::kGe;
-      if (cmp == "!=") c = CmpOp::kNe;
-      DispatchInput in = InputOf(l, r);
-      in.param = OpParam{static_cast<int64_t>(c), "", false};
-      sp.faults = FamilyPrice("thetajoin", in);
-      // A theta-join qualifies a fraction of the cross product; without
-      // band statistics the dispatch prior is the best available guess.
-      sp.est_rows = kernel::kDispatchSelectivity * l.rows * r.rows;
-      views_[stmt.var] =
-          Derived(sp.est_rows, l.view.head_width, r.view.tail_width);
-      return sp;
-    }
-
-    if (op == "group") {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      if (stmt.args.size() == 1) {
-        sp.faults = FamilyPrice("group", InputOf(in));
-      } else {
-        MF_ASSIGN_OR_RETURN(EstView refine, ViewOf(stmt.args[1]));
-        sp.faults = FamilyPrice("group_refine", InputOf(in, refine));
-      }
-      sp.est_rows = in.rows;
-      views_[stmt.var] = Derived(in.rows, in.view.head_width, 8);
-      return sp;
-    }
-
-    // --- unregistered reshaping operators: one sequential pass ---------
-
-    if (op == "fetch") {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      MF_ASSIGN_OR_RETURN(EstView pos, ViewOf(stmt.args[1]));
-      // Positional fetches into the value heap: random order in the worst
-      // case, the RandomFetchPages model prices the page working set.
-      sp.faults = PagesOf(pos.view) +
-                  kernel::RandomFetchPages(in.view.size, in.view.tail_width,
-                                           pos.rows);
-      sp.est_rows = pos.rows;
-      views_[stmt.var] =
-          Derived(pos.rows, pos.view.head_width, in.view.tail_width);
-      return sp;
-    }
-    if (op == "histogram") {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      sp.faults = PagesOf(in.view) + kernel::kCpuHashed;
-      sp.est_rows = in.rows;
-      views_[stmt.var] = Derived(in.rows, in.view.tail_width, 8);
-      return sp;
-    }
-    if (op == "mirror") {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      sp.faults = 0;  // property bookkeeping only, no heap is copied
-      sp.est_rows = in.rows;
-      views_[stmt.var] =
-          Derived(in.rows, in.view.tail_width, in.view.head_width);
-      return sp;
-    }
-    if (op == "unique" || op == "hunique" || op == "sort") {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      sp.faults = PagesOf(in.view) + kernel::kCpuHashed;
-      sp.est_rows = in.rows;
-      views_[stmt.var] =
-          Derived(in.rows, in.view.head_width, in.view.tail_width);
-      if (op == "sort") views_[stmt.var].view.props.tsorted = true;
-      return sp;
-    }
-    if (op == "mark" || op == "extent" || op == "project") {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      sp.faults = kernel::HeapPages(in.view.size, in.view.head_width);
-      sp.est_rows = in.rows;
-      views_[stmt.var] = Derived(in.rows, in.view.head_width,
-                                 op == "extent" ? 0 : 8);
-      return sp;
-    }
-    if (op == "slice") {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      double rows = in.rows;
-      auto lo = stmt.args.size() > 1 ? MaybeVal(stmt.args[1]) : std::nullopt;
-      auto hi = stmt.args.size() > 2 ? MaybeVal(stmt.args[2]) : std::nullopt;
-      if (lo && hi) {
-        auto lo_i = lo->CastTo(MonetType::kLng);
-        auto hi_i = hi->CastTo(MonetType::kLng);
-        if (lo_i.ok() && hi_i.ok()) {
-          rows = std::max<int64_t>(0, hi_i->AsLng() - lo_i->AsLng() + 1);
-          rows = std::min(rows, in.rows);
-        }
-      }
-      sp.faults = kernel::HeapPages(static_cast<uint64_t>(rows),
-                                    in.view.head_width) +
-                  kernel::HeapPages(static_cast<uint64_t>(rows),
-                                    in.view.tail_width);
-      sp.est_rows = rows;
-      views_[stmt.var] =
-          Derived(rows, in.view.head_width, in.view.tail_width);
-      return sp;
-    }
-    if (op == "topn_max" || op == "topn_min") {
-      MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-      double k = in.rows;
-      if (auto n = stmt.args.size() > 1 ? MaybeVal(stmt.args[1])
-                                        : std::nullopt) {
-        auto n_i = n->CastTo(MonetType::kLng);
-        if (n_i.ok()) k = std::min<double>(in.rows, n_i->AsLng());
-      }
-      sp.faults = PagesOf(in.view);
-      sp.est_rows = k;
-      views_[stmt.var] = Derived(k, in.view.head_width, in.view.tail_width);
-      return sp;
-    }
-    if (op == "append") {
-      MF_ASSIGN_OR_RETURN(EstView l, ViewOf(stmt.args[0]));
-      MF_ASSIGN_OR_RETURN(EstView r, ViewOf(stmt.args[1]));
-      sp.faults = PagesOf(l.view) + PagesOf(r.view);
-      sp.est_rows = l.rows + r.rows;
-      views_[stmt.var] =
-          Derived(sp.est_rows, l.view.head_width, l.view.tail_width);
-      return sp;
-    }
-
-    return Status::NotImplemented("cannot price unknown MIL operator '" + op +
-                                  "'");
-  }
-
-  Result<StmtPrice> PriceSelect(const mil::MilStmt& stmt) {
-    StmtPrice sp;
-    sp.text = stmt.ToString();
-    const std::string& op = stmt.op;
-    MF_ASSIGN_OR_RETURN(EstView in, ViewOf(stmt.args[0]));
-
-    // Reconstruct the range bounds the executor would use so catalog BATs
-    // with sorted tails get the same two-probe estimate dispatch sees.
-    Bound lo, hi;
-    bool bounded = false;
-    double prior = kernel::kDispatchSelectivity;
-    if (op == "select") {
-      auto v1 = stmt.args.size() > 1 ? MaybeVal(stmt.args[1]) : std::nullopt;
-      if (stmt.args.size() == 2 && v1) {
-        lo = Bound{true, true, *v1};
-        hi = Bound{true, true, *v1};
-        bounded = true;
-      } else if (stmt.args.size() == 3 && v1) {
-        auto v2 = MaybeVal(stmt.args[2]);
-        if (v2) {
-          lo = Bound{true, true, *v1};
-          hi = Bound{true, true, *v2};
-          bounded = true;
-        }
-      }
-    } else {
-      const std::string cmp = op.substr(7);
-      auto v = stmt.args.size() > 1 ? MaybeVal(stmt.args[1]) : std::nullopt;
-      if (v && cmp == "<") {
-        hi = Bound{true, false, *v};
-        bounded = true;
-      } else if (v && cmp == "<=") {
-        hi = Bound{true, true, *v};
-        bounded = true;
-      } else if (v && cmp == ">") {
-        lo = Bound{true, false, *v};
-        bounded = true;
-      } else if (v && cmp == ">=") {
-        lo = Bound{true, true, *v};
-        bounded = true;
-      } else if (cmp == "!=") {
-        // A != predicate keeps nearly everything; invert the prior.
-        prior = 1.0 - kernel::kDispatchSelectivity;
-      }
-    }
-
-    DispatchInput di = InputOf(in);
-    if (bounded && in.bound != nullptr) {
-      di.est_selectivity = kernel::EstimateSelectivity(*in.bound, lo, hi);
-    }
-    const double sel = di.est_selectivity >= 0 ? di.est_selectivity : prior;
-    sp.faults = FamilyPrice("select", di);
-    sp.est_rows = sel * in.rows;
-    views_[stmt.var] =
-        Derived(sp.est_rows, in.view.head_width, in.view.tail_width);
-    return sp;
-  }
-
-  const mil::MilEnv& env_;
-  std::map<std::string, EstView> views_;
-  std::set<std::string> scalars_;
-};
 
 }  // namespace
 
@@ -461,16 +29,48 @@ std::string PlanPrice::ToString() const {
     std::snprintf(buf, sizeof(buf), "%16.1f %9.0f  ", s.faults, s.est_rows);
     os << buf << s.text << "\n";
   }
-  char total[96];
-  std::snprintf(total, sizeof(total), "total %.1f faults, ~%llu result bytes",
-                faults, static_cast<unsigned long long>(est_result_bytes));
+  char total[128];
+  std::snprintf(total, sizeof(total),
+                "total faults in [%.1f, %.1f], ~%llu result bytes",
+                faults_lo, faults,
+                static_cast<unsigned long long>(est_result_bytes));
   os << total << "\n";
+  for (const mil::Diagnostic& d : warnings) os << d.ToString() << "\n";
   return os.str();
+}
+
+mil::AnalysisReport AnalyzeAndPrice(const mil::MilProgram& program,
+                                    const mil::MilEnv& env,
+                                    PlanPrice* price) {
+  mil::AnalysisReport report = mil::AnalyzeProgram(program, env);
+  if (!report.ok() || price == nullptr) return report;
+
+  *price = PlanPrice{};
+  for (const mil::StmtInfo& si : report.stmts) {
+    StmtPrice sp;
+    sp.text = si.text;
+    sp.faults = si.faults_hi;
+    sp.faults_lo = si.faults_lo;
+    sp.est_rows = si.result.card.hi;
+    price->faults += sp.faults;
+    price->faults_lo += sp.faults_lo;
+    price->est_result_bytes += static_cast<uint64_t>(
+        std::llround(si.result.card.hi) * RowWidth(si.result));
+    price->stmts.push_back(std::move(sp));
+  }
+  price->warnings = report.diagnostics;
+  return report;
 }
 
 Result<PlanPrice> PriceProgram(const mil::MilProgram& program,
                                const mil::MilEnv& env) {
-  return Pricer(env).Run(program);
+  PlanPrice price;
+  mil::AnalysisReport report = AnalyzeAndPrice(program, env, &price);
+  if (!report.ok()) {
+    return Status::TypeError("program rejected by static analysis:\n" +
+                             report.DiagnosticsString());
+  }
+  return price;
 }
 
 }  // namespace moaflat::service

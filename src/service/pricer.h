@@ -5,44 +5,50 @@
 #include <vector>
 
 #include "common/result.h"
+#include "mil/analysis_types.h"
 #include "mil/interpreter.h"
 #include "mil/program.h"
 
 namespace moaflat::service {
 
-/// Predicted cost of one statement of a MIL plan.
+/// Predicted cost interval of one statement of a MIL plan.
 struct StmtPrice {
-  std::string text;     // the statement, rendered
-  double faults = 0;    // expected cold page faults (Section 5.2.2 model)
-  double est_rows = 0;  // estimated result cardinality
+  std::string text;      // the statement, rendered
+  double faults = 0;     // fault upper bound (Section 5.2.2 model, hi views)
+  double faults_lo = 0;  // optimistic cold estimate (lo views)
+  double est_rows = 0;   // result-cardinality upper bound
 };
 
 /// Predicted cost of a whole MIL program — what admission control compares
 /// against the session's and the service's fault capacity before anything
-/// executes.
+/// executes. `faults` is the sum of per-statement upper bounds, so a veto
+/// against it is sound: no execution of the plan can cost more.
 struct PlanPrice {
-  double faults = 0;            // sum over the statements
+  double faults = 0;     // sum of per-statement upper bounds
+  double faults_lo = 0;  // sum of optimistic per-statement ends
   uint64_t est_result_bytes = 0;  // rough cumulative result volume
   std::vector<StmtPrice> stmts;
+  /// Analyzer hygiene warnings that rode along with an accepted plan.
+  std::vector<mil::Diagnostic> warnings;
 
   std::string ToString() const;
 };
 
-/// Prices `program` against the bindings of `env` without executing it:
-/// statements over registered operator families ask the KernelRegistry
-/// which variant dynamic optimization would pick and what it would cost
-/// (KernelRegistry::PriceCheapest over estimated operand views); cardinality
-/// estimates propagate statement to statement (two-probe selectivity for
-/// selects on tail-sorted bound BATs, EstEquiMatches for equi-joins,
-/// operand cardinality elsewhere). Unregistered reshaping operators are
-/// priced as sequential passes over their operands. Nothing is executed, no
+/// Prices `program` against the bindings of `env` without executing it, by
+/// running the MIL static analyzer (mil/analyzer.h) and folding its
+/// per-statement fault-cost intervals. An ill-formed program — unknown
+/// operator, unresolved name, type error — fails with the analyzer's
+/// line-anchored diagnostics instead of a point guess; admission never sees
+/// a price for a program that could not execute. Nothing is executed, no
 /// accelerator is built, no page is touched.
-///
-/// Fails only on statements that could never execute (unknown operator,
-/// unbound first operand) — pricing is deliberately more permissive than
-/// execution, since its job is a capacity estimate, not validation.
 Result<PlanPrice> PriceProgram(const mil::MilProgram& program,
                                const mil::MilEnv& env);
+
+/// Same, but also hands back the full analysis report (diagnostics and
+/// inferred schema) regardless of acceptance; `price` is filled only when
+/// the report is ok().
+mil::AnalysisReport AnalyzeAndPrice(const mil::MilProgram& program,
+                                    const mil::MilEnv& env, PlanPrice* price);
 
 }  // namespace moaflat::service
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "kernel/exec_tracer.h"
+#include "mil/analyzer.h"
 #include "mil/parser.h"
 
 namespace moaflat::service {
@@ -91,16 +92,30 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
   }
   Session& s = it->second;
 
-  // Price before anything executes: the cost model sees the session's
-  // current bindings (including results of its earlier queries).
-  MF_ASSIGN_OR_RETURN(PlanPrice price, PriceProgram(program, s.env));
+  // Analyze and price before anything executes: the static analyzer sees
+  // the session's current bindings (including results of its earlier
+  // queries). An ill-formed program is vetoed with its diagnostics — no
+  // statement runs, no budget is charged.
+  PlanPrice price;
+  mil::AnalysisReport report = AnalyzeAndPrice(program, s.env, &price);
 
   auto q = std::make_shared<Query>();
   q->id = next_query_++;
   q->session = session_id;
   q->program = std::move(program);
-  q->admission.predicted_cost = price.faults;
+  q->admission.diagnostics = report.diagnostics;
   ++counters_.submitted;
+
+  if (!report.ok()) {
+    q->state = QueryState::kVetoed;
+    q->admission.action = Admission::kVeto;
+    q->admission.reason = "rejected by static analysis: " + report.FirstError();
+    ++counters_.vetoed;
+    queries_.emplace(q->id, q);
+    done_cv_.notify_all();
+    return q->id;
+  }
+  q->admission.predicted_cost = price.faults;
 
   // --- the admission decision, in veto-first order --------------------
   const double session_cap = s.opts.max_query_cost;
@@ -163,6 +178,17 @@ Result<PlanPrice> QueryService::Price(uint64_t session_id,
     return Status::KeyError("unknown session " + std::to_string(session_id));
   }
   return PriceProgram(program, it->second.env);
+}
+
+Result<mil::AnalysisReport> QueryService::Check(
+    uint64_t session_id, const std::string& mil_text) const {
+  MF_ASSIGN_OR_RETURN(mil::MilProgram program, mil::ParseMil(mil_text));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::KeyError("unknown session " + std::to_string(session_id));
+  }
+  return mil::AnalyzeProgram(program, it->second.env);
 }
 
 QueryResult QueryService::Snapshot(const Query& q) const {

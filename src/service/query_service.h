@@ -71,9 +71,13 @@ enum class Admission { kAdmit, kQueue, kVeto };
 /// The deterministic admission verdict reported for every submission.
 struct AdmissionDecision {
   Admission action = Admission::kAdmit;
-  /// Predicted cold page faults of the whole plan (PlanPrice::faults).
+  /// Predicted cold page faults of the whole plan — the analyzer's upper
+  /// bound (PlanPrice::faults), so a veto is sound.
   double predicted_cost = 0;
   std::string reason;  // set on kQueue / kVeto
+  /// Static-analyzer findings: the errors behind an analysis veto, plus
+  /// hygiene warnings riding along with accepted plans.
+  std::vector<mil::Diagnostic> diagnostics;
 };
 
 enum class QueryState { kQueued, kRunning, kDone, kError, kVetoed };
@@ -119,16 +123,25 @@ class QueryService {
   /// new submissions are accepted.
   Status CloseSession(uint64_t session_id);
 
-  /// Parses, prices and admits `mil_text` on the session. Returns a query
-  /// id usable with Poll/Wait in every admission outcome — a vetoed query
-  /// is a first-class result carrying its predicted cost. Fails only on
-  /// parse/pricing errors or an unknown session.
+  /// Parses, analyzes, prices and admits `mil_text` on the session. Returns
+  /// a query id usable with Poll/Wait in every admission outcome — a vetoed
+  /// query is a first-class result carrying its predicted cost, and a
+  /// program the static analyzer rejects is vetoed with its line-anchored
+  /// diagnostics attached (nothing executes). Fails only on parse errors or
+  /// an unknown session.
   Result<uint64_t> Submit(uint64_t session_id, const std::string& mil_text);
 
   /// Dry run of admission pricing: what would this program cost on this
-  /// session right now? Executes nothing.
+  /// session right now? Executes nothing; an ill-formed program fails with
+  /// the analyzer's diagnostics.
   Result<PlanPrice> Price(uint64_t session_id,
                           const std::string& mil_text) const;
+
+  /// Static analysis only: the full analyzer report of `mil_text` against
+  /// the session's current bindings — diagnostics, per-statement fault
+  /// intervals and the inferred result schema. Executes nothing.
+  Result<mil::AnalysisReport> Check(uint64_t session_id,
+                                    const std::string& mil_text) const;
 
   /// Non-blocking snapshot of a query.
   Result<QueryResult> Poll(uint64_t query_id) const;

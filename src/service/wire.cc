@@ -73,6 +73,18 @@ std::string UnescapeMil(std::string mil) {
   return mil;
 }
 
+/// Single-line rendering of a possibly multi-line message (analyzer
+/// diagnostics embed newlines; ERR replies must stay one line).
+std::string OneLine(std::string s) {
+  while (!s.empty() && s.back() == '\n') s.pop_back();
+  size_t pos = 0;
+  while ((pos = s.find('\n', pos)) != std::string::npos) {
+    s.replace(pos, 1, "; ");
+    pos += 2;
+  }
+  return s;
+}
+
 bool SendAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
@@ -237,13 +249,13 @@ std::string WireServer::HandleLine(const std::string& line, bool& close_conn) {
     const std::string mil = UnescapeMil(rest);
     if (cmd == "PRICE") {
       auto price = service_.Price(sid, mil);
-      if (!price.ok()) return "ERR " + price.status().message() + "\n";
-      os << "OK cost=" << price->faults
+      if (!price.ok()) return "ERR " + OneLine(price.status().message()) + "\n";
+      os << "OK cost=" << price->faults << " cost_lo=" << price->faults_lo
          << " bytes=" << price->est_result_bytes << "\n";
       return os.str();
     }
     auto qid = service_.Submit(sid, mil);
-    if (!qid.ok()) return "ERR " + qid.status().message() + "\n";
+    if (!qid.ok()) return "ERR " + OneLine(qid.status().message()) + "\n";
     auto snap = service_.Poll(*qid);
     if (!snap.ok()) return "ERR " + snap.status().message() + "\n";
     os << "OK " << *qid << " " << ActionName(snap->admission.action)
@@ -264,11 +276,34 @@ std::string WireServer::HandleLine(const std::string& line, bool& close_conn) {
        << " cost=" << snap->admission.predicted_cost
        << " faults=" << snap->faults << " charged=" << snap->memory_charged;
     if (snap->state == QueryState::kError) {
-      os << " " << snap->status.message();
+      os << " " << OneLine(snap->status.message());
     } else if (snap->state == QueryState::kVetoed) {
-      os << " " << snap->admission.reason;
+      os << " " << OneLine(snap->admission.reason);
     }
     os << "\n";
+    return os.str();
+  }
+
+  if (cmd == "CHECK") {
+    uint64_t sid = 0;
+    if (!ParseU64(TakeToken(rest), &sid)) return "ERR need session id\n";
+    auto report = service_.Check(sid, UnescapeMil(rest));
+    if (!report.ok()) return "ERR " + OneLine(report.status().message()) + "\n";
+    os << "OK " << (report->ok() ? "ok" : "rejected")
+       << " errors=" << report->errors << " warnings=" << report->warnings
+       << "\n";
+    os << report->DiagnosticsString();
+    // Inferred result schema: one line per binding, in statement order
+    // (wire programs carry no result clause, so every statement var is a
+    // result).
+    std::vector<std::string> names;
+    for (const auto& si : report->stmts) {
+      if (std::find(names.begin(), names.end(), si.var) == names.end()) {
+        names.push_back(si.var);
+      }
+    }
+    os << report->SchemaString(names);
+    os << ".\n";
     return os.str();
   }
 

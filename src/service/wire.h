@@ -19,7 +19,11 @@
 ///   OPEN [budget=N] [degree=D] [weight=W] [maxcost=C] [seed=S]
 ///                                  -> OK <sid>
 ///   SUBMIT <sid> <mil text>        -> OK <qid> ADMIT|QUEUE|VETO cost=<c> ...
-///   PRICE <sid> <mil text>         -> OK cost=<c> bytes=<b>
+///   PRICE <sid> <mil text>         -> OK cost=<c> cost_lo=<l> bytes=<b>
+///   CHECK <sid> <mil text>         -> OK ok|rejected errors=<e>
+///                                     warnings=<w>, then the analyzer's
+///                                     diagnostics and the inferred result
+///                                     schema, then "."
 ///   POLL <qid> / WAIT <qid>        -> OK <state> cost=<c> faults=<f> ...
 ///   RESULT <qid> <var> [max_rows]  -> OK <rows>, then rows, then "."
 ///   TRACE <qid>                    -> OK, then Fig. 10 lines, then "."
@@ -27,8 +31,11 @@
 ///   PING                           -> OK moaflat
 ///   BYE                            -> OK bye (connection closes)
 ///
-/// In SUBMIT/PRICE the MIL text is the rest of the line; `;` separates
-/// statements (rewritten to newlines before parsing).
+/// In SUBMIT/PRICE/CHECK the MIL text is the rest of the line; `;`
+/// separates statements (rewritten to newlines before parsing). A program
+/// the static analyzer rejects is reported `VETO` with the first diagnostic
+/// as reason (SUBMIT) or as a plain `ERR` with the diagnostics joined by
+/// `;` (PRICE); nothing executes either way.
 namespace moaflat::service {
 
 class WireServer {

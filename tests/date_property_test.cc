@@ -66,8 +66,8 @@ TEST_P(DateSweep, CalendarFieldsInRange) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DateSweep, ::testing::Values(1, 2, 3, 4),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
                          });
 
 TEST(DateKnownValuesTest, TpcdEraAnchors) {
@@ -115,9 +115,9 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, CostModelSweep,
     ::testing::Combine(::testing::Values(8, 16, 32),
                        ::testing::Values(1, 3, 6, 12)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_p" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_p" +
+             std::to_string(std::get<1>(pinfo.param));
     });
 
 }  // namespace

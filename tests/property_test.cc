@@ -299,8 +299,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Config{7, 1024, 37, false}, Config{8, 1024, 37, true},
                       Config{9, 4096, 500, false},
                       Config{10, 4096, 500, true}),
-    [](const ::testing::TestParamInfo<Config>& info) {
-      return info.param.Name();
+    [](const ::testing::TestParamInfo<Config>& pinfo) {
+      return pinfo.param.Name();
     });
 
 }  // namespace

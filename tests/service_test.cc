@@ -427,5 +427,89 @@ TEST(WireProtocolTest, OpenSubmitWaitResultOverSocket) {
   server.Stop();
 }
 
+TEST(WireProtocolTest, StaticAnalysisVetoAndCheckOverSocket) {
+  mil::MilEnv catalog;
+  catalog.BindBat("nums", Bat(Column::MakeVoid(Oid{1} << 40, 100),
+                              Column::MakeInt(std::vector<int32_t>(100, 7))));
+  catalog.BindBat("tags",
+                  Bat(Column::MakeVoid(Oid{1} << 40, 100),
+                      Column::MakeStr(std::vector<std::string>(100, "t"))));
+  QueryService svc;
+  svc.SetCatalog(catalog);
+  service::WireServer server(svc, /*port=*/0);
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket: " << started.ToString();
+  }
+  service::WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::string open = client.Call("OPEN").ValueOrDie();
+  ASSERT_EQ(open.rfind("OK ", 0), 0u) << open;
+  const std::string sid = open.substr(3);
+
+  // An ill-typed program is vetoed by the analyzer at SUBMIT: a first-class
+  // query in VETO state whose one-line reason carries the diagnostic — and
+  // nothing executed (zero faults at WAIT).
+  std::string submitted =
+      client.Call("SUBMIT " + sid + " x := select(nums, \"zap\")")
+          .ValueOrDie();
+  ASSERT_EQ(submitted.rfind("OK ", 0), 0u) << submitted;
+  EXPECT_NE(submitted.find(" VETO "), std::string::npos) << submitted;
+  EXPECT_NE(submitted.find("rejected by static analysis"), std::string::npos)
+      << submitted;
+  EXPECT_NE(submitted.find("no row can match"), std::string::npos)
+      << submitted;
+  std::istringstream is(submitted.substr(3));
+  std::string qid;
+  is >> qid;
+  std::string waited = client.Call("WAIT " + qid).ValueOrDie();
+  EXPECT_EQ(waited.rfind("OK VETOED", 0), 0u) << waited;
+  EXPECT_NE(waited.find("faults=0"), std::string::npos) << waited;
+
+  // PRICE on a malformed program is a structured single-line error with
+  // the line-anchored diagnostic, executing nothing.
+  std::string priced =
+      client.Call("PRICE " + sid + " y := join(nosuch, nums)").ValueOrDie();
+  EXPECT_EQ(priced.rfind("ERR ", 0), 0u) << priced;
+  EXPECT_NE(priced.find("unknown MIL variable 'nosuch'"), std::string::npos)
+      << priced;
+
+  // CHECK returns the verdict plus the full diagnostics and the inferred
+  // schema as a dot-terminated body. ';' separates wire statements, so the
+  // diagnostic for the second statement anchors to line 2.
+  std::string checked =
+      client
+          .Call("CHECK " + sid + " a := mirror(nums); b := join(tags, nums)")
+          .ValueOrDie();
+  ASSERT_EQ(checked.rfind("OK rejected errors=1", 0), 0u) << checked;
+  std::vector<std::string> body = client.ReadBody().ValueOrDie();
+  ASSERT_FALSE(body.empty());
+  bool anchored = false;
+  for (const std::string& line : body) {
+    if (line.find("line 2: error: 'join' matches a str column") !=
+        std::string::npos) {
+      anchored = true;
+    }
+  }
+  EXPECT_TRUE(anchored) << checked;
+
+  // A well-formed program CHECKs ok and reports its inferred schema.
+  std::string good =
+      client.Call("CHECK " + sid + " m := mirror(nums)").ValueOrDie();
+  ASSERT_EQ(good.rfind("OK ok errors=0", 0), 0u) << good;
+  body = client.ReadBody().ValueOrDie();
+  bool schema = false;
+  for (const std::string& line : body) {
+    if (line.find("m :") != std::string::npos &&
+        line.find("[int,void]") != std::string::npos) {
+      schema = true;
+    }
+  }
+  EXPECT_TRUE(schema) << good;
+
+  EXPECT_EQ(client.Call("BYE").ValueOrDie(), "OK bye");
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace moaflat

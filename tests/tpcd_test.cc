@@ -157,8 +157,8 @@ TEST_P(QueryCrossCheck, MonetMatchesBaseline) {
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, QueryCrossCheck,
                          ::testing::Range(1, 16),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "Q" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "Q" + std::to_string(pinfo.param);
                          });
 
 // -------------------------------------------------------------- cost model

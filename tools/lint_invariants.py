@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Engine invariant lint: grep-with-parsing checks for the two bug classes
+that have recurred in this codebase, run over src/kernel/ and src/bat/ in CI.
+
+Rules
+-----
+sync-head-only
+    A `SetSync(...)` derivation whose only sync-key sources are *head*
+    columns (plus constants/salts). Nearly every materializing operator's
+    result BUN set depends on tail values somewhere (a select's predicate,
+    a join's match column), so deriving the result key from head keys alone
+    forges "synced" proofs between results that are not positionally equal
+    — the PR-4 theta-join forgery, and the equi-join/select variants fixed
+    alongside this lint. Sites where head-only derivation is provably right
+    (e.g. a set-aggregate whose group set is a function of the head column
+    only) carry `// lint:allow(sync-head-only)` with a justification.
+
+uncharged-kernel
+    A kernel that discards its ExecContext (`(void)ctx;`): it performs no
+    page accounting, so its work is invisible to fault budgets and
+    admission pricing. Only provably zero-copy kernels (no materialization,
+    no page touched beyond TouchAll bookkeeping) may do this, and each such
+    site carries `// lint:allow(uncharged-kernel)` saying why.
+
+An allow comment counts when it appears inside the flagged statement or on
+one of the two lines above it.
+
+Usage
+-----
+    tools/lint_invariants.py [paths...]      # default: src/kernel src/bat
+    tools/lint_invariants.py --self-test     # run the seeded-broken fixtures
+
+Exit status 0 = clean, 1 = findings, 2 = self-test failure.
+"""
+
+import os
+import re
+import sys
+
+DEFAULT_PATHS = ["src/kernel", "src/bat"]
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+SYNC_KEY_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*(?:\(\))?(?:[.->]+[A-Za-z_][A-Za-z0-9_]*(?:\(\))?)*)\.sync_key\(\)")
+VOID_CTX_RE = re.compile(r"\(\s*void\s*\)\s*ctx\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed(lines, start_idx, end_idx, rule):
+    """True if a lint:allow(rule) comment covers statement lines
+    [start_idx, end_idx] (0-based, inclusive) or the two lines above."""
+    lo = max(0, start_idx - 2)
+    for i in range(lo, min(end_idx + 1, len(lines))):
+        for m in ALLOW_RE.finditer(lines[i]):
+            if m.group(1) == rule:
+                return True
+    return False
+
+
+def statement_end(lines, start_idx):
+    """Index of the line closing the statement that opens at start_idx:
+    tracks paren depth from the first '(' and stops at the ';' that follows
+    balance."""
+    depth = 0
+    opened = False
+    for i in range(start_idx, len(lines)):
+        for ch in lines[i]:
+            if ch == "(":
+                depth += 1
+                opened = True
+            elif ch == ")":
+                depth -= 1
+            elif ch == ";" and opened and depth <= 0:
+                return i
+    return min(start_idx, len(lines) - 1)
+
+
+def classify_receiver(recv):
+    """head / tail / other source classification of one sync_key() receiver.
+
+    `ab.head()`, `head`, `out->head()` are head sources; the tail analogs
+    are tail sources; any other receiver (a mixed variable, an extent
+    column, a cached key) is an independent source that already breaks the
+    head-only pattern."""
+    last = re.split(r"[.>-]+", recv.rstrip("()"))[-1]
+    if last == "head":
+        return "head"
+    if last == "tail":
+        return "tail"
+    return "other"
+
+
+def check_sync_head_only(path, lines):
+    findings = []
+    for i, line in enumerate(lines):
+        if "SetSync(" not in line or line.lstrip().startswith("//"):
+            continue
+        end = statement_end(lines, i)
+        stmt = "\n".join(lines[i : end + 1])
+        sources = [classify_receiver(m.group(1))
+                   for m in SYNC_KEY_RE.finditer(stmt)]
+        heads = sources.count("head")
+        tails = sources.count("tail")
+        others = sources.count("other")
+        if heads >= 1 and tails == 0 and others == 0:
+            if not allowed(lines, i, end, "sync-head-only"):
+                findings.append(Finding(
+                    path, i + 1, "sync-head-only",
+                    "sync key derived from head column(s) only — if the "
+                    "result BUN set depends on tail values this forges "
+                    "synced proofs; mix the tail sync key, or annotate "
+                    "// lint:allow(sync-head-only) with a justification"))
+    return findings
+
+
+def check_uncharged_kernel(path, lines):
+    findings = []
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("//"):
+            continue
+        if VOID_CTX_RE.search(line):
+            if not allowed(lines, i, i, "uncharged-kernel"):
+                findings.append(Finding(
+                    path, i + 1, "uncharged-kernel",
+                    "kernel discards its ExecContext: no page accounting, "
+                    "invisible to fault budgets and admission pricing; "
+                    "charge the context, or annotate "
+                    "// lint:allow(uncharged-kernel) for zero-copy kernels"))
+    return findings
+
+
+CHECKS = [check_sync_head_only, check_uncharged_kernel]
+
+
+def lint_file(path, text=None):
+    if text is None:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    lines = text.split("\n")
+    findings = []
+    for check in CHECKS:
+        findings.extend(check(path, lines))
+    return findings
+
+
+def lint_paths(paths):
+    findings = []
+    for root in paths:
+        if os.path.isfile(root):
+            findings.extend(lint_file(root))
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".cc", ".h")):
+                    findings.extend(lint_file(os.path.join(dirpath, name)))
+    return findings
+
+
+# ---------------------------------------------------------------- self-test
+
+# Each fixture seeds the bug class the rule exists for (or its allowed /
+# correct variant) and states exactly what the lint must report.
+FIXTURES = [
+    # The forgery class: head keys + a salt, no tail source.
+    ("broken_select.cc", """
+Result<Bat> FinishSelect(const Bat& ab, ColumnPtr out_head) {
+  SetSync(out_head, MixSync(ab.head().sync_key(), BoundSyncHash(lo, hi)));
+  return Bat::Make(out_head, nullptr, {});
+}
+""", {"sync-head-only": 1, "uncharged-kernel": 0}),
+    # Two head keys, still no tail source (the equi-join variant),
+    # spanning multiple lines.
+    ("broken_join.cc", """
+Result<Bat> FinishJoin(const Bat& ab, const Bat& cd, ColumnPtr out_head) {
+  SetSync(out_head, MixSync(MixSync(ab.head().sync_key(),
+                                    cd.head().sync_key()),
+                            HashString("join")));
+  return Bat::Make(out_head, nullptr, {});
+}
+""", {"sync-head-only": 1, "uncharged-kernel": 0}),
+    # The fix: the tail key joins the derivation.
+    ("fixed_join.cc", """
+Result<Bat> FinishJoin(const Bat& ab, const Bat& cd, ColumnPtr out_head) {
+  SetSync(out_head, MixSync(MixSync(MixSync(ab.head().sync_key(),
+                                            ab.tail().sync_key()),
+                                    cd.head().sync_key()),
+                            HashString("join")));
+  return Bat::Make(out_head, nullptr, {});
+}
+""", {"sync-head-only": 0, "uncharged-kernel": 0}),
+    # An independent (non head/tail) source also breaks the pattern.
+    ("extent_semijoin.cc", """
+Result<Bat> Finish(const Column& extent, const Bat& cd, ColumnPtr out_head) {
+  SetSync(out_head, MixSync(MixSync(extent.sync_key(),
+                                    cd.head().sync_key()),
+                            HashString("dv_semijoin")));
+  return Bat::Make(out_head, nullptr, {});
+}
+""", {"sync-head-only": 0, "uncharged-kernel": 0}),
+    # Head-only is provably right here and says so.
+    ("allowed_aggregate.cc", """
+Result<Bat> FinishSetAggregate(const Bat& ab, ColumnPtr out_head) {
+  // The group set is a function of the head column alone.
+  // lint:allow(sync-head-only)
+  SetSync(out_head,
+          MixSync(ab.head().sync_key(), HashString("set_aggregate")));
+  return Bat::Make(out_head, nullptr, {});
+}
+""", {"sync-head-only": 0, "uncharged-kernel": 0}),
+    # A kernel that silently ignores its context.
+    ("broken_uncharged.cc", """
+Result<Bat> CopySemijoin(const ExecContext& ctx, const Bat& ab) {
+  (void)ctx;
+  Bat res = ab;
+  return res;
+}
+""", {"sync-head-only": 0, "uncharged-kernel": 1}),
+    # The acknowledged zero-copy variant.
+    ("allowed_uncharged.cc", """
+Result<Bat> SyncSemijoin(const ExecContext& ctx, const Bat& ab) {
+  (void)ctx;  // zero-copy view, nothing materialized  lint:allow(uncharged-kernel)
+  Bat res = ab;
+  return res;
+}
+""", {"sync-head-only": 0, "uncharged-kernel": 0}),
+]
+
+
+def self_test():
+    failures = []
+    for name, text, want in FIXTURES:
+        got = lint_file(name, text)
+        counts = {rule: 0 for rule in want}
+        for f in got:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        if counts != want:
+            failures.append(f"{name}: expected {want}, got {counts}: "
+                            + "; ".join(str(f) for f in got))
+    if failures:
+        for f in failures:
+            print("SELF-TEST FAIL:", f, file=sys.stderr)
+        return 2
+    print(f"self-test: {len(FIXTURES)} fixtures ok")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    paths = [a for a in argv if not a.startswith("-")] or DEFAULT_PATHS
+    findings = lint_paths(paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"{len(findings)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("invariant lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
