@@ -15,6 +15,12 @@
 // the line-anchored diagnostics and the inferred result schema of the rest
 // of the line (locally, or via the wire CHECK verb) and executes nothing.
 //
+// Remote mode adds asynchronous control:
+//   \submit <mil>   submit without waiting; remembers the query id
+//   \cancel [qid]   cancel the given (default: last submitted) query
+//   \poll   [qid]   non-blocking state of a query
+//   \wait   [qid]   block until the query is terminal
+//
 // Try the paper's Q13 plan:
 //   orders := select(Order_clerk, "Clerk#000000005")
 //   items := join(Item_order, orders)
@@ -61,6 +67,14 @@ int RunRemote(const std::string& host, uint16_t port) {
                port, sid.c_str());
 
   std::string line;
+  std::string last_qid;  // target of \cancel / \poll / \wait without an arg
+  // `\cancel 42` / `\cancel` → the explicit or remembered query id.
+  auto arg_or_last = [&](const std::string& args) {
+    std::string qid = args;
+    while (!qid.empty() && qid.front() == ' ') qid.erase(0, 1);
+    while (!qid.empty() && qid.back() == ' ') qid.pop_back();
+    return qid.empty() ? last_qid : qid;
+  };
   while (std::getline(std::cin, line)) {
     if (line.empty() || line[0] == '#') continue;
     if (line.rfind("\\check", 0) == 0) {
@@ -76,10 +90,42 @@ int RunRemote(const std::string& host, uint16_t port) {
       }
       continue;
     }
+    if (line.rfind("\\submit", 0) == 0) {
+      // Fire-and-forget: the query runs while the shell stays interactive,
+      // so a long scan can be \cancel'led mid-flight.
+      const std::string submit = call("SUBMIT " + sid + " " + line.substr(7));
+      std::printf("%s\n", submit.c_str());
+      if (submit.rfind("OK ", 0) == 0) {
+        last_qid = submit.substr(3, submit.find(' ', 3) - 3);
+      }
+      continue;
+    }
+    if (line.rfind("\\cancel", 0) == 0) {
+      const std::string qid = arg_or_last(line.substr(7));
+      if (qid.empty()) {
+        std::printf("no query to cancel\n");
+        continue;
+      }
+      std::printf("%s\n", call("CANCEL " + qid).c_str());
+      std::printf("%s\n", call("POLL " + qid).c_str());
+      continue;
+    }
+    if (line.rfind("\\poll", 0) == 0 || line.rfind("\\wait", 0) == 0) {
+      const bool wait = line.rfind("\\wait", 0) == 0;
+      const std::string qid = arg_or_last(line.substr(5));
+      if (qid.empty()) {
+        std::printf("no query to %s\n", wait ? "wait for" : "poll");
+        continue;
+      }
+      std::printf("%s\n",
+                  call((wait ? "WAIT " : "POLL ") + qid).c_str());
+      continue;
+    }
     const std::string submit = call("SUBMIT " + sid + " " + line);
     std::printf("%s\n", submit.c_str());
     if (submit.rfind("OK ", 0) != 0) continue;
     const std::string qid = submit.substr(3, submit.find(' ', 3) - 3);
+    last_qid = qid;
     std::printf("%s\n", call("WAIT " + qid).c_str());
     if (call("TRACE " + qid).rfind("OK", 0) == 0) {
       if (auto body = cli.ReadBody(); body.ok()) {

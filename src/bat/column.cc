@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 #include <unordered_set>
 
+#include "common/fault_injector.h"
 #include "storage/memory_tracker.h"
 
 namespace moaflat::bat {
 namespace {
+
+/// Allocation-site fault hook of the result builders: when the thread's
+/// armed injector draws kAlloc, the reservation fails exactly as a real
+/// exhausted heap would — std::bad_alloc — which the interpreter catches
+/// at the statement boundary and unwinds like any failed statement.
+void MaybeInjectAllocFailure() {
+  FaultInjector* fi = CurrentFaultInjector();
+  if (fi != nullptr && fi->Fire(FaultInjector::Site::kAlloc)) {
+    throw std::bad_alloc();
+  }
+}
 
 uint64_t HashBytes(std::string_view s) {
   // FNV-1a.
@@ -268,6 +281,7 @@ ColumnBuilder::ColumnBuilder(MonetType type,
     : type_(type), repr_(EmptyRepr(type)), heap_(std::move(heap)) {}
 
 void ColumnBuilder::Reserve(size_t n) {
+  MaybeInjectAllocFailure();
   std::visit(
       [n](auto& v) {
         if constexpr (!std::is_same_v<std::decay_t<decltype(v)>,
@@ -429,6 +443,7 @@ ColumnScatter::ColumnScatter(const Column& src, size_t total)
       repr_(EmptyRepr(type_)),
       heap_(src.str_heap()),
       total_(total) {
+  MaybeInjectAllocFailure();
   Column::VisitType(type_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     std::get<std::vector<T>>(repr_).resize(total);
@@ -439,6 +454,7 @@ ColumnScatter::ColumnScatter(MonetType type, size_t total)
     : type_(type == MonetType::kVoid ? MonetType::kOidT : type),
       repr_(EmptyRepr(type_)),
       total_(total) {
+  MaybeInjectAllocFailure();
   Column::VisitType(type_, [&](auto tag) {
     using T = typename decltype(tag)::type;
     std::get<std::vector<T>>(repr_).resize(total);

@@ -1,0 +1,140 @@
+#ifndef MOAFLAT_COMMON_CANCEL_H_
+#define MOAFLAT_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace moaflat {
+
+/// Shared cooperative-cancellation state of one query (or any unit of
+/// interruptible work). One writer side (Cancel / SetDeadline) and many
+/// cheap readers: kernels poll `ShouldStop()` at block boundaries, the
+/// TaskPool polls the raw `flag()` atomic before running each claimed
+/// morsel, and the first poller to observe an expired deadline latches it
+/// into the flag so every other participant stops at its next boundary.
+///
+/// The fast path of ShouldStop() is one relaxed atomic load (plus a clock
+/// read only while a deadline is armed); the mutex is touched only when a
+/// cancellation is actually recorded or its status is read.
+class CancelState {
+ public:
+  CancelState() = default;
+  CancelState(const CancelState&) = delete;
+  CancelState& operator=(const CancelState&) = delete;
+
+  /// Requests cancellation. The first call wins: its code/reason become the
+  /// status every subsequent poll reports; later calls are no-ops, so a
+  /// deadline expiring after an explicit cancel does not rewrite history.
+  void Cancel(StatusCode code, std::string reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flag_.load(std::memory_order_relaxed) != 0) return;
+    code_ = code;
+    reason_ = std::move(reason);
+    flag_.store(1, std::memory_order_release);
+  }
+
+  /// Arms (or re-arms) an absolute deadline; polls past it cancel with
+  /// kDeadlineExceeded.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// The poll: true once the work should stop — cancelled explicitly, or
+  /// the armed deadline has passed (which this call latches into the
+  /// cancelled flag, making every later poll cheap and the reported status
+  /// deterministic).
+  bool ShouldStop() {
+    if (cancelled()) return true;
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != 0) {
+      const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now()
+                                  .time_since_epoch())
+                              .count();
+      if (now > d) {
+        Cancel(StatusCode::kDeadlineExceeded, "deadline exceeded");
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The terminal status: OK while running, else the first cancellation's
+  /// code and reason.
+  Status status() const {
+    if (!cancelled()) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    return Status(code_, reason_);
+  }
+
+  /// The raw flag, for pollers that must stay lock- and branch-minimal
+  /// (the TaskPool's per-morsel abort check). Non-zero = stop.
+  const std::atomic<uint32_t>* flag() const { return &flag_; }
+
+ private:
+  std::atomic<uint32_t> flag_{0};
+  std::atomic<int64_t> deadline_ns_{0};  // steady-clock ns since epoch; 0 = none
+  mutable std::mutex mu_;
+  StatusCode code_ = StatusCode::kCancelled;
+  std::string reason_;
+};
+
+/// Value-semantic handle on a shared CancelState: the query service holds
+/// one per query, hands a copy to the ExecContext it builds, and cancels
+/// from any thread. Copies share the state. A default-constructed token is
+/// *empty* (valid() == false) — queries that are not cancellable pay
+/// nothing; Make() mints a live one.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken Make() {
+    CancelToken token;
+    token.state_ = std::make_shared<CancelState>();
+    return token;
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+  void Cancel(std::string reason = "cancelled") {
+    if (state_) state_->Cancel(StatusCode::kCancelled, std::move(reason));
+  }
+  void CancelWith(StatusCode code, std::string reason) {
+    if (state_) state_->Cancel(code, std::move(reason));
+  }
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    if (state_) state_->SetDeadline(deadline);
+  }
+  void SetTimeout(std::chrono::milliseconds timeout) {
+    if (state_) state_->SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  bool cancelled() const { return state_ != nullptr && state_->cancelled(); }
+  Status status() const {
+    return state_ != nullptr ? state_->status() : Status::OK();
+  }
+
+  const std::shared_ptr<CancelState>& state() const { return state_; }
+
+ private:
+  std::shared_ptr<CancelState> state_;
+};
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_CANCEL_H_

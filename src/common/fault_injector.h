@@ -1,0 +1,116 @@
+#ifndef MOAFLAT_COMMON_FAULT_INJECTOR_H_
+#define MOAFLAT_COMMON_FAULT_INJECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace moaflat {
+
+/// Seeded deterministic fault injection: makes every failure path of the
+/// engine reachable in tests without touching the success path when
+/// disabled (a null injector costs one pointer compare per site).
+///
+/// Each injection *site* keeps its own event counter; whether event number
+/// n at a site fires is a pure function of (seed, site, n), so a given
+/// seed and rate produce the same fault decisions run after run — the
+/// basis of the CI fault-sweep (`MOAFLAT_FAULT_SEED` × ASan). Under
+/// parallel execution the *set* of fired event numbers is still
+/// deterministic; which thread draws a fired number is not, which is why
+/// the invariants the sweep asserts (clean unwinding, zero charge balance,
+/// session reusability) are scheduling-independent.
+///
+/// Sites:
+///   kBudgetCharge — ExecContext::ChargeMemory fails as if the budget were
+///       exhausted (the mid-kernel veto path).
+///   kIo — the IoStats accountant records a simulated read error on a page
+///       fault; surfaced by the next ExecContext::CheckInterrupt poll.
+///   kAlloc — ColumnBuilder::Reserve / ColumnScatter construction throws
+///       std::bad_alloc (caught and unwound at the statement boundary).
+///   kStall — a worker sleeps `stall_ms` before running a block, widening
+///       the cancellation window deterministically (tests pin the block
+///       index instead of using the rate).
+class FaultInjector {
+ public:
+  enum class Site : int { kBudgetCharge = 0, kIo, kAlloc, kStall };
+  static constexpr int kSiteCount = 4;
+
+  /// `rate` in [0, 1]: expected fraction of events per site that fire.
+  FaultInjector(uint64_t seed, double rate);
+
+  /// Draws the next event at `site`; true = inject a failure. Thread-safe.
+  bool Fire(Site site);
+
+  /// Status-returning convenience for sites that fail via Status.
+  Status MaybeFail(Site site, const char* what) {
+    if (!Fire(site)) return Status::OK();
+    return Status::ResourceExhausted(std::string("injected fault: ") + what);
+  }
+
+  /// Forces event number `nth` (0-based) at `site` to fire regardless of
+  /// the rate — the deterministic single-shot mode unit tests use.
+  void FailNth(Site site, uint64_t nth);
+
+  /// Configures kStall: block index `block` of any job stalls `millis` ms
+  /// (checked by RunBlocks before the block body runs).
+  void StallBlock(size_t block, int millis);
+  /// Sleeps if a stall is configured for `block`; also draws the kStall
+  /// rate when one is armed via rate alone.
+  void MaybeStall(size_t block);
+
+  uint64_t calls(Site site) const {
+    return counter_[static_cast<int>(site)].load();
+  }
+  uint64_t fired(Site site) const {
+    return fired_[static_cast<int>(site)].load();
+  }
+  uint64_t seed() const { return seed_; }
+  double rate() const { return rate_; }
+
+  /// The process-wide injector configured from the environment, or nullptr
+  /// when `MOAFLAT_FAULT_SEED` is unset. `MOAFLAT_FAULT_RATE` (a decimal
+  /// fraction, default 0.01) sets the per-site firing rate. Resolved once;
+  /// the query service attaches it to the contexts of sessions that opt in
+  /// (SessionOptions::inject_faults).
+  static FaultInjector* FromEnv();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  const uint64_t seed_;
+  const double rate_;
+  uint64_t threshold_;  // rate as a 64-bit hash threshold
+  std::array<std::atomic<uint64_t>, kSiteCount> counter_{};
+  std::array<std::atomic<uint64_t>, kSiteCount> fired_{};
+  std::array<std::atomic<uint64_t>, kSiteCount> forced_nth_;
+  std::atomic<size_t> stall_block_{~size_t{0}};
+  std::atomic<int> stall_ms_{0};
+};
+
+/// The injector currently armed for this thread, or nullptr. Allocation
+/// sites (ColumnBuilder / ColumnScatter) live below the ExecContext layer,
+/// so they consult this thread-local, which OpRecorder installs for the
+/// duration of each kernel operator call.
+FaultInjector* CurrentFaultInjector();
+
+/// RAII scope installing `injector` as the thread's current one (nullptr
+/// disarms). Scopes nest; the innermost wins.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector* injector);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace moaflat
+
+#endif  // MOAFLAT_COMMON_FAULT_INJECTOR_H_

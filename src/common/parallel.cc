@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/fault_injector.h"
 #include "common/task_pool.h"
 #include "storage/page_accountant.h"
 
@@ -95,12 +96,21 @@ BlockPlan PlanBlocks(size_t n, int degree) {
 size_t RunBlocks(const BlockPlan& plan,
                  const std::function<void(int, size_t, size_t)>& fn) {
   if (plan.blocks <= 1) {
+    if (plan.cancel != nullptr && plan.cancel->ShouldStop()) return 1;
     fn(0, 0, plan.n);
     return 1;
   }
+  FaultInjector* injector = CurrentFaultInjector();
   TaskPool::Global().Run(
       plan.blocks,
       [&](size_t b) {
+        // Block-boundary cancellation poll: a cancelled plan skips its
+        // remaining block bodies (the morsel is still counted as complete,
+        // so the job's completion handshake is untouched). The planning
+        // kernel re-checks CheckInterrupt() after the phase and unwinds,
+        // so the partially evaluated shards are never materialized.
+        if (plan.cancel != nullptr && plan.cancel->ShouldStop()) return;
+        if (injector != nullptr) injector->MaybeStall(b);
         // No implicit accounting inside parallel blocks: the caller thread
         // would otherwise attribute its blocks' touches to the context
         // while worker-run blocks attribute nothing, making fault counts
@@ -109,7 +119,8 @@ size_t RunBlocks(const BlockPlan& plan,
         storage::IoScope mute(nullptr);
         fn(static_cast<int>(b), plan.Begin(b), plan.End(b));
       },
-      SchedTag{plan.sched_group, plan.sched_weight});
+      SchedTag{plan.sched_group, plan.sched_weight,
+               plan.cancel != nullptr ? plan.cancel->flag() : nullptr});
   return plan.blocks;
 }
 

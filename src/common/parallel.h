@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/cancel.h"
+
 namespace moaflat {
 
 /// Shared-memory parallelism (Section 2: Monet "supports shared-memory
@@ -82,6 +84,15 @@ struct BlockPlan {
   /// shared best-effort group 0.
   uint64_t sched_group = 0;
   uint32_t sched_weight = 1;
+
+  /// Cooperative-cancellation state of the owning query (stamped by
+  /// ExecContext::Plan(); null = not cancellable). RunBlocks polls it at
+  /// every block boundary — a cancelled (or deadline-expired) plan skips
+  /// its remaining block bodies, and the TaskPool drains the job's
+  /// already-claimed morsels without running them. The kernel that planned
+  /// the blocks re-checks via ExecContext::CheckInterrupt() afterwards and
+  /// unwinds, so a partially evaluated phase is never materialized.
+  CancelState* cancel = nullptr;
 
   size_t Begin(size_t b) const { return std::min(n, b * chunk); }
   size_t End(size_t b) const { return std::min(n, b * chunk + chunk); }

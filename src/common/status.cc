@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

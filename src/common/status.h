@@ -22,6 +22,8 @@ enum class StatusCode {
   kExecutionError,
   kIoError,
   kResourceExhausted,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "Invalid argument").
@@ -74,6 +76,19 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// True for the two cooperative-interruption codes: the work was stopped
+  /// on purpose (explicit cancel or deadline expiry), not by a defect.
+  bool IsInterruption() const {
+    return code() == StatusCode::kCancelled ||
+           code() == StatusCode::kDeadlineExceeded;
   }
 
   bool ok() const { return state_ == nullptr; }

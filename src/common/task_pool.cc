@@ -52,7 +52,7 @@ void TaskPool::Run(size_t count, const std::function<void(size_t)>& task,
   std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job = std::make_shared<Job>(next_job_id_++, count, &task);
+    job = std::make_shared<Job>(next_job_id_++, count, &task, tag.abort);
     active_.emplace(job->id, job);
     sched_.Enqueue(job->id, tag.group, tag.weight);
     ++jobs_run_;
@@ -76,7 +76,13 @@ void TaskPool::Run(size_t count, const std::function<void(size_t)>& task,
 }
 
 void TaskPool::RunMorsel(const std::shared_ptr<Job>& job, size_t t) {
-  (*job->task)(t);
+  // Abort drain: once the owning query's cancel flag is up, remaining
+  // morsels are counted complete without running the task body. The
+  // completion handshake below is untouched, so Run() still returns only
+  // after every claimed morsel (running or drained) is accounted for.
+  const bool aborted =
+      job->abort != nullptr && job->abort->load(std::memory_order_relaxed) != 0;
+  if (!aborted) (*job->task)(t);
   if (job->completed.fetch_add(1) + 1 == job->count) {
     // Lock/unlock pairs with the waiter's predicate check so the final
     // notify cannot be missed.

@@ -19,9 +19,18 @@ namespace moaflat {
 /// Fair-share identity of a job: which session (or other principal) its
 /// morsels are charged to, and that principal's scheduling weight. The
 /// default tag puts untagged work into one shared best-effort group.
+///
+/// `abort` (optional) is the raw cancellation flag of the owning query
+/// (CancelState::flag()): once it reads non-zero, the pool *drains* the
+/// job — remaining morsels are claimed and counted complete without
+/// running the task body — so a cancelled fan-out releases its workers
+/// within one morsel instead of finishing a 10M-row scan. The pointee must
+/// outlive the Run() call, which BlockPlan guarantees (the ExecContext
+/// holds the CancelToken for the whole query).
 struct SchedTag {
   uint64_t group = 0;
   uint32_t weight = 1;
+  const std::atomic<uint32_t>* abort = nullptr;
 };
 
 /// Persistent worker pool behind all parallel kernel execution (the
@@ -71,11 +80,13 @@ class TaskPool {
 
  private:
   struct Job {
-    Job(uint64_t job_id, size_t n, const std::function<void(size_t)>* fn)
-        : id(job_id), count(n), task(fn) {}
+    Job(uint64_t job_id, size_t n, const std::function<void(size_t)>* fn,
+        const std::atomic<uint32_t>* abort_flag)
+        : id(job_id), count(n), task(fn), abort(abort_flag) {}
     const uint64_t id;
     const size_t count;
     const std::function<void(size_t)>* task;  // owned by the Run() caller
+    const std::atomic<uint32_t>* abort;       // null = not cancellable
     std::atomic<size_t> next{0};       // morsel claim cursor
     std::atomic<size_t> completed{0};  // finished morsels
     std::mutex mu;

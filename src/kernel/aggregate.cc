@@ -224,6 +224,9 @@ Result<Bat> HashSetAggregate(const ExecContext& ctx, AggKind kind,
       groups.insert(groups.end(), pg.begin(), pg.end());
     }
   }
+  // Interrupted scatter/accumulate phases leave partial partitions; bail
+  // before emitting a result from them.
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   std::sort(groups.begin(), groups.end(),
             [](const auto& x, const auto& y) { return x.first < y.first; });
   MF_RETURN_NOT_OK(ctx.ChargeMemory(
@@ -298,6 +301,7 @@ Result<Bat> RunSetAggregate(const ExecContext& ctx, AggKind kind,
       }
     });
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
 
   ColumnBuilder hb(MonetType::kOidT);
   ColumnBuilder tb(AggOutputType(kind, tail), tail.str_heap());

@@ -7,6 +7,8 @@
 #include <memory>
 #include <string>
 
+#include "common/cancel.h"
+#include "common/fault_injector.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -84,10 +86,56 @@ class ExecContext {
     sched_weight_ = weight > 0 ? weight : 1;
     return *this;
   }
+  /// Attaches the query's cancellation token: every kernel run under this
+  /// context polls it at block boundaries (via Plan()) and between serial
+  /// chunks (CheckInterrupt()), so a cancel or deadline expiry stops
+  /// execution within one block. Copies of the context share the token.
+  ExecContext& WithCancelToken(CancelToken token) {
+    cancel_ = std::move(token);
+    return *this;
+  }
+  /// Arms a deadline on the context's cancel token (creating one if none is
+  /// attached): once `deadline` passes, the next poll latches
+  /// kDeadlineExceeded and the query unwinds like a cancellation.
+  ExecContext& WithDeadline(std::chrono::steady_clock::time_point deadline) {
+    if (!cancel_.valid()) cancel_ = CancelToken::Make();
+    cancel_.SetDeadline(deadline);
+    return *this;
+  }
+  /// Convenience: deadline `ms` milliseconds from now (ms <= 0 is a no-op).
+  ExecContext& WithTimeout(int64_t ms) {
+    if (ms <= 0) return *this;
+    return WithDeadline(std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(ms));
+  }
+  /// Arms deterministic fault injection for every operator run under this
+  /// context (null disarms). The injector outlives the context (the query
+  /// service owns the process-wide one; tests own theirs on the stack).
+  ExecContext& WithFaultInjector(FaultInjector* injector) {
+    injector_ = injector;
+    return *this;
+  }
 
   ExecTracer* tracer() const { return tracer_; }
   storage::IoStats* io() const { return io_; }
   uint64_t seed() const { return seed_; }
+  const CancelToken& cancel_token() const { return cancel_; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// The cooperative interruption poll every kernel makes between phases
+  /// (and every serial emit loop makes per charge chunk): non-OK once the
+  /// query was cancelled, its deadline passed, or the IO layer latched a
+  /// (possibly injected) read error. One relaxed atomic load when nothing
+  /// is armed.
+  Status CheckInterrupt() const {
+    if (cancel_.valid() && cancel_.state()->ShouldStop()) {
+      return cancel_.state()->status();
+    }
+    if (io_ != nullptr) {
+      MF_RETURN_NOT_OK(io_->TakeError());
+    }
+    return Status::OK();
+  }
 
   /// Effective degree for kernels run under this context: the per-context
   /// override when set, else the process-wide ParallelDegree().
@@ -110,6 +158,7 @@ class ExecContext {
     BlockPlan plan = PlanBlocks(n, degree);
     plan.sched_group = sched_group_;
     plan.sched_weight = sched_weight_;
+    plan.cancel = cancel_.state().get();
     return plan;
   }
 
@@ -126,6 +175,10 @@ class ExecContext {
   /// is refunded — the materialization it guarded never happens — so one
   /// over-budget operator does not poison later, smaller ones.
   Status ChargeMemory(uint64_t bytes) const {
+    if (injector_ != nullptr) {
+      MF_RETURN_NOT_OK(injector_->MaybeFail(FaultInjector::Site::kBudgetCharge,
+                                            "budget charge"));
+    }
     const uint64_t now = charged_->fetch_add(bytes) + bytes;
     if (budget_ != 0 && now > budget_) {
       charged_->fetch_sub(bytes);
@@ -151,6 +204,8 @@ class ExecContext {
   int degree_ = 0;  // 0 = process-wide ParallelDegree()
   uint64_t sched_group_ = 0;
   uint32_t sched_weight_ = 1;
+  CancelToken cancel_;  // empty = not cancellable
+  FaultInjector* injector_ = nullptr;
   std::shared_ptr<std::atomic<uint64_t>> charged_;
 };
 
@@ -173,6 +228,7 @@ class OpRecorder {
   const ExecContext& ctx_;
   const char* op_;
   storage::IoScope io_scope_;
+  FaultScope fault_scope_;  // arms ctx's injector for alloc sites
   std::chrono::steady_clock::time_point start_;
   uint64_t faults_before_;
 };

@@ -164,6 +164,9 @@ Result<Bat> HashGroup(const ExecContext& ctx, const Bat& ab, OpRecorder& rec) {
       });
       locals[block] = std::move(table);
     });
+    // An interrupted eval phase leaves null local tables; bail before the
+    // merge dereferences them.
+    MF_RETURN_NOT_OK(ctx.CheckInterrupt());
     GroupTable global(tail);
     std::vector<std::vector<Oid>> to_global(plan.blocks);
     for (size_t b = 0; b < plan.blocks; ++b) {
@@ -176,6 +179,7 @@ Result<Bat> HashGroup(const ExecContext& ctx, const Bat& ab, OpRecorder& rec) {
       for (size_t i = begin; i < end; ++i) gids[i] = map[gids[i]];
     });
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
 
   ColumnPtr gid_col = Column::MakeOid(std::move(gids));
   bat::Properties props;
@@ -298,6 +302,8 @@ Result<std::vector<Oid>> ParallelRefine(const ExecContext& ctx, const Bat& ab,
   for (const Shard& s : shards) {
     if (s.missing) return missing();
   }
+  // Interrupted eval leaves null shard tables; bail before the merge.
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   RefineTable global(d);
   std::vector<std::vector<Oid>> to_global(plan.blocks);
   for (size_t b = 0; b < plan.blocks; ++b) {
@@ -311,6 +317,7 @@ Result<std::vector<Oid>> ParallelRefine(const ExecContext& ctx, const Bat& ab,
     const auto& map = to_global[block];
     for (size_t i = begin; i < end; ++i) gids[i] = map[gids[i]];
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   return gids;
 }
 

@@ -67,7 +67,11 @@ class ChargeGate {
   }
 
   /// Charges any not-yet-charged rows; call once after the emit loop.
+  /// Doubles as the cancellation poll of long *serial* emit loops: one
+  /// interrupt check per kChunkRows rows, so even a single-block kernel
+  /// stops within 64K rows of a cancel or deadline expiry.
   Status Flush() {
+    MF_RETURN_NOT_OK(ctx_.CheckInterrupt());
     if (pending_ == 0) return Status::OK();
     const uint64_t bytes = pending_ * bytes_per_row_;
     pending_ = 0;

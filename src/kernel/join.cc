@@ -170,6 +170,7 @@ Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   for (Shard& s : shards) {
     MF_RETURN_NOT_OK(s.status);
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
 
   std::vector<size_t> offset(plan.blocks + 1, 0);
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
@@ -187,6 +188,7 @@ Result<Bat> HashJoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     hs.Gather(mine.lefts.data(), mine.lefts.size(), offset[block]);
     ts.Gather(mine.rights.data(), mine.rights.size(), offset[block]);
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   MF_ASSIGN_OR_RETURN(Bat res, FinishJoin(ab, cd, hs.Finish(), ts.Finish()));
   rec.Finish("hash_join", res.size());
   return res;

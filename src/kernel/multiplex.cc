@@ -160,6 +160,7 @@ Result<Bat> SyncedNumericMultiplex(const ExecContext& ctx,
       });
     });
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   MF_ASSIGN_OR_RETURN(
       Bat res, Bat::Make(driver->head_col(), Column::MakeDbl(std::move(out)),
                          bat::Properties{driver->props().hkey, false,
@@ -414,6 +415,7 @@ Result<Bat> SyncedMultiplex(const ExecContext& ctx, const std::string& fn,
     for (const Status& s : stats) {
       MF_RETURN_NOT_OK(s);
     }
+    MF_RETURN_NOT_OK(ctx.CheckInterrupt());
     ColumnBuilder tb(sh.out_type);
     tb.Reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -455,6 +457,7 @@ Result<Bat> SyncedMultiplex(const ExecContext& ctx, const std::string& fn,
     for (const Status& s : stats) {
       MF_RETURN_NOT_OK(s);
     }
+    MF_RETURN_NOT_OK(ctx.CheckInterrupt());
     out_tail = ts.Finish();
   }
 
@@ -574,6 +577,7 @@ Result<Bat> HeadJoinMultiplex(const ExecContext& ctx, const std::string& fn,
   for (Shard& s : shards) {
     MF_RETURN_NOT_OK(s.status);
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
 
   std::vector<size_t> offset(plan.blocks + 1, 0);
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
@@ -617,6 +621,7 @@ Result<Bat> HeadJoinMultiplex(const ExecContext& ctx, const std::string& fn,
     }
     out_tail = ts.Finish();
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   ColumnPtr out_head = hs.Finish();
 
   // The kept-row set is a function of every non-driver operand's head

@@ -88,6 +88,9 @@ struct alignas(64) MatchShard {
 Result<std::pair<ColumnPtr, ColumnPtr>> GatherMatches(
     const ExecContext& ctx, const Column& head, const Column& tail,
     const BlockPlan& plan, std::vector<MatchShard>& matches) {
+  // The match shards may be partial if the query was interrupted during
+  // the eval phase; bail before sizing a result from them.
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   std::vector<size_t> offset(plan.blocks + 1, 0);
   for (size_t b = 0; b < plan.blocks; ++b) {
     offset[b + 1] = offset[b] + matches[b].idx.size();
@@ -127,6 +130,7 @@ Result<std::pair<ColumnPtr, ColumnPtr>> GatherMatches(
   for (IoShard& s : shards) {
     if (ctx.io() != nullptr) ctx.io()->MergeFrom(s.io);
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   return std::make_pair(hs.Finish(), ts.Finish());
 }
 
@@ -251,6 +255,7 @@ Result<Bat> ScanSelect(const ExecContext& ctx, const Bat& ab, const Bound& lo,
   const BlockPlan plan = ctx.Plan(tail.size());
   std::vector<MatchShard> matches(plan.blocks);
   ScanMatches(tail, lo, hi, plan, matches);
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   MF_ASSIGN_OR_RETURN(auto cols,
                       GatherMatches(ctx, head, tail, plan, matches));
 
@@ -296,6 +301,7 @@ Result<Bat> PredicateSelect(const ExecContext& ctx, const Bat& ab,
       if (keep(i)) mine.push_back(static_cast<uint32_t>(i));
     }
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   MF_ASSIGN_OR_RETURN(auto cols,
                       GatherMatches(ctx, head, tail, plan, matches));
 

@@ -71,6 +71,9 @@ Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
         if (pos >= 0) mine.positions.push_back(static_cast<uint32_t>(pos));
       }
     });
+    // An interrupted probe phase leaves partial shards: bail *before*
+    // caching, so the accelerator's LOOKUP memo is never half-built.
+    MF_RETURN_NOT_OK(ctx.CheckInterrupt());
     auto positions = std::make_shared<std::vector<uint32_t>>();
     positions->reserve(cd.size());
     for (Shard& s : shards) {
@@ -136,6 +139,7 @@ Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
       }
     }
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
 
   ColumnPtr out_head = hs.Finish();
   // All datavector semijoins of one class against the same selection are
@@ -248,6 +252,7 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   for (Shard& s : shards) {
     MF_RETURN_NOT_OK(s.status);
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
 
   std::vector<size_t> offset(plan.blocks + 1, 0);
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
@@ -264,6 +269,7 @@ Result<Bat> HashSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
     hs.Gather(mine.matches.data(), mine.matches.size(), offset[block]);
     ts.Gather(mine.matches.data(), mine.matches.size(), offset[block]);
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   MF_ASSIGN_OR_RETURN(Bat res,
                       FinishSemijoin(ab, cd, hs.Finish(), ts.Finish()));
   rec.Finish("hash_semijoin", res.size());
@@ -320,6 +326,7 @@ Result<std::vector<MissShard>> ParallelMisses(
   for (MissShard& s : shards) {
     MF_RETURN_NOT_OK(s.status);
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   return shards;
 }
 
@@ -353,6 +360,7 @@ Result<Bat> HashAntiSemijoin(const ExecContext& ctx, const Bat& ab,
     hs.Gather(mine.misses.data(), mine.misses.size(), offset[block]);
     ts.Gather(mine.misses.data(), mine.misses.size(), offset[block]);
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   ColumnPtr out_head = hs.Finish();
   SetSync(out_head, MixSync(MixSync(a.sync_key(), cd.head().sync_key()),
                             HashString("kdiff")));
@@ -394,6 +402,7 @@ Result<Bat> HashUnion(const ExecContext& ctx, const Bat& ab, const Bat& cd,
   // bound above), so the miss gate adds nothing more.
   MF_ASSIGN_OR_RETURN(std::vector<MissShard> shards,
                       ParallelMisses(ctx, *hash, c, d, 0, plan));
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   internal::TransientCharge staging(ctx);
   {
     uint64_t miss_bytes = 0;

@@ -106,6 +106,7 @@ Result<Bat> MaterializeThetaMatches(const ExecContext& ctx, const Bat& ab,
   for (ThetaShard& s : shards) {
     MF_RETURN_NOT_OK(s.status);
   }
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   std::vector<size_t> offset(plan.blocks + 1, 0);
   for (size_t bl = 0; bl < plan.blocks; ++bl) {
     offset[bl + 1] = offset[bl] + shards[bl].lefts.size();
@@ -121,6 +122,7 @@ Result<Bat> MaterializeThetaMatches(const ExecContext& ctx, const Bat& ab,
     hs.Gather(mine.lefts.data(), mine.lefts.size(), offset[block]);
     ts.Gather(mine.rights.data(), mine.rights.size(), offset[block]);
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
   return FinishThetaJoin(ab, cd, op, hs.Finish(), ts.Finish());
 }
 
@@ -250,6 +252,7 @@ Result<Bat> BandThetaJoin(const ExecContext& ctx, const Bat& ab,
     }
     if (mine.status.ok()) mine.status = gate.Flush();
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
 
   MF_ASSIGN_OR_RETURN(Bat res,
                       MaterializeThetaMatches(ctx, ab, cd, op, plan, shards));
@@ -308,6 +311,7 @@ Result<Bat> NestedThetaJoin(const ExecContext& ctx, const Bat& ab,
     }
     if (mine.status.ok()) mine.status = gate.Flush();
   });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
 
   MF_ASSIGN_OR_RETURN(Bat res,
                       MaterializeThetaMatches(ctx, ab, cd, op, plan, shards));

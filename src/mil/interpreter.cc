@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <new>
 #include <sstream>
 
 #include "kernel/exec_tracer.h"
@@ -79,27 +80,57 @@ Status MilInterpreter::Exec(const MilStmt& stmt) {
   kernel::ExecContext stmt_ctx = base;
   stmt_ctx.WithTracer(&local_tracer);
 
+  // The statement boundary is the interpreter's own interruption point: a
+  // cancelled or timed-out query never starts its next statement, and a
+  // latched (possibly injected) IO error surfaces here instead of being
+  // silently absorbed between operators.
+  MF_RETURN_NOT_OK(base.CheckInterrupt());
+
   storage::IoStats* io = base.io();
   const uint64_t faults_before = io ? io->faults() : 0;
+  const uint64_t charged_before = base.memory_charged();
   const auto start = std::chrono::steady_clock::now();
 
   size_t out_size = 0;
 
   // Scalar calculations (`calc.*`) and scalar aggregates bind a Value;
-  // everything else binds a BAT.
-  auto agg = ParseAgg(stmt.op);
-  if (stmt.op.rfind("calc.", 0) == 0) {
-    MF_RETURN_NOT_OK(ExecScalarCalc(stmt));
-    out_size = 1;
-  } else if (agg.ok() && stmt.args.size() == 1) {
-    MF_ASSIGN_OR_RETURN(Bat in, env_->GetBat(stmt.args[0].var));
-    MF_ASSIGN_OR_RETURN(Value v, kernel::ScalarAggregate(stmt_ctx, *agg, in));
-    env_->BindValue(stmt.var, v);
-    out_size = 1;
-  } else {
-    MF_ASSIGN_OR_RETURN(Bat out, EvalBatOp(stmt_ctx, stmt));
-    out_size = out.size();
-    env_->BindBat(stmt.var, std::move(out));
+  // everything else binds a BAT. The whole statement body runs under one
+  // failure boundary: on any non-OK status (budget veto, cancel, injected
+  // fault) or allocation failure, no binding is committed and every byte
+  // the statement charged for its discarded partial results is refunded,
+  // so the session's balance is exactly what it was before the statement
+  // and the next query runs bit-identically.
+  auto run_stmt = [&]() -> Status {
+    auto agg = ParseAgg(stmt.op);
+    if (stmt.op.rfind("calc.", 0) == 0) {
+      MF_RETURN_NOT_OK(ExecScalarCalc(stmt));
+      out_size = 1;
+    } else if (agg.ok() && stmt.args.size() == 1) {
+      MF_ASSIGN_OR_RETURN(Bat in, env_->GetBat(stmt.args[0].var));
+      MF_ASSIGN_OR_RETURN(Value v,
+                          kernel::ScalarAggregate(stmt_ctx, *agg, in));
+      env_->BindValue(stmt.var, v);
+      out_size = 1;
+    } else {
+      MF_ASSIGN_OR_RETURN(Bat out, EvalBatOp(stmt_ctx, stmt));
+      out_size = out.size();
+      env_->BindBat(stmt.var, std::move(out));
+    }
+    return Status::OK();
+  };
+  Status stmt_status;
+  try {
+    stmt_status = run_stmt();
+  } catch (const std::bad_alloc&) {
+    stmt_status = Status::ResourceExhausted(
+        "allocation failed while evaluating '" + stmt.op + "'");
+  }
+  if (!stmt_status.ok()) {
+    const uint64_t charged_now = base.memory_charged();
+    if (charged_now > charged_before) {
+      base.ReleaseMemory(charged_now - charged_before);
+    }
+    return stmt_status;
   }
 
   const auto elapsed = std::chrono::steady_clock::now() - start;

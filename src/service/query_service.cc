@@ -8,6 +8,14 @@
 #include "mil/parser.h"
 
 namespace moaflat::service {
+namespace {
+
+bool Terminal(QueryState s) {
+  return s == QueryState::kDone || s == QueryState::kError ||
+         s == QueryState::kVetoed || s == QueryState::kCancelled;
+}
+
+}  // namespace
 
 QueryService::QueryService(ServiceConfig cfg) : cfg_(cfg) {
   if (cfg_.executors < 1) cfg_.executors = 1;
@@ -17,15 +25,50 @@ QueryService::QueryService(ServiceConfig cfg) : cfg_(cfg) {
   }
 }
 
-QueryService::~QueryService() {
+QueryService::~QueryService() { Shutdown(false); }
+
+void QueryService::Shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    // Cancel whatever is running; executors notice between statements.
-    for (auto& [id, q] : queries_) q->cancel = true;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (drain && !stopping_) {
+      // Let the backlog finish: every queued query must reach a terminal
+      // state and every session go idle before the executors stop.
+      done_cv_.wait(lock, [&] {
+        if (!admit_order_.empty()) return false;
+        for (const auto& [id, s] : sessions_) {
+          if (s.busy) return false;
+        }
+        return true;
+      });
+    }
+    if (!stopping_) {
+      stopping_ = true;
+      // Every queued query goes terminal deterministically, with a reason a
+      // waiter can read — a destroyed service never strands a kQueued query.
+      for (uint64_t id : admit_order_) {
+        auto q = queries_.at(id);
+        q->state = QueryState::kVetoed;
+        q->admission.action = Admission::kVeto;
+        q->admission.reason = "service shutting down";
+        q->status = Status::Cancelled("service shutting down");
+        ++counters_.vetoed;
+        auto sit = sessions_.find(q->session);
+        if (sit != sessions_.end()) sit->second.pending--;
+      }
+      admit_order_.clear();
+      // Running queries stop cooperatively at their next block boundary.
+      for (auto& [id, q] : queries_) {
+        if (q->state == QueryState::kRunning) {
+          q->token.CancelWith(StatusCode::kCancelled, "service shutting down");
+        }
+      }
+    }
   }
   work_cv_.notify_all();
-  for (std::thread& t : executors_) t.join();
+  done_cv_.notify_all();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void QueryService::SetCatalog(mil::MilEnv catalog) {
@@ -72,7 +115,7 @@ Status QueryService::CloseSession(uint64_t session_id) {
   }
   for (auto& [id, q] : queries_) {
     if (q->session == session_id && q->state == QueryState::kRunning) {
-      q->cancel = true;
+      q->token.CancelWith(StatusCode::kCancelled, "session closed");
     }
   }
   if (!s.busy) sessions_.erase(it);
@@ -85,6 +128,9 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
   MF_ASSIGN_OR_RETURN(mil::MilProgram program, mil::ParseMil(mil_text));
 
   std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    return Status::Cancelled("service shutting down");
+  }
   auto it = sessions_.find(session_id);
   if (it == sessions_.end() || it->second.closing) {
     return Status::KeyError("unknown or closed session " +
@@ -161,12 +207,48 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
     q->admission.action = Admission::kAdmit;
   }
   q->state = QueryState::kQueued;
+  q->token = CancelToken::Make();  // cancellable from this moment on
   s.pending++;
   queries_.emplace(q->id, q);
   admit_order_.push_back(q->id);
   lock.unlock();
   work_cv_.notify_one();
   return q->id;
+}
+
+Status QueryService::Cancel(uint64_t query_id, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::KeyError("unknown query " + std::to_string(query_id));
+  }
+  std::shared_ptr<Query> q = it->second;
+  if (Terminal(q->state)) return Status::OK();  // idempotent
+  if (q->state == QueryState::kQueued) {
+    // Never started: go terminal right here, release the queue slot.
+    for (auto wit = admit_order_.begin(); wit != admit_order_.end(); ++wit) {
+      if (*wit == query_id) {
+        admit_order_.erase(wit);
+        break;
+      }
+    }
+    q->state = QueryState::kCancelled;
+    q->status = Status::Cancelled(reason);
+    ++counters_.cancelled;
+    auto sit = sessions_.find(q->session);
+    if (sit != sessions_.end()) {
+      Session& s = sit->second;
+      s.pending--;
+      if (s.closing && !s.busy && s.pending == 0) sessions_.erase(sit);
+    }
+    done_cv_.notify_all();
+    work_cv_.notify_all();  // the queue head may have changed
+    return Status::OK();
+  }
+  // Running: the shared token stops it at the next block boundary; the
+  // executor marks it kCancelled when the interpreter unwinds.
+  q->token.CancelWith(StatusCode::kCancelled, reason);
+  return Status::OK();
 }
 
 Result<PlanPrice> QueryService::Price(uint64_t session_id,
@@ -222,10 +304,7 @@ Result<QueryResult> QueryService::Wait(uint64_t query_id) {
     return Status::KeyError("unknown query " + std::to_string(query_id));
   }
   std::shared_ptr<Query> q = it->second;
-  done_cv_.wait(lock, [&] {
-    return q->state == QueryState::kDone || q->state == QueryState::kError ||
-           q->state == QueryState::kVetoed;
-  });
+  done_cv_.wait(lock, [&] { return Terminal(q->state); });
   return Snapshot(*q);
 }
 
@@ -303,20 +382,25 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
       .WithMemoryBudget(opts.memory_budget)
       .WithParallelDegree(opts.parallel_degree)
       .WithSchedule(q->session, opts.weight)
-      .WithSeed(opts.seed);
+      .WithSeed(opts.seed)
+      .WithCancelToken(q->token);
+  if (opts.default_timeout_ms > 0) ctx.WithTimeout(opts.default_timeout_ms);
+  if (opts.inject_faults) ctx.WithFaultInjector(FaultInjector::FromEnv());
 
   mil::MilInterpreter interp(&env, &ctx);
-  interp.SetStmtHook([this, &q](const mil::MilStmt&) -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (q->cancel) {
-      return Status::ExecutionError("query cancelled (session closed)");
-    }
-    return Status::OK();
-  });
 
   const auto start = std::chrono::steady_clock::now();
   Status run = interp.Run(q->program);
   const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  if (!run.ok()) {
+    // Nothing commits on failure or cancellation — the env copy and every
+    // partial result are discarded — so release the committed statements'
+    // charges too: the query's final balance reads exactly zero instead of
+    // "bytes held by discarded bindings".
+    const uint64_t residue = ctx.memory_charged();
+    if (residue > 0) ctx.ReleaseMemory(residue);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   q->traces = interp.traces();
@@ -337,6 +421,12 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
       if (it != env.bindings().end()) q->results.emplace(name, it->second);
     }
     ++counters_.completed;
+  } else if (run.IsInterruption()) {
+    // kCancelled / kDeadlineExceeded: a deliberate stop, not a failure.
+    // Partial accounting (faults, elapsed, traces) is reported as-is.
+    q->state = QueryState::kCancelled;
+    q->status = run;
+    ++counters_.cancelled;
   } else {
     q->state = QueryState::kError;
     q->status = run;

@@ -46,6 +46,15 @@ struct SessionOptions {
   size_t max_queued = 0;
   /// RNG seed of the session context.
   uint64_t seed = 0;
+  /// Deadline armed on every query of this session at the moment it starts
+  /// running (0 = none). A query that outlives it stops at the next block
+  /// boundary with kDeadlineExceeded; the session stays reusable.
+  int64_t default_timeout_ms = 0;
+  /// Opt-in: run this session's queries under the process-wide
+  /// environment-configured FaultInjector (MOAFLAT_FAULT_SEED). No-op when
+  /// the environment arms no injector. Off by default so an armed
+  /// environment never perturbs sessions that expect exact results.
+  bool inject_faults = false;
 };
 
 /// Service-wide configuration.
@@ -80,11 +89,20 @@ struct AdmissionDecision {
   std::vector<mil::Diagnostic> diagnostics;
 };
 
-enum class QueryState { kQueued, kRunning, kDone, kError, kVetoed };
+enum class QueryState {
+  kQueued,
+  kRunning,
+  kDone,
+  kError,
+  kVetoed,
+  kCancelled,  // client cancel, session close, deadline, or shutdown
+};
 
 /// Snapshot of one submitted query, returned by Poll/Wait. Terminal states:
 /// kDone (results bound), kError (status holds the failure), kVetoed
-/// (admission refused it; predicted cost in `admission`).
+/// (admission refused it; predicted cost in `admission`), kCancelled
+/// (status says whether it was a client cancel or a deadline expiry; any
+/// partial fault/charge accounting up to the stop point is reported).
 struct QueryResult {
   uint64_t id = 0;
   uint64_t session = 0;
@@ -107,6 +125,9 @@ struct QueryResult {
 class QueryService {
  public:
   explicit QueryService(ServiceConfig cfg = {});
+  /// Equivalent to Shutdown(false): queued queries are vetoed with reason
+  /// "service shutting down", the running ones cancelled cooperatively —
+  /// nothing is ever silently dropped in a non-terminal state.
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -143,6 +164,19 @@ class QueryService {
   Result<mil::AnalysisReport> Check(uint64_t session_id,
                                     const std::string& mil_text) const;
 
+  /// Cancels a query: a queued one goes terminal (kCancelled) immediately;
+  /// a running one is stopped cooperatively at its next block boundary or
+  /// charge chunk. Idempotent; cancelling a terminal query is a no-op.
+  Status Cancel(uint64_t query_id,
+                const std::string& reason = "cancelled by client");
+
+  /// Stops the service deterministically. With `drain` the call first waits
+  /// for every queued and running query to reach a terminal state; without
+  /// it, queued queries are vetoed (reason "service shutting down") and
+  /// running ones cancelled cooperatively. Safe to call more than once;
+  /// the destructor calls Shutdown(false).
+  void Shutdown(bool drain = false);
+
   /// Non-blocking snapshot of a query.
   Result<QueryResult> Poll(uint64_t query_id) const;
 
@@ -155,6 +189,7 @@ class QueryService {
     uint64_t vetoed = 0;
     uint64_t completed = 0;
     uint64_t failed = 0;
+    uint64_t cancelled = 0;
     double inflight_cost = 0;  // predicted faults currently running
     size_t queued = 0;
   };
@@ -182,7 +217,10 @@ class QueryService {
     uint64_t faults = 0;
     uint64_t memory_charged = 0;
     int64_t elapsed_us = 0;
-    bool cancel = false;  // checked between statements
+    /// Made at admission; shared with the running ExecContext so Cancel,
+    /// CloseSession, Shutdown and the session deadline all stop the same
+    /// query through the same token.
+    CancelToken token;
   };
 
   void ExecutorLoop();

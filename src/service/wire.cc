@@ -3,14 +3,17 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 namespace moaflat::service {
 namespace {
@@ -27,9 +30,16 @@ const char* StateName(QueryState s) {
       return "ERROR";
     case QueryState::kVetoed:
       return "VETOED";
+    case QueryState::kCancelled:
+      return "CANCELLED";
   }
   return "?";
 }
+
+/// A single request line (command + inline MIL) may not exceed this; a
+/// client that streams an unbounded line is cut off instead of growing the
+/// server's buffer without limit.
+constexpr size_t kMaxLineBytes = size_t{1} << 20;
 
 const char* ActionName(Admission a) {
   switch (a) {
@@ -168,7 +178,16 @@ void WireServer::AcceptLoop() {
     const int lfd = listen_fd_.load();
     if (lfd < 0) return;  // retired by Stop()
     const int fd = ::accept(lfd, nullptr, nullptr);
-    if (fd < 0) return;  // listen socket shut down by Stop()
+    if (fd < 0) {
+      // A connection that died between SYN and accept(), a signal, or a
+      // transient fd shortage must not kill the server for everyone else.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // listen socket shut down by Stop()
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ::close(fd);
@@ -182,12 +201,16 @@ void WireServer::AcceptLoop() {
 void WireServer::ServeConnection(int fd) {
   std::string buf;
   char chunk[4096];
-  bool close_conn = false;
-  while (!close_conn) {
+  ConnState conn;
+  while (!conn.close) {
     const size_t nl = buf.find('\n');
     if (nl == std::string::npos) {
+      if (buf.size() > kMaxLineBytes) {
+        SendAll(fd, "ERR line too long\n");
+        break;
+      }
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) return;  // peer gone or Stop() shut us down
+      if (n <= 0) break;  // peer gone or Stop() shut us down
       buf.append(chunk, static_cast<size_t>(n));
       continue;
     }
@@ -195,12 +218,20 @@ void WireServer::ServeConnection(int fd) {
     buf.erase(0, nl + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    const std::string reply = HandleLine(line, close_conn);
-    if (!SendAll(fd, reply)) return;
+    const std::string reply = HandleLine(line, conn);
+    if (!SendAll(fd, reply)) break;
+  }
+  // However the connection ended — clean BYE, abrupt disconnect, oversized
+  // line — every session it opened and did not CLOSE is closed now: the
+  // running query (if any) is cancelled cooperatively and pending ones
+  // vetoed, so a vanished client leaks nothing. CloseSession may have
+  // raced a concurrent close; a KeyError here is fine.
+  for (uint64_t sid : conn.sessions) {
+    (void)service_.CloseSession(sid);
   }
 }
 
-std::string WireServer::HandleLine(const std::string& line, bool& close_conn) {
+std::string WireServer::HandleLine(const std::string& line, ConnState& conn) {
   std::string rest = line;
   std::string cmd = TakeToken(rest);
   std::transform(cmd.begin(), cmd.end(), cmd.begin(),
@@ -211,7 +242,7 @@ std::string WireServer::HandleLine(const std::string& line, bool& close_conn) {
     return "OK moaflat\n";
   }
   if (cmd == "BYE" || cmd == "QUIT") {
-    close_conn = true;
+    conn.close = true;
     return "OK bye\n";
   }
 
@@ -234,12 +265,15 @@ std::string WireServer::HandleLine(const std::string& line, bool& close_conn) {
         opts.max_query_cost = static_cast<double>(v);
       } else if (key == "seed") {
         opts.seed = v;
+      } else if (key == "timeout") {
+        opts.default_timeout_ms = static_cast<int64_t>(v);
       } else {
         return "ERR unknown option '" + key + "'\n";
       }
     }
     auto sid = service_.OpenSession(opts);
     if (!sid.ok()) return "ERR " + sid.status().message() + "\n";
+    conn.sessions.push_back(*sid);
     return "OK " + std::to_string(*sid) + "\n";
   }
 
@@ -275,13 +309,22 @@ std::string WireServer::HandleLine(const std::string& line, bool& close_conn) {
     os << "OK " << StateName(snap->state)
        << " cost=" << snap->admission.predicted_cost
        << " faults=" << snap->faults << " charged=" << snap->memory_charged;
-    if (snap->state == QueryState::kError) {
+    if (snap->state == QueryState::kError ||
+        snap->state == QueryState::kCancelled) {
       os << " " << OneLine(snap->status.message());
     } else if (snap->state == QueryState::kVetoed) {
       os << " " << OneLine(snap->admission.reason);
     }
     os << "\n";
     return os.str();
+  }
+
+  if (cmd == "CANCEL") {
+    uint64_t qid = 0;
+    if (!ParseU64(TakeToken(rest), &qid)) return "ERR need query id\n";
+    Status st = service_.Cancel(qid);
+    if (!st.ok()) return "ERR " + OneLine(st.message()) + "\n";
+    return "OK\n";
   }
 
   if (cmd == "CHECK") {
@@ -353,6 +396,10 @@ std::string WireServer::HandleLine(const std::string& line, bool& close_conn) {
     if (!ParseU64(TakeToken(rest), &sid)) return "ERR need session id\n";
     Status st = service_.CloseSession(sid);
     if (!st.ok()) return "ERR " + st.message() + "\n";
+    // Explicitly closed: the disconnect cleanup must not close it again.
+    conn.sessions.erase(
+        std::remove(conn.sessions.begin(), conn.sessions.end(), sid),
+        conn.sessions.end());
     return "OK\n";
   }
 
@@ -361,27 +408,50 @@ std::string WireServer::HandleLine(const std::string& line, bool& close_conn) {
 
 // ------------------------------------------------------------------ client
 
-Status WireClient::Connect(const std::string& host, uint16_t port) {
-  Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
-  }
+Status WireClient::Connect(const std::string& host, uint16_t port,
+                           int max_retries) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (host == "localhost" || host.empty()) {
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    Close();
     return Status::Invalid("unparsable IPv4 host '" + host + "'");
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  int backoff_ms = 50;
+  for (int attempt = 0;; ++attempt) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      ApplyTimeout();
+      return Status::OK();
+    }
     const std::string err = std::strerror(errno);
     Close();
-    return Status::IoError("connect(): " + err);
+    if (attempt >= max_retries) {
+      return Status::IoError("connect(): " + err);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 1000);
   }
-  return Status::OK();
+}
+
+void WireClient::SetCallTimeout(int ms) {
+  call_timeout_ms_ = ms > 0 ? ms : 0;
+  ApplyTimeout();
+}
+
+void WireClient::ApplyTimeout() {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = call_timeout_ms_ / 1000;
+  tv.tv_usec = (call_timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void WireClient::Close() {
@@ -403,6 +473,11 @@ Result<std::string> WireClient::ReadLine() {
       return line;
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::DeadlineExceeded("wire call timed out after " +
+                                      std::to_string(call_timeout_ms_) +
+                                      " ms");
+    }
     if (n <= 0) return Status::IoError("connection closed");
     buf_.append(chunk, static_cast<size_t>(n));
   }

@@ -17,7 +17,7 @@
 /// multi-line replies (RESULT, TRACE) end with a lone `.`:
 ///
 ///   OPEN [budget=N] [degree=D] [weight=W] [maxcost=C] [seed=S]
-///                                  -> OK <sid>
+///        [timeout=MS]             -> OK <sid>
 ///   SUBMIT <sid> <mil text>        -> OK <qid> ADMIT|QUEUE|VETO cost=<c> ...
 ///   PRICE <sid> <mil text>         -> OK cost=<c> cost_lo=<l> bytes=<b>
 ///   CHECK <sid> <mil text>         -> OK ok|rejected errors=<e>
@@ -25,6 +25,9 @@
 ///                                     diagnostics and the inferred result
 ///                                     schema, then "."
 ///   POLL <qid> / WAIT <qid>        -> OK <state> cost=<c> faults=<f> ...
+///   CANCEL <qid>                   -> OK (queued: terminal immediately;
+///                                     running: stops at next block boundary;
+///                                     POLL/WAIT then report CANCELLED)
 ///   RESULT <qid> <var> [max_rows]  -> OK <rows>, then rows, then "."
 ///   TRACE <qid>                    -> OK, then Fig. 10 lines, then "."
 ///   CLOSE <sid>                    -> OK
@@ -36,6 +39,12 @@
 /// the static analyzer rejects is reported `VETO` with the first diagnostic
 /// as reason (SUBMIT) or as a plain `ERR` with the diagnostics joined by
 /// `;` (PRICE); nothing executes either way.
+///
+/// Robustness: a request line longer than 1 MiB draws `ERR line too long`
+/// and closes the connection; an abrupt disconnect (peer vanishes
+/// mid-query) closes every session the connection opened — the running
+/// query is cancelled cooperatively and its resources released — without
+/// disturbing other connections or the accept loop.
 namespace moaflat::service {
 
 class WireServer {
@@ -57,9 +66,16 @@ class WireServer {
   void Stop();
 
  private:
+  /// Per-connection state: the sessions this connection opened (closed on
+  /// its behalf if it vanishes without CLOSE) and the close flag BYE sets.
+  struct ConnState {
+    std::vector<uint64_t> sessions;
+    bool close = false;
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
-  std::string HandleLine(const std::string& line, bool& close_conn);
+  std::string HandleLine(const std::string& line, ConnState& conn);
 
   QueryService& service_;
   uint16_t port_;
@@ -84,7 +100,17 @@ class WireClient {
   WireClient(const WireClient&) = delete;
   WireClient& operator=(const WireClient&) = delete;
 
-  Status Connect(const std::string& host, uint16_t port);
+  /// Connects, retrying a refused/unreachable server up to `max_retries`
+  /// extra times with doubling backoff (50 ms start, 1 s cap) — enough for
+  /// a client racing a server that is still binding its port.
+  Status Connect(const std::string& host, uint16_t port, int max_retries = 0);
+
+  /// Bounds every subsequent Call/ReadBody: a server that stops responding
+  /// for `ms` milliseconds draws kDeadlineExceeded instead of hanging the
+  /// client forever (0 = wait indefinitely). Applies to the current and any
+  /// future connection of this client.
+  void SetCallTimeout(int ms);
+
   void Close();
   bool connected() const { return fd_ >= 0; }
 
@@ -96,8 +122,10 @@ class WireClient {
 
  private:
   Result<std::string> ReadLine();
+  void ApplyTimeout();
 
   int fd_ = -1;
+  int call_timeout_ms_ = 0;
   std::string buf_;
 };
 

@@ -102,6 +102,11 @@ void IoStats::AdmitLru(uint64_t key, Access acc) {
 
 void IoStats::MergeFrom(const IoStats& shard) {
   touches_ += shard.touches_;
+  if (shard.has_error_.load(std::memory_order_acquire) &&
+      !has_error_.load(std::memory_order_relaxed)) {
+    error_ = shard.error_;
+    has_error_.store(true, std::memory_order_release);
+  }
   if (capacity_ > 0) {
     for (const auto& [key, acc] : shard.fault_log_) AdmitLru(key, acc);
     return;
@@ -118,6 +123,8 @@ void IoStats::Reset() {
   lru_.clear();
   fault_log_.clear();
   faults_ = seq_faults_ = rand_faults_ = touches_ = evictions_ = 0;
+  has_error_.store(false, std::memory_order_relaxed);
+  error_ = Status::OK();
 }
 
 void IoStats::CopyFrom(const IoStats& other) {
@@ -134,6 +141,9 @@ void IoStats::CopyFrom(const IoStats& other) {
   rand_faults_ = other.rand_faults_;
   touches_ = other.touches_;
   evictions_ = other.evictions_;
+  has_error_.store(other.has_error_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  error_ = other.error_;
   InvalidateMemos();
 }
 
@@ -149,6 +159,9 @@ void IoStats::MoveFrom(IoStats&& other) {
   rand_faults_ = other.rand_faults_;
   touches_ = other.touches_;
   evictions_ = other.evictions_;
+  has_error_.store(other.has_error_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  error_ = std::move(other.error_);
   InvalidateMemos();
   other.Reset();
 }

@@ -2,6 +2,7 @@
 #define MOAFLAT_STORAGE_PAGE_ACCOUNTANT_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -9,6 +10,9 @@
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
 
 namespace moaflat::storage {
 
@@ -115,6 +119,24 @@ class IoStats {
   uint64_t random_faults() const { return rand_faults_; }
   uint64_t logical_touches() const { return touches_; }
 
+  /// Returns-and-clears the latched (simulated) IO read error, if any.
+  /// A page fault under an armed FaultInjector may latch one; the next
+  /// ExecContext::CheckInterrupt() poll surfaces it as the statement's
+  /// failure. Clearing on take keeps the accountant reusable by the
+  /// session's next query. Thread-safe against concurrent takers (worker
+  /// blocks poll via ChargeGate::Flush); the *latch* side runs only on the
+  /// accountant's owner thread (serial touches and block-ordered merges),
+  /// never concurrently with a parallel phase's polls.
+  Status TakeError() {
+    if (!has_error_.load(std::memory_order_acquire)) return Status::OK();
+    if (!has_error_.exchange(false, std::memory_order_acq_rel)) {
+      return Status::OK();
+    }
+    Status e = std::move(error_);
+    error_ = Status::OK();
+    return e;
+  }
+
   /// Forgets all residency state (the next touch of every page faults
   /// again), e.g. between benchmark repetitions.
   void Reset();
@@ -186,6 +208,16 @@ class IoStats {
     }
     if (log_faults_) fault_log_.emplace_back(key, acc);
     memo_key_ = key;
+    // Simulated IO errors fire per *fault* (not per touch), on the thread
+    // that owns this accountant — serial kernels directly, parallel ones
+    // at the block-ordered shard merge, keeping the decision sequence
+    // deterministic for a given seed.
+    if (FaultInjector* fi = CurrentFaultInjector();
+        fi != nullptr && !has_error_.load(std::memory_order_relaxed) &&
+        fi->Fire(FaultInjector::Site::kIo)) {
+      error_ = Status::IoError("injected page read error");
+      has_error_.store(true, std::memory_order_release);
+    }
   }
 
   void CopyFrom(const IoStats& other);
@@ -218,6 +250,11 @@ class IoStats {
   uint64_t rand_faults_ = 0;
   uint64_t touches_ = 0;
   uint64_t evictions_ = 0;
+  // Latched injected IO error; surfaced via TakeError(). The atomic flag
+  // fronts the (non-atomic) Status so concurrent pollers race only on the
+  // exchange, never on the Status itself.
+  std::atomic<bool> has_error_{false};
+  Status error_;
 };
 
 /// The IoStats currently collecting for this thread, or nullptr when IO

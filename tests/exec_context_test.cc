@@ -372,5 +372,94 @@ TEST(ExecContextTest, ExplainMatchesFig10Q13Trace) {
             "sync_semijoin");
 }
 
+// --------------------------------------------------- cancellation + faults
+
+TEST(ExecContextTest, CancelledTokenStopsKernelsWithZeroBalance) {
+  Bat ab = SmallBat(200000);
+  CancelToken token = CancelToken::Make();
+  ExecContext ctx;
+  ctx.WithCancelToken(token).WithParallelDegree(4);
+
+  token.Cancel("client asked");
+  auto res = kernel::SelectCmp(ctx, ab, kernel::CmpOp::kGe, Value::Int(0));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(res.status().IsInterruption());
+  EXPECT_NE(res.status().message().find("client asked"), std::string::npos);
+  // Unwinding is exact: every transient and result charge of the aborted
+  // kernel was released.
+  EXPECT_EQ(ctx.memory_charged(), 0u);
+}
+
+TEST(ExecContextTest, ExpiredDeadlineLatchesDeadlineExceeded) {
+  Bat ab = SmallBat(100000);
+  ExecContext ctx;
+  ctx.WithDeadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  ASSERT_TRUE(ctx.cancel_token().valid());  // WithDeadline mints the token
+
+  auto res = kernel::Select(ctx, ab, Value::Int(3));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kDeadlineExceeded);
+  // The first poll latched the expiry: the token now reads cancelled and
+  // every later kernel under this context stops immediately.
+  EXPECT_TRUE(ctx.cancel_token().cancelled());
+  EXPECT_EQ(ctx.cancel_token().status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctx.memory_charged(), 0u);
+}
+
+TEST(ExecContextTest, DefaultContextHasNoTokenAndZeroTimeoutIsNoOp) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.cancel_token().valid());
+  ctx.WithTimeout(0);
+  EXPECT_FALSE(ctx.cancel_token().valid());  // 0 = no deadline, no token
+  EXPECT_TRUE(ctx.CheckInterrupt().ok());
+}
+
+TEST(ExecContextTest, ExplicitCancelOutranksLaterDeadlineExpiry) {
+  CancelToken token = CancelToken::Make();
+  token.Cancel("first");
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::seconds(1));
+  // First cancellation wins: the expired deadline must not rewrite the
+  // recorded status.
+  EXPECT_EQ(token.status().code(), StatusCode::kCancelled);
+  EXPECT_NE(token.status().message().find("first"), std::string::npos);
+}
+
+TEST(ExecContextTest, InjectedBudgetFaultUnwindsAndRerunsBitIdentically) {
+  Bat ab = SmallBat(50000);
+
+  // Reference: a clean run.
+  ExecContext ref_ctx;
+  storage::IoStats ref_io;
+  ref_ctx.WithIo(&ref_io);
+  Bat ref = kernel::SelectCmp(ref_ctx, ab, kernel::CmpOp::kGe, Value::Int(5))
+                .ValueOrDie();
+
+  // Injected run: the first budget charge fails mid-kernel.
+  FaultInjector fi(/*seed=*/7, /*rate=*/0.0);
+  fi.FailNth(FaultInjector::Site::kBudgetCharge, 0);
+  storage::IoStats io;
+  ExecContext ctx;
+  ctx.WithIo(&io).WithFaultInjector(&fi);
+  auto broken = kernel::SelectCmp(ctx, ab, kernel::CmpOp::kGe, Value::Int(5));
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(broken.status().message().find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(fi.fired(FaultInjector::Site::kBudgetCharge), 1u);
+  // Balance exactly zero after the unwinding, and the same context then
+  // reruns the kernel bit-identically to the clean reference.
+  EXPECT_EQ(ctx.memory_charged(), 0u);
+  ctx.WithFaultInjector(nullptr);
+  io.Reset();
+  Bat again = kernel::SelectCmp(ctx, ab, kernel::CmpOp::kGe, Value::Int(5))
+                  .ValueOrDie();
+  EXPECT_EQ(again.DebugString(1000000), ref.DebugString(1000000));
+  EXPECT_EQ(io.faults(), ref_io.faults());
+}
+
 }  // namespace
 }  // namespace moaflat

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <numeric>
+#include <thread>
 
 #include "bat/bat.h"
 #include "common/parallel.h"
@@ -250,6 +252,72 @@ TEST(ParallelTest, IoAccountingUnaffectedByDegree) {
   }
   SetParallelDegree(0);
   EXPECT_EQ(io1.faults(), io6.faults());
+}
+
+// ---------------------------------------------------------- cancellation
+
+TEST(ParallelTest, RunBlocksSkipsEveryBlockOfAPreCancelledPlan) {
+  SetParallelBlockCap(kMaxParallelDegree);  // multi-block plans need no HW cap
+  CancelState cancel;
+  cancel.Cancel(StatusCode::kCancelled, "test");
+  BlockPlan plan = PlanBlocks(1 << 20, 16);
+  ASSERT_GT(plan.blocks, 1);
+  plan.cancel = &cancel;
+  std::atomic<int> executed{0};
+  RunBlocks(plan, [&](int, size_t, size_t) { executed.fetch_add(1); });
+  // RunBlocks still returns normally (the job's completion handshake is
+  // untouched), but no block body ran.
+  EXPECT_EQ(executed.load(), 0);
+  SetParallelBlockCap(0);
+}
+
+TEST(ParallelTest, RunBlocksWithLiveTokenRunsEverything) {
+  SetParallelBlockCap(kMaxParallelDegree);
+  CancelState cancel;  // armed but never cancelled
+  BlockPlan plan = PlanBlocks(1 << 20, 16);
+  plan.cancel = &cancel;
+  std::atomic<int> executed{0};
+  std::atomic<size_t> rows{0};
+  RunBlocks(plan, [&](int, size_t lo, size_t hi) {
+    executed.fetch_add(1);
+    rows.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(executed.load(), plan.blocks);
+  EXPECT_EQ(rows.load(), size_t{1} << 20);
+  SetParallelBlockCap(0);
+}
+
+TEST(ParallelTest, MidFlightCancelDrainsRemainingBlocks) {
+  // The first block body to run cancels the plan; blocks claimed after
+  // that are drained (counted complete, body skipped), so the loop stops
+  // within "blocks already in flight", far short of the full plan.
+  SetParallelBlockCap(kMaxParallelDegree);
+  CancelState cancel;
+  BlockPlan plan = PlanBlocks(size_t{1} << 22, 64);
+  ASSERT_EQ(plan.blocks, 64);
+  plan.cancel = &cancel;
+  std::atomic<int> executed{0};
+  RunBlocks(plan, [&](int, size_t, size_t) {
+    executed.fetch_add(1);
+    cancel.Cancel(StatusCode::kCancelled, "first block pulls the plug");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  EXPECT_GE(executed.load(), 1);
+  // Only blocks claimed before the first body published the flag ran: at
+  // most the pool's in-flight window, never anywhere near all 64.
+  EXPECT_LT(executed.load(), plan.blocks);
+  SetParallelBlockCap(0);
+}
+
+TEST(TaskPoolTest, AbortedJobDrainsWithoutRunningTasks) {
+  std::atomic<uint32_t> abort{1};
+  std::atomic<int> ran{0};
+  TaskPool::Global().Run(
+      256, [&](size_t) { ran.fetch_add(1); },
+      SchedTag{/*group=*/0, /*weight=*/1, /*abort=*/&abort});
+  // Run() returned: all 256 morsels were claimed and counted complete,
+  // none executed its body.
+  EXPECT_EQ(ran.load(), 0);
 }
 
 }  // namespace

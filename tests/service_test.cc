@@ -6,6 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <sstream>
 #include <string>
@@ -509,6 +516,344 @@ TEST(WireProtocolTest, StaticAnalysisVetoAndCheckOverSocket) {
 
   EXPECT_EQ(client.Call("BYE").ValueOrDie(), "OK bye");
   server.Stop();
+}
+
+// ---------------------------------------------------- cancellation & faults
+
+namespace {
+
+/// A 10M-row attribute whose values spread over [0, 9973).
+mil::MilEnv BigCatalog(size_t rows = 10'000'000) {
+  std::vector<int32_t> tail(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    tail[i] = static_cast<int32_t>(i * 2654435761u % 9973);
+  }
+  mil::MilEnv catalog;
+  catalog.BindBat("big", Bat(Column::MakeVoid(Oid{1} << 40, rows),
+                             Column::MakeInt(std::move(tail))));
+  catalog.BindBat("tiny", Bat(Column::MakeVoid(Oid{1} << 40, 100),
+                              Column::MakeInt(std::vector<int32_t>(100, 7))));
+  return catalog;
+}
+
+/// Eight selective full scans of `big`: long enough that a cancel issued
+/// right after the query is observed RUNNING always lands mid-flight.
+std::string SlowScanMil(char sep = '\n') {
+  std::string mil;
+  for (int i = 0; i < 8; ++i) {
+    mil += "s" + std::to_string(i) + " := select.>=(big, 9900)";
+    mil += sep;
+  }
+  return mil;
+}
+
+}  // namespace
+
+TEST(CancellationTest, WireCancelStopsRunningScanAndSessionStaysUsable) {
+  mil::MilEnv catalog = BigCatalog();
+  QueryService svc;
+  svc.SetCatalog(catalog);
+  service::WireServer server(svc, /*port=*/0);
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket: " << started.ToString();
+  }
+  service::WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  std::string open = client.Call("OPEN degree=8").ValueOrDie();
+  ASSERT_EQ(open.rfind("OK ", 0), 0u) << open;
+  const std::string sid = open.substr(3);
+
+  std::string submitted =
+      client.Call("SUBMIT " + sid + " " + SlowScanMil(';')).ValueOrDie();
+  ASSERT_EQ(submitted.rfind("OK ", 0), 0u) << submitted;
+  std::istringstream is(submitted.substr(3));
+  std::string qid, action;
+  is >> qid >> action;
+  ASSERT_EQ(action, "ADMIT") << submitted;
+
+  // Wait for the scan to be mid-flight, then pull the plug.
+  std::string polled;
+  for (int spin = 0; spin < 10000; ++spin) {
+    polled = client.Call("POLL " + qid).ValueOrDie();
+    if (polled.rfind("OK RUNNING", 0) == 0) break;
+    ASSERT_EQ(polled.rfind("OK QUEUED", 0), 0u)
+        << "query went terminal before it could be cancelled: " << polled;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(polled.rfind("OK RUNNING", 0), 0u) << polled;
+  // Give the interpreter a moment to be genuinely mid-scan (the program
+  // takes hundreds of milliseconds; 10 ms is deep inside statement one).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(client.Call("CANCEL " + qid).ValueOrDie(), "OK");
+
+  std::string waited = client.Call("WAIT " + qid).ValueOrDie();
+  EXPECT_EQ(waited.rfind("OK CANCELLED", 0), 0u) << waited;
+  EXPECT_NE(waited.find("cancel"), std::string::npos) << waited;
+
+  // Partial fault accounting is reported; the balance reads exactly zero
+  // (every discarded partial result was refunded).
+  service::QueryResult r =
+      svc.Poll(std::stoull(qid)).ValueOrDie();
+  EXPECT_EQ(r.state, QueryState::kCancelled);
+  EXPECT_GT(r.faults, 0u);  // it really was mid-flight
+  EXPECT_EQ(r.memory_charged, 0u);
+
+  // The session is untouched: the next query on it runs bit-identically
+  // to a direct interpretation of the same program.
+  const std::string small = "chk := select.>=(big, 9900)\n";
+  DirectRun ref = RunDirect(catalog, small, {"chk"});
+  std::string ok2 = client.Call("SUBMIT " + sid + " " + small).ValueOrDie();
+  ASSERT_EQ(ok2.rfind("OK ", 0), 0u) << ok2;
+  std::istringstream is2(ok2.substr(3));
+  std::string qid2;
+  is2 >> qid2;
+  EXPECT_EQ(client.Call("WAIT " + qid2).ValueOrDie().rfind("OK DONE", 0), 0u);
+  service::QueryResult done = svc.Poll(std::stoull(qid2)).ValueOrDie();
+  EXPECT_EQ(std::get<Bat>(done.results.at("chk")).DebugString(1000000),
+            ref.result_dumps.at("chk"));
+
+  EXPECT_EQ(client.Call("BYE").ValueOrDie(), "OK bye");
+  server.Stop();
+}
+
+TEST(CancellationTest, SessionDeadlineOverWireStopsTheScan) {
+  mil::MilEnv catalog = BigCatalog();
+  QueryService svc;
+  svc.SetCatalog(catalog);
+  service::WireServer server(svc, /*port=*/0);
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket: " << started.ToString();
+  }
+  service::WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Every query of this session gets a 20 ms deadline armed at run start;
+  // the eight-scan program takes orders of magnitude longer.
+  std::string open = client.Call("OPEN timeout=20").ValueOrDie();
+  ASSERT_EQ(open.rfind("OK ", 0), 0u) << open;
+  const std::string sid = open.substr(3);
+
+  std::string submitted =
+      client.Call("SUBMIT " + sid + " " + SlowScanMil(';')).ValueOrDie();
+  ASSERT_EQ(submitted.rfind("OK ", 0), 0u) << submitted;
+  std::istringstream is(submitted.substr(3));
+  std::string qid;
+  is >> qid;
+
+  std::string waited = client.Call("WAIT " + qid).ValueOrDie();
+  EXPECT_EQ(waited.rfind("OK CANCELLED", 0), 0u) << waited;
+  EXPECT_NE(waited.find("deadline"), std::string::npos) << waited;
+  EXPECT_EQ(svc.Poll(std::stoull(qid)).ValueOrDie().memory_charged, 0u);
+
+  // The deadline is per query, not per session: a cheap query on the same
+  // session finishes well inside 20 ms of execution.
+  std::string ok2 =
+      client.Call("SUBMIT " + sid + " one := select.>=(tiny, 0)")
+          .ValueOrDie();
+  ASSERT_EQ(ok2.rfind("OK ", 0), 0u) << ok2;
+  std::istringstream is2(ok2.substr(3));
+  std::string qid2;
+  is2 >> qid2;
+  EXPECT_EQ(client.Call("WAIT " + qid2).ValueOrDie().rfind("OK DONE", 0), 0u);
+
+  server.Stop();
+}
+
+TEST(CancellationTest, QueuedQueryCancelsImmediatelyAndIdempotently) {
+  mil::MilEnv catalog = BigCatalog(2'000'000);
+  ServiceConfig cfg;
+  cfg.executors = 1;  // one executor: the second query must queue
+  QueryService svc(cfg);
+  svc.SetCatalog(catalog);
+  uint64_t sa = svc.OpenSession().ValueOrDie();
+  uint64_t sb = svc.OpenSession().ValueOrDie();
+
+  uint64_t slow = svc.Submit(sa, SlowScanMil()).ValueOrDie();
+  uint64_t queued = svc.Submit(sb, "x := select.>=(big, 9900)\n").ValueOrDie();
+  EXPECT_EQ(svc.Poll(queued).ValueOrDie().state, QueryState::kQueued);
+
+  // A queued query goes terminal synchronously, with the caller's reason.
+  ASSERT_TRUE(svc.Cancel(queued, "changed my mind").ok());
+  service::QueryResult r = svc.Poll(queued).ValueOrDie();
+  EXPECT_EQ(r.state, QueryState::kCancelled);
+  EXPECT_NE(r.status.message().find("changed my mind"), std::string::npos);
+  // Idempotent on terminal queries; structured error on unknown ids.
+  EXPECT_TRUE(svc.Cancel(queued).ok());
+  EXPECT_EQ(svc.Cancel(999999).code(), StatusCode::kKeyError);
+
+  ASSERT_TRUE(svc.Cancel(slow).ok());
+  EXPECT_EQ(svc.Wait(slow).ValueOrDie().state, QueryState::kCancelled);
+  EXPECT_GE(svc.stats().cancelled, 2u);
+}
+
+TEST(CancellationTest, ShutdownVetoesQueuedQueriesAndWakesEveryWaiter) {
+  mil::MilEnv catalog = BigCatalog(2'000'000);
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  QueryService svc(cfg);
+  svc.SetCatalog(catalog);
+
+  uint64_t running_sid = svc.OpenSession().ValueOrDie();
+  uint64_t running_qid = svc.Submit(running_sid, SlowScanMil()).ValueOrDie();
+  // Fill the admit queue behind the running scan.
+  std::vector<uint64_t> queued;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t sid = svc.OpenSession().ValueOrDie();
+    queued.push_back(svc.Submit(sid, "y := select.>=(big, 9900)\n").ValueOrDie());
+  }
+  // Park a waiter on every query, racing Shutdown against the full queue.
+  std::vector<service::QueryResult> results(queued.size() + 1);
+  std::vector<std::thread> waiters;
+  waiters.emplace_back(
+      [&] { results[0] = svc.Wait(running_qid).ValueOrDie(); });
+  for (size_t i = 0; i < queued.size(); ++i) {
+    waiters.emplace_back(
+        [&, i] { results[i + 1] = svc.Wait(queued[i]).ValueOrDie(); });
+  }
+
+  svc.Shutdown(/*drain=*/false);
+
+  // Shutdown returned only after everything went terminal, so every waiter
+  // unblocks; nothing is silently dropped in a non-terminal state.
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(results[0].state, QueryState::kCancelled) << "the running scan";
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].state, QueryState::kVetoed) << "queued #" << i;
+    EXPECT_EQ(results[i].admission.reason, "service shutting down");
+  }
+  // New submissions are refused; Shutdown is idempotent (and the destructor
+  // will call it once more).
+  EXPECT_EQ(svc.Submit(running_sid, "z := mirror(big)\n").status().code(),
+            StatusCode::kCancelled);
+  svc.Shutdown(false);
+}
+
+// ------------------------------------------------------------ wire hardening
+
+TEST(WireHardeningTest, AbruptDisconnectClosesSessionsWithoutKillingServer) {
+  mil::MilEnv catalog = BigCatalog(2'000'000);
+  QueryService svc;
+  svc.SetCatalog(catalog);
+  service::WireServer server(svc, /*port=*/0);
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket: " << started.ToString();
+  }
+
+  {
+    service::WireClient doomed;
+    ASSERT_TRUE(doomed.Connect("127.0.0.1", server.port()).ok());
+    std::string open = doomed.Call("OPEN").ValueOrDie();
+    ASSERT_EQ(open.rfind("OK ", 0), 0u) << open;
+    const std::string sid = open.substr(3);
+    ASSERT_EQ(svc.stats().sessions_open, 1u);
+    // Leave a query running, then vanish without CLOSE or BYE.
+    std::string submitted =
+        doomed.Call("SUBMIT " + sid + " " + SlowScanMil(';')).ValueOrDie();
+    ASSERT_EQ(submitted.rfind("OK ", 0), 0u) << submitted;
+    doomed.Close();
+  }
+
+  // The server notices the hangup, closes the orphaned session and cancels
+  // its running query — the session drains away instead of leaking.
+  bool drained = false;
+  for (int spin = 0; spin < 10000; ++spin) {
+    if (svc.stats().sessions_open == 0) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(drained) << "orphaned session leaked: "
+                       << svc.stats().sessions_open << " still open";
+  EXPECT_GE(svc.stats().cancelled, 1u);
+
+  // And the accept loop is unharmed: the next client is served normally.
+  service::WireClient next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(next.Call("PING").ValueOrDie(), "OK moaflat");
+  server.Stop();
+}
+
+TEST(WireHardeningTest, OversizedLineIsRefusedAndTheNextClientIsServed) {
+  QueryService svc;
+  service::WireServer server(svc, /*port=*/0);
+  Status started = server.Start();
+  if (!started.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket: " << started.ToString();
+  }
+
+  service::WireClient abuser;
+  ASSERT_TRUE(abuser.Connect("127.0.0.1", server.port()).ok());
+  // A 2 MiB request line: the server's buffer crosses the 1 MiB cap long
+  // before the newline arrives, so it answers with a structured error and
+  // cuts the connection instead of buffering without bound. The reply (or,
+  // if the cut lands first, the send error) must come back — never a hang.
+  std::string huge(size_t{2} << 20, 'x');
+  auto reply = abuser.Call("SUBMIT 1 " + huge);
+  if (reply.ok()) {
+    EXPECT_EQ(*reply, "ERR line too long");
+  }
+  // Either way the accept loop survives and serves the next client.
+  service::WireClient next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(next.Call("PING").ValueOrDie(), "OK moaflat");
+  server.Stop();
+}
+
+TEST(WireHardeningTest, CallTimeoutTripsOnASilentServer) {
+  // A raw listening socket that accepts and then says nothing: the client's
+  // per-call timeout must convert the silence into kDeadlineExceeded.
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(lfd, 1) != 0) {
+    ::close(lfd);
+    GTEST_SKIP() << "cannot bind a loopback socket";
+  }
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  service::WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  client.SetCallTimeout(100);
+  auto reply = client.Call("PING");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  ::close(lfd);
+}
+
+TEST(WireHardeningTest, ConnectRetryIsBoundedOnARefusingPort) {
+  // Find a port that refuses connections: bind an ephemeral one, note it,
+  // close it again.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(probe);
+    GTEST_SKIP() << "cannot bind a loopback socket";
+  }
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(probe);
+
+  service::WireClient client;
+  Status s = client.Connect("127.0.0.1", ntohs(addr.sin_port),
+                            /*max_retries=*/2);
+  // Three attempts with bounded backoff, then a structured failure — the
+  // retry loop must not spin forever.
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(client.connected());
 }
 
 }  // namespace

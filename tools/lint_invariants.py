@@ -22,6 +22,16 @@ uncharged-kernel
     no page touched beyond TouchAll bookkeeping) may do this, and each such
     site carries `// lint:allow(uncharged-kernel)` saying why.
 
+unpolled-plan
+    A function that plans a morsel loop (`ctx.Plan(`) but never polls
+    `CheckInterrupt(`. RunBlocks skips remaining blocks of a cancelled
+    plan, so a kernel that does not re-check the interrupt afterwards will
+    happily consume partial shards (null local tables, short scatters) as
+    if the loop completed — the cancellation-unsafety class PR 8 closed.
+    Every planning function must call `ctx.CheckInterrupt()` after each
+    eval phase (or carry `// lint:allow(unpolled-plan)` near the Plan call
+    explaining why a stale result is provably safe there).
+
 An allow comment counts when it appears inside the flagged statement or on
 one of the two lines above it.
 
@@ -41,6 +51,12 @@ DEFAULT_PATHS = ["src/kernel", "src/bat"]
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 SYNC_KEY_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*(?:\(\))?(?:[.->]+[A-Za-z_][A-Za-z0-9_]*(?:\(\))?)*)\.sync_key\(\)")
 VOID_CTX_RE = re.compile(r"\(\s*void\s*\)\s*ctx\b")
+PLAN_RE = re.compile(r"\bctx\.Plan\(")
+INTERRUPT_RE = re.compile(r"\bCheckInterrupt\(")
+# A function definition starts in column 0 (the repo never indents inside
+# namespaces) and its closing brace is a column-0 '}'.
+FN_START_RE = re.compile(r"^[A-Za-z_]")
+FN_START_SKIP = ("namespace", "using", "typedef", "return", "template")
 
 
 class Finding:
@@ -137,7 +153,53 @@ def check_uncharged_kernel(path, lines):
     return findings
 
 
-CHECKS = [check_sync_head_only, check_uncharged_kernel]
+def enclosing_function(lines, idx):
+    """(start, end) line span of the column-0 function (or class) body that
+    contains line idx, by the repo's formatting conventions."""
+    start = None
+    for j in range(idx, -1, -1):
+        line = lines[j]
+        if FN_START_RE.match(line) and not line.startswith(FN_START_SKIP):
+            start = j
+            break
+    if start is None:
+        return None
+    end = len(lines) - 1
+    for j in range(idx, len(lines)):
+        if lines[j].startswith("}"):
+            end = j
+            break
+    return start, end
+
+
+def check_unpolled_plan(path, lines):
+    findings = []
+    reported = set()
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("//") or not PLAN_RE.search(line):
+            continue
+        span = enclosing_function(lines, i)
+        if span is None or span[0] in reported:
+            continue
+        body = "\n".join(lines[span[0] : span[1] + 1])
+        if INTERRUPT_RE.search(body):
+            reported.add(span[0])
+            continue
+        if allowed(lines, i, i, "unpolled-plan"):
+            reported.add(span[0])
+            continue
+        reported.add(span[0])
+        findings.append(Finding(
+            path, i + 1, "unpolled-plan",
+            "function plans a morsel loop but never polls "
+            "CheckInterrupt(): a cancelled plan skips blocks and this "
+            "kernel would consume the partial shards; re-check the "
+            "interrupt after each eval phase, or annotate "
+            "// lint:allow(unpolled-plan) with a proof of safety"))
+    return findings
+
+
+CHECKS = [check_sync_head_only, check_uncharged_kernel, check_unpolled_plan]
 
 
 def lint_file(path, text=None):
@@ -231,6 +293,36 @@ Result<Bat> SyncSemijoin(const ExecContext& ctx, const Bat& ab) {
   return res;
 }
 """, {"sync-head-only": 0, "uncharged-kernel": 0}),
+    # The cancellation-unsafety class: plans a morsel loop, consumes the
+    # shards without ever re-checking the interrupt.
+    ("broken_plan.cc", """
+Result<Bat> ScanThing(const ExecContext& ctx, const Bat& ab) {
+  const BlockPlan plan = ctx.Plan(ab.size());
+  std::vector<Shard> shards(plan.blocks);
+  RunBlocks(plan, [&](int b, size_t lo, size_t hi) { Fill(&shards[b]); });
+  return Merge(shards);
+}
+""", {"sync-head-only": 0, "uncharged-kernel": 0, "unpolled-plan": 1}),
+    # The fix: the post-phase interrupt poll guards the merge.
+    ("fixed_plan.cc", """
+Result<Bat> ScanThing(const ExecContext& ctx, const Bat& ab) {
+  const BlockPlan plan = ctx.Plan(ab.size());
+  std::vector<Shard> shards(plan.blocks);
+  RunBlocks(plan, [&](int b, size_t lo, size_t hi) { Fill(&shards[b]); });
+  MF_RETURN_NOT_OK(ctx.CheckInterrupt());
+  return Merge(shards);
+}
+""", {"sync-head-only": 0, "uncharged-kernel": 0, "unpolled-plan": 0}),
+    # A justified exception near the Plan call.
+    ("allowed_plan.cc", """
+Result<Bat> TouchOnly(const ExecContext& ctx, const Bat& ab) {
+  // Blocks only touch pages; a short-circuited loop is harmless.
+  // lint:allow(unpolled-plan)
+  const BlockPlan plan = ctx.Plan(ab.size());
+  RunBlocks(plan, [&](int b, size_t lo, size_t hi) { Touch(lo, hi); });
+  return ab;
+}
+""", {"sync-head-only": 0, "uncharged-kernel": 0, "unpolled-plan": 0}),
 ]
 
 
