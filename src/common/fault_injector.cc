@@ -1,8 +1,11 @@
 #include "common/fault_injector.h"
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -61,24 +64,66 @@ void FaultInjector::MaybeStall(size_t block) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
+void FaultInjector::CrashNow() {
+  // SIGKILL cannot be caught or blocked: no destructors, no stream flushes,
+  // no atexit — exactly the crash the recovery path must survive. _Exit is
+  // the (unreachable in practice) fallback for the raise() failure path.
+  (void)std::raise(SIGKILL);
+  std::_Exit(137);
+}
+
+Result<std::unique_ptr<FaultInjector>> FaultInjector::ParseEnv(
+    const char* seed_text, const char* rate_text) {
+  const bool has_rate = rate_text != nullptr && rate_text[0] != '\0';
+  if (seed_text == nullptr || seed_text[0] == '\0') {
+    if (has_rate) {
+      return Status::Invalid(
+          "MOAFLAT_FAULT_RATE is set but MOAFLAT_FAULT_SEED is not; a rate "
+          "without a seed arms nothing — set MOAFLAT_FAULT_SEED or unset "
+          "the rate");
+    }
+    return std::unique_ptr<FaultInjector>();  // unset: injection disabled
+  }
+  if (!std::isdigit(static_cast<unsigned char>(seed_text[0]))) {
+    return Status::Invalid(
+        std::string("malformed MOAFLAT_FAULT_SEED '") + seed_text +
+        "': expected a plain decimal number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long seed = std::strtoull(seed_text, &end, 10);
+  if (errno != 0 || *end != '\0') {
+    return Status::Invalid(
+        std::string("malformed MOAFLAT_FAULT_SEED '") + seed_text +
+        "': expected a plain decimal number");
+  }
+  double rate = 0.01;
+  if (has_rate) {
+    errno = 0;
+    const double r = std::strtod(rate_text, &end);
+    if (errno != 0 || *end != '\0' || !(r >= 0.0 && r <= 1.0)) {
+      return Status::Invalid(
+          std::string("malformed MOAFLAT_FAULT_RATE '") + rate_text +
+          "': expected a decimal fraction in [0, 1]");
+    }
+    rate = r;
+  }
+  return std::make_unique<FaultInjector>(seed, rate);
+}
+
 FaultInjector* FaultInjector::FromEnv() {
   // Resolved once: the sweep sets the variables before process start, and
   // a process-lifetime injector keeps the site counters (and thus the
   // fired-event numbers) globally deterministic.
   static FaultInjector* global = []() -> FaultInjector* {
-    const char* seed_env = std::getenv("MOAFLAT_FAULT_SEED");
-    if (seed_env == nullptr || seed_env[0] == '\0') return nullptr;
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long seed = std::strtoull(seed_env, &end, 10);
-    if (errno != 0 || *end != '\0') return nullptr;
-    double rate = 0.01;
-    if (const char* rate_env = std::getenv("MOAFLAT_FAULT_RATE")) {
-      errno = 0;
-      const double r = std::strtod(rate_env, &end);
-      if (errno == 0 && *end == '\0' && r >= 0.0 && r <= 1.0) rate = r;
+    auto parsed = ParseEnv(std::getenv("MOAFLAT_FAULT_SEED"),
+                           std::getenv("MOAFLAT_FAULT_RATE"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "moaflat: %s\n",
+                   parsed.status().message().c_str());
+      std::exit(2);
     }
-    return new FaultInjector(seed, rate);
+    return parsed->release();
   }();
   return global;
 }

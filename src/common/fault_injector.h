@@ -4,8 +4,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace moaflat {
@@ -33,10 +35,24 @@ namespace moaflat {
 ///   kStall — a worker sleeps `stall_ms` before running a block, widening
 ///       the cancellation window deterministically (tests pin the block
 ///       index instead of using the rate).
+///   kWalAppend — a WAL record write fails (or, in crash mode, the process
+///       is killed after a *partial* frame write — the torn-tail case).
+///   kWalFsync — the group-commit fsync fails (crash mode: killed before
+///       the fsync, so appended-but-unacked records may still recover).
+///   kCheckpointRename — the atomic checkpoint publish fails (crash mode:
+///       killed between writing the temp file and the rename).
 class FaultInjector {
  public:
-  enum class Site : int { kBudgetCharge = 0, kIo, kAlloc, kStall };
-  static constexpr int kSiteCount = 4;
+  enum class Site : int {
+    kBudgetCharge = 0,
+    kIo,
+    kAlloc,
+    kStall,
+    kWalAppend,
+    kWalFsync,
+    kCheckpointRename,
+  };
+  static constexpr int kSiteCount = 7;
 
   /// `rate` in [0, 1]: expected fraction of events per site that fire.
   FaultInjector(uint64_t seed, double rate);
@@ -49,6 +65,26 @@ class FaultInjector {
     if (!Fire(site)) return Status::OK();
     return Status::ResourceExhausted(std::string("injected fault: ") + what);
   }
+
+  /// IO-flavored injection for the durability sites: a firing event returns
+  /// kIoError — or, when crash mode is armed, kills the process on the spot
+  /// (the crash-recovery harness's seeded kill points).
+  Status MaybeFailIo(Site site, const char* what) {
+    if (!Fire(site)) return Status::OK();
+    if (crash_enabled()) CrashNow();
+    return Status::IoError(std::string("injected fault: ") + what);
+  }
+
+  /// Arms crash mode: firing durability-site events SIGKILL the process
+  /// instead of returning an error. Which event kills is the same pure
+  /// function of (seed, site, n) as error injection, so a given seed crashes
+  /// at the same point run after run — the basis of the crash sweep.
+  void EnableCrash() { crash_.store(true, std::memory_order_relaxed); }
+  bool crash_enabled() const { return crash_.load(std::memory_order_relaxed); }
+
+  /// Dies by SIGKILL (no unwinding, no flushing — a real crash as far as
+  /// the filesystem is concerned: only write()n bytes survive).
+  [[noreturn]] static void CrashNow();
 
   /// Forces event number `nth` (0-based) at `site` to fire regardless of
   /// the rate — the deterministic single-shot mode unit tests use.
@@ -74,8 +110,20 @@ class FaultInjector {
   /// when `MOAFLAT_FAULT_SEED` is unset. `MOAFLAT_FAULT_RATE` (a decimal
   /// fraction, default 0.01) sets the per-site firing rate. Resolved once;
   /// the query service attaches it to the contexts of sessions that opt in
-  /// (SessionOptions::inject_faults).
+  /// (SessionOptions::inject_faults). Malformed values are rejected loudly:
+  /// the process exits with a diagnostic instead of silently running with a
+  /// defaulted seed or rate (the MOAFLAT_THREADS strict-parse discipline —
+  /// a sweep that thinks it is injecting faults but is not must not pass).
   static FaultInjector* FromEnv();
+
+  /// The strict parser behind FromEnv, testable without process exit:
+  /// `seed_text`/`rate_text` are the raw environment values (null = unset).
+  /// Returns a configured injector, a null pointer when the seed is unset,
+  /// or kInvalidArgument naming the malformed variable. The entire seed must
+  /// be a plain decimal number; the rate a decimal fraction in [0, 1]; a
+  /// rate without a seed is a misconfiguration, not a silent no-op.
+  static Result<std::unique_ptr<FaultInjector>> ParseEnv(
+      const char* seed_text, const char* rate_text);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -89,6 +137,7 @@ class FaultInjector {
   std::array<std::atomic<uint64_t>, kSiteCount> forced_nth_;
   std::atomic<size_t> stall_block_{~size_t{0}};
   std::atomic<int> stall_ms_{0};
+  std::atomic<bool> crash_{false};
 };
 
 /// The injector currently armed for this thread, or nullptr. Allocation

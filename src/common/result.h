@@ -13,7 +13,7 @@ namespace moaflat {
 /// of arrow::Result: fallible functions return Result<T> and callers unwrap
 /// with MF_ASSIGN_OR_RETURN or ValueOrDie() (tests only).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit on purpose, mirroring
   /// arrow::Result so that `return value;` works in functions returning

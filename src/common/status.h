@@ -31,7 +31,7 @@ const char* StatusCodeToString(StatusCode code);
 
 /// An error code plus an optional message. A default-constructed Status is
 /// OK and carries no allocation; error states allocate a small descriptor.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

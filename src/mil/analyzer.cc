@@ -373,6 +373,7 @@ class Analyzer {
       if (in.kind != AbstractBinding::Kind::kBat) return Unknown();
       return BatOf(in.head, MonetType::kVoid, in.card, in.head_key);
     }
+    if (op == "insert") return AnalyzeInsert();
     if (op == "slice") return AnalyzeSlice();
     if (op == "sort") {
       CheckArity(1);
@@ -810,6 +811,31 @@ class Analyzer {
     return BatOf(in.head, *t, in.card, in.head_key);
   }
 
+  AbstractBinding AnalyzeInsert() {
+    CheckArity(3);
+    AbstractBinding in = BatArg(0);
+    if (in.kind != AbstractBinding::Kind::kBat) return Unknown();
+    // The kernel materializes void columns as oid when inserting (a dense
+    // sequence plus an arbitrary BUN is no longer dense).
+    const MonetType head_t =
+        in.head == MonetType::kVoid ? MonetType::kOidT : in.head;
+    const MonetType tail_t =
+        in.tail == MonetType::kVoid ? MonetType::kOidT : in.tail;
+    auto check = [&](size_t i, MonetType want, const char* side) {
+      auto v = MaybeVal(i);
+      if (!v.has_value() || want == MonetType::kVoid) return;
+      if (!v->CastTo(want).ok()) {
+        Error(std::string("'insert' ") + side + " value " + v->ToString() +
+              " is not coercible to " + TypeName(want));
+      }
+    };
+    check(1, head_t, "head");
+    check(2, tail_t, "tail");
+    // Sortedness and keyness are guarded (rechecked) by the kernel, not
+    // provable here; card grows by exactly the one inserted BUN.
+    return BatOf(head_t, tail_t, {in.card.lo + 1, in.card.hi + 1}, false);
+  }
+
   AbstractBinding AnalyzeAppend() {
     CheckArity(2);
     AbstractBinding l = BatArg(0);
@@ -1061,6 +1087,12 @@ class Analyzer {
       const AbstractBinding* r = bat1();
       if (l == nullptr || r == nullptr) return 0;
       return PagesOf(view(*l)) + PagesOf(view(*r));
+    }
+    if (op == "insert") {
+      // One sequential pass over the carried-over prefix (both columns).
+      const AbstractBinding* in = bat0();
+      if (in == nullptr) return 0;
+      return PagesOf(view(*in));
     }
     return 0;
   }

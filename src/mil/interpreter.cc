@@ -278,6 +278,15 @@ Result<Bat> MilInterpreter::EvalBatOp(const kernel::ExecContext& ctx,
     MF_ASSIGN_OR_RETURN(Bat pos, arg_bat(1));
     return kernel::Fetch(ctx, in, pos);
   }
+  if (op == "insert") {
+    // insert(b, h, t): a new BAT = b plus the BUN [h, t] (columns are
+    // immutable, so the "mutation" materializes a fresh binding — which is
+    // exactly what the WAL logs when a durable session commits one).
+    MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
+    MF_ASSIGN_OR_RETURN(Value h, arg_val(1));
+    MF_ASSIGN_OR_RETURN(Value t, arg_val(2));
+    return kernel::InsertBuns(ctx, in, {std::move(h)}, {std::move(t)});
+  }
   if (op == "histogram") {
     MF_ASSIGN_OR_RETURN(Bat in, arg_bat(0));
     return kernel::Histogram(ctx, in);

@@ -27,6 +27,7 @@ class MilEnv {
   void BindValue(const std::string& name, Value v) {
     vars_[name] = std::move(v);
   }
+  void Bind(const std::string& name, Binding b) { vars_[name] = std::move(b); }
 
   bool Has(const std::string& name) const { return vars_.count(name) > 0; }
 

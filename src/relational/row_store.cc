@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/serde.h"
+
 namespace moaflat::rel {
 
 // ------------------------------------------------------------------ Table
@@ -30,6 +32,16 @@ Status Table::AppendRow(const std::vector<Value>& row) {
   if (finalized_) return Status::Invalid("table already finalized");
   if (row.size() != cols_.size()) {
     return Status::Invalid("row arity mismatch in " + name_);
+  }
+  if (wal_ != nullptr) {
+    // Write-ahead: the row reaches the log before the table, so a crash
+    // after the append either replays the row or never saw it — it can
+    // never exist in the table without a log record behind it.
+    std::string body;
+    storage::serde::PutBytes(&body, name_);
+    storage::serde::PutU32(&body, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) storage::serde::PutValue(&body, v);
+    MF_RETURN_NOT_OK(wal_->Append(storage::kWalRowAppend, body).status());
   }
   for (size_t i = 0; i < row.size(); ++i) {
     MF_RETURN_NOT_OK(builders_[i].AppendValue(row[i]));
@@ -144,8 +156,14 @@ std::vector<uint32_t> InvertedIndex::RangeSelect(const Value& lo,
 Table* RowDatabase::AddTable(std::string name, std::vector<ColumnDef> cols) {
   auto table = std::make_unique<Table>(name, std::move(cols));
   Table* ptr = table.get();
+  ptr->AttachWal(wal_);
   tables_[name] = std::move(table);
   return ptr;
+}
+
+void RowDatabase::AttachWal(storage::Wal* wal) {
+  wal_ = wal;
+  for (auto& [name, t] : tables_) t->AttachWal(wal);
 }
 
 Table* RowDatabase::Find(const std::string& name) {
@@ -162,6 +180,36 @@ size_t RowDatabase::total_bytes() const {
   size_t total = 0;
   for (const auto& [name, t] : tables_) total += t->byte_size();
   return total;
+}
+
+Status ReplayRowAppends(RowDatabase* db,
+                        const std::vector<storage::WalRecord>& records) {
+  for (const storage::WalRecord& rec : records) {
+    if (rec.kind != storage::kWalRowAppend) {
+      return Status::Invalid("ReplayRowAppends: not a row-append record");
+    }
+    storage::serde::Cursor cur(rec.body);
+    MF_ASSIGN_OR_RETURN(const std::string_view name, cur.GetBytes());
+    Table* table = db->Find(std::string(name));
+    if (table == nullptr) {
+      return Status::IoError("wal replay: unknown table '" +
+                             std::string(name) + "'");
+    }
+    MF_ASSIGN_OR_RETURN(const uint32_t arity, cur.GetU32());
+    std::vector<Value> row;
+    row.reserve(arity);
+    for (uint32_t i = 0; i < arity; ++i) {
+      MF_ASSIGN_OR_RETURN(Value v, cur.GetValue());
+      row.push_back(std::move(v));
+    }
+    // Suspend logging while re-applying: the record already exists.
+    storage::Wal* attached = table->wal();
+    table->AttachWal(nullptr);
+    const Status st = table->AppendRow(row);
+    table->AttachWal(attached);
+    MF_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
 }
 
 }  // namespace moaflat::rel

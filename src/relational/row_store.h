@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/value.h"
 #include "storage/page_accountant.h"
+#include "storage/wal.h"
 
 namespace moaflat::rel {
 
@@ -65,8 +66,17 @@ class Table {
   /// Index of a column by name; -1 if absent.
   int ColIndex(const std::string& name) const;
 
-  /// Appends one row (values coerced to the declared types).
+  /// Appends one row (values coerced to the declared types). When a WAL is
+  /// attached, the row is logged *before* it is applied (write-ahead): a
+  /// failed log append rejects the row unapplied. Durability still needs a
+  /// Sync on the WAL — bulk loaders batch many appends per fsync.
   Status AppendRow(const std::vector<Value>& row);
+
+  /// Attaches (or detaches, with null) the write-ahead log rows of this
+  /// table are logged to. Replay uses ReplayRowAppends, which detaches the
+  /// log around re-application so recovery never re-logs.
+  void AttachWal(storage::Wal* wal) { wal_ = wal; }
+  storage::Wal* wal() const { return wal_; }
 
   /// Seals the table; must be called before reads or index creation.
   void Finalize();
@@ -115,6 +125,7 @@ class Table {
   size_t num_rows_ = 0;
   size_t row_width_ = 0;
   uint64_t heap_id_;
+  storage::Wal* wal_ = nullptr;
   bool finalized_ = false;
   std::map<int, std::unique_ptr<InvertedIndex>> indexes_;
 };
@@ -128,9 +139,20 @@ class RowDatabase {
 
   size_t total_bytes() const;
 
+  /// Attaches `wal` to every current and future table of this database.
+  void AttachWal(storage::Wal* wal);
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  storage::Wal* wal_ = nullptr;
 };
+
+/// Re-applies recovered kWalRowAppend records onto `db` (tables must exist
+/// with matching arity; rows land in declaration order). The tables' WAL
+/// attachment is suspended during replay so recovered rows are not logged
+/// a second time.
+Status ReplayRowAppends(RowDatabase* db,
+                        const std::vector<storage::WalRecord>& records);
 
 }  // namespace moaflat::rel
 

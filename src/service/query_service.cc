@@ -6,6 +6,7 @@
 #include "kernel/exec_tracer.h"
 #include "mil/analyzer.h"
 #include "mil/parser.h"
+#include "storage/checkpoint.h"
 
 namespace moaflat::service {
 namespace {
@@ -40,6 +41,18 @@ void QueryService::Shutdown(bool drain) {
         }
         return true;
       });
+      if (wal_ != nullptr && !read_only_ && !stopping_) {
+        // A drained shutdown leaves a clean store — a checkpoint equal to
+        // the catalog and an empty log — so the next start replays nothing.
+        storage::CheckpointOptions copts;
+        copts.fault = durability_fault_;
+        Status st = storage::CheckpointAndTruncate(data_dir_, catalog_,
+                                                   wal_.get(), copts);
+        if (!st.ok()) {
+          read_only_ = true;
+          read_only_reason_ = st.message();
+        }
+      }
     }
     if (!stopping_) {
       stopping_ = true;
@@ -76,11 +89,70 @@ void QueryService::SetCatalog(mil::MilEnv catalog) {
   catalog_ = std::move(catalog);
 }
 
+Status QueryService::EnableDurability(const std::string& dir,
+                                      FaultInjector* fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) return Status::Invalid("durability already enabled");
+  if (!sessions_.empty()) {
+    return Status::Invalid(
+        "EnableDurability must be called before any session opens");
+  }
+  storage::WalOptions wopts;
+  wopts.fault = fault;
+  MF_ASSIGN_OR_RETURN(storage::RecoveredStore store,
+                      storage::RecoverStore(dir, wopts));
+  catalog_ = std::move(store.env);
+  wal_ = std::move(store.wal);
+  data_dir_ = dir;
+  durability_fault_ = fault;
+  return Status::OK();
+}
+
+Status QueryService::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return Status::Invalid("durability not enabled");
+  if (read_only_) {
+    return Status::IoError("service is read-only (" + read_only_reason_ +
+                           ")");
+  }
+  storage::CheckpointOptions copts;
+  copts.fault = durability_fault_;
+  Status st =
+      storage::CheckpointAndTruncate(data_dir_, catalog_, wal_.get(), copts);
+  if (!st.ok()) {
+    read_only_ = true;
+    read_only_reason_ = st.message();
+  }
+  return st;
+}
+
+bool QueryService::read_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_only_;
+}
+
+std::string QueryService::read_only_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_only_reason_;
+}
+
+bool QueryService::ProgramMutates(const mil::MilProgram& program) const {
+  for (const mil::MilStmt& s : program.stmts) {
+    if (s.op == "insert") return true;
+    if (catalog_.Has(s.var)) return true;  // rebinds a catalog name
+  }
+  return false;
+}
+
 Result<uint64_t> QueryService::OpenSession(SessionOptions opts) {
   std::lock_guard<std::mutex> lock(mu_);
   if (sessions_.size() >= cfg_.max_sessions) {
     return Status::ResourceExhausted(
         "session limit reached (" + std::to_string(cfg_.max_sessions) + ")");
+  }
+  if (opts.durable && wal_ == nullptr) {
+    return Status::Invalid(
+        "durable session requires EnableDurability on the service");
   }
   Session s;
   s.id = next_session_++;
@@ -150,6 +222,8 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
   q->session = session_id;
   q->program = std::move(program);
   q->admission.diagnostics = report.diagnostics;
+  q->mutating = ProgramMutates(q->program);
+  q->durable = s.opts.durable && wal_ != nullptr;
   ++counters_.submitted;
 
   if (!report.ok()) {
@@ -169,7 +243,13 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
   const size_t session_queue =
       s.opts.max_queued > 0 ? s.opts.max_queued : cfg_.session_queue_limit;
   std::string veto;
-  if (session_cap > 0 && price.faults > session_cap) {
+  if (wal_ != nullptr && read_only_ && q->mutating) {
+    // Graceful degradation after a durability IO error: every mutating
+    // statement is refused with the same latched reason, reads keep
+    // serving. Deterministic — no mutation can slip through half-durable.
+    veto = "service is read-only (" + read_only_reason_ +
+           "): mutating statements are refused";
+  } else if (session_cap > 0 && price.faults > session_cap) {
     veto = "predicted cost " + std::to_string(price.faults) +
            " exceeds session max_query_cost " + std::to_string(session_cap);
   } else if (service_cap > 0 && price.faults > service_cap) {
@@ -393,23 +473,59 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
   Status run = interp.Run(q->program);
   const auto elapsed = std::chrono::steady_clock::now() - start;
 
+  std::unique_lock<std::mutex> lock(mu_);
+  q->traces = interp.traces();
+  q->faults = io.faults();
+  q->elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+
+  // --- durable commit, step 1: the log record (write-ahead) -------------
+  // Under mu_ so records hit the WAL in commit order; the fsync happens
+  // outside the lock below (group commit: one fsync covers every record
+  // appended before it). kDone is withheld until that fsync returns.
+  uint64_t commit_lsn = 0;
+  bool pending_sync = false;
+  if (run.ok() && q->durable && q->mutating && wal_ != nullptr) {
+    if (read_only_) {
+      run = Status::IoError("commit refused: service is read-only (" +
+                            read_only_reason_ + ")");
+    } else {
+      // Physical redo images: exactly the bindings this program (re)bound,
+      // as they stand after the run — replay applies them byte-for-byte,
+      // no re-execution.
+      std::map<std::string, mil::MilEnv::Binding> delta;
+      for (const mil::MilStmt& st : q->program.stmts) {
+        auto bit = env.bindings().find(st.var);
+        if (bit != env.bindings().end()) delta.emplace(st.var, bit->second);
+      }
+      const std::string body = storage::SerializeBindings(delta);
+      Result<uint64_t> lsn = wal_->Append(storage::kWalTxnCommit, body);
+      if (!lsn.ok()) {
+        // Nothing was applied: the catalog, the session env and the store
+        // all still read as if the query never ran. Latch read-only.
+        read_only_ = true;
+        read_only_reason_ = lsn.status().message();
+        run = lsn.status();
+      } else {
+        commit_lsn = *lsn;
+        pending_sync = true;
+        for (const auto& [name, b] : delta) catalog_.Bind(name, b);
+      }
+    }
+  }
+
   if (!run.ok()) {
     // Nothing commits on failure or cancellation — the env copy and every
-    // partial result are discarded — so release the committed statements'
-    // charges too: the query's final balance reads exactly zero instead of
-    // "bytes held by discarded bindings".
+    // partial result are discarded (a refused durable commit included) —
+    // so release the committed statements' charges too: the query's final
+    // balance reads exactly zero instead of "bytes held by discarded
+    // bindings".
     const uint64_t residue = ctx.memory_charged();
     if (residue > 0) ctx.ReleaseMemory(residue);
   }
-
-  std::lock_guard<std::mutex> lock(mu_);
-  q->traces = interp.traces();
-  q->faults = io.faults();
   q->memory_charged = ctx.memory_charged();
-  q->elapsed_us =
-      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+
   if (run.ok()) {
-    q->state = QueryState::kDone;
     // Expose the declared result names; a program without a result clause
     // (the common case for wire submissions) exposes every statement var.
     std::vector<std::string> names = q->program.results;
@@ -420,7 +536,11 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
       auto it = env.bindings().find(name);
       if (it != env.bindings().end()) q->results.emplace(name, it->second);
     }
-    ++counters_.completed;
+    if (!pending_sync) {
+      q->state = QueryState::kDone;
+      ++counters_.completed;
+    }
+    // pending_sync: still kRunning; kDone lands only after the fsync.
   } else if (run.IsInterruption()) {
     // kCancelled / kDeadlineExceeded: a deliberate stop, not a failure.
     // Partial accounting (faults, elapsed, traces) is reported as-is.
@@ -443,6 +563,32 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
   }
   inflight_cost_ -= q->admission.predicted_cost;
   work_cv_.notify_all();  // capacity freed; the session is idle again
+  done_cv_.notify_all();
+  if (!pending_sync) return;
+
+  // --- durable commit, step 2: fsync, then acknowledge ------------------
+  // Outside mu_: concurrent commits pile onto one fsync (Wal::Sync group
+  // leader), and readers are never blocked behind the disk. The commit is
+  // already visible in memory; a crash before the fsync returns may or may
+  // not preserve it — which is exactly why kDone waits here.
+  lock.unlock();
+  const Status sync = wal_->Sync(commit_lsn);
+  lock.lock();
+  if (sync.ok()) {
+    q->state = QueryState::kDone;
+    ++counters_.completed;
+    ++counters_.durable_commits;
+  } else {
+    if (!read_only_) {
+      read_only_ = true;
+      read_only_reason_ = sync.message();
+    }
+    // The commit stays applied in memory but is not guaranteed on disk:
+    // the client is told so, and every further mutation is refused.
+    q->state = QueryState::kError;
+    q->status = Status::IoError("commit not durable: " + sync.message());
+    ++counters_.failed;
+  }
   done_cv_.notify_all();
 }
 

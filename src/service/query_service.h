@@ -11,11 +11,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "kernel/exec_context.h"
 #include "mil/interpreter.h"
 #include "mil/program.h"
 #include "service/pricer.h"
 #include "storage/page_accountant.h"
+#include "storage/wal.h"
 
 /// The embedded query service: a multi-session front end over the MIL
 /// interpreter. Each session wraps an ExecContext of its own — memory
@@ -55,6 +57,11 @@ struct SessionOptions {
   /// the environment arms no injector. Off by default so an armed
   /// environment never perturbs sessions that expect exact results.
   bool inject_faults = false;
+  /// Opt-in durability: a successful mutating query of this session commits
+  /// its bindings to the shared catalog through the write-ahead log, and is
+  /// acknowledged kDone only after the log record is fsynced. Requires
+  /// EnableDurability before OpenSession; opening fails otherwise.
+  bool durable = false;
 };
 
 /// Service-wide configuration.
@@ -137,6 +144,26 @@ class QueryService {
   /// copy-on-write column references, not data copies).
   void SetCatalog(mil::MilEnv catalog);
 
+  /// Turns on durable commits: recovers the catalog from `dir` (the last
+  /// checkpoint plus a checksum-verified WAL replay, discarding any torn
+  /// tail) and keeps the log open for appending. Must precede every
+  /// OpenSession. `fault` optionally arms seeded error/crash injection at
+  /// the WAL and checkpoint sites; it must outlive the service.
+  Status EnableDurability(const std::string& dir,
+                          FaultInjector* fault = nullptr);
+
+  /// Atomically checkpoints the current catalog and truncates the log
+  /// (write-temp, fsync, rename, fsync-dir). Blocks submissions for the
+  /// duration. Fails — and latches read-only mode — on an IO error.
+  Status Sync();
+
+  /// True once a WAL or checkpoint IO error has latched the service
+  /// read-only: mutating submissions are vetoed deterministically with the
+  /// latched reason, reads keep serving, and no further log writes are
+  /// attempted for the life of the process.
+  bool read_only() const;
+  std::string read_only_reason() const;
+
   Result<uint64_t> OpenSession(SessionOptions opts = {});
 
   /// Marks the session closing: the running query (if any) is cancelled
@@ -190,7 +217,8 @@ class QueryService {
     uint64_t completed = 0;
     uint64_t failed = 0;
     uint64_t cancelled = 0;
-    double inflight_cost = 0;  // predicted faults currently running
+    uint64_t durable_commits = 0;  // WAL commit records fsynced and acked
+    double inflight_cost = 0;      // predicted faults currently running
     size_t queued = 0;
   };
   Stats stats() const;
@@ -221,6 +249,11 @@ class QueryService {
     /// CloseSession, Shutdown and the session deadline all stop the same
     /// query through the same token.
     CancelToken token;
+    /// Classified at submission: the program inserts BUNs or rebinds a
+    /// catalog name. Only mutating queries of durable sessions go through
+    /// the WAL commit protocol.
+    bool mutating = false;
+    bool durable = false;
   };
 
   void ExecutorLoop();
@@ -229,6 +262,8 @@ class QueryService {
   std::shared_ptr<Query> PickRunnable();
   void RunQuery(const std::shared_ptr<Query>& q);
   QueryResult Snapshot(const Query& q) const;
+  /// Mutation classifier (mu_ held): inserts BUNs or rebinds a catalog name.
+  bool ProgramMutates(const mil::MilProgram& program) const;
 
   ServiceConfig cfg_;
   mutable std::mutex mu_;
@@ -243,6 +278,12 @@ class QueryService {
   uint64_t next_query_ = 1;
   Stats counters_;
   bool stopping_ = false;
+  // --- durability (all guarded by mu_; wal_ has its own internal lock) ---
+  std::string data_dir_;
+  std::unique_ptr<storage::Wal> wal_;
+  FaultInjector* durability_fault_ = nullptr;
+  bool read_only_ = false;
+  std::string read_only_reason_;
   std::vector<std::thread> executors_;
 };
 

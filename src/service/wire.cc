@@ -267,6 +267,8 @@ std::string WireServer::HandleLine(const std::string& line, ConnState& conn) {
         opts.seed = v;
       } else if (key == "timeout") {
         opts.default_timeout_ms = static_cast<int64_t>(v);
+      } else if (key == "durable") {
+        opts.durable = v != 0;
       } else {
         return "ERR unknown option '" + key + "'\n";
       }
@@ -389,6 +391,12 @@ std::string WireServer::HandleLine(const std::string& line, ConnState& conn) {
     }
     os << ".\n";
     return os.str();
+  }
+
+  if (cmd == "SYNC") {
+    Status st = service_.Sync();
+    if (!st.ok()) return "ERR " + OneLine(st.message()) + "\n";
+    return "OK synced\n";
   }
 
   if (cmd == "CLOSE") {

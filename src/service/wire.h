@@ -17,7 +17,14 @@
 /// multi-line replies (RESULT, TRACE) end with a lone `.`:
 ///
 ///   OPEN [budget=N] [degree=D] [weight=W] [maxcost=C] [seed=S]
-///        [timeout=MS]             -> OK <sid>
+///        [timeout=MS] [durable=1]  -> OK <sid>
+///                                     (durable=1 needs EnableDurability on
+///                                     the service; mutating queries then
+///                                     report DONE only after their WAL
+///                                     record is fsynced, and a durability
+///                                     IO error flips the service read-only:
+///                                     further mutations are VETOed with the
+///                                     latched reason, reads keep serving)
 ///   SUBMIT <sid> <mil text>        -> OK <qid> ADMIT|QUEUE|VETO cost=<c> ...
 ///   PRICE <sid> <mil text>         -> OK cost=<c> cost_lo=<l> bytes=<b>
 ///   CHECK <sid> <mil text>         -> OK ok|rejected errors=<e>
@@ -30,6 +37,8 @@
 ///                                     POLL/WAIT then report CANCELLED)
 ///   RESULT <qid> <var> [max_rows]  -> OK <rows>, then rows, then "."
 ///   TRACE <qid>                    -> OK, then Fig. 10 lines, then "."
+///   SYNC                           -> OK synced (checkpoints the catalog
+///                                     atomically and truncates the WAL)
 ///   CLOSE <sid>                    -> OK
 ///   PING                           -> OK moaflat
 ///   BYE                            -> OK bye (connection closes)

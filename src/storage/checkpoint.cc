@@ -1,0 +1,447 @@
+#include "storage/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "bat/bat.h"
+#include "bat/column.h"
+#include "storage/serde.h"
+#include "storage/string_heap.h"
+
+namespace moaflat::storage {
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'M', 'F', 'C', 'K', 'P', 'T', '1', '\n'};
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::IoError(std::string(what) + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+uint8_t PropBits(const bat::Properties& p) {
+  return static_cast<uint8_t>((p.hkey ? 1 : 0) | (p.tkey ? 2 : 0) |
+                              (p.hsorted ? 4 : 0) | (p.tsorted ? 8 : 0));
+}
+
+bat::Properties PropsFromBits(uint8_t b) {
+  bat::Properties p;
+  p.hkey = (b & 1) != 0;
+  p.tkey = (b & 2) != 0;
+  p.hsorted = (b & 4) != 0;
+  p.tsorted = (b & 8) != 0;
+  return p;
+}
+
+/// Identity-deduplicated column and heap tables of one binding set, in
+/// first-reference order (bindings iterate name-sorted, head before tail),
+/// which makes the encoding canonical.
+struct SharedTables {
+  std::vector<const bat::Column*> cols;
+  std::unordered_map<const bat::Column*, uint32_t> col_idx;
+  std::vector<const StringHeap*> heaps;
+  std::unordered_map<const StringHeap*, uint32_t> heap_idx;
+
+  uint32_t AddColumn(const bat::ColumnPtr& c) {
+    auto it = col_idx.find(c.get());
+    if (it != col_idx.end()) return it->second;
+    if (c->type() == MonetType::kStr) AddHeap(c->str_heap().get());
+    const uint32_t idx = static_cast<uint32_t>(cols.size());
+    cols.push_back(c.get());
+    col_idx.emplace(c.get(), idx);
+    return idx;
+  }
+
+  uint32_t AddHeap(const StringHeap* h) {
+    auto it = heap_idx.find(h);
+    if (it != heap_idx.end()) return it->second;
+    const uint32_t idx = static_cast<uint32_t>(heaps.size());
+    heaps.push_back(h);
+    heap_idx.emplace(h, idx);
+    return idx;
+  }
+};
+
+void EncodeColumn(const SharedTables& tables, const bat::Column& col,
+                  std::string* out) {
+  serde::PutU8(out, static_cast<uint8_t>(col.type()));
+  serde::PutU64(out, col.size());
+  switch (col.type()) {
+    case MonetType::kVoid:
+      serde::PutU64(out, col.void_base());
+      return;
+    case MonetType::kStr:
+      serde::PutU32(out, tables.heap_idx.at(col.str_heap().get()));
+      serde::PutVector(out, col.Data<int32_t>());
+      return;
+    default:
+      bat::Column::VisitType(col.type(), [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        serde::PutVector(out, col.Data<T>());
+      });
+      return;
+  }
+}
+
+Result<bat::ColumnPtr> DecodeColumn(
+    serde::Cursor* cur,
+    const std::vector<std::shared_ptr<StringHeap>>& heaps) {
+  MF_ASSIGN_OR_RETURN(const uint8_t type_tag, cur->GetU8());
+  const MonetType type = static_cast<MonetType>(type_tag);
+  MF_ASSIGN_OR_RETURN(const uint64_t size, cur->GetU64());
+  switch (type) {
+    case MonetType::kVoid: {
+      MF_ASSIGN_OR_RETURN(const uint64_t base, cur->GetU64());
+      return bat::Column::MakeVoid(base, static_cast<size_t>(size));
+    }
+    case MonetType::kStr: {
+      MF_ASSIGN_OR_RETURN(const uint32_t heap, cur->GetU32());
+      if (heap >= heaps.size()) {
+        return Status::IoError("checkpoint: string heap index out of range");
+      }
+      MF_ASSIGN_OR_RETURN(auto offsets, cur->GetVector<int32_t>());
+      if (offsets.size() != size) {
+        return Status::IoError("checkpoint: string column size mismatch");
+      }
+      const size_t heap_bytes = heaps[heap]->byte_size();
+      for (const int32_t off : offsets) {
+        if (off < 0 || static_cast<size_t>(off) >= heap_bytes) {
+          return Status::IoError("checkpoint: string offset out of range");
+        }
+      }
+      return bat::Column::MakeStrOffsets(heaps[heap], std::move(offsets));
+    }
+    case MonetType::kOidT: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<Oid>());
+      if (v.size() != size) break;
+      return bat::Column::MakeOid(std::move(v));
+    }
+    case MonetType::kBit: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<uint8_t>());
+      if (v.size() != size) break;
+      return bat::Column::MakeBit(std::move(v));
+    }
+    case MonetType::kChr: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<char>());
+      if (v.size() != size) break;
+      return bat::Column::MakeChr(std::move(v));
+    }
+    case MonetType::kSht: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<int16_t>());
+      if (v.size() != size) break;
+      return bat::Column::MakeSht(std::move(v));
+    }
+    case MonetType::kInt: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<int32_t>());
+      if (v.size() != size) break;
+      return bat::Column::MakeInt(std::move(v));
+    }
+    case MonetType::kLng: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<int64_t>());
+      if (v.size() != size) break;
+      return bat::Column::MakeLng(std::move(v));
+    }
+    case MonetType::kFlt: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<float>());
+      if (v.size() != size) break;
+      return bat::Column::MakeFlt(std::move(v));
+    }
+    case MonetType::kDbl: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<double>());
+      if (v.size() != size) break;
+      return bat::Column::MakeDbl(std::move(v));
+    }
+    case MonetType::kDate: {
+      MF_ASSIGN_OR_RETURN(auto v, cur->GetVector<Date>());
+      if (v.size() != size) break;
+      return bat::Column::MakeDate(std::move(v));
+    }
+  }
+  return Status::IoError("checkpoint: column size mismatch");
+}
+
+/// Reads an entire file; found=false (empty payload) when absent.
+Result<std::string> ReadFile(const std::string& path, bool* found) {
+  *found = false;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::string();
+    return Errno("open", path);
+  }
+  *found = true;
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (r == 0) break;
+    bytes.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Errno("open dir", dir);
+  if (::fsync(dfd) != 0) {
+    const Status st = Errno("fsync dir", dir);
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+std::string CheckpointPath(const std::string& dir) {
+  return dir + "/checkpoint.mf";
+}
+std::string CheckpointTmpPath(const std::string& dir) {
+  return dir + "/checkpoint.tmp";
+}
+
+std::string SerializeBindings(
+    const std::map<std::string, mil::MilEnv::Binding>& bindings) {
+  SharedTables tables;
+  for (const auto& [name, binding] : bindings) {
+    if (const auto* b = std::get_if<bat::Bat>(&binding)) {
+      tables.AddColumn(b->head_col());
+      tables.AddColumn(b->tail_col());
+    }
+  }
+  std::string out;
+  serde::PutU32(&out, static_cast<uint32_t>(tables.heaps.size()));
+  for (const StringHeap* h : tables.heaps) {
+    serde::PutBytes(&out, std::string_view(h->bytes().data(),
+                                           h->bytes().size()));
+  }
+  serde::PutU32(&out, static_cast<uint32_t>(tables.cols.size()));
+  for (const bat::Column* c : tables.cols) EncodeColumn(tables, *c, &out);
+  serde::PutU32(&out, static_cast<uint32_t>(bindings.size()));
+  for (const auto& [name, binding] : bindings) {
+    serde::PutBytes(&out, name);
+    if (const auto* b = std::get_if<bat::Bat>(&binding)) {
+      serde::PutU8(&out, 0);
+      serde::PutU8(&out, PropBits(b->props()));
+      serde::PutU32(&out, tables.col_idx.at(b->head_col().get()));
+      serde::PutU32(&out, tables.col_idx.at(b->tail_col().get()));
+    } else {
+      serde::PutU8(&out, 1);
+      serde::PutValue(&out, std::get<Value>(binding));
+    }
+  }
+  return out;
+}
+
+Status ApplyBindings(std::string_view bytes, mil::MilEnv* env) {
+  serde::Cursor cur(bytes);
+  MF_ASSIGN_OR_RETURN(const uint32_t nheaps, cur.GetU32());
+  std::vector<std::shared_ptr<StringHeap>> heaps;
+  heaps.reserve(nheaps);
+  for (uint32_t i = 0; i < nheaps; ++i) {
+    MF_ASSIGN_OR_RETURN(const std::string_view raw, cur.GetBytes());
+    heaps.push_back(
+        StringHeap::FromBytes(std::vector<char>(raw.begin(), raw.end())));
+  }
+  MF_ASSIGN_OR_RETURN(const uint32_t ncols, cur.GetU32());
+  std::vector<bat::ColumnPtr> cols;
+  cols.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    MF_ASSIGN_OR_RETURN(bat::ColumnPtr c, DecodeColumn(&cur, heaps));
+    cols.push_back(std::move(c));
+  }
+  MF_ASSIGN_OR_RETURN(const uint32_t nbindings, cur.GetU32());
+  for (uint32_t i = 0; i < nbindings; ++i) {
+    MF_ASSIGN_OR_RETURN(const std::string_view name, cur.GetBytes());
+    MF_ASSIGN_OR_RETURN(const uint8_t tag, cur.GetU8());
+    if (tag == 0) {
+      MF_ASSIGN_OR_RETURN(const uint8_t props, cur.GetU8());
+      MF_ASSIGN_OR_RETURN(const uint32_t head, cur.GetU32());
+      MF_ASSIGN_OR_RETURN(const uint32_t tail, cur.GetU32());
+      if (head >= cols.size() || tail >= cols.size()) {
+        return Status::IoError("checkpoint: column index out of range");
+      }
+      MF_ASSIGN_OR_RETURN(bat::Bat b, bat::Bat::Make(cols[head], cols[tail]));
+      // WithProps re-verifies every claimed property against the recovered
+      // data — a checksum-colliding corruption cannot smuggle in a forged
+      // sortedness/key proof.
+      MF_ASSIGN_OR_RETURN(b, b.WithProps(PropsFromBits(props)));
+      env->BindBat(std::string(name), std::move(b));
+    } else if (tag == 1) {
+      MF_ASSIGN_OR_RETURN(Value v, cur.GetValue());
+      env->BindValue(std::string(name), std::move(v));
+    } else {
+      return Status::IoError("checkpoint: unknown binding tag");
+    }
+  }
+  if (!cur.done()) {
+    return Status::IoError("checkpoint: trailing bytes after binding set");
+  }
+  return Status::OK();
+}
+
+std::string SerializeEnv(const mil::MilEnv& env) {
+  return SerializeBindings(env.bindings());
+}
+
+Result<mil::MilEnv> DeserializeEnv(std::string_view bytes) {
+  mil::MilEnv env;
+  MF_RETURN_NOT_OK(ApplyBindings(bytes, &env));
+  return env;
+}
+
+uint64_t EnvFingerprint(const mil::MilEnv& env) {
+  const std::string bytes = SerializeEnv(env);
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Status WriteCheckpoint(const std::string& dir, const mil::MilEnv& env,
+                       uint64_t covered_lsn, const CheckpointOptions& opts) {
+  std::string payload;
+  serde::PutU64(&payload, covered_lsn);
+  payload += SerializeEnv(env);
+
+  const std::string tmp = CheckpointTmpPath(dir);
+  const std::string final_path = CheckpointPath(dir);
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  std::string file;
+  file.reserve(sizeof(kCheckpointMagic) + 8 + payload.size() + 4);
+  file.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  serde::PutU64(&file, payload.size());
+  file += payload;
+  serde::PutU32(&file, Crc32c(payload.data(), payload.size()));
+  const char* data = file.data();
+  size_t n = file.size();
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Errno("write", tmp);
+      ::close(fd);
+      return st;
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  // fsync the temp file *before* the rename: once the new name is visible
+  // its content must already be durable (lint: unsynced-rename).
+  if (::fsync(fd) != 0) {
+    const Status st = Errno("fsync", tmp);
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+
+  if (opts.fault != nullptr) {
+    // Crash point 1: temp written and fsynced, not yet published. Recovery
+    // must ignore (and clean up) the stray temp file.
+    MF_RETURN_NOT_OK(opts.fault->MaybeFailIo(
+        FaultInjector::Site::kCheckpointRename, "checkpoint rename"));
+  }
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  if (opts.fault != nullptr && opts.fault->crash_enabled() &&
+      opts.fault->Fire(FaultInjector::Site::kCheckpointRename)) {
+    // Crash point 2: renamed but the directory entry is not yet fsynced.
+    FaultInjector::CrashNow();
+  }
+  // fsync the directory *after* the rename so the publish itself is
+  // durable, not just the bytes behind it.
+  return FsyncDir(dir);
+}
+
+Result<LoadedCheckpoint> LoadCheckpoint(const std::string& dir) {
+  LoadedCheckpoint out;
+  bool found = false;
+  MF_ASSIGN_OR_RETURN(const std::string bytes,
+                      ReadFile(CheckpointPath(dir), &found));
+  if (!found) return out;
+  if (bytes.size() < sizeof(kCheckpointMagic) ||
+      std::memcmp(bytes.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+          0) {
+    return Status::IoError("checkpoint: bad magic in " + CheckpointPath(dir));
+  }
+  serde::Cursor body(std::string_view(bytes).substr(sizeof(kCheckpointMagic)));
+  MF_ASSIGN_OR_RETURN(const uint64_t len, body.GetU64());
+  if (body.remaining() < len + 4) {
+    return Status::IoError("checkpoint: truncated " + CheckpointPath(dir));
+  }
+  const std::string_view payload =
+      std::string_view(bytes).substr(sizeof(kCheckpointMagic) + 8,
+                                     static_cast<size_t>(len));
+  serde::Cursor crc_cur(
+      std::string_view(bytes).substr(sizeof(kCheckpointMagic) + 8 + len));
+  MF_ASSIGN_OR_RETURN(const uint32_t crc, crc_cur.GetU32());
+  if (Crc32c(payload.data(), payload.size()) != crc) {
+    return Status::IoError("checkpoint: checksum mismatch in " +
+                           CheckpointPath(dir));
+  }
+  serde::Cursor pay(payload);
+  MF_ASSIGN_OR_RETURN(out.covered_lsn, pay.GetU64());
+  MF_ASSIGN_OR_RETURN(out.env, DeserializeEnv(payload.substr(8)));
+  out.found = true;
+  return out;
+}
+
+Result<RecoveredStore> RecoverStore(const std::string& dir,
+                                    const WalOptions& wal_opts) {
+  // A stray temp file is a checkpoint that crashed before publish; the
+  // previous checkpoint (or none) is still authoritative.
+  (void)::unlink(CheckpointTmpPath(dir).c_str());
+
+  RecoveredStore out;
+  MF_ASSIGN_OR_RETURN(LoadedCheckpoint ckpt, LoadCheckpoint(dir));
+  if (ckpt.found) {
+    out.env = std::move(ckpt.env);
+    out.covered_lsn = ckpt.covered_lsn;
+  }
+  MF_ASSIGN_OR_RETURN(Wal::OpenResult opened,
+                      Wal::Open(WalPath(dir), out.covered_lsn, wal_opts));
+  out.wal = std::move(opened.wal);
+  out.torn_tail_discarded = opened.scan.torn_tail;
+  for (WalRecord& rec : opened.scan.records) {
+    if (rec.lsn < out.covered_lsn) continue;  // checkpoint already has it
+    switch (rec.kind) {
+      case kWalTxnCommit:
+        MF_RETURN_NOT_OK(ApplyBindings(rec.body, &out.env));
+        ++out.replayed;
+        break;
+      case kWalRowAppend:
+        out.row_records.push_back(std::move(rec));
+        ++out.replayed;
+        break;
+      default:
+        return Status::IoError("wal: unknown record kind " +
+                               std::to_string(rec.kind));
+    }
+  }
+  return out;
+}
+
+Status CheckpointAndTruncate(const std::string& dir, const mil::MilEnv& env,
+                             Wal* wal, const CheckpointOptions& opts) {
+  MF_RETURN_NOT_OK(WriteCheckpoint(dir, env, wal->next_lsn(), opts));
+  return wal->TruncateAll();
+}
+
+}  // namespace moaflat::storage

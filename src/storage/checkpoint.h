@@ -1,0 +1,102 @@
+#ifndef MOAFLAT_STORAGE_CHECKPOINT_H_
+#define MOAFLAT_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/result.h"
+#include "mil/interpreter.h"
+#include "storage/wal.h"
+
+/// Durable snapshots of a MilEnv and the crash-recovery path that combines
+/// the last checkpoint with WAL replay.
+///
+/// The serialized form is *canonical*: bindings in name order, columns and
+/// string heaps deduplicated by identity in first-reference order, native
+/// heaps dumped little-endian, and no process-local state (heap ids, sync
+/// keys) included. Serializing an env, recovering it, and serializing it
+/// again yields the identical byte string — which is what lets a 64-bit
+/// fingerprint of the serialized form stand in for deep comparison in the
+/// crash-recovery sweep, and what preserves column sharing (two catalog
+/// BATs sharing a head column pre-crash still share it after recovery, so
+/// their Section 5.1 synced-ness survives).
+namespace moaflat::storage {
+
+/// File names inside a durable store directory.
+std::string WalPath(const std::string& dir);
+std::string CheckpointPath(const std::string& dir);
+std::string CheckpointTmpPath(const std::string& dir);
+
+/// Canonical encoding of a binding set — the checkpoint payload and the
+/// body of a kWalTxnCommit record share this format.
+std::string SerializeBindings(
+    const std::map<std::string, mil::MilEnv::Binding>& bindings);
+
+/// Decodes a binding set and binds every entry into `env` (replay: later
+/// records overwrite earlier bindings of the same name).
+Status ApplyBindings(std::string_view bytes, mil::MilEnv* env);
+
+std::string SerializeEnv(const mil::MilEnv& env);
+Result<mil::MilEnv> DeserializeEnv(std::string_view bytes);
+
+/// 64-bit FNV-1a of the canonical serialized form: equal fingerprints ⇔
+/// bit-identical serialized envs (modulo hash collision).
+uint64_t EnvFingerprint(const mil::MilEnv& env);
+
+struct CheckpointOptions {
+  /// Injector consulted at the kCheckpointRename site (null = none).
+  FaultInjector* fault = nullptr;
+};
+
+/// Atomically publishes a checkpoint of `env` into `dir` using the
+/// write-temp / fsync / rename / fsync-dir protocol: a crash at any point
+/// leaves either the previous checkpoint or the new one, never a torn
+/// file. `covered_lsn` is the WAL horizon the snapshot includes; recovery
+/// replays only records with lsn >= covered_lsn, so a crash between the
+/// rename and the log truncation cannot double-apply.
+Status WriteCheckpoint(const std::string& dir, const mil::MilEnv& env,
+                       uint64_t covered_lsn, const CheckpointOptions& opts = {});
+
+struct LoadedCheckpoint {
+  bool found = false;
+  mil::MilEnv env;
+  uint64_t covered_lsn = 0;
+};
+
+/// Loads the checkpoint in `dir`. Absent file: found=false (fresh store).
+/// A present-but-corrupt checkpoint is an error, not an empty store — the
+/// atomic publish protocol means it cannot be a torn write.
+Result<LoadedCheckpoint> LoadCheckpoint(const std::string& dir);
+
+struct RecoveredStore {
+  mil::MilEnv env;
+  /// The log, re-opened for appending (torn tail already truncated away).
+  std::unique_ptr<Wal> wal;
+  uint64_t covered_lsn = 0;          // checkpoint horizon
+  uint64_t replayed = 0;             // records applied past the horizon
+  bool torn_tail_discarded = false;  // checksum caught an interrupted write
+  /// kWalRowAppend records past the horizon, for the row-store owner to
+  /// replay (the env-level recovery cannot apply them itself).
+  std::vector<WalRecord> row_records;
+};
+
+/// Full startup recovery of a durable store directory: removes any stray
+/// checkpoint temp file, loads the last checkpoint, opens the WAL
+/// (discarding a torn tail), and replays committed records past the
+/// checkpoint horizon. The result is exactly the last committed state.
+Result<RecoveredStore> RecoverStore(const std::string& dir,
+                                    const WalOptions& wal_opts = {});
+
+/// Checkpoints `env` (covering everything appended so far) and empties the
+/// WAL. The caller must guarantee no concurrent appends.
+Status CheckpointAndTruncate(const std::string& dir, const mil::MilEnv& env,
+                             Wal* wal, const CheckpointOptions& opts = {});
+
+}  // namespace moaflat::storage
+
+#endif  // MOAFLAT_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,213 @@
+#ifndef MOAFLAT_STORAGE_SERDE_H_
+#define MOAFLAT_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "common/value.h"
+
+/// Byte-level encoding primitives shared by the WAL, the checkpoint writer
+/// and the row-store replay path. Little-endian fixed-width integers,
+/// length-prefixed byte strings, and a tagged encoding for boxed Values.
+/// The encoding is canonical: equal inputs produce equal bytes, which is
+/// what lets a checkpoint fingerprint stand in for deep env comparison.
+namespace moaflat::storage::serde {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+inline void PutBytes(std::string* out, std::string_view bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes.data(), bytes.size());
+}
+
+/// Raw little-endian dump of a trivially-copyable vector (the native BUN
+/// heap of a fixed-width column). Dates serialize as their int32 day count.
+template <typename T>
+void PutVector(std::string* out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PutU64(out, v.size());
+  out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+inline void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case MonetType::kVoid:
+      break;  // nil: the tag is the whole encoding
+    case MonetType::kBit:
+      PutU8(out, v.AsBit() ? 1 : 0);
+      break;
+    case MonetType::kChr:
+      PutU8(out, static_cast<uint8_t>(v.AsChr()));
+      break;
+    case MonetType::kSht:
+    case MonetType::kInt:
+      PutU32(out, static_cast<uint32_t>(v.AsInt()));
+      break;
+    case MonetType::kLng:
+      PutU64(out, static_cast<uint64_t>(v.AsLng()));
+      break;
+    case MonetType::kOidT:
+      PutU64(out, v.AsOid());
+      break;
+    case MonetType::kFlt: {
+      uint32_t bits;
+      const float f = v.AsFlt();
+      std::memcpy(&bits, &f, sizeof(bits));
+      PutU32(out, bits);
+      break;
+    }
+    case MonetType::kDbl: {
+      uint64_t bits;
+      const double d = v.AsDbl();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case MonetType::kStr:
+      PutBytes(out, v.AsStr());
+      break;
+    case MonetType::kDate:
+      PutU32(out, static_cast<uint32_t>(v.AsDate().days()));
+      break;
+  }
+}
+
+/// Bounds-checked sequential reader over an encoded buffer. Every Get
+/// returns kIoError on underrun instead of reading past the end, so a
+/// corrupt (but checksum-colliding) record can never crash recovery.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : data_(bytes) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> GetU8() {
+    if (remaining() < 1) return Underrun("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> GetU32() {
+    if (remaining() < 4) return Underrun("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    if (remaining() < 8) return Underrun("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string_view> GetBytes() {
+    MF_ASSIGN_OR_RETURN(const uint32_t n, GetU32());
+    if (remaining() < n) return Underrun("bytes");
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  template <typename T>
+  Result<std::vector<T>> GetVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MF_ASSIGN_OR_RETURN(const uint64_t n, GetU64());
+    if (n > remaining() / sizeof(T)) return Underrun("vector");
+    std::vector<T> v(static_cast<size_t>(n));
+    std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
+    return v;
+  }
+
+  Result<Value> GetValue() {
+    MF_ASSIGN_OR_RETURN(const uint8_t tag, GetU8());
+    switch (static_cast<MonetType>(tag)) {
+      case MonetType::kVoid:
+        return Value();
+      case MonetType::kBit: {
+        MF_ASSIGN_OR_RETURN(const uint8_t b, GetU8());
+        return Value::Bit(b != 0);
+      }
+      case MonetType::kChr: {
+        MF_ASSIGN_OR_RETURN(const uint8_t c, GetU8());
+        return Value::Chr(static_cast<char>(c));
+      }
+      case MonetType::kSht:
+      case MonetType::kInt: {
+        MF_ASSIGN_OR_RETURN(const uint32_t i, GetU32());
+        return Value::Int(static_cast<int32_t>(i));
+      }
+      case MonetType::kLng: {
+        MF_ASSIGN_OR_RETURN(const uint64_t l, GetU64());
+        return Value::Lng(static_cast<int64_t>(l));
+      }
+      case MonetType::kOidT: {
+        MF_ASSIGN_OR_RETURN(const uint64_t o, GetU64());
+        return Value::MakeOid(o);
+      }
+      case MonetType::kFlt: {
+        MF_ASSIGN_OR_RETURN(const uint32_t bits, GetU32());
+        float f;
+        std::memcpy(&f, &bits, sizeof(f));
+        return Value::Flt(f);
+      }
+      case MonetType::kDbl: {
+        MF_ASSIGN_OR_RETURN(const uint64_t bits, GetU64());
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        return Value::Dbl(d);
+      }
+      case MonetType::kStr: {
+        MF_ASSIGN_OR_RETURN(const std::string_view s, GetBytes());
+        return Value::Str(std::string(s));
+      }
+      case MonetType::kDate: {
+        MF_ASSIGN_OR_RETURN(const uint32_t days, GetU32());
+        return Value::MakeDate(Date(static_cast<int32_t>(days)));
+      }
+    }
+    return Status::IoError("unknown Value type tag in serialized record");
+  }
+
+ private:
+  static Status Underrun(const char* what) {
+    return Status::IoError(std::string("serialized record truncated (") +
+                            what + ")");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace moaflat::storage::serde
+
+#endif  // MOAFLAT_STORAGE_SERDE_H_

@@ -1,6 +1,23 @@
 #include "storage/string_heap.h"
 
+#include <cstring>
+#include <memory>
+
 namespace moaflat::storage {
+
+std::shared_ptr<StringHeap> StringHeap::FromBytes(std::vector<char> bytes) {
+  auto heap = std::make_shared<StringHeap>();
+  heap->bytes_ = std::move(bytes);
+  size_t pos = 0;
+  while (pos < heap->bytes_.size()) {
+    const char* entry = heap->bytes_.data() + pos;
+    const size_t len = ::strnlen(entry, heap->bytes_.size() - pos);
+    heap->dedup_.emplace(std::string(entry, len),
+                         static_cast<int32_t>(pos));
+    pos += len + 1;  // NUL terminator (or end of a truncated final entry)
+  }
+  return heap;
+}
 
 int32_t StringHeap::Intern(std::string_view s) {
   auto it = dedup_.find(std::string(s));

@@ -19,6 +19,12 @@ class StringHeap {
  public:
   StringHeap() : heap_id_(NewHeapId()) {}
 
+  /// Rebuilds a heap from its raw byte image (checkpoint recovery): the
+  /// layout — and therefore every previously handed-out offset — is
+  /// preserved verbatim; the dedup map is reconstructed by scanning the
+  /// NUL-terminated entries so later Intern calls keep deduplicating.
+  static std::shared_ptr<StringHeap> FromBytes(std::vector<char> bytes);
+
   /// Appends `s` (or finds an existing copy) and returns its byte offset.
   int32_t Intern(std::string_view s);
 
@@ -43,6 +49,9 @@ class StringHeap {
 
   uint64_t heap_id() const { return heap_id_; }
   size_t byte_size() const { return bytes_.size(); }
+
+  /// The raw heap image (checkpoint serialization).
+  const std::vector<char>& bytes() const { return bytes_; }
 
  private:
   uint64_t heap_id_;

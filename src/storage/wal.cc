@@ -1,0 +1,258 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/serde.h"
+
+namespace moaflat::storage {
+namespace {
+
+/// Anything claiming to be longer than this is treated as a torn/corrupt
+/// length prefix, not an allocation request.
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::IoError(std::string(what) + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+/// Full-buffer write() loop (write may be short on signals/limits).
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t acc) {
+  // CRC32C polynomial 0x1EDC6F41, reflected form 0x82F63B78.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? 0x82F63B78u : 0);
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t c = ~acc;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return ~c;
+}
+
+Result<WalScan> ScanWal(const std::string& path) {
+  WalScan scan;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return scan;  // no log yet: empty store
+    return Errno("open", path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (r == 0) break;
+    bytes.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    serde::Cursor header(std::string_view(bytes).substr(pos));
+    if (header.remaining() < kFrameHeaderBytes) break;  // torn header
+    const uint32_t len = *header.GetU32();
+    const uint32_t crc = *header.GetU32();
+    if (len > kMaxRecordBytes || header.remaining() < len) break;  // torn
+    const std::string_view payload =
+        std::string_view(bytes).substr(pos + kFrameHeaderBytes, len);
+    if (Crc32c(payload.data(), payload.size()) != crc) break;  // corrupt
+    serde::Cursor body(payload);
+    // The frame checksum passed, so a malformed payload is a writer bug,
+    // not a torn write; surface it instead of silently ending the prefix.
+    MF_ASSIGN_OR_RETURN(const uint64_t lsn, body.GetU64());
+    MF_ASSIGN_OR_RETURN(const uint8_t kind, body.GetU8());
+    WalRecord rec;
+    rec.lsn = lsn;
+    rec.kind = kind;
+    rec.body.assign(payload.substr(9));
+    scan.records.push_back(std::move(rec));
+    pos += kFrameHeaderBytes + len;
+  }
+  scan.valid_bytes = pos;
+  scan.torn_tail = pos < bytes.size();
+  return scan;
+}
+
+Result<Wal::OpenResult> Wal::Open(const std::string& path, uint64_t start_lsn,
+                                  WalOptions opts) {
+  MF_ASSIGN_OR_RETURN(WalScan scan, ScanWal(path));
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Errno("open", path);
+  if (scan.torn_tail) {
+    // Drop the interrupted write so the file ends on a record boundary;
+    // make the truncation durable before accepting new appends after it.
+    if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      const Status st = Errno("ftruncate", path);
+      ::close(fd);
+      return st;
+    }
+    if (::fsync(fd) != 0) {
+      const Status st = Errno("fsync", path);
+      ::close(fd);
+      return st;
+    }
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    const Status st = Errno("lseek", path);
+    ::close(fd);
+    return st;
+  }
+  uint64_t next = start_lsn;
+  if (!scan.records.empty() && scan.records.back().lsn + 1 > next) {
+    next = scan.records.back().lsn + 1;
+  }
+  OpenResult out;
+  out.wal.reset(new Wal(path, fd, next, opts));
+  out.scan = std::move(scan);
+  return out;
+}
+
+Wal::Wal(std::string path, int fd, uint64_t next_lsn, WalOptions opts)
+    : path_(std::move(path)), fd_(fd), opts_(opts), next_lsn_(next_lsn) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> Wal::Append(uint8_t kind, std::string_view body) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!io_error_.ok()) return io_error_;
+
+  const uint64_t lsn = next_lsn_;
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + 9 + body.size());
+  std::string payload;
+  payload.reserve(9 + body.size());
+  serde::PutU64(&payload, lsn);
+  serde::PutU8(&payload, kind);
+  payload.append(body.data(), body.size());
+  serde::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  serde::PutU32(&frame, Crc32c(payload.data(), payload.size()));
+  frame.append(payload);
+
+  if (FaultInjector* f = opts_.fault; f != nullptr) {
+    if (f->Fire(FaultInjector::Site::kWalAppend)) {
+      if (f->crash_enabled()) {
+        // A crash mid-write: half a frame reaches the file, then SIGKILL.
+        // Recovery must detect this tail by checksum and discard it.
+        (void)WriteAll(fd_, frame.data(), frame.size() / 2, path_);
+        FaultInjector::CrashNow();
+      }
+      io_error_ = Status::IoError("injected fault: wal append");
+      return io_error_;
+    }
+  }
+
+  const Status st = WriteAll(fd_, frame.data(), frame.size(), path_);
+  if (!st.ok()) {
+    io_error_ = st;
+    return st;
+  }
+  next_lsn_ = lsn + 1;
+  appended_ = lsn + 1;
+  return lsn;
+}
+
+Status Wal::Sync(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!io_error_.ok()) return io_error_;
+    if (synced_ >= lsn + 1) return Status::OK();
+    if (!sync_in_flight_) break;
+    cv_.wait(lock);  // a leader's fsync may already cover us
+  }
+  // Become the leader: one fsync covers every record appended so far,
+  // including those of committers queued behind us (group commit).
+  sync_in_flight_ = true;
+  const uint64_t cover = appended_;
+  ++fsync_count_;
+  lock.unlock();
+
+  Status st;
+  if (opts_.fault != nullptr) {
+    st = opts_.fault->MaybeFailIo(FaultInjector::Site::kWalFsync,
+                                  "wal fsync");
+  }
+  if (st.ok() && ::fsync(fd_) != 0) st = Errno("fsync", path_);
+
+  lock.lock();
+  sync_in_flight_ = false;
+  if (st.ok()) {
+    if (cover > synced_) synced_ = cover;
+  } else {
+    io_error_ = st;
+  }
+  cv_.notify_all();
+  if (!st.ok()) return st;
+  // cover >= lsn + 1 always: the caller appended lsn before syncing, and
+  // the leader snapshot was taken after we held the lock.
+  return Status::OK();
+}
+
+Status Wal::SyncAll() {
+  uint64_t last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!io_error_.ok()) return io_error_;
+    if (appended_ == 0) return Status::OK();
+    last = appended_ - 1;
+  }
+  return Sync(last);
+}
+
+Status Wal::TruncateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!io_error_.ok()) return io_error_;
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0 ||
+      ::fsync(fd_) != 0) {
+    io_error_ = Errno("truncate", path_);
+    return io_error_;
+  }
+  // LSNs keep rising: synced/appended horizons stay valid, and the
+  // checkpoint that triggered this truncation records the horizon.
+  return Status::OK();
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::fsyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fsync_count_;
+}
+
+}  // namespace moaflat::storage

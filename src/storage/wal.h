@@ -1,0 +1,133 @@
+#ifndef MOAFLAT_STORAGE_WAL_H_
+#define MOAFLAT_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace moaflat::storage {
+
+/// CRC32C (Castagnoli) of `n` bytes, chained via `acc` (pass a previous
+/// return value to extend). Software slice-by-one table implementation —
+/// the WAL's record checksum and the checkpoint's file checksum.
+uint32_t Crc32c(const void* data, size_t n, uint32_t acc = 0);
+
+/// What one WAL record carries.
+enum WalRecordKind : uint8_t {
+  /// A transactionally committed set of MilEnv bindings (physical logging:
+  /// the engine's columns are immutable, so a mutation's redo image is the
+  /// full new binding it materialized anyway).
+  kWalTxnCommit = 1,
+  /// One relational row append: table name + boxed row values.
+  kWalRowAppend = 2,
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint8_t kind = 0;
+  std::string body;
+};
+
+/// Result of scanning a WAL file: every fully-valid record in order, plus
+/// whether (and where) a torn tail was found. A record is valid iff its
+/// length prefix fits the remaining file and its CRC32C matches; the first
+/// violation ends the committed prefix — everything after it is discarded
+/// as an interrupted write, never partially applied.
+struct WalScan {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;  // file prefix covered by valid records
+  bool torn_tail = false;    // trailing bytes after the prefix were invalid
+};
+
+/// Scans `path` without modifying it. A missing file is an empty scan, not
+/// an error (a fresh store has no log yet).
+Result<WalScan> ScanWal(const std::string& path);
+
+struct WalOptions {
+  /// Injector consulted at the kWalAppend/kWalFsync sites (null = none).
+  /// In crash mode a firing append event kills the process after writing a
+  /// partial frame — a genuine torn write as far as recovery can tell.
+  FaultInjector* fault = nullptr;
+};
+
+/// The append-only write-ahead log. Records are framed
+/// `[u32 len][u32 crc32c][payload]` where payload = `u64 lsn | u8 kind |
+/// body`; LSNs increase monotonically across truncations (the checkpoint
+/// records the LSN horizon it covers, so replay after a crash between
+/// checkpoint publish and log truncation skips already-applied records).
+///
+/// Thread-safe. Append serializes writes under an internal mutex and
+/// assigns LSNs in write order; Sync(lsn) is a group commit — one caller
+/// becomes the fsync leader for every record appended so far, concurrent
+/// committers wait and are covered by the same fsync (the fsyncs() counter
+/// lets tests verify the batching). The first IO error latches: every later
+/// Append/Sync fails with it, which is what flips the query service into
+/// read-only mode exactly once and deterministically.
+class Wal {
+ public:
+  struct OpenResult {
+    std::unique_ptr<Wal> wal;
+    WalScan scan;  // committed records found on open (for replay)
+  };
+
+  /// Opens (creating if absent) the log at `path` for appending: scans it,
+  /// truncates any torn tail so the file ends on a record boundary, and
+  /// continues LSNs after max(start_lsn, highest scanned LSN + 1).
+  static Result<OpenResult> Open(const std::string& path, uint64_t start_lsn,
+                                 WalOptions opts = {});
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record (buffered in the OS; not yet durable) and returns
+  /// its LSN. Durability requires a subsequent Sync covering the LSN.
+  Result<uint64_t> Append(uint8_t kind, std::string_view body);
+
+  /// Group commit: returns once every record up to `lsn` is fsynced. OK
+  /// only after the data actually reached the log file.
+  Status Sync(uint64_t lsn);
+
+  /// Fsyncs everything appended so far.
+  Status SyncAll();
+
+  /// Empties the log (checkpoint took over its records). LSNs keep
+  /// counting; the caller must have published a checkpoint covering
+  /// next_lsn() first, or the dropped records are lost.
+  Status TruncateAll();
+
+  /// The LSN the next Append will get.
+  uint64_t next_lsn() const;
+  /// Number of fsync calls issued (group-commit effectiveness probe).
+  uint64_t fsyncs() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, int fd, uint64_t next_lsn, WalOptions opts);
+
+  std::string path_;
+  int fd_;
+  WalOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_lsn_;
+  uint64_t appended_ = 0;  // highest LSN written (+1), 0 = none
+  uint64_t synced_ = 0;    // highest LSN fsynced (+1), 0 = none
+  bool sync_in_flight_ = false;
+  Status io_error_;  // first IO failure; latched forever
+  uint64_t fsync_count_ = 0;
+};
+
+}  // namespace moaflat::storage
+
+#endif  // MOAFLAT_STORAGE_WAL_H_

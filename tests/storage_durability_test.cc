@@ -1,0 +1,731 @@
+// Durable-storage tests: WAL framing and checksums, the torn-tail property
+// (truncate/corrupt at every byte offset of the final record and recovery
+// always yields exactly the last fully-committed prefix), group-commit
+// fsync batching, atomic checkpoints, full-store recovery with the
+// covered-LSN double-apply guard, row-store replay, the strict FaultInjector
+// environment parser, and the query service's durable commit protocol with
+// read-only degradation.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bat/bat.h"
+#include "bat/column.h"
+#include "common/fault_injector.h"
+#include "mil/interpreter.h"
+#include "relational/row_store.h"
+#include "service/query_service.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+
+namespace moaflat {
+namespace {
+
+using bat::Bat;
+using bat::ColumnBuilder;
+using bat::ColumnPtr;
+using service::QueryService;
+using service::QueryState;
+using service::ServiceConfig;
+using service::SessionOptions;
+using storage::ScanWal;
+using storage::Wal;
+using storage::WalScan;
+
+/// Fresh scratch directory per test; removed on destruction (best-effort).
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/moaflat_durability_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf '" + path_ + "'";
+    (void)std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Bat MakeIntBat(const std::vector<int>& heads, const std::vector<int>& tails) {
+  ColumnBuilder hb(MonetType::kInt);
+  ColumnBuilder tb(MonetType::kInt);
+  for (int h : heads) EXPECT_TRUE(hb.AppendValue(Value::Int(h)).ok());
+  for (int t : tails) EXPECT_TRUE(tb.AppendValue(Value::Int(t)).ok());
+  auto b = Bat::Make(hb.Finish(), tb.Finish());
+  EXPECT_TRUE(b.ok());
+  return std::move(b).Value();
+}
+
+// ------------------------------------------------------------------ crc32c
+
+TEST(Crc32cTest, KnownAnswer) {
+  // The CRC-32C check value: crc of "123456789" is 0xE3069283.
+  EXPECT_EQ(storage::Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, ChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox";
+  const uint32_t whole = storage::Crc32c(data.data(), data.size());
+  const uint32_t part = storage::Crc32c(data.data(), 7);
+  EXPECT_EQ(storage::Crc32c(data.data() + 7, data.size() - 7, part), whole);
+}
+
+// --------------------------------------------------------------------- wal
+
+TEST(WalTest, AppendScanRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    auto opened = Wal::Open(path, 0, {});
+    ASSERT_TRUE(opened.ok());
+    auto& wal = *opened->wal;
+    for (int i = 0; i < 5; ++i) {
+      auto lsn = wal.Append(storage::kWalTxnCommit,
+                            "payload-" + std::to_string(i));
+      ASSERT_TRUE(lsn.ok());
+      EXPECT_EQ(*lsn, static_cast<uint64_t>(i));
+    }
+    ASSERT_TRUE(wal.SyncAll().ok());
+  }
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 5u);
+  EXPECT_FALSE(scan->torn_tail);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(scan->records[i].lsn, i);
+    EXPECT_EQ(scan->records[i].kind, storage::kWalTxnCommit);
+    EXPECT_EQ(scan->records[i].body, "payload-" + std::to_string(i));
+  }
+}
+
+TEST(WalTest, MissingFileIsEmptyStore) {
+  TempDir dir;
+  auto scan = ScanWal(dir.path() + "/absent.log");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_FALSE(scan->torn_tail);
+}
+
+TEST(WalTest, GroupCommitBatchesFsyncs) {
+  TempDir dir;
+  auto opened = Wal::Open(dir.path() + "/wal.log", 0, {});
+  ASSERT_TRUE(opened.ok());
+  auto& wal = *opened->wal;
+  uint64_t last = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto lsn = wal.Append(storage::kWalTxnCommit, "r");
+    ASSERT_TRUE(lsn.ok());
+    last = *lsn;
+  }
+  // One fsync covers the whole batch...
+  ASSERT_TRUE(wal.Sync(last).ok());
+  EXPECT_EQ(wal.fsyncs(), 1u);
+  // ...and a Sync at or below the covered horizon needs no new fsync.
+  ASSERT_TRUE(wal.Sync(0).ok());
+  ASSERT_TRUE(wal.Sync(last).ok());
+  EXPECT_EQ(wal.fsyncs(), 1u);
+}
+
+TEST(WalTest, LsnsKeepRisingAcrossTruncation) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  auto opened = Wal::Open(path, 0, {});
+  ASSERT_TRUE(opened.ok());
+  auto& wal = *opened->wal;
+  ASSERT_TRUE(wal.Append(storage::kWalTxnCommit, "a").ok());
+  ASSERT_TRUE(wal.Append(storage::kWalTxnCommit, "b").ok());
+  ASSERT_TRUE(wal.TruncateAll().ok());
+  auto lsn = wal.Append(storage::kWalTxnCommit, "c");
+  ASSERT_TRUE(lsn.ok());
+  // The truncation does not reset LSNs: a checkpoint's covered_lsn stays
+  // a valid horizon even if the crash lands between rename and truncate.
+  EXPECT_EQ(*lsn, 2u);
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].lsn, 2u);
+}
+
+TEST(WalTest, AppendErrorLatchesForever) {
+  TempDir dir;
+  FaultInjector fault(1, 0.0);
+  fault.FailNth(FaultInjector::Site::kWalAppend, 1);
+  storage::WalOptions opts;
+  opts.fault = &fault;
+  auto opened = Wal::Open(dir.path() + "/wal.log", 0, opts);
+  ASSERT_TRUE(opened.ok());
+  auto& wal = *opened->wal;
+  ASSERT_TRUE(wal.Append(storage::kWalTxnCommit, "ok").ok());
+  auto failed = wal.Append(storage::kWalTxnCommit, "boom");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  // The error latches: the log never accepts another append or sync.
+  EXPECT_FALSE(wal.Append(storage::kWalTxnCommit, "later").ok());
+  EXPECT_FALSE(wal.Sync(0).ok());
+}
+
+// The ISSUE's property test: truncate the log at *every* byte offset of the
+// final record, and separately flip *every* byte of the final record; the
+// scan must always yield exactly the fully-committed prefix (all records
+// but the last), never a torn or corrupted hybrid.
+TEST(WalTest, TornTailPropertyEveryOffsetOfFinalRecord) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  constexpr size_t kRecords = 4;
+  {
+    auto opened = Wal::Open(path, 0, {});
+    ASSERT_TRUE(opened.ok());
+    for (size_t i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(opened->wal
+                      ->Append(storage::kWalTxnCommit,
+                               "record-body-" + std::to_string(i))
+                      .ok());
+    }
+    ASSERT_TRUE(opened->wal->SyncAll().ok());
+  }
+  const std::string good = ReadFileBytes(path);
+  auto base = ScanWal(path);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->records.size(), kRecords);
+  // Byte offset where the final record's frame starts.
+  size_t final_off = good.size();
+  {
+    WalScan prefix;
+    auto opened = ScanWal(path);
+    // Recompute from record framing: scan valid_bytes minus nothing — the
+    // final frame starts where a (kRecords-1)-record file would end.
+    const std::string tmp = dir.path() + "/prefix.log";
+    auto w = Wal::Open(tmp, 0, {});
+    ASSERT_TRUE(w.ok());
+    for (size_t i = 0; i + 1 < kRecords; ++i) {
+      ASSERT_TRUE(w->wal
+                      ->Append(storage::kWalTxnCommit,
+                               "record-body-" + std::to_string(i))
+                      .ok());
+    }
+    ASSERT_TRUE(w->wal->SyncAll().ok());
+    final_off = ReadFileBytes(tmp).size();
+  }
+  ASSERT_LT(final_off, good.size());
+
+  const std::string probe = dir.path() + "/probe.log";
+  // (a) Truncation at every offset strictly inside the final record.
+  for (size_t cut = final_off; cut < good.size(); ++cut) {
+    WriteFileBytes(probe, good.substr(0, cut));
+    auto scan = ScanWal(probe);
+    ASSERT_TRUE(scan.ok()) << "cut=" << cut;
+    EXPECT_EQ(scan->records.size(), kRecords - 1) << "cut=" << cut;
+    EXPECT_EQ(scan->valid_bytes, final_off) << "cut=" << cut;
+    EXPECT_EQ(scan->torn_tail, cut > final_off) << "cut=" << cut;
+    for (size_t i = 0; i + 1 < kRecords; ++i) {
+      EXPECT_EQ(scan->records[i].body, "record-body-" + std::to_string(i));
+    }
+  }
+  // (b) A flipped byte at every offset of the final record: the checksum
+  // (or the length/CRC framing it corrupts) must reject the record.
+  for (size_t off = final_off; off < good.size(); ++off) {
+    std::string bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x5a);
+    WriteFileBytes(probe, bad);
+    auto scan = ScanWal(probe);
+    ASSERT_TRUE(scan.ok()) << "off=" << off;
+    EXPECT_EQ(scan->records.size(), kRecords - 1) << "off=" << off;
+    EXPECT_EQ(scan->valid_bytes, final_off) << "off=" << off;
+    EXPECT_TRUE(scan->torn_tail) << "off=" << off;
+  }
+}
+
+TEST(WalTest, OpenAfterTornTailTruncatesAndKeepsAppending) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    auto opened = Wal::Open(path, 0, {});
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened->wal->Append(storage::kWalTxnCommit, "kept").ok());
+    ASSERT_TRUE(opened->wal->Append(storage::kWalTxnCommit, "torn").ok());
+    ASSERT_TRUE(opened->wal->SyncAll().ok());
+  }
+  // Tear the last record in half.
+  const std::string good = ReadFileBytes(path);
+  WriteFileBytes(path, good.substr(0, good.size() - 5));
+  auto opened = Wal::Open(path, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->scan.torn_tail);
+  ASSERT_EQ(opened->scan.records.size(), 1u);
+  // New appends land on the truncated boundary with the next LSN.
+  auto lsn = opened->wal->Append(storage::kWalTxnCommit, "after");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 1u);
+  ASSERT_TRUE(opened->wal->SyncAll().ok());
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].body, "kept");
+  EXPECT_EQ(scan->records[1].body, "after");
+  EXPECT_FALSE(scan->torn_tail);
+}
+
+// ------------------------------------------------------------- checkpoints
+
+mil::MilEnv MakeRichEnv() {
+  mil::MilEnv env;
+  // Two BATs sharing one head column (the Section 5.1 synced-ness case),
+  // plus a string BAT and a scalar, so the canonical serialization's
+  // dedup, heap and value paths are all exercised.
+  ColumnBuilder shared(MonetType::kInt);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(shared.AppendValue(Value::Int(i * 10)).ok());
+  }
+  ColumnPtr head = shared.Finish();
+  ColumnBuilder t1(MonetType::kInt);
+  ColumnBuilder t2(MonetType::kDbl);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(t1.AppendValue(Value::Int(i)).ok());
+    EXPECT_TRUE(t2.AppendValue(Value::Dbl(i / 2.0)).ok());
+  }
+  auto a = Bat::Make(head, t1.Finish());
+  auto b = Bat::Make(head, t2.Finish());
+  EXPECT_TRUE(a.ok() && b.ok());
+  env.BindBat("a", std::move(a).Value());
+  env.BindBat("b", std::move(b).Value());
+  ColumnBuilder sh(MonetType::kOidT);
+  ColumnBuilder st(MonetType::kStr);
+  const char* words[] = {"alpha", "beta", "alpha", "gamma"};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(sh.AppendValue(Value::MakeOid(Oid(i))).ok());
+    EXPECT_TRUE(st.AppendValue(Value::Str(words[i])).ok());
+  }
+  auto s = Bat::Make(sh.Finish(), st.Finish());
+  EXPECT_TRUE(s.ok());
+  env.BindBat("names", std::move(s).Value());
+  env.BindValue("answer", Value::Int(42));
+  return env;
+}
+
+TEST(CheckpointTest, SerializationIsCanonical) {
+  mil::MilEnv env = MakeRichEnv();
+  const std::string once = storage::SerializeEnv(env);
+  auto back = storage::DeserializeEnv(once);
+  ASSERT_TRUE(back.ok());
+  // serialize(deserialize(serialize(x))) == serialize(x): bit-identical.
+  EXPECT_EQ(storage::SerializeEnv(*back), once);
+  EXPECT_EQ(storage::EnvFingerprint(*back), storage::EnvFingerprint(env));
+}
+
+TEST(CheckpointTest, RecoveryPreservesColumnSharing) {
+  mil::MilEnv env = MakeRichEnv();
+  auto back = storage::DeserializeEnv(storage::SerializeEnv(env));
+  ASSERT_TRUE(back.ok());
+  auto a = back->GetBat("a");
+  auto b = back->GetBat("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  // The shared head column deduplicates to one recovered column object, so
+  // positional-equality (synced) proofs survive recovery.
+  EXPECT_EQ(&a->head(), &b->head());
+  EXPECT_NE(&a->tail(), &b->tail());
+}
+
+TEST(CheckpointTest, WriteLoadRoundTrip) {
+  TempDir dir;
+  mil::MilEnv env = MakeRichEnv();
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), env, 17).ok());
+  auto loaded = storage::LoadCheckpoint(dir.path());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->found);
+  EXPECT_EQ(loaded->covered_lsn, 17u);
+  EXPECT_EQ(storage::EnvFingerprint(loaded->env),
+            storage::EnvFingerprint(env));
+}
+
+TEST(CheckpointTest, AbsentCheckpointIsFreshStore) {
+  TempDir dir;
+  auto loaded = storage::LoadCheckpoint(dir.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->found);
+}
+
+TEST(CheckpointTest, CorruptCheckpointIsAnErrorNotAnEmptyStore) {
+  TempDir dir;
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), MakeRichEnv(), 0).ok());
+  std::string bytes = ReadFileBytes(storage::CheckpointPath(dir.path()));
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  WriteFileBytes(storage::CheckpointPath(dir.path()), bytes);
+  EXPECT_FALSE(storage::LoadCheckpoint(dir.path()).ok());
+}
+
+TEST(CheckpointTest, RenameFaultLeavesPreviousCheckpointIntact) {
+  TempDir dir;
+  mil::MilEnv old_env;
+  old_env.BindValue("v", Value::Int(1));
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), old_env, 3).ok());
+  FaultInjector fault(1, 0.0);
+  fault.FailNth(FaultInjector::Site::kCheckpointRename, 0);
+  storage::CheckpointOptions opts;
+  opts.fault = &fault;
+  mil::MilEnv new_env;
+  new_env.BindValue("v", Value::Int(2));
+  ASSERT_FALSE(storage::WriteCheckpoint(dir.path(), new_env, 9, opts).ok());
+  auto loaded = storage::LoadCheckpoint(dir.path());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->found);
+  EXPECT_EQ(loaded->covered_lsn, 3u);
+  EXPECT_EQ(storage::EnvFingerprint(loaded->env),
+            storage::EnvFingerprint(old_env));
+}
+
+TEST(RecoverStoreTest, ReplaysCommittedRecordsPastTheHorizon) {
+  TempDir dir;
+  mil::MilEnv base;
+  base.BindBat("t", MakeIntBat({1, 2}, {10, 20}));
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), base, 0).ok());
+  {
+    auto opened = Wal::Open(storage::WalPath(dir.path()), 0, {});
+    ASSERT_TRUE(opened.ok());
+    std::map<std::string, mil::MilEnv::Binding> delta;
+    delta.emplace("t", MakeIntBat({1, 2, 3}, {10, 20, 30}));
+    delta.emplace("extra", Value::Int(7));
+    ASSERT_TRUE(opened->wal
+                    ->Append(storage::kWalTxnCommit,
+                             storage::SerializeBindings(delta))
+                    .ok());
+    ASSERT_TRUE(opened->wal->SyncAll().ok());
+  }
+  auto store = storage::RecoverStore(dir.path());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->replayed, 1u);
+  EXPECT_FALSE(store->torn_tail_discarded);
+  mil::MilEnv want;
+  want.BindBat("t", MakeIntBat({1, 2, 3}, {10, 20, 30}));
+  want.BindValue("extra", Value::Int(7));
+  EXPECT_EQ(storage::EnvFingerprint(store->env),
+            storage::EnvFingerprint(want));
+}
+
+TEST(RecoverStoreTest, CoveredLsnGuardsAgainstDoubleApply) {
+  TempDir dir;
+  // Crash-between-rename-and-truncate: the checkpoint already contains the
+  // commits, and the untruncated log still holds their records.
+  auto opened = Wal::Open(storage::WalPath(dir.path()), 0, {});
+  ASSERT_TRUE(opened.ok());
+  std::map<std::string, mil::MilEnv::Binding> delta;
+  delta.emplace("n", Value::Int(5));
+  ASSERT_TRUE(opened->wal
+                  ->Append(storage::kWalTxnCommit,
+                           storage::SerializeBindings(delta))
+                  .ok());
+  ASSERT_TRUE(opened->wal->SyncAll().ok());
+  mil::MilEnv committed;
+  committed.BindValue("n", Value::Int(5));
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), committed,
+                                       opened->wal->next_lsn())
+                  .ok());
+  opened->wal.reset();  // "crash" before TruncateAll
+  auto store = storage::RecoverStore(dir.path());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->replayed, 0u);  // lsn < covered_lsn: skipped
+  EXPECT_EQ(storage::EnvFingerprint(store->env),
+            storage::EnvFingerprint(committed));
+}
+
+TEST(RecoverStoreTest, StrayTempCheckpointIsDiscarded) {
+  TempDir dir;
+  mil::MilEnv env;
+  env.BindValue("v", Value::Int(1));
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), env, 0).ok());
+  WriteFileBytes(storage::CheckpointTmpPath(dir.path()), "half-written");
+  auto store = storage::RecoverStore(dir.path());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(storage::EnvFingerprint(store->env),
+            storage::EnvFingerprint(env));
+  EXPECT_NE(::access(storage::CheckpointTmpPath(dir.path()).c_str(), F_OK),
+            0);
+}
+
+// --------------------------------------------------------- row-store replay
+
+TEST(RowStoreWalTest, AppendRowLogsBeforeApplyAndReplays) {
+  TempDir dir;
+  std::vector<rel::ColumnDef> defs = {{"id", MonetType::kInt},
+                                      {"name", MonetType::kStr}};
+  {
+    auto opened = Wal::Open(storage::WalPath(dir.path()), 0, {});
+    ASSERT_TRUE(opened.ok());
+    rel::RowDatabase db;
+    db.AttachWal(opened->wal.get());
+    rel::Table* t = db.AddTable("people", defs);
+    ASSERT_TRUE(
+        t->AppendRow({Value::Int(1), Value::Str("ada")}).ok());
+    ASSERT_TRUE(
+        t->AppendRow({Value::Int(2), Value::Str("grace")}).ok());
+    ASSERT_TRUE(opened->wal->SyncAll().ok());
+  }
+  auto store = storage::RecoverStore(dir.path());
+  ASSERT_TRUE(store.ok());
+  ASSERT_EQ(store->row_records.size(), 2u);
+  rel::RowDatabase fresh;
+  fresh.AddTable("people", defs);
+  ASSERT_TRUE(rel::ReplayRowAppends(&fresh, store->row_records).ok());
+  rel::Table* t = fresh.Find("people");
+  ASSERT_NE(t, nullptr);
+  t->Finalize();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->At(0, 0).AsInt(), 1);
+  EXPECT_EQ(t->StrAt(1, 1), "grace");
+}
+
+TEST(RowStoreWalTest, FailedLogAppendRejectsTheRowUnapplied) {
+  TempDir dir;
+  FaultInjector fault(1, 0.0);
+  fault.FailNth(FaultInjector::Site::kWalAppend, 0);
+  storage::WalOptions opts;
+  opts.fault = &fault;
+  auto opened = Wal::Open(storage::WalPath(dir.path()), 0, opts);
+  ASSERT_TRUE(opened.ok());
+  rel::RowDatabase db;
+  db.AttachWal(opened->wal.get());
+  rel::Table* t = db.AddTable("people", {{"id", MonetType::kInt}});
+  EXPECT_FALSE(t->AppendRow({Value::Int(1)}).ok());
+  EXPECT_EQ(t->num_rows(), 0u);  // write-ahead: no log record, no row
+}
+
+// ------------------------------------------------- strict environment parse
+
+TEST(FaultInjectorParseEnvTest, UnsetSeedMeansNoInjector) {
+  auto r = FaultInjector::ParseEnv(nullptr, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->get(), nullptr);
+}
+
+TEST(FaultInjectorParseEnvTest, ValidSeedAndRate) {
+  auto r = FaultInjector::ParseEnv("42", "0.25");
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r->get(), nullptr);
+  EXPECT_EQ((*r)->seed(), 42u);
+  EXPECT_DOUBLE_EQ((*r)->rate(), 0.25);
+}
+
+TEST(FaultInjectorParseEnvTest, DefaultRate) {
+  auto r = FaultInjector::ParseEnv("7", nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r->get(), nullptr);
+  EXPECT_DOUBLE_EQ((*r)->rate(), 0.01);
+}
+
+TEST(FaultInjectorParseEnvTest, MalformedValuesAreRejectedLoudly) {
+  EXPECT_FALSE(FaultInjector::ParseEnv("12abc", nullptr).ok());
+  EXPECT_FALSE(FaultInjector::ParseEnv("-3", nullptr).ok());
+  EXPECT_FALSE(FaultInjector::ParseEnv("42", "lots").ok());
+  EXPECT_FALSE(FaultInjector::ParseEnv("42", "1.5").ok());
+  EXPECT_FALSE(FaultInjector::ParseEnv("42", "-0.1").ok());
+  // A rate without a seed is a misconfiguration, not a silent no-op.
+  EXPECT_FALSE(FaultInjector::ParseEnv(nullptr, "0.5").ok());
+  // Empty strings are the shell's way of unsetting: not an error.
+  auto unset = FaultInjector::ParseEnv("", nullptr);
+  ASSERT_TRUE(unset.ok());
+  EXPECT_EQ(unset->get(), nullptr);
+  auto empty_rate = FaultInjector::ParseEnv("42", "");
+  ASSERT_TRUE(empty_rate.ok());
+  ASSERT_NE(empty_rate->get(), nullptr);
+  EXPECT_DOUBLE_EQ((*empty_rate)->rate(), 0.01);
+}
+
+// ------------------------------------------------------- service durability
+
+mil::MilEnv ServiceSeedEnv() {
+  mil::MilEnv env;
+  env.BindBat("t", MakeIntBat({1, 2, 3}, {10, 20, 30}));
+  return env;
+}
+
+TEST(ServiceDurabilityTest, DurableSessionRequiresEnableDurability) {
+  QueryService svc;
+  SessionOptions opts;
+  opts.durable = true;
+  EXPECT_FALSE(svc.OpenSession(opts).ok());
+}
+
+TEST(ServiceDurabilityTest, CommitsRecoverAcrossServiceInstances) {
+  TempDir dir;
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), ServiceSeedEnv(), 0).ok());
+  uint64_t committed_fp = 0;
+  {
+    QueryService svc;
+    ASSERT_TRUE(svc.EnableDurability(dir.path()).ok());
+    SessionOptions opts;
+    opts.durable = true;
+    auto sid = svc.OpenSession(opts);
+    ASSERT_TRUE(sid.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto qid = svc.Submit(*sid, "t := insert(t, " + std::to_string(4 + i) +
+                                      ", " + std::to_string(40 + 10 * i) +
+                                      ")");
+      ASSERT_TRUE(qid.ok());
+      auto r = svc.Wait(*qid);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(r->state, QueryState::kDone) << r->status.message();
+    }
+    EXPECT_EQ(svc.stats().durable_commits, 3u);
+    svc.Shutdown(false);  // NOT drained: no final checkpoint, replay needed
+  }
+  {
+    auto store = storage::RecoverStore(dir.path());
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(store->replayed, 3u);
+    committed_fp = storage::EnvFingerprint(store->env);
+  }
+  // A second service recovers the same catalog and serves it.
+  QueryService svc;
+  ASSERT_TRUE(svc.EnableDurability(dir.path()).ok());
+  auto sid = svc.OpenSession({});
+  ASSERT_TRUE(sid.ok());
+  auto qid = svc.Submit(*sid, "n := count(t)");
+  ASSERT_TRUE(qid.ok());
+  auto r = svc.Wait(*qid);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->state, QueryState::kDone);
+  const Value* n = std::get_if<Value>(&r->results.at("n"));
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->AsLng(), 6);
+  EXPECT_NE(committed_fp, 0u);
+}
+
+TEST(ServiceDurabilityTest, DrainedShutdownCheckpointsAndEmptiesTheLog) {
+  TempDir dir;
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), ServiceSeedEnv(), 0).ok());
+  {
+    QueryService svc;
+    ASSERT_TRUE(svc.EnableDurability(dir.path()).ok());
+    SessionOptions opts;
+    opts.durable = true;
+    auto sid = svc.OpenSession(opts);
+    ASSERT_TRUE(sid.ok());
+    auto qid = svc.Submit(*sid, "t := insert(t, 9, 90)");
+    ASSERT_TRUE(qid.ok());
+    auto r = svc.Wait(*qid);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->state, QueryState::kDone) << r->status.message();
+    svc.Shutdown(true);
+  }
+  auto scan = ScanWal(storage::WalPath(dir.path()));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());  // checkpoint swallowed the log
+  auto store = storage::RecoverStore(dir.path());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->replayed, 0u);
+  auto t = store->env.GetBat("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 4u);
+}
+
+TEST(ServiceDurabilityTest, WalErrorLatchesReadOnlyModeButReadsServe) {
+  TempDir dir;
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), ServiceSeedEnv(), 0).ok());
+  FaultInjector fault(1, 0.0);
+  fault.FailNth(FaultInjector::Site::kWalFsync, 0);
+  QueryService svc;
+  ASSERT_TRUE(svc.EnableDurability(dir.path(), &fault).ok());
+  SessionOptions opts;
+  opts.durable = true;
+  auto sid = svc.OpenSession(opts);
+  ASSERT_TRUE(sid.ok());
+
+  // The mutation's fsync fails: the commit is reported NOT durable and the
+  // service latches read-only.
+  auto qid = svc.Submit(*sid, "t := insert(t, 9, 90)");
+  ASSERT_TRUE(qid.ok());
+  auto r = svc.Wait(*qid);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->state, QueryState::kError);
+  EXPECT_NE(r->status.message().find("not durable"), std::string::npos)
+      << r->status.message();
+  EXPECT_TRUE(svc.read_only());
+
+  // Every further mutating statement is vetoed deterministically, with a
+  // structured reason carrying the latched cause...
+  auto qid2 = svc.Submit(*sid, "t := insert(t, 10, 100)");
+  ASSERT_TRUE(qid2.ok());
+  auto r2 = svc.Wait(*qid2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->state, QueryState::kVetoed);
+  EXPECT_NE(r2->admission.reason.find("read-only"), std::string::npos);
+  EXPECT_NE(r2->admission.reason.find("injected fault"), std::string::npos);
+
+  // ...and a Sync (checkpoint) request is refused the same way...
+  EXPECT_FALSE(svc.Sync().ok());
+
+  // ...but reads keep serving.
+  auto qid3 = svc.Submit(*sid, "n := count(t)");
+  ASSERT_TRUE(qid3.ok());
+  auto r3 = svc.Wait(*qid3);
+  ASSERT_TRUE(r3.ok());
+  ASSERT_EQ(r3->state, QueryState::kDone) << r3->status.message();
+}
+
+TEST(ServiceDurabilityTest, ServiceSyncCheckpointsAndTruncates) {
+  TempDir dir;
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), ServiceSeedEnv(), 0).ok());
+  QueryService svc;
+  ASSERT_TRUE(svc.EnableDurability(dir.path()).ok());
+  SessionOptions opts;
+  opts.durable = true;
+  auto sid = svc.OpenSession(opts);
+  ASSERT_TRUE(sid.ok());
+  auto qid = svc.Submit(*sid, "t := insert(t, 9, 90)");
+  ASSERT_TRUE(qid.ok());
+  auto r = svc.Wait(*qid);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->state, QueryState::kDone) << r->status.message();
+  ASSERT_TRUE(svc.Sync().ok());
+  auto scan = ScanWal(storage::WalPath(dir.path()));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  auto loaded = storage::LoadCheckpoint(dir.path());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->found);
+  auto t = loaded->env.GetBat("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 4u);
+}
+
+TEST(ServiceDurabilityTest, NonDurableSessionNeverTouchesTheLog) {
+  TempDir dir;
+  ASSERT_TRUE(storage::WriteCheckpoint(dir.path(), ServiceSeedEnv(), 0).ok());
+  QueryService svc;
+  ASSERT_TRUE(svc.EnableDurability(dir.path()).ok());
+  auto sid = svc.OpenSession({});  // durable = false
+  ASSERT_TRUE(sid.ok());
+  auto qid = svc.Submit(*sid, "t := insert(t, 9, 90)");
+  ASSERT_TRUE(qid.ok());
+  auto r = svc.Wait(*qid);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->state, QueryState::kDone) << r->status.message();
+  auto scan = ScanWal(storage::WalPath(dir.path()));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(svc.stats().durable_commits, 0u);
+}
+
+}  // namespace
+}  // namespace moaflat

@@ -1,0 +1,238 @@
+// Crash-recovery harness: the executable half of the seeded crash sweep
+// (tools/crash_sweep.py drives it; ctest runs the sweep as
+// `crash_recovery_sweep`).
+//
+// `write` mode runs a durable QueryService over a store directory and
+// applies a deterministic sequence of mutating MIL queries, printing
+// `ACK <i>` (flushed) only after query i is acknowledged kDone — i.e. after
+// its WAL record is fsynced. With a crash armed (seeded rate or a forced
+// site/nth), the FaultInjector SIGKILLs the process mid-protocol: after a
+// partial frame write (kWalAppend), before the group-commit fsync
+// (kWalFsync), or around the checkpoint rename (kCheckpointRename, exercised
+// by the mid-run SYNC and the drained-shutdown checkpoint).
+//
+// `verify` mode recomputes the same deterministic state sequence locally,
+// recovers the store, and requires the recovered env to be *bit-identical*
+// (canonical-serialization fingerprint) to some state j >= the last acked
+// index: durability (every acked commit survives) and exactness (recovery
+// reproduces a committed prefix, never a torn or merged hybrid) in one
+// check.
+//
+// Usage:
+//   crash_harness write  <dir> <nqueries>                    (no faults)
+//   crash_harness write  <dir> <nqueries> seed <S> <rate>    (seeded crash)
+//   crash_harness write  <dir> <nqueries> site <name> <nth>  (forced crash)
+//       site names: wal_append | wal_fsync | ckpt_rename
+//   crash_harness verify <dir> <nqueries> <last_ack>
+//
+// Exit: 0 ok; 1 verification failure; 2 usage; 3 unexpected engine error.
+// A write-mode run that crashes on schedule dies by SIGKILL (observed by
+// the driver as signal 9 / status 137).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "bat/column.h"
+#include "common/fault_injector.h"
+#include "mil/interpreter.h"
+#include "mil/parser.h"
+#include "service/query_service.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+
+namespace moaflat {
+namespace {
+
+using service::QueryResult;
+using service::QueryService;
+using service::QueryState;
+using service::SessionOptions;
+
+/// State 0: one int->int BAT `t` with four BUNs. Every run — writer and
+/// verifier, before and after a crash — rebuilds the same bytes.
+mil::MilEnv SeedEnv() {
+  bat::ColumnBuilder hb(MonetType::kInt);
+  bat::ColumnBuilder tb(MonetType::kInt);
+  for (int i = 0; i < 4; ++i) {
+    (void)hb.AppendValue(Value::Int(i));
+    (void)tb.AppendValue(Value::Int(1000 + i));
+  }
+  auto b = bat::Bat::Make(hb.Finish(), tb.Finish());
+  mil::MilEnv env;
+  env.BindBat("t", std::move(b).Value());
+  return env;
+}
+
+/// Query i (1-based) of the deterministic mutation stream.
+std::string QueryText(int i) {
+  return "t := insert(t, " + std::to_string(100 + i) + ", " +
+         std::to_string(5000 + i) + ")";
+}
+
+/// Expected catalog fingerprints for states 0..n, by running the same
+/// programs through the interpreter locally and applying the same
+/// bound-name delta the service's commit protocol applies.
+Result<std::vector<uint64_t>> ExpectedFingerprints(int n) {
+  mil::MilEnv shadow = SeedEnv();
+  std::vector<uint64_t> fps;
+  fps.push_back(storage::EnvFingerprint(shadow));
+  for (int i = 1; i <= n; ++i) {
+    mil::MilEnv run_env = shadow;
+    kernel::ExecContext ctx;
+    mil::MilInterpreter interp(&run_env, &ctx);
+    MF_ASSIGN_OR_RETURN(mil::MilProgram program, mil::ParseMil(QueryText(i)));
+    MF_RETURN_NOT_OK(interp.Run(program));
+    for (const mil::MilStmt& st : program.stmts) {
+      auto it = run_env.bindings().find(st.var);
+      if (it != run_env.bindings().end()) shadow.Bind(st.var, it->second);
+    }
+    fps.push_back(storage::EnvFingerprint(shadow));
+  }
+  return fps;
+}
+
+Status RunWrite(const std::string& dir, int n, FaultInjector* fault) {
+  // A genuinely fresh store gets the deterministic seed checkpoint, so
+  // state 0 is well-defined before the first commit.
+  MF_ASSIGN_OR_RETURN(storage::WalScan scan,
+                      storage::ScanWal(storage::WalPath(dir)));
+  MF_ASSIGN_OR_RETURN(storage::LoadedCheckpoint ck,
+                      storage::LoadCheckpoint(dir));
+  if (!ck.found && scan.records.empty()) {
+    MF_RETURN_NOT_OK(storage::WriteCheckpoint(dir, SeedEnv(), 0));
+  }
+
+  service::ServiceConfig cfg;
+  cfg.executors = 1;
+  QueryService svc(cfg);
+  MF_RETURN_NOT_OK(svc.EnableDurability(dir, fault));
+  SessionOptions opts;
+  opts.durable = true;
+  MF_ASSIGN_OR_RETURN(uint64_t sid, svc.OpenSession(opts));
+
+  for (int i = 1; i <= n; ++i) {
+    MF_ASSIGN_OR_RETURN(uint64_t qid, svc.Submit(sid, QueryText(i)));
+    MF_ASSIGN_OR_RETURN(QueryResult r, svc.Wait(qid));
+    if (r.state != QueryState::kDone) {
+      return Status::Invalid("query " + std::to_string(i) +
+                             " did not commit: " + r.status.message() +
+                             (r.admission.reason.empty()
+                                  ? ""
+                                  : " (" + r.admission.reason + ")"));
+    }
+    // The ack the sweep holds us to: printed only after the fsynced kDone.
+    std::printf("ACK %d\n", i);
+    std::fflush(stdout);
+    if (i == n / 2) {
+      // Mid-run checkpoint: exercises the atomic-rename crash points and
+      // proves replay-after-truncate (later commits land on a shorter log
+      // with still-rising LSNs).
+      MF_RETURN_NOT_OK(svc.Sync());
+      std::printf("SYNCED %d\n", i);
+      std::fflush(stdout);
+    }
+  }
+  svc.Shutdown(true);  // drained shutdown: final checkpoint
+  std::printf("COMPLETE %d\n", n);
+  std::fflush(stdout);
+  return Status::OK();
+}
+
+Status RunVerify(const std::string& dir, int n, int last_ack) {
+  MF_ASSIGN_OR_RETURN(std::vector<uint64_t> fps, ExpectedFingerprints(n));
+  MF_ASSIGN_OR_RETURN(storage::RecoveredStore store,
+                      storage::RecoverStore(dir));
+  const uint64_t got = storage::EnvFingerprint(store.env);
+  int match = -1;
+  for (int j = 0; j <= n; ++j) {
+    if (fps[static_cast<size_t>(j)] == got) {
+      match = j;
+      break;
+    }
+  }
+  if (match < 0) {
+    return Status::Invalid(
+        "recovered env matches no committed state (fp=" + std::to_string(got) +
+        ", replayed=" + std::to_string(store.replayed) +
+        ", torn_tail=" + std::to_string(store.torn_tail_discarded) + ")");
+  }
+  if (match < last_ack) {
+    return Status::Invalid(
+        "acked commit lost: recovered state " + std::to_string(match) +
+        " < last acked " + std::to_string(last_ack));
+  }
+  std::printf("RECOVERED state=%d last_ack=%d replayed=%llu torn=%d fp=%llu\n",
+              match, last_ack,
+              static_cast<unsigned long long>(store.replayed),
+              store.torn_tail_discarded ? 1 : 0,
+              static_cast<unsigned long long>(got));
+  return Status::OK();
+}
+
+Result<FaultInjector::Site> SiteByName(const std::string& name) {
+  if (name == "wal_append") return FaultInjector::Site::kWalAppend;
+  if (name == "wal_fsync") return FaultInjector::Site::kWalFsync;
+  if (name == "ckpt_rename") return FaultInjector::Site::kCheckpointRename;
+  return Status::Invalid("unknown crash site '" + name + "'");
+}
+
+int Main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() >= 3 && args[0] == "write") {
+    const std::string dir = args[1];
+    const int n = std::atoi(args[2].c_str());
+    if (n <= 0) {
+      std::fprintf(stderr, "nqueries must be positive\n");
+      return 2;
+    }
+    std::unique_ptr<FaultInjector> fault;
+    if (args.size() == 6 && args[3] == "seed") {
+      fault = std::make_unique<FaultInjector>(
+          std::strtoull(args[4].c_str(), nullptr, 10),
+          std::atof(args[5].c_str()));
+      fault->EnableCrash();
+    } else if (args.size() == 6 && args[3] == "site") {
+      auto site = SiteByName(args[4]);
+      if (!site.ok()) {
+        std::fprintf(stderr, "%s\n", site.status().message().c_str());
+        return 2;
+      }
+      fault = std::make_unique<FaultInjector>(1, 0.0);
+      fault->FailNth(*site, std::strtoull(args[5].c_str(), nullptr, 10));
+      fault->EnableCrash();
+    } else if (args.size() != 3) {
+      std::fprintf(stderr, "malformed write-mode arguments\n");
+      return 2;
+    }
+    const Status st = RunWrite(dir, n, fault.get());
+    if (!st.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", st.message().c_str());
+      return 3;
+    }
+    return 0;
+  }
+  if (args.size() == 4 && args[0] == "verify") {
+    const Status st = RunVerify(args[1], std::atoi(args[2].c_str()),
+                                std::atoi(args[3].c_str()));
+    if (!st.ok()) {
+      std::fprintf(stderr, "VERIFY FAIL: %s\n", st.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: crash_harness write <dir> <n> [seed <S> <rate> | "
+               "site <name> <nth>]\n"
+               "       crash_harness verify <dir> <n> <last_ack>\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace moaflat
+
+int main(int argc, char** argv) { return moaflat::Main(argc, argv); }

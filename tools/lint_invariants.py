@@ -32,12 +32,24 @@ unpolled-plan
     eval phase (or carry `// lint:allow(unpolled-plan)` near the Plan call
     explaining why a stale result is provably safe there).
 
+unsynced-rename
+    A `rename(` call in durability code whose enclosing function does not
+    fsync both *before* the rename (the temp file's content must be durable
+    before the new name can point at it) and *after* it (the directory
+    entry itself must reach disk, or a crash can un-publish a checkpoint
+    the caller was told is durable). This is the atomic-publish protocol of
+    storage/checkpoint.cc: write-temp, fsync, rename, fsync-dir — any
+    rename that skips half of it silently weakens crash recovery. A rename
+    with no durability contract carries `// lint:allow(unsynced-rename)`
+    saying why.
+
 An allow comment counts when it appears inside the flagged statement or on
 one of the two lines above it.
 
 Usage
 -----
     tools/lint_invariants.py [paths...]      # default: src/kernel src/bat
+                                             #          src/storage src/service
     tools/lint_invariants.py --self-test     # run the seeded-broken fixtures
 
 Exit status 0 = clean, 1 = findings, 2 = self-test failure.
@@ -47,7 +59,7 @@ import os
 import re
 import sys
 
-DEFAULT_PATHS = ["src/kernel", "src/bat"]
+DEFAULT_PATHS = ["src/kernel", "src/bat", "src/storage", "src/service"]
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 SYNC_KEY_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*(?:\(\))?(?:[.->]+[A-Za-z_][A-Za-z0-9_]*(?:\(\))?)*)\.sync_key\(\)")
 VOID_CTX_RE = re.compile(r"\(\s*void\s*\)\s*ctx\b")
@@ -199,7 +211,46 @@ def check_unpolled_plan(path, lines):
     return findings
 
 
-CHECKS = [check_sync_head_only, check_uncharged_kernel, check_unpolled_plan]
+RENAME_RE = re.compile(r"(?:::|\b)rename\s*\(")
+FSYNC_RE = re.compile(r"fsync", re.IGNORECASE)
+
+
+def strip_comments(text):
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def check_unsynced_rename(path, lines):
+    findings = []
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("//") or not RENAME_RE.search(line):
+            continue
+        span = enclosing_function(lines, i)
+        if span is None:
+            continue
+        before = strip_comments("\n".join(lines[span[0] : i]))
+        after = strip_comments("\n".join(lines[i + 1 : span[1] + 1]))
+        if FSYNC_RE.search(before) and FSYNC_RE.search(after):
+            continue
+        if allowed(lines, i, i, "unsynced-rename"):
+            continue
+        missing = []
+        if not FSYNC_RE.search(before):
+            missing.append("no fsync before (temp content may not be "
+                           "durable when the new name appears)")
+        if not FSYNC_RE.search(after):
+            missing.append("no fsync after (the directory entry itself may "
+                           "not survive a crash)")
+        findings.append(Finding(
+            path, i + 1, "unsynced-rename",
+            "rename without the full fsync-rename-fsync publish protocol: "
+            + "; ".join(missing)
+            + " — or annotate // lint:allow(unsynced-rename) if this "
+            "rename carries no durability contract"))
+    return findings
+
+
+CHECKS = [check_sync_head_only, check_uncharged_kernel, check_unpolled_plan,
+          check_unsynced_rename]
 
 
 def lint_file(path, text=None):
@@ -313,6 +364,58 @@ Result<Bat> ScanThing(const ExecContext& ctx, const Bat& ab) {
   return Merge(shards);
 }
 """, {"sync-head-only": 0, "uncharged-kernel": 0, "unpolled-plan": 0}),
+    # The weakened-publish class: a rename with no fsync on either side.
+    ("broken_rename.cc", """
+Status PublishCheckpoint(const std::string& tmp, const std::string& final) {
+  if (::rename(tmp.c_str(), final.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  return Status::OK();
+}
+""", {"unsynced-rename": 1}),
+    # Half the protocol: content fsynced, but the directory entry is not.
+    ("broken_rename_after.cc", """
+Status PublishCheckpoint(int fd, const std::string& tmp,
+                         const std::string& final) {
+  if (::fsync(fd) != 0) return Errno("fsync", tmp);
+  if (::rename(tmp.c_str(), final.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  return Status::OK();
+}
+""", {"unsynced-rename": 1}),
+    # The full write-temp / fsync / rename / fsync-dir publish.
+    ("fixed_rename.cc", """
+Status PublishCheckpoint(int fd, const std::string& dir,
+                         const std::string& tmp, const std::string& final) {
+  if (::fsync(fd) != 0) return Errno("fsync", tmp);
+  if (::rename(tmp.c_str(), final.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  return FsyncDir(dir);
+}
+""", {"unsynced-rename": 0}),
+    # A comment mentioning fsync must not count as evidence.
+    ("broken_rename_comment.cc", """
+Status PublishCheckpoint(const std::string& tmp, const std::string& final) {
+  // fsync is somebody else's job here, before and after.
+  if (::rename(tmp.c_str(), final.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  return Status::OK();
+}
+""", {"unsynced-rename": 1}),
+    # A rename with no durability contract, and it says so.
+    ("allowed_rename.cc", """
+Status RotateDebugDump(const std::string& tmp, const std::string& final) {
+  // Best-effort debug artifact; losing it in a crash is fine.
+  // lint:allow(unsynced-rename)
+  if (::rename(tmp.c_str(), final.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  return Status::OK();
+}
+""", {"unsynced-rename": 0}),
     # A justified exception near the Plan call.
     ("allowed_plan.cc", """
 Result<Bat> TouchOnly(const ExecContext& ctx, const Bat& ab) {
