@@ -5,11 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace moaflat {
 
@@ -32,8 +33,8 @@ class CancelState {
   /// Requests cancellation. The first call wins: its code/reason become the
   /// status every subsequent poll reports; later calls are no-ops, so a
   /// deadline expiring after an explicit cancel does not rewrite history.
-  void Cancel(StatusCode code, std::string reason) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Cancel(StatusCode code, std::string reason) MOAFLAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (flag_.load(std::memory_order_relaxed) != 0) return;
     code_ = code;
     reason_ = std::move(reason);
@@ -76,9 +77,9 @@ class CancelState {
 
   /// The terminal status: OK while running, else the first cancellation's
   /// code and reason.
-  Status status() const {
+  Status status() const MOAFLAT_EXCLUDES(mu_) {
     if (!cancelled()) return Status::OK();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return Status(code_, reason_);
   }
 
@@ -89,9 +90,11 @@ class CancelState {
  private:
   std::atomic<uint32_t> flag_{0};
   std::atomic<int64_t> deadline_ns_{0};  // steady-clock ns since epoch; 0 = none
-  mutable std::mutex mu_;
-  StatusCode code_ = StatusCode::kCancelled;
-  std::string reason_;
+  // kCancel is the highest rank: Cancel() may fire from under any other
+  // lock (Shutdown/CloseSession hold the session lock while cancelling).
+  mutable Mutex mu_{LockRank::kCancel, "cancel"};
+  StatusCode code_ MOAFLAT_GUARDED_BY(mu_) = StatusCode::kCancelled;
+  std::string reason_ MOAFLAT_GUARDED_BY(mu_);
 };
 
 /// Value-semantic handle on a shared CancelState: the query service holds

@@ -23,18 +23,18 @@ TaskPool& TaskPool::Global() {
 }
 
 size_t TaskPool::thread_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return workers_.size();
 }
 
 uint64_t TaskPool::jobs_run() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return jobs_run_;
 }
 
 void TaskPool::EnsureWorkers(size_t wanted) {
   wanted = std::min(wanted, WorkerCap());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (workers_.size() < wanted) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -51,13 +51,13 @@ void TaskPool::Run(size_t count, const std::function<void(size_t)>& task,
   EnsureWorkers(count - 1);
   std::shared_ptr<Job> job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job = std::make_shared<Job>(next_job_id_++, count, &task, tag.abort);
     active_.emplace(job->id, job);
     sched_.Enqueue(job->id, tag.group, tag.weight);
     ++jobs_run_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller drains its *own* job in a tight loop (no scheduler pass):
   // its throughput alone bounds the job's completion time, whatever the
   // workers are busy with, and a nested Run() never waits on work it
@@ -71,8 +71,8 @@ void TaskPool::Run(size_t count, const std::function<void(size_t)>& task,
   // No morsel is left to *claim*; wait until every claimed morsel also
   // *finished* (workers may still be running theirs). The done_cv
   // handshake publishes the tasks' writes.
-  std::unique_lock<std::mutex> lock(job->mu);
-  job->done_cv.wait(lock, [&] { return job->completed.load() == count; });
+  MutexLock lock(job->mu);
+  while (job->completed.load() != count) job->done_cv.Wait(lock);
 }
 
 void TaskPool::RunMorsel(const std::shared_ptr<Job>& job, size_t t) {
@@ -86,13 +86,13 @@ void TaskPool::RunMorsel(const std::shared_ptr<Job>& job, size_t t) {
   if (job->completed.fetch_add(1) + 1 == job->count) {
     // Lock/unlock pairs with the waiter's predicate check so the final
     // notify cannot be missed.
-    { std::lock_guard<std::mutex> lock(job->mu); }
-    job->done_cv.notify_all();
+    { MutexLock lock(job->mu); }
+    job->done_cv.NotifyAll();
   }
 }
 
 void TaskPool::Retire(const Job& job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (active_.erase(job.id) > 0) sched_.Remove(job.id);
 }
 
@@ -100,8 +100,8 @@ void TaskPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return !active_.empty(); });
+      MutexLock lock(mu_);
+      while (active_.empty()) work_cv_.Wait(lock);
       const auto id = sched_.Pick();
       if (!id) continue;
       job = active_.at(*id);

@@ -2,17 +2,17 @@
 #define MOAFLAT_COMMON_TASK_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stride_scheduler.h"
+#include "common/thread_annotations.h"
 
 namespace moaflat {
 
@@ -51,6 +51,11 @@ struct SchedTag {
 /// bounds a small job's completion by the caller's own throughput even
 /// when all workers are busy elsewhere.
 ///
+/// Locking: the queue mutex `mu_` carries LockRank::kScheduler and each
+/// job's completion mutex carries LockRank::kPool; task bodies run with
+/// neither held, so a morsel may itself call Run() (nested fan-out) or
+/// take any higher-ranked lock.
+///
 /// Worker count is capped at max(hardware_concurrency, 8) — the floor
 /// keeps real concurrency (and thus ThreadSanitizer coverage) even on
 /// single-core CI machines — and never exceeds what a job has asked for.
@@ -66,14 +71,14 @@ class TaskPool {
   /// edge on everything the tasks wrote. count <= 1 runs inline. `tag`
   /// assigns the job's morsels to a fair-share group.
   void Run(size_t count, const std::function<void(size_t)>& task,
-           SchedTag tag = {});
+           SchedTag tag = {}) MOAFLAT_EXCLUDES(mu_);
 
   /// Workers started so far (grows lazily, never shrinks).
-  size_t thread_count() const;
+  size_t thread_count() const MOAFLAT_EXCLUDES(mu_);
 
   /// Jobs executed through the pool since process start (tests use this
   /// to assert kernels actually went through the pool).
-  uint64_t jobs_run() const;
+  uint64_t jobs_run() const MOAFLAT_EXCLUDES(mu_);
 
   TaskPool(const TaskPool&) = delete;
   TaskPool& operator=(const TaskPool&) = delete;
@@ -89,29 +94,31 @@ class TaskPool {
     const std::atomic<uint32_t>* abort;       // null = not cancellable
     std::atomic<size_t> next{0};       // morsel claim cursor
     std::atomic<size_t> completed{0};  // finished morsels
-    std::mutex mu;
-    std::condition_variable done_cv;
+    // Completion handshake only: `completed` is atomic, so mu guards no
+    // data — locking it pairs the final notify with the waiter's check.
+    Mutex mu{LockRank::kPool, "task_pool.job"};
+    CondVar done_cv;
   };
 
   TaskPool() = default;
 
-  void EnsureWorkers(size_t wanted);
-  void WorkerLoop();
+  void EnsureWorkers(size_t wanted) MOAFLAT_EXCLUDES(mu_);
+  void WorkerLoop() MOAFLAT_EXCLUDES(mu_);
   /// Runs one claimed morsel; the last finisher signals done_cv.
   void RunMorsel(const std::shared_ptr<Job>& job, size_t t);
   /// Removes a drained job from active_ and the scheduler (idempotent:
   /// every participant that over-claims calls this).
-  void Retire(const Job& job);
+  void Retire(const Job& job) MOAFLAT_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
+  mutable Mutex mu_{LockRank::kScheduler, "task_pool"};
+  CondVar work_cv_;
   // Invariant under mu_: active_ keys == scheduler entries, so after a
   // successful wait on !active_.empty() a Pick() always yields a job.
-  std::map<uint64_t, std::shared_ptr<Job>> active_;
-  StrideScheduler sched_;
-  std::vector<std::thread> workers_;
-  uint64_t next_job_id_ = 1;
-  uint64_t jobs_run_ = 0;
+  std::map<uint64_t, std::shared_ptr<Job>> active_ MOAFLAT_GUARDED_BY(mu_);
+  StrideScheduler sched_ MOAFLAT_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ MOAFLAT_GUARDED_BY(mu_);
+  uint64_t next_job_id_ MOAFLAT_GUARDED_BY(mu_) = 1;
+  uint64_t jobs_run_ MOAFLAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace moaflat

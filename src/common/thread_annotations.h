@@ -1,0 +1,112 @@
+#ifndef MOAFLAT_COMMON_THREAD_ANNOTATIONS_H_
+#define MOAFLAT_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+///
+/// The locking discipline of this codebase is *compiler-checked*: every
+/// shared field names the Mutex that guards it (MOAFLAT_GUARDED_BY), every
+/// private helper that assumes a lock says so (MOAFLAT_REQUIRES), and the
+/// CI clang job builds with -Wthread-safety promoted to error, so an
+/// unguarded access does not compile. GCC builds see empty macros; the
+/// Debug-mode lock-rank checker in common/mutex.h covers the dynamic half
+/// (acquisition order) on every compiler.
+///
+/// Usage, by example:
+///
+///   class Account {
+///    public:
+///     void Deposit(int64_t cents) MOAFLAT_EXCLUDES(mu_) {
+///       MutexLock lock(mu_);
+///       balance_ += cents;
+///     }
+///    private:
+///     // Callers must hold mu_; the analysis rejects any that do not.
+///     void AuditLocked() MOAFLAT_REQUIRES(mu_);
+///     Mutex mu_{LockRank::kSession, "account"};
+///     int64_t balance_ MOAFLAT_GUARDED_BY(mu_) = 0;
+///   };
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" by convention).
+#define MOAFLAT_CAPABILITY(x) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (MutexLock).
+#define MOAFLAT_SCOPED_CAPABILITY \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// A data member readable/writable only while holding the given mutex.
+#define MOAFLAT_GUARDED_BY(x) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// A pointer member whose *pointee* is guarded by the given mutex (the
+/// pointer itself may be read freely).
+#define MOAFLAT_PT_GUARDED_BY(x) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Static acquisition-order hints between mutex members. The runtime
+/// LockRank registry is the enforced source of truth; these exist for
+/// annotation completeness on non-ranked helpers.
+#define MOAFLAT_ACQUIRED_BEFORE(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define MOAFLAT_ACQUIRED_AFTER(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The calling thread must already hold the given mutex(es); the function
+/// neither acquires nor releases them. This is the annotation for every
+/// `...Locked()` private helper.
+#define MOAFLAT_REQUIRES(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define MOAFLAT_REQUIRES_SHARED(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the mutex (and does not release it before
+/// returning). On a member of a MOAFLAT_SCOPED_CAPABILITY class, the
+/// argument-free form re-acquires the scope's underlying mutex.
+#define MOAFLAT_ACQUIRE(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define MOAFLAT_ACQUIRE_SHARED(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the mutex, which the caller must hold on entry.
+#define MOAFLAT_RELEASE(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define MOAFLAT_RELEASE_SHARED(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the mutex iff it returns the given value.
+#define MOAFLAT_TRY_ACQUIRE(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the given mutex(es) — the function acquires
+/// them itself. Annotate public entry points of mutex-owning classes with
+/// this so a re-entrant call path is a compile error, matching the
+/// lock-rank checker's runtime re-entrancy abort.
+#define MOAFLAT_EXCLUDES(...) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (for code the analysis
+/// cannot follow); the analysis trusts it from this point on.
+#define MOAFLAT_ASSERT_CAPABILITY(x) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the given mutex.
+#define MOAFLAT_RETURN_CAPABILITY(x) \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use MUST
+/// carry a rationale comment explaining why the locking is correct but not
+/// expressible (e.g. a leader/waiter protocol handing a lock across
+/// control-flow the analysis cannot see).
+#define MOAFLAT_NO_THREAD_SAFETY_ANALYSIS \
+  MOAFLAT_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // MOAFLAT_COMMON_THREAD_ANNOTATIONS_H_

@@ -30,17 +30,11 @@ QueryService::~QueryService() { Shutdown(false); }
 
 void QueryService::Shutdown(bool drain) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (drain && !stopping_) {
       // Let the backlog finish: every queued query must reach a terminal
       // state and every session go idle before the executors stop.
-      done_cv_.wait(lock, [&] {
-        if (!admit_order_.empty()) return false;
-        for (const auto& [id, s] : sessions_) {
-          if (s.busy) return false;
-        }
-        return true;
-      });
+      while (!Quiesced()) done_cv_.Wait(lock);
       if (wal_ != nullptr && !read_only_ && !stopping_) {
         // A drained shutdown leaves a clean store — a checkpoint equal to
         // the catalog and an empty log — so the next start replays nothing.
@@ -77,21 +71,29 @@ void QueryService::Shutdown(bool drain) {
       }
     }
   }
-  work_cv_.notify_all();
-  done_cv_.notify_all();
+  work_cv_.NotifyAll();
+  done_cv_.NotifyAll();
   for (std::thread& t : executors_) {
     if (t.joinable()) t.join();
   }
 }
 
+bool QueryService::Quiesced() const {
+  if (!admit_order_.empty()) return false;
+  for (const auto& [id, s] : sessions_) {
+    if (s.busy) return false;
+  }
+  return true;
+}
+
 void QueryService::SetCatalog(mil::MilEnv catalog) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   catalog_ = std::move(catalog);
 }
 
 Status QueryService::EnableDurability(const std::string& dir,
                                       FaultInjector* fault) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (wal_ != nullptr) return Status::Invalid("durability already enabled");
   if (!sessions_.empty()) {
     return Status::Invalid(
@@ -109,7 +111,7 @@ Status QueryService::EnableDurability(const std::string& dir,
 }
 
 Status QueryService::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (wal_ == nullptr) return Status::Invalid("durability not enabled");
   if (read_only_) {
     return Status::IoError("service is read-only (" + read_only_reason_ +
@@ -127,12 +129,12 @@ Status QueryService::Sync() {
 }
 
 bool QueryService::read_only() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return read_only_;
 }
 
 std::string QueryService::read_only_reason() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return read_only_reason_;
 }
 
@@ -145,7 +147,7 @@ bool QueryService::ProgramMutates(const mil::MilProgram& program) const {
 }
 
 Result<uint64_t> QueryService::OpenSession(SessionOptions opts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sessions_.size() >= cfg_.max_sessions) {
     return Status::ResourceExhausted(
         "session limit reached (" + std::to_string(cfg_.max_sessions) + ")");
@@ -164,7 +166,7 @@ Result<uint64_t> QueryService::OpenSession(SessionOptions opts) {
 }
 
 Status QueryService::CloseSession(uint64_t session_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return Status::KeyError("unknown session " + std::to_string(session_id));
@@ -191,7 +193,7 @@ Status QueryService::CloseSession(uint64_t session_id) {
     }
   }
   if (!s.busy) sessions_.erase(it);
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
   return Status::OK();
 }
 
@@ -199,7 +201,7 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
                                       const std::string& mil_text) {
   MF_ASSIGN_OR_RETURN(mil::MilProgram program, mil::ParseMil(mil_text));
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopping_) {
     return Status::Cancelled("service shutting down");
   }
@@ -232,7 +234,7 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
     q->admission.reason = "rejected by static analysis: " + report.FirstError();
     ++counters_.vetoed;
     queries_.emplace(q->id, q);
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
     return q->id;
   }
   q->admission.predicted_cost = price.faults;
@@ -268,7 +270,7 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
     q->admission.reason = std::move(veto);
     ++counters_.vetoed;
     queries_.emplace(q->id, q);
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
     return q->id;
   }
 
@@ -289,15 +291,16 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
   q->state = QueryState::kQueued;
   q->token = CancelToken::Make();  // cancellable from this moment on
   s.pending++;
-  queries_.emplace(q->id, q);
-  admit_order_.push_back(q->id);
-  lock.unlock();
-  work_cv_.notify_one();
-  return q->id;
+  const uint64_t id = q->id;
+  queries_.emplace(id, q);
+  admit_order_.push_back(id);
+  lock.Unlock();
+  work_cv_.NotifyOne();
+  return id;
 }
 
 Status QueryService::Cancel(uint64_t query_id, const std::string& reason) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = queries_.find(query_id);
   if (it == queries_.end()) {
     return Status::KeyError("unknown query " + std::to_string(query_id));
@@ -321,8 +324,8 @@ Status QueryService::Cancel(uint64_t query_id, const std::string& reason) {
       s.pending--;
       if (s.closing && !s.busy && s.pending == 0) sessions_.erase(sit);
     }
-    done_cv_.notify_all();
-    work_cv_.notify_all();  // the queue head may have changed
+    done_cv_.NotifyAll();
+    work_cv_.NotifyAll();  // the queue head may have changed
     return Status::OK();
   }
   // Running: the shared token stops it at the next block boundary; the
@@ -334,7 +337,7 @@ Status QueryService::Cancel(uint64_t query_id, const std::string& reason) {
 Result<PlanPrice> QueryService::Price(uint64_t session_id,
                                       const std::string& mil_text) const {
   MF_ASSIGN_OR_RETURN(mil::MilProgram program, mil::ParseMil(mil_text));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return Status::KeyError("unknown session " + std::to_string(session_id));
@@ -345,7 +348,7 @@ Result<PlanPrice> QueryService::Price(uint64_t session_id,
 Result<mil::AnalysisReport> QueryService::Check(
     uint64_t session_id, const std::string& mil_text) const {
   MF_ASSIGN_OR_RETURN(mil::MilProgram program, mil::ParseMil(mil_text));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return Status::KeyError("unknown session " + std::to_string(session_id));
@@ -369,7 +372,7 @@ QueryResult QueryService::Snapshot(const Query& q) const {
 }
 
 Result<QueryResult> QueryService::Poll(uint64_t query_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = queries_.find(query_id);
   if (it == queries_.end()) {
     return Status::KeyError("unknown query " + std::to_string(query_id));
@@ -378,18 +381,18 @@ Result<QueryResult> QueryService::Poll(uint64_t query_id) const {
 }
 
 Result<QueryResult> QueryService::Wait(uint64_t query_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = queries_.find(query_id);
   if (it == queries_.end()) {
     return Status::KeyError("unknown query " + std::to_string(query_id));
   }
   std::shared_ptr<Query> q = it->second;
-  done_cv_.wait(lock, [&] { return Terminal(q->state); });
+  while (!Terminal(q->state)) done_cv_.Wait(lock);
   return Snapshot(*q);
 }
 
 QueryService::Stats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s = counters_;
   s.sessions_open = sessions_.size();
   s.inflight_cost = inflight_cost_;
@@ -418,20 +421,20 @@ std::shared_ptr<QueryService::Query> QueryService::PickRunnable() {
 }
 
 void QueryService::ExecutorLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stopping_ || !admit_order_.empty(); });
+    while (!stopping_ && admit_order_.empty()) work_cv_.Wait(lock);
     if (stopping_) return;
     std::shared_ptr<Query> q = PickRunnable();
     if (q == nullptr) {
       // Head blocked on capacity or every waiting session busy: sleep until
       // a completion or submission changes the picture.
-      work_cv_.wait(lock);
+      work_cv_.Wait(lock);
       continue;
     }
-    lock.unlock();
+    lock.Unlock();
     RunQuery(q);
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -444,7 +447,7 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
   SessionOptions opts;
   mil::MilEnv env;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Session& s = sessions_.at(q->session);
     opts = s.opts;
     env = s.env;
@@ -473,7 +476,7 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
   Status run = interp.Run(q->program);
   const auto elapsed = std::chrono::steady_clock::now() - start;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   q->traces = interp.traces();
   q->faults = io.faults();
   q->elapsed_us =
@@ -485,6 +488,7 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
   // appended before it). kDone is withheld until that fsync returns.
   uint64_t commit_lsn = 0;
   bool pending_sync = false;
+  storage::Wal* wal = wal_.get();  // for the out-of-lock fsync below
   if (run.ok() && q->durable && q->mutating && wal_ != nullptr) {
     if (read_only_) {
       run = Status::IoError("commit refused: service is read-only (" +
@@ -562,8 +566,8 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
     if (s.closing && s.pending == 0) sessions_.erase(sit);
   }
   inflight_cost_ -= q->admission.predicted_cost;
-  work_cv_.notify_all();  // capacity freed; the session is idle again
-  done_cv_.notify_all();
+  work_cv_.NotifyAll();  // capacity freed; the session is idle again
+  done_cv_.NotifyAll();
   if (!pending_sync) return;
 
   // --- durable commit, step 2: fsync, then acknowledge ------------------
@@ -571,9 +575,9 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
   // leader), and readers are never blocked behind the disk. The commit is
   // already visible in memory; a crash before the fsync returns may or may
   // not preserve it — which is exactly why kDone waits here.
-  lock.unlock();
-  const Status sync = wal_->Sync(commit_lsn);
-  lock.lock();
+  lock.Unlock();
+  const Status sync = wal->Sync(commit_lsn);
+  lock.Lock();
   if (sync.ok()) {
     q->state = QueryState::kDone;
     ++counters_.completed;
@@ -589,7 +593,7 @@ void QueryService::RunQuery(const std::shared_ptr<Query>& q) {
     q->status = Status::IoError("commit not durable: " + sync.message());
     ++counters_.failed;
   }
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 }  // namespace moaflat::service

@@ -1,17 +1,17 @@
 #ifndef MOAFLAT_SERVICE_QUERY_SERVICE_H_
 #define MOAFLAT_SERVICE_QUERY_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "kernel/exec_context.h"
 #include "mil/interpreter.h"
 #include "mil/program.h"
@@ -256,34 +256,43 @@ class QueryService {
     bool durable = false;
   };
 
-  void ExecutorLoop();
-  /// Picks the next runnable query under mu_: earliest submission whose
-  /// session is idle, honoring the capacity bound strictly in FIFO order.
-  std::shared_ptr<Query> PickRunnable();
-  void RunQuery(const std::shared_ptr<Query>& q);
-  QueryResult Snapshot(const Query& q) const;
-  /// Mutation classifier (mu_ held): inserts BUNs or rebinds a catalog name.
-  bool ProgramMutates(const mil::MilProgram& program) const;
+  void ExecutorLoop() MOAFLAT_EXCLUDES(mu_);
+  /// Drain predicate: no query queued, no session busy.
+  bool Quiesced() const MOAFLAT_REQUIRES(mu_);
+  /// Picks the next runnable query: earliest submission whose session is
+  /// idle, honoring the capacity bound strictly in FIFO order.
+  std::shared_ptr<Query> PickRunnable() MOAFLAT_REQUIRES(mu_);
+  void RunQuery(const std::shared_ptr<Query>& q) MOAFLAT_EXCLUDES(mu_);
+  /// Query fields are mutated only under mu_, so snapshots require it too.
+  QueryResult Snapshot(const Query& q) const MOAFLAT_REQUIRES(mu_);
+  /// Mutation classifier: inserts BUNs or rebinds a catalog name.
+  bool ProgramMutates(const mil::MilProgram& program) const
+      MOAFLAT_REQUIRES(mu_);
 
   ServiceConfig cfg_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // executors: new runnable work
-  std::condition_variable done_cv_;   // waiters: a query reached terminal
-  mil::MilEnv catalog_;
-  std::map<uint64_t, Session> sessions_;
-  std::map<uint64_t, std::shared_ptr<Query>> queries_;
-  std::deque<uint64_t> admit_order_;  // submitted, waiting to run (FIFO)
-  double inflight_cost_ = 0;
-  uint64_t next_session_ = 1;  // TaskPool group 0 is the shared group
-  uint64_t next_query_ = 1;
-  Stats counters_;
-  bool stopping_ = false;
-  // --- durability (all guarded by mu_; wal_ has its own internal lock) ---
-  std::string data_dir_;
-  std::unique_ptr<storage::Wal> wal_;
-  FaultInjector* durability_fault_ = nullptr;
-  bool read_only_ = false;
-  std::string read_only_reason_;
+  mutable Mutex mu_{LockRank::kSession, "query_service"};
+  CondVar work_cv_;   // executors: new runnable work
+  CondVar done_cv_;   // waiters: a query reached terminal
+  mil::MilEnv catalog_ MOAFLAT_GUARDED_BY(mu_);
+  std::map<uint64_t, Session> sessions_ MOAFLAT_GUARDED_BY(mu_);
+  std::map<uint64_t, std::shared_ptr<Query>> queries_ MOAFLAT_GUARDED_BY(mu_);
+  /// Submitted, waiting to run (FIFO).
+  std::deque<uint64_t> admit_order_ MOAFLAT_GUARDED_BY(mu_);
+  double inflight_cost_ MOAFLAT_GUARDED_BY(mu_) = 0;
+  /// TaskPool group 0 is the shared group.
+  uint64_t next_session_ MOAFLAT_GUARDED_BY(mu_) = 1;
+  uint64_t next_query_ MOAFLAT_GUARDED_BY(mu_) = 1;
+  Stats counters_ MOAFLAT_GUARDED_BY(mu_);
+  bool stopping_ MOAFLAT_GUARDED_BY(mu_) = false;
+  // --- durability (guarded by mu_; the Wal has its own internal lock, one
+  // rank above kSession, so holding mu_ across an Append is in order) ---
+  std::string data_dir_ MOAFLAT_GUARDED_BY(mu_);
+  std::unique_ptr<storage::Wal> wal_ MOAFLAT_GUARDED_BY(mu_);
+  FaultInjector* durability_fault_ MOAFLAT_GUARDED_BY(mu_) = nullptr;
+  bool read_only_ MOAFLAT_GUARDED_BY(mu_) = false;
+  std::string read_only_reason_ MOAFLAT_GUARDED_BY(mu_);
+  // Written only by the constructor, joined by Shutdown after every
+  // executor has observed stopping_; never mutated concurrently.
   std::vector<std::thread> executors_;
 };
 

@@ -153,7 +153,7 @@ Status WireServer::Start() {
 
 void WireServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -164,7 +164,7 @@ void WireServer::Stop() {
   std::vector<int> conns;
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     conns.swap(conns_);
     threads.swap(threads_);
   }
@@ -188,7 +188,7 @@ void WireServer::AcceptLoop() {
       }
       return;  // listen socket shut down by Stop()
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       ::close(fd);
       return;

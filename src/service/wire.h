@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "service/query_service.h"
 
 /// A thin line-protocol socket front end over the embedded QueryService, so
@@ -72,7 +73,7 @@ class WireServer {
   uint16_t port() const { return port_; }
 
   /// Stops accepting, shuts down live connections, joins all threads.
-  void Stop();
+  void Stop() MOAFLAT_EXCLUDES(mu_);
 
  private:
   /// Per-connection state: the sessions this connection opened (closed on
@@ -82,7 +83,7 @@ class WireServer {
     bool close = false;
   };
 
-  void AcceptLoop();
+  void AcceptLoop() MOAFLAT_EXCLUDES(mu_);
   void ServeConnection(int fd);
   std::string HandleLine(const std::string& line, ConnState& conn);
 
@@ -93,10 +94,12 @@ class WireServer {
   // stays valid (shutdown() is what wakes the blocked accept()).
   std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
-  std::mutex mu_;  // guards conns_/threads_ against Stop()
-  std::vector<int> conns_;
-  std::vector<std::thread> threads_;
-  bool stopping_ = false;
+  // Guards the connection registry against Stop(); ranked below every
+  // other lock because HandleLine calls into the QueryService.
+  Mutex mu_{LockRank::kWireServer, "wire_server"};
+  std::vector<int> conns_ MOAFLAT_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ MOAFLAT_GUARDED_BY(mu_);
+  bool stopping_ MOAFLAT_GUARDED_BY(mu_) = false;
 };
 
 /// Minimal blocking client for the wire protocol, used by the remote MIL

@@ -147,7 +147,7 @@ Wal::~Wal() {
 }
 
 Result<uint64_t> Wal::Append(uint8_t kind, std::string_view body) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!io_error_.ok()) return io_error_;
 
   const uint64_t lsn = next_lsn_;
@@ -186,19 +186,19 @@ Result<uint64_t> Wal::Append(uint8_t kind, std::string_view body) {
 }
 
 Status Wal::Sync(uint64_t lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (!io_error_.ok()) return io_error_;
     if (synced_ >= lsn + 1) return Status::OK();
     if (!sync_in_flight_) break;
-    cv_.wait(lock);  // a leader's fsync may already cover us
+    cv_.Wait(lock);  // a leader's fsync may already cover us
   }
   // Become the leader: one fsync covers every record appended so far,
   // including those of committers queued behind us (group commit).
   sync_in_flight_ = true;
   const uint64_t cover = appended_;
   ++fsync_count_;
-  lock.unlock();
+  lock.Unlock();
 
   Status st;
   if (opts_.fault != nullptr) {
@@ -207,14 +207,14 @@ Status Wal::Sync(uint64_t lsn) {
   }
   if (st.ok() && ::fsync(fd_) != 0) st = Errno("fsync", path_);
 
-  lock.lock();
+  lock.Lock();
   sync_in_flight_ = false;
   if (st.ok()) {
     if (cover > synced_) synced_ = cover;
   } else {
     io_error_ = st;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (!st.ok()) return st;
   // cover >= lsn + 1 always: the caller appended lsn before syncing, and
   // the leader snapshot was taken after we held the lock.
@@ -224,7 +224,7 @@ Status Wal::Sync(uint64_t lsn) {
 Status Wal::SyncAll() {
   uint64_t last;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!io_error_.ok()) return io_error_;
     if (appended_ == 0) return Status::OK();
     last = appended_ - 1;
@@ -233,7 +233,7 @@ Status Wal::SyncAll() {
 }
 
 Status Wal::TruncateAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!io_error_.ok()) return io_error_;
   if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0 ||
       ::fsync(fd_) != 0) {
@@ -246,12 +246,12 @@ Status Wal::TruncateAll() {
 }
 
 uint64_t Wal::next_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_lsn_;
 }
 
 uint64_t Wal::fsyncs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fsync_count_;
 }
 

@@ -1,17 +1,17 @@
 #ifndef MOAFLAT_STORAGE_WAL_H_
 #define MOAFLAT_STORAGE_WAL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace moaflat::storage {
 
@@ -91,41 +91,44 @@ class Wal {
 
   /// Appends one record (buffered in the OS; not yet durable) and returns
   /// its LSN. Durability requires a subsequent Sync covering the LSN.
-  Result<uint64_t> Append(uint8_t kind, std::string_view body);
+  Result<uint64_t> Append(uint8_t kind, std::string_view body)
+      MOAFLAT_EXCLUDES(mu_);
 
   /// Group commit: returns once every record up to `lsn` is fsynced. OK
   /// only after the data actually reached the log file.
-  Status Sync(uint64_t lsn);
+  Status Sync(uint64_t lsn) MOAFLAT_EXCLUDES(mu_);
 
   /// Fsyncs everything appended so far.
-  Status SyncAll();
+  Status SyncAll() MOAFLAT_EXCLUDES(mu_);
 
   /// Empties the log (checkpoint took over its records). LSNs keep
   /// counting; the caller must have published a checkpoint covering
   /// next_lsn() first, or the dropped records are lost.
-  Status TruncateAll();
+  Status TruncateAll() MOAFLAT_EXCLUDES(mu_);
 
   /// The LSN the next Append will get.
-  uint64_t next_lsn() const;
+  uint64_t next_lsn() const MOAFLAT_EXCLUDES(mu_);
   /// Number of fsync calls issued (group-commit effectiveness probe).
-  uint64_t fsyncs() const;
+  uint64_t fsyncs() const MOAFLAT_EXCLUDES(mu_);
   const std::string& path() const { return path_; }
 
  private:
   Wal(std::string path, int fd, uint64_t next_lsn, WalOptions opts);
 
+  // Const after construction (and fsync(fd_) is thread-safe), so the
+  // group-commit leader may touch fd_ with mu_ released.
   std::string path_;
   int fd_;
   WalOptions opts_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t next_lsn_;
-  uint64_t appended_ = 0;  // highest LSN written (+1), 0 = none
-  uint64_t synced_ = 0;    // highest LSN fsynced (+1), 0 = none
-  bool sync_in_flight_ = false;
-  Status io_error_;  // first IO failure; latched forever
-  uint64_t fsync_count_ = 0;
+  mutable Mutex mu_{LockRank::kWal, "wal"};
+  CondVar cv_;
+  uint64_t next_lsn_ MOAFLAT_GUARDED_BY(mu_);
+  uint64_t appended_ MOAFLAT_GUARDED_BY(mu_) = 0;  // highest LSN written (+1)
+  uint64_t synced_ MOAFLAT_GUARDED_BY(mu_) = 0;    // highest LSN fsynced (+1)
+  bool sync_in_flight_ MOAFLAT_GUARDED_BY(mu_) = false;
+  Status io_error_ MOAFLAT_GUARDED_BY(mu_);  // first IO failure; latched
+  uint64_t fsync_count_ MOAFLAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace moaflat::storage
