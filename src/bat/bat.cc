@@ -67,20 +67,49 @@ Bat Bat::Mirror() const {
   return Bat(tail_, head_, props_.Mirrored(), tail_side_, head_side_);
 }
 
-std::shared_ptr<const HashIndex> Bat::EnsureHeadHash(int degree) const {
-  std::lock_guard<std::mutex> lock(head_side_->mu);
-  if (!head_side_->hash) {
-    head_side_->hash = std::make_shared<HashIndex>(head_, degree);
+std::shared_ptr<const HashIndex> Bat::EnsureSideHash(SideAux& side,
+                                                     const ColumnPtr& col,
+                                                     int degree) {
+  // Leader/waiter: the old code held side.mu across the HashIndex
+  // construction, which at degree > 1 fans out on the TaskPool — an
+  // accelerator lock (rank 60) held while taking the pool's queue lock
+  // (rank 10), i.e. a rank inversion the lock-rank checker aborts on, and
+  // a real deadlock surface (a pool worker probing this side's accelerator
+  // would wait on the builder, who waits on the pool). Exactly one caller
+  // still builds — preserving the build-once fault accounting: waiters pay
+  // nothing, as before — but the build itself runs with no lock held.
+  MutexLock lock(side.mu);
+  for (;;) {
+    if (side.hash) return side.hash;
+    if (!side.building) break;
+    side.cv.Wait(lock);
   }
-  return head_side_->hash;
+  side.building = true;
+  lock.Unlock();
+  std::shared_ptr<const HashIndex> built;
+  try {
+    built = std::make_shared<HashIndex>(col, degree);
+  } catch (...) {
+    // A failed build (e.g. injected bad_alloc) must wake waiters so one of
+    // them can retry; leaving `building` set would park them forever.
+    lock.Lock();
+    side.building = false;
+    side.cv.NotifyAll();
+    throw;
+  }
+  lock.Lock();
+  side.building = false;
+  side.hash = built;
+  side.cv.NotifyAll();
+  return built;
+}
+
+std::shared_ptr<const HashIndex> Bat::EnsureHeadHash(int degree) const {
+  return EnsureSideHash(*head_side_, head_, degree);
 }
 
 std::shared_ptr<const HashIndex> Bat::EnsureTailHash(int degree) const {
-  std::lock_guard<std::mutex> lock(tail_side_->mu);
-  if (!tail_side_->hash) {
-    tail_side_->hash = std::make_shared<HashIndex>(tail_, degree);
-  }
-  return tail_side_->hash;
+  return EnsureSideHash(*tail_side_, tail_, degree);
 }
 
 Status Bat::Validate() const {

@@ -2,13 +2,14 @@
 #define MOAFLAT_BAT_BAT_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "bat/column.h"
 #include "bat/datavector.h"
 #include "bat/hash_index.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace moaflat::bat {
 
@@ -82,6 +83,11 @@ class Bat {
   /// all copies/mirrors of this BAT. degree > 1 builds the accelerator on
   /// the TaskPool (partitioned build); the structure is identical at any
   /// degree, so whichever caller builds first cannot perturb later probes.
+  /// Exactly one racing caller builds (and pays the build's page touches);
+  /// the others wait on the side's CondVar and reuse the leader's index —
+  /// the side lock is NOT held during the build, so the parallel fan-out
+  /// starts with no accelerator lock held (LockRank::kAccelerator sits
+  /// above the TaskPool ranks and must never be held across a Run()).
   std::shared_ptr<const HashIndex> EnsureHeadHash(int degree = 1) const;
 
   /// Hash index over the tail column.
@@ -90,19 +96,25 @@ class Bat {
   /// True if the hash accelerator on the head/tail side has already been
   /// built (without building it); the dispatch predicates use this.
   bool HasHeadHash() const {
-    std::lock_guard<std::mutex> lock(head_side_->mu);
+    MutexLock lock(head_side_->mu);
     return head_side_->hash != nullptr;
   }
   bool HasTailHash() const {
-    std::lock_guard<std::mutex> lock(tail_side_->mu);
+    MutexLock lock(tail_side_->mu);
     return tail_side_->hash != nullptr;
   }
 
   /// Attaches a datavector accelerator (oid head -> positional values).
-  void SetDatavector(std::shared_ptr<Datavector> dv) { head_side_->dv = dv; }
+  void SetDatavector(std::shared_ptr<Datavector> dv) {
+    MutexLock lock(head_side_->mu);
+    head_side_->dv = std::move(dv);
+  }
 
-  /// The datavector for head-oid lookups, or null.
-  const std::shared_ptr<Datavector>& datavector() const {
+  /// The datavector for head-oid lookups, or null. Returns by value: the
+  /// slot may be (re)attached concurrently, so callers hold their own
+  /// reference instead of aliasing the guarded field.
+  std::shared_ptr<Datavector> datavector() const {
+    MutexLock lock(head_side_->mu);
     return head_side_->dv;
   }
 
@@ -115,10 +127,20 @@ class Bat {
 
  private:
   struct SideAux {
-    std::mutex mu;  // guards lazy hash construction under concurrency
-    std::shared_ptr<const HashIndex> hash;
-    std::shared_ptr<Datavector> dv;
+    // Guards the accelerator slots. Never held across a hash *build*: the
+    // leader/waiter protocol in EnsureSideHash releases it for the
+    // (possibly TaskPool-parallel) construction and waiters park on cv.
+    Mutex mu{LockRank::kAccelerator, "bat.side"};
+    CondVar cv;  // wakes waiters when `building` clears
+    bool building MOAFLAT_GUARDED_BY(mu) = false;
+    std::shared_ptr<const HashIndex> hash MOAFLAT_GUARDED_BY(mu);
+    std::shared_ptr<Datavector> dv MOAFLAT_GUARDED_BY(mu);
   };
+
+  /// The leader/waiter lazy build shared by EnsureHeadHash/EnsureTailHash.
+  static std::shared_ptr<const HashIndex> EnsureSideHash(SideAux& side,
+                                                         const ColumnPtr& col,
+                                                         int degree);
 
   Bat(ColumnPtr head, ColumnPtr tail, Properties props,
       std::shared_ptr<SideAux> head_side, std::shared_ptr<SideAux> tail_side);

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "bat/column.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace moaflat::bat {
 
@@ -35,21 +36,23 @@ namespace moaflat::bat {
 /// cheap lookups alike.
 class DvLookupCache {
  public:
-  std::shared_ptr<const std::vector<uint32_t>> Find(uint64_t key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const std::vector<uint32_t>> Find(uint64_t key) const
+      MOAFLAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = cache_.find(key);
     return it == cache_.end() ? nullptr : it->second;
   }
   void Store(uint64_t key,
-             std::shared_ptr<const std::vector<uint32_t>> positions) {
-    std::lock_guard<std::mutex> lock(mu_);
+             std::shared_ptr<const std::vector<uint32_t>> positions)
+      MOAFLAT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     cache_[key] = std::move(positions);
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kLookupCache, "dv.lookup_cache"};
   std::unordered_map<uint64_t, std::shared_ptr<const std::vector<uint32_t>>>
-      cache_;
+      cache_ MOAFLAT_GUARDED_BY(mu_);
 };
 
 class Datavector {

@@ -42,7 +42,7 @@ Result<Bat> SyncSemijoin(const ExecContext& ctx, const Bat& ab, const Bat& cd,
 /// positionally stored EXTENT/VECTOR.
 Result<Bat> DatavectorSemijoin(const ExecContext& ctx, const Bat& ab,
                                const Bat& cd, OpRecorder& rec) {
-  const std::shared_ptr<Datavector>& dv = ab.datavector();
+  const std::shared_ptr<Datavector> dv = ab.datavector();
   const Column& extent = *dv->extent();
   const Column& vector = *dv->values();
 
