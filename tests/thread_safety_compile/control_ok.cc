@@ -1,0 +1,35 @@
+// Control fixture: a correctly annotated class. This file MUST compile
+// cleanly under -Wthread-safety -Werror=thread-safety; if it does not, the
+// harness (include paths, flags, wrapper annotations) is broken and the
+// negative fixtures' failures would prove nothing.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) MOAFLAT_EXCLUDES(mu_) {
+    moaflat::MutexLock lock(mu_);
+    AddLocked(amount);
+  }
+
+  int balance() const MOAFLAT_EXCLUDES(mu_) {
+    moaflat::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  void AddLocked(int amount) MOAFLAT_REQUIRES(mu_) { balance_ += amount; }
+
+  mutable moaflat::Mutex mu_{moaflat::LockRank::kSession, "account"};
+  int balance_ MOAFLAT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Negative fixture: a lock-assuming helper that touches guarded state but
+// is missing its MOAFLAT_REQUIRES(mu_) annotation. Must FAIL to compile
+// under -Werror=thread-safety — the analysis sees the helper write the
+// guarded field without any capability in scope.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) MOAFLAT_EXCLUDES(mu_) {
+    moaflat::MutexLock lock(mu_);
+    AddLocked(amount);
+  }
+
+ private:
+  // BUG under test: callers hold mu_, but without REQUIRES the contract is
+  // invisible to the analysis (and unenforced on future callers).
+  void AddLocked(int amount) { balance_ += amount; }
+
+  mutable moaflat::Mutex mu_{moaflat::LockRank::kSession, "account"};
+  int balance_ MOAFLAT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Negative fixture: reads a GUARDED_BY field with no lock held. Must FAIL
+// to compile under -Werror=thread-safety with a thread-safety diagnostic.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) MOAFLAT_EXCLUDES(mu_) {
+    moaflat::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // BUG under test: unguarded read of balance_.
+  int balance() const { return balance_; }
+
+ private:
+  mutable moaflat::Mutex mu_{moaflat::LockRank::kSession, "account"};
+  int balance_ MOAFLAT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Negative fixture: releases a mutex that is not held. Must FAIL to
+// compile under -Werror=thread-safety ("releasing mutex ... that was not
+// held"). At runtime this is UB on std::mutex and an abort under the
+// Debug-mode rank checker; the point here is that clang rejects it
+// statically.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Broken() {
+    mu_.Unlock();  // BUG under test: unlock without a prior lock
+  }
+
+ private:
+  moaflat::Mutex mu_{moaflat::LockRank::kSession, "account"};
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Broken();
+  return 0;
+}

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Negative-compile harness for the Clang thread-safety annotations.
+
+Compiles the fixtures in tests/thread_safety_compile/ with
+``-fsyntax-only -Wthread-safety -Werror=thread-safety``:
+
+  * control_ok.cc must compile cleanly (proves the harness and the
+    annotated wrapper are wired correctly);
+  * every other fixture must FAIL, and fail for the right reason — the
+    stderr must carry a thread-safety diagnostic, not some unrelated error
+    that would let a regressed annotation slip through.
+
+Only clang implements the analysis. When no clang++ is available the
+harness exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE.
+"""
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "thread_safety_compile"
+CONTROL = "control_ok.cc"
+
+
+def find_clang(explicit):
+    """Returns a clang++ executable path, or None."""
+    candidates = [explicit] if explicit else []
+    candidates += ["clang++", "clang++-18", "clang++-17", "clang++-16",
+                   "clang++-15", "clang++-14"]
+    for cand in candidates:
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def compile_fixture(cxx, src_dir, fixture):
+    cmd = [
+        cxx, "-fsyntax-only", "-std=c++20", f"-I{src_dir}",
+        "-Wthread-safety", "-Werror=thread-safety",
+        str(fixture),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src", default=None,
+                        help="path to the repo's src/ include root")
+    parser.add_argument("--compiler", default=None,
+                        help="clang++ executable to use")
+    args = parser.parse_args()
+
+    src_dir = pathlib.Path(args.src) if args.src else \
+        pathlib.Path(__file__).resolve().parent.parent / "src"
+    if not (src_dir / "common" / "mutex.h").exists():
+        print(f"FAIL: src root {src_dir} has no common/mutex.h",
+              file=sys.stderr)
+        return 1
+
+    cxx = find_clang(args.compiler)
+    if cxx is None:
+        print("SKIP: no clang++ found (thread-safety analysis is "
+              "clang-only)")
+        return 77
+
+    fixtures = sorted(FIXTURE_DIR.glob("*.cc"))
+    if not any(f.name == CONTROL for f in fixtures) or len(fixtures) < 2:
+        print(f"FAIL: fixture set in {FIXTURE_DIR} is incomplete",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    for fixture in fixtures:
+        rc, stderr = compile_fixture(cxx, src_dir, fixture)
+        if fixture.name == CONTROL:
+            ok = rc == 0
+            why = "compiles cleanly" if ok else f"unexpected errors:\n{stderr}"
+        else:
+            if rc == 0:
+                ok, why = False, "compiled, but must be rejected"
+            elif "thread-safety" not in stderr:
+                ok, why = False, f"rejected for the wrong reason:\n{stderr}"
+            else:
+                ok, why = True, "rejected with a thread-safety diagnostic"
+        status = "PASS" if ok else "FAIL"
+        print(f"{status}: {fixture.name}: {why}")
+        if not ok:
+            failures += 1
+
+    if failures:
+        print(f"{failures} fixture(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(fixtures)} fixtures behaved as expected under {cxx}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

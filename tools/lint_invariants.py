@@ -43,13 +43,27 @@ unsynced-rename
     with no durability contract carries `// lint:allow(unsynced-rename)`
     saying why.
 
+naked-mutex
+    A raw std synchronization primitive (std::mutex, std::condition_variable,
+    std::lock_guard, std::unique_lock, ...) anywhere outside the annotated
+    wrapper itself (common/mutex.h/.cc). Raw primitives are invisible to
+    clang's -Wthread-safety analysis and to the Debug-mode lock-rank
+    deadlock checker, so every one of them is an unchecked lock site; use
+    Mutex/MutexLock/CondVar instead. The same rule enforces annotation
+    coverage: in any file that declares a ranked Mutex, a `mutable` member
+    that is not itself a Mutex/CondVar/std::atomic must carry
+    MOAFLAT_GUARDED_BY — a mutable field next to a lock is almost always
+    shared state, and an unannotated one is exactly what the analysis
+    cannot see. (Single-threaded classes with mutable caches and no Mutex
+    are out of scope on purpose.) Escapes carry
+    `// lint:allow(naked-mutex)` with a reason.
+
 An allow comment counts when it appears inside the flagged statement or on
 one of the two lines above it.
 
 Usage
 -----
-    tools/lint_invariants.py [paths...]      # default: src/kernel src/bat
-                                             #          src/storage src/service
+    tools/lint_invariants.py [paths...]      # default: src
     tools/lint_invariants.py --self-test     # run the seeded-broken fixtures
 
 Exit status 0 = clean, 1 = findings, 2 = self-test failure.
@@ -59,7 +73,7 @@ import os
 import re
 import sys
 
-DEFAULT_PATHS = ["src/kernel", "src/bat", "src/storage", "src/service"]
+DEFAULT_PATHS = ["src"]
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 SYNC_KEY_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*(?:\(\))?(?:[.->]+[A-Za-z_][A-Za-z0-9_]*(?:\(\))?)*)\.sync_key\(\)")
 VOID_CTX_RE = re.compile(r"\(\s*void\s*\)\s*ctx\b")
@@ -249,8 +263,64 @@ def check_unsynced_rename(path, lines):
     return findings
 
 
+NAKED_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+# The wrapper is the one legitimate home of the raw primitives.
+NAKED_MUTEX_EXEMPT = ("common/mutex.h", "common/mutex.cc",
+                      "common/thread_annotations.h")
+RANKED_MUTEX_DECL_RE = re.compile(r"\bMutex\s+\w+\s*\{\s*LockRank::")
+MUTABLE_MEMBER_RE = re.compile(r"^\s+mutable\s+\S")
+MUTABLE_EXEMPT_RE = re.compile(r"\b(?:Mutex|CondVar|std::atomic)\b")
+
+
+def check_naked_mutex(path, lines):
+    norm = path.replace(os.sep, "/")
+    if norm.endswith(NAKED_MUTEX_EXEMPT):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("//"):
+            continue
+        m = NAKED_MUTEX_RE.search(strip_comments(line))
+        if m and not allowed(lines, i, i, "naked-mutex"):
+            findings.append(Finding(
+                path, i + 1, "naked-mutex",
+                f"raw std::{m.group(1)} outside common/mutex.h: invisible "
+                "to -Wthread-safety and the lock-rank checker; use the "
+                "annotated Mutex/MutexLock/CondVar wrapper, or annotate "
+                "// lint:allow(naked-mutex) with a reason"))
+    # Annotation coverage: files that declare a ranked Mutex must guard
+    # their mutable members (the lock is right there; an unannotated
+    # mutable field next to it is an unchecked sharing claim).
+    if RANKED_MUTEX_DECL_RE.search("\n".join(lines)):
+        for i, line in enumerate(lines):
+            if line.lstrip().startswith("//"):
+                continue
+            if not MUTABLE_MEMBER_RE.match(line):
+                continue
+            end = statement_end(lines, i)
+            if ";" not in "".join(lines[i : end + 1]):
+                end = i
+            stmt = strip_comments("\n".join(lines[i : end + 1]))
+            if MUTABLE_EXEMPT_RE.search(stmt):
+                continue
+            if "MOAFLAT_GUARDED_BY" in stmt or "GUARDED_BY" in stmt:
+                continue
+            if allowed(lines, i, end, "naked-mutex"):
+                continue
+            findings.append(Finding(
+                path, i + 1, "naked-mutex",
+                "mutable member without MOAFLAT_GUARDED_BY in a file that "
+                "declares a ranked Mutex: annotate which lock guards it "
+                "(or // lint:allow(naked-mutex) if it is provably "
+                "single-threaded)"))
+    return findings
+
+
 CHECKS = [check_sync_head_only, check_uncharged_kernel, check_unpolled_plan,
-          check_unsynced_rename]
+          check_unsynced_rename, check_naked_mutex]
 
 
 def lint_file(path, text=None):
@@ -416,6 +486,54 @@ Status RotateDebugDump(const std::string& tmp, const std::string& final) {
   return Status::OK();
 }
 """, {"unsynced-rename": 0}),
+    # Raw primitives outside the wrapper: member and lock site.
+    ("broken_naked_mutex.cc", """
+class Cache {
+ public:
+  int Get() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return v_;
+  }
+
+ private:
+  std::mutex mu_;
+  int v_ = 0;
+};
+""", {"naked-mutex": 2}),
+    # The wrapper in use: annotated, ranked, guarded — nothing to flag.
+    ("fixed_wrapped_mutex.cc", """
+class Cache {
+ private:
+  mutable Mutex mu_{LockRank::kSession, "cache"};
+  int v_ MOAFLAT_GUARDED_BY(mu_) = 0;
+  mutable std::atomic<size_t> hits_{0};
+};
+""", {"naked-mutex": 0}),
+    # A justified raw primitive (e.g. handed to a C API).
+    ("allowed_naked_mutex.cc", """
+class Bridge {
+ private:
+  // A C callback needs the native handle; the wrapper cannot expose it.
+  std::mutex mu_;  // lint:allow(naked-mutex)
+};
+""", {"naked-mutex": 0}),
+    # Coverage: a mutable member with no GUARDED_BY right next to a ranked
+    # Mutex is an unchecked sharing claim.
+    ("broken_unguarded_mutable.cc", """
+class Cache {
+ private:
+  mutable Mutex mu_{LockRank::kSession, "cache"};
+  mutable size_t hits_ = 0;
+};
+""", {"naked-mutex": 1}),
+    # A single-threaded class with a mutable cache and no Mutex at all is
+    # out of scope — the rule keys on the lock being present.
+    ("single_threaded_mutable.cc", """
+class ResultView {
+ private:
+  mutable size_t pos_cache_ = 0;
+};
+""", {"naked-mutex": 0}),
     # A justified exception near the Plan call.
     ("allowed_plan.cc", """
 Result<Bat> TouchOnly(const ExecContext& ctx, const Bat& ab) {
